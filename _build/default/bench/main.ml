@@ -1,0 +1,192 @@
+(* Benchmark and reproduction harness.
+
+   Part 1 — Bechamel micro-benchmarks of the hot paths that the paper's
+   scalability arguments rest on: fabric-manager ARP service (the
+   CPU-requirements figure), flow-table lookup (per-hop forwarding cost),
+   PMAC and frame codecs, the event engine, and topology construction.
+
+   Part 2 — the full experiment suite: one scenario per paper table and
+   figure (see DESIGN.md's experiment index), printed as rows/series.
+
+   `dune exec bench/main.exe` runs both; `-- --quick` trims the
+   experiments; `-- --micro-only` / `-- --experiments-only` select one
+   part. *)
+
+open Bechamel
+open Toolkit
+
+(* ---------------- fixtures ---------------- *)
+
+let fm_fixture =
+  lazy
+    (let engine = Eventsim.Engine.create () in
+     let ctrl = Portland.Ctrl.create engine ~latency:(Eventsim.Time.us 50) in
+     let spec = Topology.Fattree.spec ~k:48 in
+     let fm = Portland.Fabric_manager.create engine Portland.Config.default ctrl ~spec in
+     let n = 100_000 in
+     let ips = Array.make n (Netcore.Ipv4_addr.of_int 0) in
+     for i = 0 to n - 1 do
+       let ip = Netcore.Ipv4_addr.of_int (0x0A000000 lor i) in
+       ips.(i) <- ip;
+       Portland.Fabric_manager.insert_binding_for_test fm
+         { Portland.Msg.ip;
+           amac = Netcore.Mac_addr.of_int (0x020000000000 lor i);
+           pmac =
+             Portland.Pmac.make ~pod:(i mod 48) ~position:(i mod 24) ~port:(i mod 24)
+               ~vmid:(1 + (i mod 1000));
+           edge_switch = i mod 1000 }
+     done;
+     (fm, ips))
+
+let edge_table_fixture =
+  lazy
+    (let table = Switchfab.Flow_table.create () in
+     (* a realistic k=48 edge switch: per-pod entries + host entries *)
+     for p = 1 to 47 do
+       Switchfab.Flow_table.set_group table (20_000 + p) [| 24; 25; 26; 27 |];
+       Switchfab.Flow_table.install table
+         { Switchfab.Flow_table.name = Printf.sprintf "pod:%d" p;
+           priority = 70;
+           mtch =
+             { Switchfab.Flow_table.match_any with
+               Switchfab.Flow_table.dst_mac = Some (Portland.Pmac.pod_prefix ~pod:p) };
+           actions = [ Switchfab.Flow_table.Group (20_000 + p) ] }
+     done;
+     for h = 0 to 23 do
+       let pmac = Portland.Pmac.make ~pod:0 ~position:0 ~port:h ~vmid:1 in
+       Switchfab.Flow_table.install table
+         { Switchfab.Flow_table.name = Printf.sprintf "host:%d" h;
+           priority = 90;
+           mtch =
+             { Switchfab.Flow_table.match_any with
+               Switchfab.Flow_table.dst_mac = Some (Portland.Pmac.exact pmac) };
+           actions =
+             [ Switchfab.Flow_table.Set_dst_mac (Netcore.Mac_addr.of_int (0x020000000000 lor h));
+               Switchfab.Flow_table.Output h ] }
+     done;
+     let dst = Portland.Pmac.to_mac (Portland.Pmac.make ~pod:31 ~position:7 ~port:3 ~vmid:1) in
+     let frame =
+       Netcore.Eth.make ~dst ~src:(Netcore.Mac_addr.of_int 7)
+         (Netcore.Eth.Ipv4
+            (Netcore.Ipv4_pkt.udp
+               ~src:(Netcore.Ipv4_addr.of_int 1) ~dst:(Netcore.Ipv4_addr.of_int 2)
+               (Netcore.Udp.make ~flow_id:9 ~app_seq:0 ~payload_len:1000 ())))
+     in
+     (table, frame))
+
+let sample_frame =
+  lazy
+    (Netcore.Eth.make
+       ~dst:(Netcore.Mac_addr.of_int 0x020000000001)
+       ~src:(Netcore.Mac_addr.of_int 0x020000000002)
+       (Netcore.Eth.Ipv4
+          (Netcore.Ipv4_pkt.tcp
+             ~src:(Netcore.Ipv4_addr.of_octets 10 0 0 2)
+             ~dst:(Netcore.Ipv4_addr.of_octets 10 3 1 2)
+             (Netcore.Tcp_seg.make ~seq:123456 ~ack_num:789 ~payload_len:1460 ()))))
+
+(* ---------------- micro-benchmarks (one per measured table/figure
+   constant, plus substrate hot paths) ---------------- *)
+
+let tests =
+  [ (* E7 — fabric-manager CPU requirements: the per-ARP constant *)
+    Test.make ~name:"fm/arp_resolve_100k_bindings"
+      (Staged.stage (fun () ->
+           let fm, ips = Lazy.force fm_fixture in
+           ignore (Portland.Fabric_manager.resolve fm ips.(77777))));
+    (* per-hop forwarding decision on a realistic edge table *)
+    Test.make ~name:"flow_table/lookup_edge_k48"
+      (Staged.stage (fun () ->
+           let table, frame = Lazy.force edge_table_fixture in
+           ignore (Switchfab.Flow_table.lookup table frame)));
+    Test.make ~name:"flow_table/flow_hash"
+      (Staged.stage (fun () ->
+           ignore (Switchfab.Flow_table.flow_hash (Lazy.force sample_frame))));
+    (* E8 context — PMAC manipulation used on every rewrite *)
+    Test.make ~name:"pmac/encode_decode"
+      (Staged.stage (fun () ->
+           let p = Portland.Pmac.make ~pod:31 ~position:7 ~port:3 ~vmid:9 in
+           ignore (Portland.Pmac.of_mac (Portland.Pmac.to_mac p))));
+    Test.make ~name:"codec/eth_encode_decode_tcp"
+      (Staged.stage (fun () ->
+           match Netcore.Codec.decode (Netcore.Codec.encode (Lazy.force sample_frame)) with
+           | Ok _ -> ()
+           | Error e -> failwith e));
+    Test.make ~name:"engine/schedule_and_run"
+      (Staged.stage
+         (let engine = Eventsim.Engine.create () in
+          fun () ->
+            ignore (Eventsim.Engine.schedule engine ~delay:1 (fun () -> ()));
+            Eventsim.Engine.run engine));
+    Test.make ~name:"topology/build_fattree_k8"
+      (Staged.stage (fun () -> ignore (Topology.Fattree.build ~k:8)));
+    Test.make ~name:"prng/splitmix_int"
+      (Staged.stage
+         (let prng = Eventsim.Prng.create 1 in
+          fun () -> ignore (Eventsim.Prng.int prng 1024))) ]
+
+let run_micro () =
+  print_endline "=== Bechamel micro-benchmarks (ns/run, OLS on monotonic clock) ===";
+  (* build fixtures outside the measured region *)
+  ignore (Lazy.force fm_fixture);
+  ignore (Lazy.force edge_table_fixture);
+  ignore (Lazy.force sample_frame);
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"portland" ~fmt:"%s %s" tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ v ] -> Printf.sprintf "%.1f" v
+        | Some vs ->
+          String.concat "," (List.map (Printf.sprintf "%.1f") vs)
+        | None -> "n/a"
+      in
+      rows := (name, estimate) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-42s %12s ns/run\n" name est)
+    (List.sort compare !rows);
+  print_newline ()
+
+(* meta-benchmark: how big a fabric this simulator itself handles — wall
+   clock and engine events to full self-configuration *)
+let run_scalability ~quick =
+  print_endline "=== Simulator scalability: time to self-configure a fabric ===";
+  Printf.printf "  %-4s %-7s %-9s %-14s %-13s %-12s\n" "k" "hosts" "switches" "sim time (ms)"
+    "wall (s)" "events";
+  List.iter
+    (fun k ->
+      let t0 = Unix.gettimeofday () in
+      let fab = Portland.Fabric.create_fattree ~k () in
+      let ok = Portland.Fabric.await_convergence ~timeout:(Eventsim.Time.sec 10) fab in
+      let t1 = Unix.gettimeofday () in
+      Printf.printf "  %-4d %-7d %-9d %-14.1f %-13.2f %-12d%s\n" k
+        (Topology.Fattree.num_hosts ~k)
+        (Topology.Fattree.num_switches ~k)
+        (Eventsim.Time.to_ms_f (Portland.Fabric.now fab))
+        (t1 -. t0)
+        (Eventsim.Engine.events_processed (Portland.Fabric.engine fab))
+        (if ok then "" else "  (DID NOT CONVERGE)"))
+    (if quick then [ 4; 8 ] else [ 4; 8; 12; 16 ]);
+  print_newline ()
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let micro_only = List.mem "--micro-only" argv in
+  let experiments_only = List.mem "--experiments-only" argv in
+  if not experiments_only then begin
+    run_micro ();
+    run_scalability ~quick
+  end;
+  if not micro_only then begin
+    print_endline "=== Paper reproduction: every table and figure ===";
+    Harness.Experiments.run_all ~quick Format.std_formatter
+  end

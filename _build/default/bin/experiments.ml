@@ -1,0 +1,50 @@
+(* Runs the paper's experiments: all of them, or the ones named on the
+   command line. `--quick` trims trial counts, `--seed N` changes the
+   deterministic seed, `--list` shows the index. *)
+
+let usage () =
+  print_endline "usage: experiments [--quick] [--seed N] [--list] [EXPERIMENT...]";
+  print_endline "experiments:";
+  List.iter
+    (fun (id, descr) -> Printf.printf "  %-16s %s\n" id descr)
+    Harness.Experiments.all
+
+let () =
+  let quick = ref false in
+  let seed = ref 42 in
+  let list_only = ref false in
+  let chosen = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--seed" :: n :: rest ->
+      seed := int_of_string n;
+      parse rest
+    | "--list" :: rest ->
+      list_only := true;
+      parse rest
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | id :: rest ->
+      chosen := id :: !chosen;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list_only then usage ()
+  else begin
+    let fmt = Format.std_formatter in
+    match List.rev !chosen with
+    | [] -> Harness.Experiments.run_all ~quick:!quick ~seed:!seed fmt
+    | ids ->
+      List.iter
+        (fun id ->
+          if not (Harness.Experiments.run_one ~quick:!quick ~seed:!seed fmt id) then begin
+            Printf.eprintf "unknown experiment: %s\n" id;
+            usage ();
+            exit 1
+          end)
+        ids
+  end

@@ -1,0 +1,191 @@
+(* Interactive driver: build a PortLand fabric, run a scenario, dump
+   state. `portland_sim --help` for options. *)
+
+open Cmdliner
+
+let run_scenario ~k ~seed ~duration_ms ~scenario ~verbose ~pcap_file ~dot_file =
+  let open Eventsim in
+  let fab = Portland.Fabric.create_fattree ~seed ~k () in
+  (match dot_file with
+   | Some path ->
+     let oc = open_out path in
+     output_string oc
+       (Topology.Topo.to_dot ~name:(Printf.sprintf "fattree-k%d" k)
+          (Topology.Multirooted.build (Topology.Fattree.spec ~k)).Topology.Multirooted.topo);
+     close_out oc;
+     Printf.printf "wrote topology graph to %s (render with: dot -Tsvg %s)\n" path path
+   | None -> ());
+  Printf.printf "built k=%d fat tree: %d hosts, %d switches\n%!" k
+    (Topology.Fattree.num_hosts ~k)
+    (Topology.Fattree.num_switches ~k);
+  let capture =
+    match pcap_file with
+    | None -> None
+    | Some _ ->
+      let cap = Switchfab.Capture.create (Portland.Fabric.net fab) in
+      List.iter
+        (fun h ->
+          Switchfab.Capture.tap cap ~device:(Portland.Host_agent.device_id h)
+            ~side:Switchfab.Capture.Both ())
+        (Portland.Fabric.hosts fab);
+      Some cap
+  in
+  if not (Portland.Fabric.await_convergence fab) then begin
+    prerr_endline "fabric failed to converge";
+    exit 1
+  end;
+  Printf.printf "converged at %s (LDP + fabric manager assignments complete)\n%!"
+    (Time.to_string (Portland.Fabric.now fab));
+  (match scenario with
+   | "idle" -> Portland.Fabric.run_for fab (Time.ms duration_ms)
+   | "ping-all" ->
+     let hosts = Array.of_list (Portland.Fabric.hosts fab) in
+     let received = ref 0 in
+     Array.iter
+       (fun h -> Portland.Host_agent.set_rx h (fun _ -> incr received))
+       hosts;
+     let sent = ref 0 in
+     Array.iteri
+       (fun i h ->
+         let peer = hosts.((i + 1) mod Array.length hosts) in
+         let u = Netcore.Udp.make ~flow_id:i ~app_seq:0 ~payload_len:64 () in
+         Portland.Host_agent.send_ip h ~dst:(Portland.Host_agent.ip peer)
+           (Netcore.Ipv4_pkt.Udp u);
+         incr sent)
+       hosts;
+     Portland.Fabric.run_for fab (Time.ms duration_ms);
+     Printf.printf "ping-all: %d sent, %d received\n" !sent !received
+   | "migrate" ->
+     (* needs a spare slot: rebuild the fabric with one *)
+     Printf.printf "(migrate scenario uses its own fabric with a spare slot in pod 1)\n";
+     let fab = Portland.Fabric.create_fattree ~seed ~k ~spare_slots:[ (1, 0, 0) ] () in
+     assert (Portland.Fabric.await_convergence fab);
+     let client = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+     let vm = Portland.Fabric.host fab ~pod:(k - 1) ~edge:0 ~slot:1 in
+     let m_client = Transport.Port_mux.attach client in
+     let m_vm = Transport.Port_mux.attach vm in
+     let conn = Transport.Tcp.connect (Portland.Fabric.engine fab) ~src:m_client ~dst:m_vm () in
+     Portland.Fabric.run_for fab (Time.sec 1);
+     Printf.printf "migrating %s to pod 1 (200 ms downtime)\n"
+       (Netcore.Ipv4_addr.to_string (Portland.Host_agent.ip vm));
+     Portland.Fabric.migrate fab ~vm ~to_:(1, 0, 0) ~downtime:(Time.ms 200) ();
+     Portland.Fabric.run_for fab (Time.ms duration_ms);
+     let s = Transport.Tcp.stats conn in
+     Printf.printf "delivered %.1f MB; %d retransmission timeout(s)\n"
+       (float_of_int s.Transport.Tcp.bytes_delivered /. 1e6)
+       s.Transport.Tcp.timeouts;
+     Format.printf "trace tail:@.";
+     List.iter
+       (fun e -> Format.printf "  %a@." Eventsim.Trace.pp_entry e)
+       (let es = Eventsim.Trace.entries (Portland.Fabric.trace fab) in
+        let n = List.length es in
+        List.filteri (fun i _ -> i >= n - 5) es)
+   | "fm-restart" ->
+     Portland.Fabric.restart_fabric_manager fab;
+     Printf.printf "fabric manager restarted; resyncing...\n";
+     Portland.Fabric.run_for fab (Time.ms duration_ms);
+     Printf.printf "bindings after resync: %d\n"
+       (Portland.Fabric_manager.binding_count (Portland.Fabric.fabric_manager fab))
+   | "failure" ->
+     let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+     let dst = Portland.Fabric.host fab ~pod:(k - 1) ~edge:0 ~slot:0 in
+     let mux = Transport.Port_mux.attach dst in
+     let rx = Transport.Udp_flow.Receiver.attach (Portland.Fabric.engine fab) mux ~flow_id:1 () in
+     let tx =
+       Transport.Udp_flow.Sender.start (Portland.Fabric.engine fab) src
+         ~dst:(Portland.Host_agent.ip dst) ~flow_id:1 ~rate_pps:1000 ()
+     in
+     Portland.Fabric.run_for fab (Time.ms 300);
+     let probe = Netcore.Ipv4_pkt.Udp (Netcore.Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:64 ()) in
+     (match Portland.Fabric.trace_route fab ~src ~dst_ip:(Portland.Host_agent.ip dst) probe with
+      | Ok (_ :: a :: b :: _) ->
+        Printf.printf "failing on-path link %d--%d\n" a b;
+        ignore (Portland.Fabric.fail_link_between fab ~a ~b)
+      | Ok _ | Error _ -> prerr_endline "could not trace the flow");
+     let fail_at = Portland.Fabric.now fab in
+     Portland.Fabric.run_for fab (Time.ms duration_ms);
+     Transport.Udp_flow.Sender.stop tx;
+     (match Transport.Udp_flow.Receiver.max_gap rx ~after:(fail_at - Time.ms 5) with
+      | Some (_, gap) -> Printf.printf "convergence: %s\n" (Time.to_string gap)
+      | None -> print_endline "no gap measured")
+   | other ->
+     Printf.eprintf "unknown scenario %s (idle | ping-all | failure | migrate | fm-restart)\n"
+       other;
+     exit 1);
+  (match (capture, pcap_file) with
+   | Some cap, Some path ->
+     Switchfab.Capture.write_file cap path;
+     Printf.printf "wrote %d frames (host-side, both directions) to %s\n"
+       (Switchfab.Capture.frame_count cap) path
+   | _ -> ());
+  if verbose then begin
+    let c = Switchfab.Net.total_counters (Portland.Fabric.net fab) in
+    Printf.printf "frames: tx=%d rx=%d queue_drops=%d down_drops=%d\n"
+      c.Switchfab.Net.tx_frames c.Switchfab.Net.rx_frames c.Switchfab.Net.queue_drops
+      c.Switchfab.Net.down_drops;
+    let fm = Portland.Fabric.fabric_manager fab in
+    let fc = Portland.Fabric_manager.counters fm in
+    Printf.printf
+      "fabric manager: %d reports, %d ARP queries (%d hits), %d announces, %d fault notices\n"
+      fc.Portland.Fabric_manager.reports fc.Portland.Fabric_manager.arp_queries
+      fc.Portland.Fabric_manager.arp_hits fc.Portland.Fabric_manager.host_announces
+      fc.Portland.Fabric_manager.fault_notices;
+    Format.printf "trace (last 10 entries):@.";
+    (let es = Eventsim.Trace.entries (Portland.Fabric.trace fab) in
+     let n = List.length es in
+     List.iteri
+       (fun i e -> if i >= n - 10 then Format.printf "  %a@." Eventsim.Trace.pp_entry e)
+       es);
+    List.iter
+      (fun a ->
+        Printf.printf "  switch %d: %s, %d table entries\n"
+          (Portland.Switch_agent.switch_id a)
+          (match Portland.Switch_agent.coords a with
+           | Some c -> Format.asprintf "%a" Portland.Coords.pp c
+           | None -> "unplaced")
+          (Portland.Switch_agent.table_size a))
+      (List.sort
+         (fun a b ->
+           compare (Portland.Switch_agent.switch_id a) (Portland.Switch_agent.switch_id b))
+         (Portland.Fabric.agents fab))
+  end
+
+let k_arg =
+  let doc = "Fat-tree arity (even, >= 2)." in
+  Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let duration_arg =
+  let doc = "Scenario duration after convergence, in milliseconds." in
+  Arg.(value & opt int 1000 & info [ "duration-ms" ] ~docv:"MS" ~doc)
+
+let scenario_arg =
+  let doc = "Scenario: idle, ping-all, failure, migrate, or fm-restart." in
+  Arg.(value & pos 0 string "ping-all" & info [] ~docv:"SCENARIO" ~doc)
+
+let verbose_arg =
+  let doc = "Dump per-switch state and counters at the end." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let pcap_arg =
+  let doc = "Capture all host-side traffic to this pcap file (Wireshark-compatible)." in
+  Arg.(value & opt (some string) None & info [ "pcap" ] ~docv:"FILE" ~doc)
+
+let dot_arg =
+  let doc = "Write the topology as a Graphviz file." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "simulate a PortLand fabric" in
+  let term =
+    Term.(
+      const (fun k seed duration_ms scenario verbose pcap_file dot_file ->
+          run_scenario ~k ~seed ~duration_ms ~scenario ~verbose ~pcap_file ~dot_file)
+      $ k_arg $ seed_arg $ duration_arg $ scenario_arg $ verbose_arg $ pcap_arg $ dot_arg)
+  in
+  Cmd.v (Cmd.info "portland_sim" ~doc) term
+
+let () = exit (Cmd.eval cmd)

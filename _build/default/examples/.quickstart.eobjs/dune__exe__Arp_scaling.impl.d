@@ -1,0 +1,1 @@
+examples/arp_scaling.ml: Array Baselines Eventsim List Netcore Portland Printf Switchfab Time Topology

@@ -1,0 +1,1 @@
+examples/arp_scaling.mli:

@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Eventsim Fabric Fabric_manager Host_agent List Netcore Portland Printf String Time Transport

@@ -1,0 +1,1 @@
+examples/incast.ml: Eventsim Fabric Host_agent List Portland Printf Switchfab Time Transport

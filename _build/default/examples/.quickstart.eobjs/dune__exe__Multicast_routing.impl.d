@@ -1,0 +1,1 @@
+examples/multicast_routing.ml: Coords Eventsim Fabric Fabric_manager Host_agent List Netcore Portland Printf Switch_agent Time Timer

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Coords Eventsim Fabric Fabric_manager Format Host_agent List Netcore Portland Printf String Switch_agent Time Topology

@@ -1,0 +1,1 @@
+examples/rtt_probe.ml: Eventsim Fabric Format Host_agent List Netcore Portland Printf Time Transport

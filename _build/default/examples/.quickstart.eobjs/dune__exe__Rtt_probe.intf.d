@@ -1,0 +1,1 @@
+examples/rtt_probe.mli:

@@ -1,0 +1,1 @@
+examples/vm_migration.ml: Array Eventsim Fabric Fabric_manager Format Host_agent Netcore Pmac Portland Printf Stats Time Transport

@@ -1,0 +1,66 @@
+(* ARP scaling: the reason PortLand proxies ARP at all.
+
+   In a flat layer-2 network every ARP request is a broadcast that every
+   host receives. In PortLand, edge switches answer from the fabric
+   manager and hosts see exactly the replies meant for them. This example
+   measures both on the same topology and workload.
+
+   Run with:  dune exec examples/arp_scaling.exe *)
+
+open Eventsim
+
+let host_rx net hosts =
+  List.fold_left
+    (fun acc h ->
+      let d = Switchfab.Net.device net (Portland.Host_agent.device_id h) in
+      acc + (Switchfab.Net.device_counters d).Switchfab.Net.rx_frames)
+    0 hosts
+
+let workload_portland k =
+  let fab = Portland.Fabric.create_fattree ~k () in
+  assert (Portland.Fabric.await_convergence fab);
+  let net = Portland.Fabric.net fab in
+  let before = host_rx net (Portland.Fabric.hosts fab) in
+  (* every host resolves and pings its successor *)
+  let hosts = Array.of_list (Portland.Fabric.hosts fab) in
+  Array.iteri
+    (fun i h ->
+      Portland.Host_agent.flush_arp_cache h;
+      let peer = hosts.((i + 1) mod Array.length hosts) in
+      let u = Netcore.Udp.make ~flow_id:i ~app_seq:0 ~payload_len:64 () in
+      Portland.Host_agent.send_ip h ~dst:(Portland.Host_agent.ip peer) (Netcore.Ipv4_pkt.Udp u))
+    hosts;
+  Portland.Fabric.run_for fab (Time.ms 200);
+  let frames = host_rx net (Portland.Fabric.hosts fab) - before in
+  let c = Portland.Fabric_manager.counters (Portland.Fabric.fabric_manager fab) in
+  (frames, c.Portland.Fabric_manager.arp_queries)
+
+let workload_ethernet k =
+  let fab = Baselines.Ethernet_fabric.create_fattree ~stp:true ~k () in
+  assert (Baselines.Ethernet_fabric.await_stp_convergence fab);
+  let net = Baselines.Ethernet_fabric.net fab in
+  let before = host_rx net (Baselines.Ethernet_fabric.hosts fab) in
+  let hosts = Array.of_list (Baselines.Ethernet_fabric.hosts fab) in
+  Array.iteri
+    (fun i h ->
+      Portland.Host_agent.flush_arp_cache h;
+      let peer = hosts.((i + 1) mod Array.length hosts) in
+      let u = Netcore.Udp.make ~flow_id:i ~app_seq:0 ~payload_len:64 () in
+      Portland.Host_agent.send_ip h ~dst:(Portland.Host_agent.ip peer) (Netcore.Ipv4_pkt.Udp u))
+    hosts;
+  Baselines.Ethernet_fabric.run_for fab (Time.ms 200);
+  (host_rx net (Baselines.Ethernet_fabric.hosts fab) - before, 0)
+
+let () =
+  print_endline "every host ARPs for + pings its successor; frames delivered to host NICs:";
+  Printf.printf "%-4s %-7s %-22s %-22s\n" "k" "hosts" "flat L2 (host frames)" "PortLand (host frames / FM ARPs)";
+  List.iter
+    (fun k ->
+      let eth_frames, _ = workload_ethernet k in
+      let pl_frames, pl_arps = workload_portland k in
+      Printf.printf "%-4d %-7d %-22d %d / %d\n" k
+        (Topology.Fattree.num_hosts ~k)
+        eth_frames pl_frames pl_arps)
+    [ 4; 6; 8 ];
+  print_endline "\n(flat L2 interrupts every host with every ARP broadcast; PortLand unicasts";
+  print_endline " one query to the fabric manager per miss and nothing anywhere else)"

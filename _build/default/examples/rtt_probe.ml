@@ -1,0 +1,35 @@
+(* RTT locality tiers: ping across the three distances a fat tree has.
+   The same-edge path crosses 2 links, the same-pod path 4, the
+   inter-pod path 6 — and the round-trip times stack accordingly.
+
+   Run with:  dune exec examples/rtt_probe.exe *)
+
+open Portland
+open Eventsim
+
+let () =
+  let fab = Fabric.create_fattree ~k:4 () in
+  assert (Fabric.await_convergence fab);
+  let src = Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let mux = Transport.Port_mux.attach src in
+  let targets =
+    [ ("same edge switch", Fabric.host fab ~pod:0 ~edge:0 ~slot:1);
+      ("same pod", Fabric.host fab ~pod:0 ~edge:1 ~slot:0);
+      ("across pods", Fabric.host fab ~pod:3 ~edge:1 ~slot:1) ]
+  in
+  Printf.printf "pinging from %s (20 echo requests each):\n"
+    (Netcore.Ipv4_addr.to_string (Host_agent.ip src));
+  List.iter
+    (fun (label, dst) ->
+      let pinger =
+        Transport.Ping.create (Fabric.engine fab) mux ~dst:(Host_agent.ip dst) ()
+      in
+      Transport.Ping.start pinger ~count:20 ~interval:(Time.ms 5) ();
+      Fabric.run_for fab (Time.ms 200);
+      Format.printf "  %-18s -> %-10s  %a@." label
+        (Netcore.Ipv4_addr.to_string (Host_agent.ip dst))
+        Transport.Ping.pp_summary pinger;
+      Transport.Ping.stop pinger)
+    targets;
+  print_endline "\n(each extra switch hop adds one store-and-forward serialization";
+  print_endline " plus propagation in both directions — the tiers are visible)"

@@ -1,0 +1,1 @@
+lib/baselines/ethernet_fabric.ml: Array Engine Eventsim Hashtbl Learning_switch List Mac_table Netcore Portland Stp Switchfab Time Topology

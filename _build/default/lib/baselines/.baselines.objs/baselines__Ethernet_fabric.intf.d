@@ -1,0 +1,1 @@
+lib/baselines/ethernet_fabric.mli: Eventsim Learning_switch Portland Switchfab Topology

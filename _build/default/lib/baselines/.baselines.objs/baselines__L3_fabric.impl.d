@@ -1,0 +1,1 @@
+lib/baselines/l3_fabric.ml: Array Eth Eventsim Hashtbl Ipv4_addr Ipv4_pkt List Mac_addr Netcore Option Switchfab Topology

@@ -1,0 +1,1 @@
+lib/baselines/l3_fabric.mli: Eventsim Netcore Switchfab Topology

@@ -1,0 +1,1 @@
+lib/baselines/learning_switch.ml: Array Eth Eventsim Mac_addr Mac_table Netcore Option Stp Switchfab

@@ -1,0 +1,1 @@
+lib/baselines/learning_switch.mli: Eventsim Mac_table Stp Switchfab

@@ -1,0 +1,1 @@
+lib/baselines/mac_table.ml: Engine Eventsim Hashtbl List Netcore Time

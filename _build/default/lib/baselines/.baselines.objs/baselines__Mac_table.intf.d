@@ -1,0 +1,1 @@
+lib/baselines/mac_table.mli: Eventsim Netcore

@@ -1,0 +1,1 @@
+lib/baselines/stp.ml: Array Bpdu Engine Eventsim Netcore Option Time Timer

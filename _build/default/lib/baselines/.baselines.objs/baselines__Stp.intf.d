@@ -1,0 +1,1 @@
+lib/baselines/stp.mli: Eventsim Netcore

@@ -1,0 +1,1 @@
+lib/baselines/vlan_fabric.ml: Array Engine Eventsim Hashtbl Learning_switch List Netcore Portland Stp Switchfab Time Topology

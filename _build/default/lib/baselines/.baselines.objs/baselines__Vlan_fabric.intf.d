@@ -1,0 +1,1 @@
+lib/baselines/vlan_fabric.mli: Eventsim Portland Switchfab Topology

@@ -1,0 +1,186 @@
+open Netcore
+module MR = Topology.Multirooted
+module SNet = Switchfab.Net
+
+type route = { prefix : int; masklen : int; ports : int array }
+
+type router = { device : int; mutable routes : route list (* sorted longest-prefix first *) }
+
+module Host = struct
+  type h = {
+    net : SNet.t;
+    device : int;
+    h_ip : Ipv4_addr.t;
+    mutable rx : (Ipv4_pkt.t -> unit) option;
+    mutable rx_count : int;
+  }
+
+  let ip h = h.h_ip
+
+  let send_ip h ~dst payload =
+    let pkt = Ipv4_pkt.make ~src:h.h_ip ~dst payload in
+    SNet.transmit h.net ~node:h.device ~port:0
+      (Eth.make ~dst:Mac_addr.zero ~src:Mac_addr.zero (Eth.Ipv4 pkt))
+
+  let set_rx h f = h.rx <- Some f
+  let received h = h.rx_count
+end
+
+type t = {
+  engine : Eventsim.Engine.t;
+  spec : MR.spec;
+  mt : MR.t;
+  net : SNet.t;
+  routers : router list;
+  host_handles : (int, Host.h) Hashtbl.t;
+}
+
+let mask_of len = if len = 0 then 0 else 0xFFFFFFFF lsl (32 - len) land 0xFFFFFFFF
+
+let route_matches r ip = ip land mask_of r.masklen = r.prefix land mask_of r.masklen
+
+let install_router t device routes =
+  let sorted = List.sort (fun a b -> compare b.masklen a.masklen) routes in
+  let router = { device; routes = sorted } in
+  let handle in_port (frame : Eth.t) =
+    ignore in_port;
+    match frame.Eth.payload with
+    | Eth.Ipv4 pkt ->
+      (match Ipv4_pkt.decrement_ttl pkt with
+       | None -> ()
+       | Some pkt ->
+         let dst = Ipv4_addr.to_int pkt.Ipv4_pkt.dst in
+         (match List.find_opt (fun r -> route_matches r dst) router.routes with
+          | None -> ()
+          | Some r ->
+            let n = Array.length r.ports in
+            if n > 0 then begin
+              let frame = Eth.make ~dst:frame.Eth.dst ~src:frame.Eth.src (Eth.Ipv4 pkt) in
+              let h = Switchfab.Flow_table.flow_hash frame in
+              (* skip locally dead interfaces: fast local repair *)
+              let rec try_port i =
+                if i < n then begin
+                  let port = r.ports.((h + i) mod n) in
+                  let alive =
+                    match SNet.peer_of t.net ~node:device ~port with
+                    | Some _ ->
+                      (match SNet.link_between t.net device
+                               (fst (Option.get (SNet.peer_of t.net ~node:device ~port)))
+                       with
+                       | Some l -> SNet.link_is_up l
+                       | None -> false)
+                    | None -> false
+                  in
+                  if alive then SNet.transmit t.net ~node:device ~port frame
+                  else try_port (i + 1)
+                end
+              in
+              try_port 0
+            end))
+    | Eth.Arp _ | Eth.Ldp _ | Eth.Bpdu _ | Eth.Raw _ -> ()
+  in
+  SNet.set_handler (SNet.device t.net device) handle;
+  router
+
+let create ?link_params spec =
+  let engine = Eventsim.Engine.create () in
+  let mt = MR.build spec in
+  let net = SNet.create ?params:link_params engine mt.MR.topo in
+  let t = { engine; spec; mt; net; routers = []; host_handles = Hashtbl.create 64 } in
+  let u = MR.uplinks_per_agg spec in
+  let subnet pod edge = Ipv4_addr.to_int (Ipv4_addr.of_octets 10 pod edge 0) in
+  let pod_net pod = Ipv4_addr.to_int (Ipv4_addr.of_octets 10 pod 0 0) in
+  let routers = ref [] in
+  (* edge routers: /32 per host + default ECMP up *)
+  Array.iteri
+    (fun pod edges ->
+      Array.iteri
+        (fun edge device ->
+          let host_routes =
+            List.init spec.MR.hosts_per_edge (fun slot ->
+                { prefix = Ipv4_addr.to_int (Ipv4_addr.of_octets 10 pod edge (slot + 2));
+                  masklen = 32;
+                  ports = [| slot |] })
+          in
+          let up_ports = Array.init spec.MR.aggs_per_pod (fun a -> spec.MR.hosts_per_edge + a) in
+          let default = { prefix = 0; masklen = 0; ports = up_ports } in
+          routers := install_router t device (default :: host_routes) :: !routers)
+        edges)
+    mt.MR.edges;
+  (* aggregation routers: /24 per edge subnet + default ECMP up *)
+  Array.iteri
+    (fun pod aggs ->
+      Array.iteri
+        (fun _a device ->
+          let down =
+            List.init spec.MR.edges_per_pod (fun e ->
+                { prefix = subnet pod e; masklen = 24; ports = [| e |] })
+          in
+          let up_ports = Array.init u (fun j -> spec.MR.edges_per_pod + j) in
+          let default = { prefix = 0; masklen = 0; ports = up_ports } in
+          routers := install_router t device (default :: down) :: !routers)
+        aggs)
+    mt.MR.aggs;
+  (* core routers: /16 per pod *)
+  Array.iter
+    (fun device ->
+      let routes =
+        List.init spec.MR.num_pods (fun pod ->
+            { prefix = pod_net pod; masklen = 16; ports = [| pod |] })
+      in
+      routers := install_router t device routes :: !routers)
+    mt.MR.cores;
+  (* hosts *)
+  Array.iteri
+    (fun idx device ->
+      let per_pod = spec.MR.edges_per_pod * spec.MR.hosts_per_edge in
+      let pod = idx / per_pod in
+      let rem = idx mod per_pod in
+      let edge = rem / spec.MR.hosts_per_edge in
+      let slot = rem mod spec.MR.hosts_per_edge in
+      let h =
+        { Host.net; device; h_ip = Ipv4_addr.of_octets 10 pod edge (slot + 2); rx = None;
+          rx_count = 0 }
+      in
+      SNet.set_handler (SNet.device net device) (fun _in_port frame ->
+          match frame.Eth.payload with
+          | Eth.Ipv4 pkt when Ipv4_addr.equal pkt.Ipv4_pkt.dst h.Host.h_ip ->
+            h.Host.rx_count <- h.Host.rx_count + 1;
+            (match h.Host.rx with Some f -> f pkt | None -> ())
+          | _ -> ());
+      Hashtbl.replace t.host_handles device h)
+    mt.MR.hosts;
+  { t with routers = !routers }
+
+let create_fattree ?link_params ~k () = create ?link_params (Topology.Fattree.spec ~k)
+
+let engine t = t.engine
+let net t = t.net
+
+let host t ~pod ~edge ~slot =
+  let s = t.spec in
+  let idx =
+    (pod * s.MR.edges_per_pod * s.MR.hosts_per_edge) + (edge * s.MR.hosts_per_edge) + slot
+  in
+  Hashtbl.find t.host_handles t.mt.MR.hosts.(idx)
+
+let run_for t d = Eventsim.Engine.run ~until:(Eventsim.Engine.now t.engine + d) t.engine
+
+let fail_link_between t ~a ~b =
+  match SNet.link_between t.net a b with
+  | Some l ->
+    SNet.fail_link t.net l;
+    true
+  | None -> false
+
+let migrate_keeping_ip t h ~to_:(pod, edge, slot) =
+  let device = h.Host.device in
+  let target_edge = t.mt.MR.edges.(pod).(edge) in
+  SNet.unplug t.net ~node:device ~port:0;
+  (match SNet.peer_of t.net ~node:target_edge ~port:slot with
+   | Some (other, _) -> SNet.unplug t.net ~node:other ~port:0
+   | None -> ());
+  ignore (SNet.plug t.net ~a:(device, 0) ~b:(target_edge, slot))
+
+let config_entry_count t =
+  List.fold_left (fun acc r -> acc + List.length r.routes) 0 t.routers

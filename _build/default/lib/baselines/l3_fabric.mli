@@ -1,0 +1,40 @@
+(** Static layer-3 (subnet-per-pod) fabric — the "Layer 3" column of the
+    paper's requirements matrix.
+
+    Every switch is a router with {e manually configured} static routes
+    (the configuration burden is exposed as {!config_entry_count}, the
+    state a human or provisioning system must supply before the network
+    works — PortLand needs zero). Hosts live in per-edge /24 subnets
+    ([10.pod.edge.0/24]); upward routes are static ECMP. Routers skip
+    locally dead interfaces (fast local repair) but have no routing
+    protocol, so remote failures can blackhole traffic; and a VM that
+    migrates without renumbering becomes unreachable — the R1 violation
+    the experiment demonstrates. *)
+
+type t
+
+(** Minimal layer-3 end host (default route to its edge router). *)
+module Host : sig
+  type h
+
+  val ip : h -> Netcore.Ipv4_addr.t
+  val send_ip : h -> dst:Netcore.Ipv4_addr.t -> Netcore.Ipv4_pkt.payload -> unit
+  val set_rx : h -> (Netcore.Ipv4_pkt.t -> unit) -> unit
+  val received : h -> int
+end
+
+val create : ?link_params:Switchfab.Net.link_params -> Topology.Multirooted.spec -> t
+val create_fattree : ?link_params:Switchfab.Net.link_params -> k:int -> unit -> t
+
+val engine : t -> Eventsim.Engine.t
+val net : t -> Switchfab.Net.t
+val host : t -> pod:int -> edge:int -> slot:int -> Host.h
+val run_for : t -> Eventsim.Time.t -> unit
+val fail_link_between : t -> a:int -> b:int -> bool
+
+val migrate_keeping_ip : t -> Host.h -> to_:int * int * int -> unit
+(** Re-plug the host under a different edge switch {e without} changing
+    its address — instantaneous, to isolate the addressing problem. *)
+
+val config_entry_count : t -> int
+(** Total statically configured route entries across all routers. *)

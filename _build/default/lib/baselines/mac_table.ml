@@ -1,0 +1,38 @@
+open Eventsim
+
+type entry = { port : int; expires : Time.t }
+
+type t = {
+  engine : Engine.t;
+  aging : Time.t;
+  entries : (int * Netcore.Mac_addr.t, entry) Hashtbl.t; (* (vlan scope, mac) *)
+}
+
+let create engine ?(aging = Time.sec 300) () = { engine; aging; entries = Hashtbl.create 64 }
+
+let learn ?(vlan = 0) t ~mac ~port =
+  Hashtbl.replace t.entries (vlan, mac) { port; expires = Engine.now t.engine + t.aging }
+
+let lookup ?(vlan = 0) t mac =
+  match Hashtbl.find_opt t.entries (vlan, mac) with
+  | Some e when e.expires > Engine.now t.engine -> Some e.port
+  | Some _ ->
+    Hashtbl.remove t.entries (vlan, mac);
+    None
+  | None -> None
+
+let size t =
+  let now = Engine.now t.engine in
+  let stale =
+    Hashtbl.fold (fun key e acc -> if e.expires <= now then key :: acc else acc) t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) stale;
+  Hashtbl.length t.entries
+
+let flush t = Hashtbl.reset t.entries
+
+let flush_port t port =
+  let doomed =
+    Hashtbl.fold (fun key e acc -> if e.port = port then key :: acc else acc) t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) doomed

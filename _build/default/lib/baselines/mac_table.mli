@@ -1,0 +1,23 @@
+(** MAC learning table with aging — the forwarding state of a conventional
+    Ethernet switch. Its size grows with the number of communicating
+    hosts, which is exactly the scaling problem PortLand's PMAC prefixes
+    eliminate (the switch-state experiment contrasts the two). *)
+
+type t
+
+val create : Eventsim.Engine.t -> ?aging:Eventsim.Time.t -> unit -> t
+(** Default aging time 300 s, as in 802.1D. *)
+
+val learn : ?vlan:int -> t -> mac:Netcore.Mac_addr.t -> port:int -> unit
+(** [vlan] scopes the entry (802.1Q independent-VLAN learning); default
+    scope 0 is the untagged/no-VLAN table. *)
+
+val lookup : ?vlan:int -> t -> Netcore.Mac_addr.t -> int option
+(** [None] once the entry has aged out. *)
+
+val size : t -> int
+(** Unexpired entries (expired ones are swept lazily). *)
+
+val flush : t -> unit
+val flush_port : t -> int -> unit
+(** Forget everything learned on one port (topology change). *)

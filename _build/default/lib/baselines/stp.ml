@@ -1,0 +1,164 @@
+open Eventsim
+open Netcore
+
+type port_role = Root_port | Designated | Blocked
+
+type port_phase = Listening | Learning | Forwarding
+
+type received = { bpdu : Bpdu.t; expires : Time.t }
+
+type port = {
+  mutable stored : received option;
+  mutable prole : port_role;
+  mutable phase : port_phase;
+  mutable phase_since : Time.t;
+}
+
+type t = {
+  engine : Engine.t;
+  bridge_id : int;
+  nports : int;
+  hello : Time.t;
+  forward_delay : Time.t;
+  max_age : Time.t;
+  send : port:int -> Bpdu.t -> unit;
+  on_topology_change : unit -> unit;
+  ports : port array;
+  mutable root_id : int;
+  mutable root_cost : int;
+  mutable root_port : int option;
+  mutable hello_timer : Timer.t option;
+  mutable tick_timer : Timer.t option;
+}
+
+let create engine ~bridge_id ~nports ?(hello = Time.sec 2) ?(forward_delay = Time.sec 15)
+    ?(max_age = Time.sec 20) ?(on_topology_change = fun () -> ()) ~send () =
+  { engine; bridge_id; nports; hello; forward_delay; max_age; send; on_topology_change;
+    ports =
+      Array.init nports (fun _ ->
+          { stored = None; prole = Designated; phase = Listening; phase_since = 0 });
+    root_id = bridge_id;
+    root_cost = 0;
+    root_port = None;
+    hello_timer = None;
+    tick_timer = None }
+
+let my_bpdu t ~port = { Bpdu.root_id = t.root_id; root_cost = t.root_cost; bridge_id = t.bridge_id; port }
+
+let set_role t i role =
+  let p = t.ports.(i) in
+  if p.prole <> role then begin
+    p.prole <- role;
+    (* any role change restarts the forwarding state machine *)
+    p.phase <- Listening;
+    p.phase_since <- Engine.now t.engine;
+    t.on_topology_change ()
+  end
+
+(* recompute root, root port and per-port roles from stored BPDUs *)
+let recompute t =
+  let now = Engine.now t.engine in
+  (* expire stale info *)
+  Array.iter
+    (fun p ->
+      match p.stored with
+      | Some r when r.expires <= now -> p.stored <- None
+      | Some _ | None -> ())
+    t.ports;
+  (* best received offer, augmented by one hop of cost *)
+  let best = ref None in
+  Array.iteri
+    (fun i p ->
+      match p.stored with
+      | None -> ()
+      | Some { bpdu; _ } ->
+        let offer = { bpdu with Bpdu.root_cost = bpdu.Bpdu.root_cost + 1 } in
+        (match !best with
+         | Some (_, cur) when not (Bpdu.better offer cur) -> ()
+         | Some _ | None -> best := Some (i, offer)))
+    t.ports;
+  let own = { Bpdu.root_id = t.bridge_id; root_cost = 0; bridge_id = t.bridge_id; port = 0 } in
+  (match !best with
+   | Some (i, offer) when Bpdu.better offer own ->
+     t.root_id <- offer.Bpdu.root_id;
+     t.root_cost <- offer.Bpdu.root_cost;
+     t.root_port <- Some i
+   | Some _ | None ->
+     t.root_id <- t.bridge_id;
+     t.root_cost <- 0;
+     t.root_port <- None);
+  Array.iteri
+    (fun i p ->
+      if t.root_port = Some i then set_role t i Root_port
+      else begin
+        let mine = my_bpdu t ~port:i in
+        match p.stored with
+        | None -> set_role t i Designated
+        | Some { bpdu; _ } -> set_role t i (if Bpdu.better mine bpdu then Designated else Blocked)
+      end)
+    t.ports
+
+let advance_phases t =
+  let now = Engine.now t.engine in
+  Array.iter
+    (fun p ->
+      match p.prole with
+      | Blocked -> ()
+      | Root_port | Designated ->
+        if p.phase = Listening && now - p.phase_since >= t.forward_delay then begin
+          p.phase <- Learning;
+          p.phase_since <- now
+        end
+        else if p.phase = Learning && now - p.phase_since >= t.forward_delay then
+          p.phase <- Forwarding)
+    t.ports
+
+let send_hellos t =
+  Array.iteri
+    (fun i p -> if p.prole = Designated then t.send ~port:i (my_bpdu t ~port:i))
+    t.ports
+
+let on_bpdu t ~port (b : Bpdu.t) =
+  if port >= 0 && port < t.nports then begin
+    t.ports.(port).stored <- Some { bpdu = b; expires = Engine.now t.engine + t.max_age };
+    recompute t
+  end
+
+let port_down t ~port =
+  if port >= 0 && port < t.nports then begin
+    t.ports.(port).stored <- None;
+    recompute t
+  end
+
+let start t =
+  if t.hello_timer = None then begin
+    let phase = 1 + (t.bridge_id * 2377 mod t.hello) in
+    t.hello_timer <-
+      Some (Timer.every t.engine ~period:t.hello ~start_delay:phase (fun () ->
+                recompute t;
+                send_hellos t));
+    t.tick_timer <-
+      Some (Timer.every t.engine ~period:(Time.sec 1) ~start_delay:(phase / 2 + 1) (fun () ->
+                recompute t;
+                advance_phases t))
+  end
+
+let stop t =
+  Option.iter Timer.stop t.hello_timer;
+  Option.iter Timer.stop t.tick_timer;
+  t.hello_timer <- None;
+  t.tick_timer <- None
+
+let forwarding t ~port = t.ports.(port).prole <> Blocked && t.ports.(port).phase = Forwarding
+
+let learning_allowed t ~port =
+  t.ports.(port).prole <> Blocked
+  && (t.ports.(port).phase = Learning || t.ports.(port).phase = Forwarding)
+
+let role t ~port = t.ports.(port).prole
+let phase t ~port = t.ports.(port).phase
+let is_root_bridge t = t.root_id = t.bridge_id
+let root_id t = t.root_id
+
+let converged t =
+  Array.for_all (fun p -> p.prole = Blocked || p.phase = Forwarding) t.ports

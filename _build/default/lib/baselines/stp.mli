@@ -1,0 +1,55 @@
+(** Simplified IEEE 802.1D spanning tree.
+
+    The baseline PortLand is compared against: conventional layer-2
+    switches must run spanning tree to avoid broadcast storms on looped
+    topologies like fat trees, at the cost of (a) deactivating all but a
+    tree's worth of links and (b) re-convergence times measured in tens of
+    seconds (max-age expiry plus two forward-delay stages) — against
+    PortLand's tens of milliseconds.
+
+    Modelled: root election over configuration BPDUs, root/designated/
+    blocked port roles, listening→learning→forwarding transitions gated
+    by the forward delay, hello refresh and max-age expiry of stale
+    information. Not modelled (unneeded for the comparison): topology
+    change notifications, path costs other than hop count, RSTP. *)
+
+type port_role = Root_port | Designated | Blocked
+
+type port_phase = Listening | Learning | Forwarding
+
+type t
+
+val create :
+  Eventsim.Engine.t -> bridge_id:int -> nports:int ->
+  ?hello:Eventsim.Time.t -> ?forward_delay:Eventsim.Time.t -> ?max_age:Eventsim.Time.t ->
+  ?on_topology_change:(unit -> unit) ->
+  send:(port:int -> Netcore.Bpdu.t -> unit) -> unit -> t
+(** Defaults: hello 2 s, forward delay 15 s, max age 20 s.
+    [on_topology_change] fires whenever any port's role changes — the
+    hook {!Learning_switch} uses to flush its MAC table, standing in for
+    802.1D topology-change notifications. *)
+
+val start : t -> unit
+val stop : t -> unit
+
+val on_bpdu : t -> port:int -> Netcore.Bpdu.t -> unit
+
+val port_down : t -> port:int -> unit
+(** Loss-of-carrier notification: discard the port's stored BPDU and
+    recompute roles immediately (802.1D reacts to local link-down without
+    waiting for max-age expiry). *)
+
+val forwarding : t -> port:int -> bool
+(** May the dataplane forward on this port? (Blocked, listening and
+    learning ports may not.) *)
+
+val learning_allowed : t -> port:int -> bool
+(** May the MAC table learn from this port? (Learning and forwarding.) *)
+
+val role : t -> port:int -> port_role
+val phase : t -> port:int -> port_phase
+val is_root_bridge : t -> bool
+val root_id : t -> int
+
+val converged : t -> bool
+(** Every non-blocked port has reached the forwarding phase. *)

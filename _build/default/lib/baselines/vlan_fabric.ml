@@ -1,0 +1,114 @@
+open Eventsim
+module MR = Topology.Multirooted
+
+type t = {
+  engine : Engine.t;
+  spec : MR.spec;
+  mt : MR.t;
+  net : Switchfab.Net.t;
+  switches : Learning_switch.t list;
+  host_agents : (int, Portland.Host_agent.t) Hashtbl.t;
+  config_entries : int;
+}
+
+let create ?(config = Portland.Config.default) ?(stp = true) ?link_params spec =
+  let engine = Engine.create () in
+  let mt = MR.build spec in
+  let net = Switchfab.Net.create ?params:link_params engine mt.MR.topo in
+  let config_entries = ref 0 in
+  let switches = ref [] in
+  (* edge switches: host-facing ports are access ports in the pod's VLAN *)
+  Array.iteri
+    (fun pod edges ->
+      Array.iter
+        (fun device ->
+          let nports = spec.MR.hosts_per_edge + spec.MR.aggs_per_pod in
+          let vlans =
+            Array.init nports (fun p ->
+                if p < spec.MR.hosts_per_edge then begin
+                  incr config_entries;
+                  Some (pod + 1)
+                end
+                else None)
+          in
+          let sw = Learning_switch.attach engine net ~device ~stp ~vlans () in
+          Learning_switch.start sw;
+          switches := sw :: !switches)
+        edges)
+    mt.MR.edges;
+  (* aggregation and core switches: all ports trunk *)
+  let attach_trunk device nports =
+    let sw =
+      Learning_switch.attach engine net ~device ~stp ~vlans:(Array.make nports None) ()
+    in
+    Learning_switch.start sw;
+    switches := sw :: !switches
+  in
+  Array.iter
+    (fun aggs ->
+      Array.iter
+        (fun device ->
+          attach_trunk device (spec.MR.edges_per_pod + MR.uplinks_per_agg spec))
+        aggs)
+    mt.MR.aggs;
+  Array.iter (fun device -> attach_trunk device spec.MR.num_pods) mt.MR.cores;
+  let host_agents = Hashtbl.create 64 in
+  Array.iteri
+    (fun idx device ->
+      let per_pod = spec.MR.edges_per_pod * spec.MR.hosts_per_edge in
+      let pod = idx / per_pod in
+      let rem = idx mod per_pod in
+      let edge = rem / spec.MR.hosts_per_edge in
+      let slot = rem mod spec.MR.hosts_per_edge in
+      let ip = Netcore.Ipv4_addr.of_octets 10 pod edge (slot + 2) in
+      let amac = Netcore.Mac_addr.of_int (0x020000000000 lor device) in
+      let agent = Portland.Host_agent.create engine config net ~device ~amac ~ip in
+      Portland.Host_agent.start agent;
+      Hashtbl.replace host_agents device agent)
+    mt.MR.hosts;
+  { engine; spec; mt; net; switches = !switches; host_agents;
+    config_entries = !config_entries }
+
+let create_fattree ?config ?stp ~k () = create ?config ?stp (Topology.Fattree.spec ~k)
+
+let engine t = t.engine
+let net t = t.net
+let tree t = t.mt
+
+let host t ~pod ~edge ~slot =
+  let s = t.spec in
+  let idx =
+    (pod * s.MR.edges_per_pod * s.MR.hosts_per_edge) + (edge * s.MR.hosts_per_edge) + slot
+  in
+  Hashtbl.find t.host_agents t.mt.MR.hosts.(idx)
+
+let run_for t d = Engine.run ~until:(Engine.now t.engine + d) t.engine
+
+let await_stp_convergence ?(timeout = Time.sec 120) t =
+  let deadline = Engine.now t.engine + timeout in
+  let all () =
+    List.for_all
+      (fun sw -> match Learning_switch.stp sw with Some s -> Stp.converged s | None -> true)
+      t.switches
+  in
+  let rec go () =
+    if all () then true
+    else if Engine.now t.engine >= deadline then false
+    else begin
+      run_for t (Time.sec 1);
+      go ()
+    end
+  in
+  go ()
+
+let config_entry_count t = t.config_entries
+
+let migrate_host t h ~to_:(pod, edge, slot) =
+  let device = Portland.Host_agent.device_id h in
+  let target_edge = t.mt.MR.edges.(pod).(edge) in
+  (match Switchfab.Net.peer_of t.net ~node:target_edge ~port:slot with
+   | Some (other, _) -> Switchfab.Net.unplug t.net ~node:other ~port:0
+   | None -> ());
+  Switchfab.Net.unplug t.net ~node:device ~port:0;
+  ignore (Switchfab.Net.plug t.net ~a:(device, 0) ~b:(target_edge, slot));
+  Portland.Host_agent.announce h

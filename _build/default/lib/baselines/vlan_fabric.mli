@@ -1,0 +1,37 @@
+(** VLAN-partitioned layer 2 — the remaining column of the paper's
+    requirements matrix.
+
+    The classic enterprise answer to flat-L2 scaling: carve the fabric
+    into per-pod VLANs. Host-facing edge ports are access ports in their
+    pod's VLAN; every switch–switch port is a trunk. This buys broadcast
+    isolation (storms and ARP stay inside a VLAN) at the paper's listed
+    costs: every access port must be {e configured}
+    ({!config_entry_count}), layer-2 reachability stops at the VLAN
+    boundary (inter-VLAN traffic needs routers this baseline deliberately
+    omits), and a VM can only migrate {e within} its VLAN without
+    renumbering. *)
+
+type t
+
+val create :
+  ?config:Portland.Config.t -> ?stp:bool -> ?link_params:Switchfab.Net.link_params ->
+  Topology.Multirooted.spec -> t
+(** One VLAN per pod (VID = pod + 1). *)
+
+val create_fattree : ?config:Portland.Config.t -> ?stp:bool -> k:int -> unit -> t
+
+val engine : t -> Eventsim.Engine.t
+val net : t -> Switchfab.Net.t
+val tree : t -> Topology.Multirooted.t
+val host : t -> pod:int -> edge:int -> slot:int -> Portland.Host_agent.t
+val run_for : t -> Eventsim.Time.t -> unit
+val await_stp_convergence : ?timeout:Eventsim.Time.t -> t -> bool
+
+val config_entry_count : t -> int
+(** Access-port VLAN assignments a human/provisioning system must supply
+    (one per host-facing port). *)
+
+val migrate_host : t -> Portland.Host_agent.t -> to_:int * int * int -> unit
+(** Re-plug a host at another position (instantaneous) and let it
+    announce itself; the destination port keeps {e its own} VLAN, so
+    migration works iff source and target pods share a VLAN. *)

@@ -1,0 +1,1 @@
+lib/core/coords.ml: Format Netcore

@@ -1,0 +1,1 @@
+lib/core/ctrl.ml: Engine Eventsim Hashtbl List Msg Msg_codec Time

@@ -1,0 +1,1 @@
+lib/core/ctrl.mli: Eventsim Msg

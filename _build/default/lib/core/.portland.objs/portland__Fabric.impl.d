@@ -1,0 +1,1 @@
+lib/core/fabric.ml: Array Config Ctrl Engine Eth Eventsim Fabric_manager Hashtbl Host_agent Ipv4_addr Ipv4_pkt List Mac_addr Netcore Pmac Printf Prng Switch_agent Switchfab Time Topology

@@ -1,0 +1,1 @@
+lib/core/fabric.mli: Config Ctrl Eventsim Fabric_manager Host_agent Netcore Switch_agent Switchfab Topology

@@ -1,0 +1,1 @@
+lib/core/fabric_manager.ml: Array Config Coords Ctrl Eventsim Fault Hashtbl Ipv4_addr Ldp_msg List Msg Netcore Pmac Topology Uf

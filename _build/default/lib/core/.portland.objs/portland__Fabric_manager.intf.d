@@ -1,0 +1,1 @@
+lib/core/fabric_manager.mli: Config Coords Ctrl Eventsim Fault Msg Netcore Pmac Topology

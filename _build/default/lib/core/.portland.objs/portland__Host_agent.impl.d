@@ -1,0 +1,1 @@
+lib/core/host_agent.ml: Arp Config Engine Eth Eventsim Hashtbl Icmp Igmp Ipv4_addr Ipv4_pkt List Mac_addr Netcore Option Switchfab Time Timer

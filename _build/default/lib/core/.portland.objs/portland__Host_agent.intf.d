@@ -1,0 +1,1 @@
+lib/core/host_agent.mli: Config Eventsim Netcore Switchfab

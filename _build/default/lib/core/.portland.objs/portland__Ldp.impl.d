@@ -1,0 +1,1 @@
+lib/core/ldp.ml: Array Config Coords Engine Eventsim Ldp_msg Netcore Option Printf Time Timer

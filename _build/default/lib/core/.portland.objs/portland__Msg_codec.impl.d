@@ -1,0 +1,1 @@
+lib/core/msg_codec.ml: Bytes Coords Fault Ldp_msg List Msg Netcore Pmac Printf Wire

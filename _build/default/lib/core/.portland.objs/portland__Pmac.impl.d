@@ -1,0 +1,1 @@
+lib/core/pmac.ml: Format Mac_addr Netcore Printf Stdlib Switchfab

@@ -1,0 +1,1 @@
+lib/core/pmac.mli: Format Netcore Switchfab

@@ -1,0 +1,1 @@
+lib/core/switch_agent.ml: Arp Array Config Coords Ctrl Engine Eth Eventsim Fault Hashtbl Igmp Ipv4_addr Ipv4_pkt Ldp Ldp_msg List Mac_addr Msg Netcore Pmac Printf Prng Switchfab Time Topology

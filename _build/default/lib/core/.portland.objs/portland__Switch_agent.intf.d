@@ -1,0 +1,1 @@
+lib/core/switch_agent.mli: Config Coords Ctrl Eventsim Ldp Netcore Switchfab Topology

@@ -1,0 +1,1 @@
+lib/core/uf.ml: Hashtbl

@@ -1,0 +1,32 @@
+open Eventsim
+
+type t = {
+  ldm_period : Time.t;
+  ldm_timeout : Time.t;
+  ctrl_latency : Time.t;
+  arp_cache_timeout : Time.t;
+  arp_retry : Time.t;
+  host_announce_delay : Time.t;
+  fm_arp_service_time : Time.t;
+  forward_stale : bool;
+  host_pending_limit : int;
+}
+
+let default =
+  { ldm_period = Time.ms 10;
+    ldm_timeout = Time.ms 50;
+    ctrl_latency = Time.us 50;
+    arp_cache_timeout = Time.sec 60;
+    arp_retry = Time.ms 100;
+    host_announce_delay = Time.ms 100;
+    fm_arp_service_time = Time.us 30;
+    forward_stale = false;
+    host_pending_limit = 64 }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "ldm_period=%a ldm_timeout=%a ctrl_latency=%a arp_cache=%a arp_retry=%a announce=%a \
+     fm_arp_service=%a forward_stale=%b pending_limit=%d"
+    Time.pp t.ldm_period Time.pp t.ldm_timeout Time.pp t.ctrl_latency Time.pp t.arp_cache_timeout
+    Time.pp t.arp_retry Time.pp t.host_announce_delay Time.pp t.fm_arp_service_time
+    t.forward_stale t.host_pending_limit

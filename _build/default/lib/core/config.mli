@@ -1,0 +1,36 @@
+(** Protocol constants for a PortLand deployment.
+
+    Defaults follow the paper where it names a number (10 ms LDM period)
+    and use stated assumptions elsewhere (out-of-band control network,
+    modelled as a fixed one-way latency). Every experiment can override
+    any field. *)
+
+type t = {
+  ldm_period : Eventsim.Time.t;
+      (** interval between Location Discovery Messages on every port *)
+  ldm_timeout : Eventsim.Time.t;
+      (** silence on a switch-facing port after which it is declared
+          faulty (the paper's failure detector) *)
+  ctrl_latency : Eventsim.Time.t;
+      (** one-way latency of the out-of-band control network between any
+          switch and the fabric manager *)
+  arp_cache_timeout : Eventsim.Time.t;
+      (** host ARP cache entry lifetime *)
+  arp_retry : Eventsim.Time.t;
+      (** host re-sends an unanswered ARP request after this long *)
+  host_announce_delay : Eventsim.Time.t;
+      (** hosts send their boot-time gratuitous ARP this long after the
+          simulation starts (small per-host jitter is added on top) *)
+  fm_arp_service_time : Eventsim.Time.t;
+      (** modelled fabric-manager processing time per ARP request *)
+  forward_stale : bool;
+      (** extension (off by default, as in the paper): edge switches
+          re-forward packets trapped on a migrated VM's stale PMAC to the
+          VM's new PMAC instead of dropping them *)
+  host_pending_limit : int;
+      (** packets a host queues per destination while ARP resolves *)
+}
+
+val default : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type t =
+  | Edge of { pod : int; position : int }
+  | Agg of { pod : int; stripe : int }
+  | Core of { stripe : int; member : int }
+
+let level = function
+  | Edge _ -> Netcore.Ldp_msg.Edge
+  | Agg _ -> Netcore.Ldp_msg.Aggregation
+  | Core _ -> Netcore.Ldp_msg.Core
+
+let to_ldm_fields = function
+  | Edge { pod; position } -> (Some pod, Some position)
+  | Agg { pod; stripe } -> (Some pod, Some stripe)
+  | Core { stripe; member } -> (Some stripe, Some member)
+
+let of_ldm_fields ~level ~pod ~position =
+  match (level, pod, position) with
+  | Netcore.Ldp_msg.Edge, Some pod, Some position -> Some (Edge { pod; position })
+  | Netcore.Ldp_msg.Aggregation, Some pod, Some stripe -> Some (Agg { pod; stripe })
+  | Netcore.Ldp_msg.Core, Some stripe, Some member -> Some (Core { stripe; member })
+  | _, _, _ -> None
+
+let equal a b = a = b
+
+let pp fmt = function
+  | Edge { pod; position } -> Format.fprintf fmt "edge(pod=%d,pos=%d)" pod position
+  | Agg { pod; stripe } -> Format.fprintf fmt "agg(pod=%d,stripe=%d)" pod stripe
+  | Core { stripe; member } -> Format.fprintf fmt "core(stripe=%d,member=%d)" stripe member

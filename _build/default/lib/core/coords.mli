@@ -1,0 +1,28 @@
+(** A switch's discovered location in the multi-rooted tree.
+
+    Levels are inferred locally by LDP; pods, edge positions, stripe labels
+    and core member indexes are assigned (or verified) by the fabric
+    manager. A *stripe* is the set of cores wired to the same aggregation
+    position in every pod; [member] numbers the cores within one stripe.
+    Stripe and member labels are global, which is what lets any switch
+    translate a coordinate fault ({!Fault.t}) into a local rerouting
+    decision. *)
+
+type t =
+  | Edge of { pod : int; position : int }
+  | Agg of { pod : int; stripe : int }
+  | Core of { stripe : int; member : int }
+
+val level : t -> Netcore.Ldp_msg.level
+
+val to_ldm_fields : t -> int option * int option
+(** [(pod, position)] as carried in LDMs. For aggregation switches the
+    position field carries the stripe; for cores the pod field carries the
+    stripe and the position field the member index. *)
+
+val of_ldm_fields :
+  level:Netcore.Ldp_msg.level -> pod:int option -> position:int option -> t option
+(** Inverse of {!to_ldm_fields}; [None] until both fields are present. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

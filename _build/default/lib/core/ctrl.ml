@@ -1,0 +1,53 @@
+open Eventsim
+
+type t = {
+  engine : Engine.t;
+  latency : Time.t;
+  mutable fm_handler : (from:int -> Msg.to_fm -> unit) option;
+  switch_handlers : (int, Msg.to_switch -> unit) Hashtbl.t;
+  mutable to_fm : int;
+  mutable to_switch : int;
+  mutable to_fm_bytes : int;
+  mutable to_switch_bytes : int;
+  mutable dropped : int;
+}
+
+let create engine ~latency =
+  { engine; latency; fm_handler = None; switch_handlers = Hashtbl.create 64; to_fm = 0;
+    to_switch = 0; to_fm_bytes = 0; to_switch_bytes = 0; dropped = 0 }
+
+let register_fm t f = t.fm_handler <- Some f
+let register_switch t id f = Hashtbl.replace t.switch_handlers id f
+let unregister_switch t id = Hashtbl.remove t.switch_handlers id
+
+let send_to_fm t ~from msg =
+  ignore
+    (Engine.schedule t.engine ~delay:t.latency (fun () ->
+         match t.fm_handler with
+         | Some f ->
+           t.to_fm <- t.to_fm + 1;
+           t.to_fm_bytes <- t.to_fm_bytes + Msg_codec.to_fm_wire_len msg;
+           f ~from msg
+         | None -> t.dropped <- t.dropped + 1))
+
+let send_to_switch t id msg =
+  ignore
+    (Engine.schedule t.engine ~delay:t.latency (fun () ->
+         match Hashtbl.find_opt t.switch_handlers id with
+         | Some f ->
+           t.to_switch <- t.to_switch + 1;
+           t.to_switch_bytes <- t.to_switch_bytes + Msg_codec.to_switch_wire_len msg;
+           f msg
+         | None -> t.dropped <- t.dropped + 1))
+
+let broadcast_to_switches t msg =
+  (* snapshot ids now; deliver individually so late registrations during
+     the latency window are not surprised *)
+  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.switch_handlers [] in
+  List.iter (fun id -> send_to_switch t id msg) ids
+
+let to_fm_count t = t.to_fm
+let to_switch_count t = t.to_switch
+let to_fm_bytes t = t.to_fm_bytes
+let to_switch_bytes t = t.to_switch_bytes
+let dropped_count t = t.dropped

@@ -1,0 +1,43 @@
+(** The out-of-band control network connecting every switch to the fabric
+    manager.
+
+    Modelled as point-to-point message delivery with a fixed one-way
+    latency (see {!Config.t.ctrl_latency}), matching the paper's
+    assumption of a separate control network. Delivery preserves per-pair
+    FIFO order (the engine is FIFO for equal timestamps and latency is
+    constant). Message counters feed the fabric-manager-load experiment. *)
+
+type t
+
+val create : Eventsim.Engine.t -> latency:Eventsim.Time.t -> t
+
+val register_fm : t -> (from:int -> Msg.to_fm -> unit) -> unit
+(** Install the fabric manager's receive callback. *)
+
+val register_switch : t -> int -> (Msg.to_switch -> unit) -> unit
+(** Install a switch agent's receive callback, keyed by switch id. *)
+
+val unregister_switch : t -> int -> unit
+
+val send_to_fm : t -> from:int -> Msg.to_fm -> unit
+(** Delivered to the fabric manager after one latency. Dropped (counted)
+    when no fabric manager is registered. *)
+
+val send_to_switch : t -> int -> Msg.to_switch -> unit
+(** Delivered to that switch after one latency; dropped (counted) when the
+    switch is not registered. *)
+
+val broadcast_to_switches : t -> Msg.to_switch -> unit
+(** One copy to every registered switch. *)
+
+val to_fm_count : t -> int
+(** Messages delivered to the fabric manager so far. *)
+
+val to_switch_count : t -> int
+
+val to_fm_bytes : t -> int
+(** Wire bytes of delivered messages, per the {!Msg_codec} encoding —
+    what the control network actually carries. *)
+
+val to_switch_bytes : t -> int
+val dropped_count : t -> int

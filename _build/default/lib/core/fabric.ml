@@ -1,0 +1,293 @@
+open Eventsim
+open Netcore
+module MR = Topology.Multirooted
+module SNet = Switchfab.Net
+module FT = Switchfab.Flow_table
+
+type host_slot = {
+  agent : Host_agent.t;
+  mutable plugged : bool;
+}
+
+type t = {
+  config : Config.t;
+  engine : Engine.t;
+  trace : Eventsim.Trace.t;
+  spec : MR.spec;
+  mt : MR.t;
+  net : SNet.t;
+  ctrl : Ctrl.t;
+  mutable fm : Fabric_manager.t;
+  switch_agents : (int, Switch_agent.t) Hashtbl.t;
+  host_slots : (int, host_slot) Hashtbl.t; (* device id -> slot *)
+  by_ip : (Ipv4_addr.t, int) Hashtbl.t; (* current IP -> host device id *)
+}
+
+let host_ip ~pod ~edge ~slot = Ipv4_addr.of_octets 10 pod edge (slot + 2)
+
+let host_amac device = Mac_addr.of_int (0x020000000000 lor device)
+
+let engine t = t.engine
+let trace t = t.trace
+let net t = t.net
+let ctrl t = t.ctrl
+let fabric_manager t = t.fm
+let config t = t.config
+let spec t = t.spec
+let tree t = t.mt
+let now t = Engine.now t.engine
+
+let agent t device =
+  match Hashtbl.find_opt t.switch_agents device with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Fabric.agent: device %d is not a switch" device)
+
+let agents t = Hashtbl.fold (fun _ a acc -> a :: acc) t.switch_agents []
+
+let host t ~pod ~edge ~slot =
+  let s = t.spec in
+  let idx =
+    (pod * s.MR.edges_per_pod * s.MR.hosts_per_edge) + (edge * s.MR.hosts_per_edge) + slot
+  in
+  if pod < 0 || pod >= s.MR.num_pods || edge < 0 || edge >= s.MR.edges_per_pod || slot < 0
+     || slot >= s.MR.hosts_per_edge
+  then invalid_arg "Fabric.host: position out of range";
+  let device = t.mt.MR.hosts.(idx) in
+  match Hashtbl.find_opt t.host_slots device with
+  | Some { plugged = true; agent } -> agent
+  | Some { plugged = false; _ } -> invalid_arg "Fabric.host: that slot is a spare (unplugged)"
+  | None -> invalid_arg "Fabric.host: no such host"
+
+let host_by_ip t ip =
+  match Hashtbl.find_opt t.by_ip ip with
+  | Some device ->
+    (match Hashtbl.find_opt t.host_slots device with
+     | Some s -> Some s.agent
+     | None -> None)
+  | None -> None
+
+let hosts t =
+  Hashtbl.fold (fun _ s acc -> if s.plugged then s.agent :: acc else acc) t.host_slots []
+
+let run_until t time = Engine.run ~until:time t.engine
+let run_for t d = run_until t (now t + d)
+
+let plugged_host_count t =
+  Hashtbl.fold (fun _ s acc -> if s.plugged then acc + 1 else acc) t.host_slots 0
+
+let converged t =
+  let all_ops =
+    Hashtbl.fold (fun _ a acc -> acc && Switch_agent.is_operational a) t.switch_agents true
+  in
+  all_ops && Fabric_manager.binding_count t.fm >= plugged_host_count t
+
+let await_convergence ?(timeout = Time.sec 5) t =
+  let deadline = now t + timeout in
+  let rec go () =
+    if converged t then begin
+      (* settle: let one more LDM round refresh every neighbor claim so
+         freshly assigned coordinates propagate into all tables *)
+      run_for t (3 * t.config.Config.ldm_period);
+      true
+    end
+    else if now t >= deadline then false
+    else begin
+      run_until t (min deadline (now t + Time.ms 10));
+      go ()
+    end
+  in
+  go ()
+
+let fail_link_between t ~a ~b =
+  match SNet.link_between t.net a b with
+  | Some l ->
+    SNet.fail_link t.net l;
+    true
+  | None -> false
+
+let recover_link_between t ~a ~b =
+  match SNet.link_between t.net a b with
+  | Some l ->
+    SNet.recover_link t.net l;
+    true
+  | None -> false
+
+let restart_fabric_manager t =
+  (* the old instance is simply abandoned: a fresh one registers itself on
+     the control network (displacing the old handler) and asks every
+     switch to resync — reconstructing all soft state *)
+  Eventsim.Trace.record t.trace ~time:(Engine.now t.engine) Eventsim.Trace.Warn
+    ~subsystem:"fabric" "fabric manager restarted; resync requested";
+  t.fm <- Fabric_manager.create ~trace:t.trace t.engine t.config t.ctrl ~spec:t.spec
+
+let fail_switch t device =
+  (match Hashtbl.find_opt t.switch_agents device with
+   | Some a -> Switch_agent.stop a
+   | None -> ());
+  SNet.fail_device t.net device
+
+(* ---------------- routing inspection ---------------- *)
+
+let trace_route t ~src ~dst_ip payload =
+  (* what the wire would carry: destination PMAC from the source host's
+     ARP cache (or, for inspection convenience, the fabric manager's
+     table), source PMAC from the source's edge switch mapping *)
+  let dst_mac =
+    match Host_agent.arp_lookup src dst_ip with
+    | Some mac -> Some mac
+    | None ->
+      (match Fabric_manager.resolve t.fm dst_ip with
+       | Some pmac -> Some (Pmac.to_mac pmac)
+       | None -> None)
+  in
+  match dst_mac with
+  | None -> Error "destination IP unresolved (no ARP mapping anywhere)"
+  | Some dst_mac ->
+    let src_mac =
+      match Fabric_manager.resolve t.fm (Host_agent.ip src) with
+      | Some pmac -> Pmac.to_mac pmac
+      | None -> Host_agent.amac src
+    in
+    let pkt = Ipv4_pkt.make ~src:(Host_agent.ip src) ~dst:dst_ip payload in
+    let frame = ref (Eth.make ~dst:dst_mac ~src:src_mac (Eth.Ipv4 pkt)) in
+    let here = ref (Host_agent.device_id src) in
+    let out_port = ref 0 in
+    let path = ref [ !here ] in
+    let hops = ref 0 in
+    let result = ref None in
+    while !result = None do
+      incr hops;
+      if !hops > 32 then result := Some (Error "forwarding loop detected")
+      else begin
+        match SNet.peer_of t.net ~node:!here ~port:!out_port with
+        | None -> result := Some (Error (Printf.sprintf "dead end at device %d" !here))
+        | Some (next, _in_port) ->
+          path := next :: !path;
+          if Hashtbl.mem t.host_slots next then
+            result := Some (Ok (List.rev !path))
+          else begin
+            match Hashtbl.find_opt t.switch_agents next with
+            | None -> result := Some (Error (Printf.sprintf "device %d is not a switch" next))
+            | Some a ->
+              let table = Switch_agent.table a in
+              (match FT.lookup table !frame with
+               | None ->
+                 result := Some (Error (Printf.sprintf "table miss at device %d" next))
+               | Some entry ->
+                 let port = ref None in
+                 List.iter
+                   (fun action ->
+                     match action with
+                     | FT.Output p -> if !port = None then port := Some p
+                     | FT.Group g ->
+                       if !port = None then
+                         port := FT.select_member table ~group:g ~hash:(FT.flow_hash !frame)
+                     | FT.Set_dst_mac m -> frame := { !frame with Eth.dst = m }
+                     | FT.Set_src_mac m -> frame := { !frame with Eth.src = m }
+                     | FT.Multi _ | FT.Flood | FT.Punt | FT.Drop -> ())
+                   entry.FT.actions;
+                 (match !port with
+                  | Some p ->
+                    here := next;
+                    out_port := p
+                  | None ->
+                    result :=
+                      Some (Error (Printf.sprintf "no forwarding action at device %d" next))))
+          end
+      end
+    done;
+    (match !result with Some r -> r | None -> Error "unreachable")
+
+(* ---------------- migration ---------------- *)
+
+let migrate t ~vm ~to_:(pod, edge, slot) ~downtime ?on_complete () =
+  Eventsim.Trace.recordf t.trace ~time:(now t) Eventsim.Trace.Info ~subsystem:"fabric"
+    "migrating VM %s to (%d,%d,%d), downtime %s"
+    (Netcore.Ipv4_addr.to_string (Host_agent.ip vm))
+    pod edge slot (Time.to_string downtime);
+  let s = t.spec in
+  if pod < 0 || pod >= s.MR.num_pods || edge < 0 || edge >= s.MR.edges_per_pod || slot < 0
+     || slot >= s.MR.hosts_per_edge
+  then invalid_arg "Fabric.migrate: target out of range";
+  let device = Host_agent.device_id vm in
+  let target_edge = t.mt.MR.edges.(pod).(edge) in
+  (match SNet.peer_of t.net ~node:target_edge ~port:slot with
+   | Some _ -> invalid_arg "Fabric.migrate: target port is occupied"
+   | None -> ());
+  SNet.unplug t.net ~node:device ~port:0;
+  ignore
+    (Engine.schedule t.engine ~delay:downtime (fun () ->
+         ignore (SNet.plug t.net ~a:(device, 0) ~b:(target_edge, slot));
+         Host_agent.announce vm;
+         match on_complete with Some f -> f () | None -> ()))
+
+(* ---------------- state metrics ---------------- *)
+
+let switch_table_sizes t =
+  Hashtbl.fold
+    (fun _ a acc ->
+      match Switch_agent.level a with
+      | Some level -> (level, Switch_agent.table_size a) :: acc
+      | None -> acc)
+    t.switch_agents []
+
+(* ---------------- construction ---------------- *)
+
+let create ?(config = Config.default) ?(seed = 42) ?link_params ?(spare_slots = [])
+    ?(boot_jitter = 0) ?trace spec =
+  (match MR.validate_spec spec with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Fabric.create: " ^ msg));
+  let engine = Engine.create () in
+  let trace = match trace with Some tr -> tr | None -> Eventsim.Trace.create ~capacity:8192 () in
+  let boot_prng = Prng.create (seed lxor 0x5eed) in
+  let boot f =
+    if boot_jitter <= 0 then f ()
+    else ignore (Engine.schedule engine ~delay:(Prng.int boot_prng boot_jitter) f)
+  in
+  let mt = MR.build spec in
+  let net = SNet.create ?params:link_params engine mt.MR.topo in
+  let ctrl = Ctrl.create engine ~latency:config.Config.ctrl_latency in
+  let fm = Fabric_manager.create ~trace engine config ctrl ~spec in
+  let t =
+    { config; engine; trace; spec; mt; net; ctrl; fm;
+      switch_agents = Hashtbl.create 64;
+      host_slots = Hashtbl.create 256;
+      by_ip = Hashtbl.create 256 }
+  in
+  (* switches *)
+  Array.iter
+    (fun (n : Topology.Topo.node) ->
+      match n.Topology.Topo.kind with
+      | Topology.Topo.Edge_switch | Topology.Topo.Agg_switch | Topology.Topo.Core_switch ->
+        let a =
+          Switch_agent.create engine config ctrl net ~spec ~device:n.Topology.Topo.id ~seed
+        in
+        Hashtbl.replace t.switch_agents n.Topology.Topo.id a;
+        boot (fun () -> Switch_agent.start a)
+      | Topology.Topo.Host -> ())
+    (Topology.Topo.nodes mt.MR.topo);
+  (* hosts *)
+  let spare = Hashtbl.create 8 in
+  List.iter (fun (p, e, sl) -> Hashtbl.replace spare (p, e, sl) ()) spare_slots;
+  Array.iteri
+    (fun idx device ->
+      let per_pod = spec.MR.edges_per_pod * spec.MR.hosts_per_edge in
+      let pod = idx / per_pod in
+      let rem = idx mod per_pod in
+      let edge = rem / spec.MR.hosts_per_edge in
+      let slot = rem mod spec.MR.hosts_per_edge in
+      let ip = host_ip ~pod ~edge ~slot in
+      let agent = Host_agent.create engine config net ~device ~amac:(host_amac device) ~ip in
+      let is_spare = Hashtbl.mem spare (pod, edge, slot) in
+      Hashtbl.replace t.host_slots device { agent; plugged = not is_spare };
+      if is_spare then SNet.unplug t.net ~node:device ~port:0
+      else begin
+        boot (fun () -> Host_agent.start agent);
+        Hashtbl.replace t.by_ip ip device
+      end)
+    mt.MR.hosts;
+  t
+
+let create_fattree ?config ?seed ?link_params ?spare_slots ?boot_jitter ?trace ~k () =
+  create ?config ?seed ?link_params ?spare_slots ?boot_jitter ?trace (Topology.Fattree.spec ~k)

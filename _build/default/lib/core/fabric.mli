@@ -1,0 +1,115 @@
+(** Top-level facade: a complete PortLand deployment in one value.
+
+    Builds the runtime network from a multi-rooted-tree spec, attaches a
+    {!Switch_agent} to every switch, a {!Host_agent} to every host, the
+    {!Fabric_manager}, and the control network — then lets experiments
+    drive time, inject failures, migrate VMs and inspect state.
+
+    Hosts are addressed [10.pod.edge.(slot+2)] and carry
+    locally-administered AMACs derived from their device id. *)
+
+type t
+
+val create :
+  ?config:Config.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
+  ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
+  ?trace:Eventsim.Trace.t -> Topology.Multirooted.spec -> t
+(** [spare_slots] are [(pod, edge, slot)] host positions left unplugged at
+    boot — free ports that VM migration can land on.
+
+    [boot_jitter] (default 0) delays every switch agent and host by an
+    independent, seed-deterministic offset in [\[0, boot_jitter)] — the
+    plug-and-play scenario where racks power on at different times.
+    Discovery must (and does) converge regardless of arrival order. *)
+
+val create_fattree :
+  ?config:Config.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
+  ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
+  ?trace:Eventsim.Trace.t -> k:int -> unit -> t
+
+(** {1 Accessors} *)
+
+val engine : t -> Eventsim.Engine.t
+
+val trace : t -> Eventsim.Trace.t
+(** The deployment's event trace: coordinate assignments, fault-matrix
+    changes, migrations, multicast re-rooting, FM restarts. A ring buffer
+    of the most recent 8192 entries unless a custom sink was passed at
+    creation; dump with [Eventsim.Trace.dump]. *)
+
+val net : t -> Switchfab.Net.t
+val ctrl : t -> Ctrl.t
+val fabric_manager : t -> Fabric_manager.t
+val config : t -> Config.t
+val spec : t -> Topology.Multirooted.spec
+val tree : t -> Topology.Multirooted.t
+
+val agent : t -> int -> Switch_agent.t
+(** Switch agent by device id; raises [Invalid_argument] for non-switch
+    devices. *)
+
+val agents : t -> Switch_agent.t list
+
+val host : t -> pod:int -> edge:int -> slot:int -> Host_agent.t
+(** Raises [Invalid_argument] for a spare slot. *)
+
+val host_by_ip : t -> Netcore.Ipv4_addr.t -> Host_agent.t option
+val hosts : t -> Host_agent.t list
+val host_ip : pod:int -> edge:int -> slot:int -> Netcore.Ipv4_addr.t
+(** The static address scheme (pure function of position at boot —
+    migration moves the IP with the VM). *)
+
+(** {1 Time} *)
+
+val now : t -> Eventsim.Time.t
+val run_until : t -> Eventsim.Time.t -> unit
+val run_for : t -> Eventsim.Time.t -> unit
+
+val await_convergence : ?timeout:Eventsim.Time.t -> t -> bool
+(** Advance time until every switch agent is operational and every plugged
+    host's binding is registered at the fabric manager (or [timeout],
+    default 5 s, passes). *)
+
+(** {1 Failures} *)
+
+val fail_link_between : t -> a:int -> b:int -> bool
+(** Fail the link directly connecting two device ids; [false] when no such
+    link exists. *)
+
+val recover_link_between : t -> a:int -> b:int -> bool
+val fail_switch : t -> int -> unit
+(** Stop the agent and silence the device (all its links appear dead to
+    neighbours). *)
+
+val restart_fabric_manager : t -> unit
+(** Simulate a fabric-manager crash + cold restart: a fresh instance with
+    empty state takes over the control network and broadcasts a resync
+    request. Switches re-register their coordinates, re-report their
+    neighbor views and re-announce their hosts, reconstructing everything
+    — the paper's "soft state" claim (§3.3). {!fabric_manager} returns
+    the new instance afterwards. *)
+
+(** {1 Routing inspection} *)
+
+val trace_route :
+  t -> src:Host_agent.t -> dst_ip:Netcore.Ipv4_addr.t -> Netcore.Ipv4_pkt.payload ->
+  (int list, string) result
+(** Walk the switches' current tables (including ECMP hash decisions) for
+    a hypothetical packet, without transmitting anything. Returns the
+    device-id path from the source host to the destination host. Errors on
+    unresolved ARP state, table misses, or (impossibly, see the loop-
+    freedom property tests) a forwarding loop. *)
+
+(** {1 VM migration} *)
+
+val migrate :
+  t -> vm:Host_agent.t -> to_:int * int * int -> downtime:Eventsim.Time.t ->
+  ?on_complete:(unit -> unit) -> unit -> unit
+(** Unplug the VM's machine, re-plug it at the (free) target position
+    after [downtime], and let it announce itself. The target port must be
+    unoccupied (a spare slot, or a slot freed by a previous migration). *)
+
+(** {1 State metrics} *)
+
+val switch_table_sizes : t -> (Netcore.Ldp_msg.level * int) list
+(** [(level, flow-table entries)] for every operational switch. *)

@@ -1,0 +1,645 @@
+open Netcore
+
+type sw_info = {
+  sw_id : int;
+  mutable level : Ldp_msg.level option;
+  mutable neighbors : (int * int * Ldp_msg.level option) list;
+  mutable host_ports : int list;
+  mutable coords : Coords.t option;
+}
+
+type pending_arp = { from_sw : int; requester_ip : Ipv4_addr.t; requester_port : int }
+
+type group_state = {
+  receivers : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* edge switch id -> host port set *)
+  mutable core_sw : int option;
+  mutable programmed : (int * int list) list;
+}
+
+type counters = {
+  arp_queries : int;
+  arp_hits : int;
+  arp_misses : int;
+  host_announces : int;
+  migrations : int;
+  fault_notices : int;
+  fault_broadcasts : int;
+  mcast_recomputes : int;
+  reports : int;
+}
+
+type counters_mut = {
+  mutable m_arp_queries : int;
+  mutable m_arp_hits : int;
+  mutable m_arp_misses : int;
+  mutable m_host_announces : int;
+  mutable m_migrations : int;
+  mutable m_fault_notices : int;
+  mutable m_fault_broadcasts : int;
+  mutable m_mcast_recomputes : int;
+  mutable m_reports : int;
+}
+
+type t = {
+  engine : Eventsim.Engine.t;
+  config : Config.t;
+  ctrl : Ctrl.t;
+  trace : Eventsim.Trace.t;
+  spec : Topology.Multirooted.spec;
+  switches : (int, sw_info) Hashtbl.t;
+  pod_uf : Uf.t;
+  stripe_uf : Uf.t;
+  pod_ids : (int, int) Hashtbl.t; (* pod-component root -> pod number *)
+  mutable next_pod : int;
+  stripe_ids : (int, int) Hashtbl.t; (* stripe-component root -> stripe label *)
+  mutable next_stripe : int;
+  positions : (int, (int, int) Hashtbl.t) Hashtbl.t; (* pod -> position -> edge switch id *)
+  members : (int, (int, int) Hashtbl.t) Hashtbl.t; (* stripe -> member -> core switch id *)
+  ip_table : (Ipv4_addr.t, Msg.host_binding) Hashtbl.t;
+  pending : (Ipv4_addr.t, pending_arp list) Hashtbl.t;
+  faults : Fault.Set.t;
+  groups : (Ipv4_addr.t, group_state) Hashtbl.t;
+  c : counters_mut;
+}
+
+let tracef t level fmt =
+  Eventsim.Trace.recordf t.trace ~time:(Eventsim.Engine.now t.engine) level ~subsystem:"fm" fmt
+
+let counters t =
+  { arp_queries = t.c.m_arp_queries;
+    arp_hits = t.c.m_arp_hits;
+    arp_misses = t.c.m_arp_misses;
+    host_announces = t.c.m_host_announces;
+    migrations = t.c.m_migrations;
+    fault_notices = t.c.m_fault_notices;
+    fault_broadcasts = t.c.m_fault_broadcasts;
+    mcast_recomputes = t.c.m_mcast_recomputes;
+    reports = t.c.m_reports }
+
+let switch_coords t id =
+  match Hashtbl.find_opt t.switches id with
+  | Some sw -> sw.coords
+  | None -> None
+
+let known_switches t = Hashtbl.fold (fun id _ acc -> id :: acc) t.switches []
+let fault_set t = Fault.Set.elements t.faults
+let binding_count t = Hashtbl.length t.ip_table
+
+let resolve t ip =
+  match Hashtbl.find_opt t.ip_table ip with
+  | Some b -> Some b.Msg.pmac
+  | None -> None
+
+let lookup_binding t ip = Hashtbl.find_opt t.ip_table ip
+
+let insert_binding_for_test t (b : Msg.host_binding) = Hashtbl.replace t.ip_table b.Msg.ip b
+
+let group_core t group =
+  match Hashtbl.find_opt t.groups group with
+  | Some g -> g.core_sw
+  | None -> None
+
+(* ---------------- topology view helpers ---------------- *)
+
+let get_sw t id =
+  match Hashtbl.find_opt t.switches id with
+  | Some sw -> sw
+  | None ->
+    let sw = { sw_id = id; level = None; neighbors = []; host_ports = []; coords = None } in
+    Hashtbl.replace t.switches id sw;
+    sw
+
+let port_to sw nbr_id =
+  List.find_map (fun (port, nbr, _) -> if nbr = nbr_id then Some port else None) sw.neighbors
+
+let edges_of t = Hashtbl.fold (fun _ sw acc ->
+    match sw.coords with Some (Coords.Edge _) -> sw :: acc | _ -> acc) t.switches []
+
+let find_agg t ~pod ~stripe =
+  Hashtbl.fold
+    (fun _ sw acc ->
+      match (acc, sw.coords) with
+      | Some _, _ -> acc
+      | None, Some (Coords.Agg a) when a.pod = pod && a.stripe = stripe -> Some sw
+      | None, _ -> None)
+    t.switches None
+
+let sorted_cores t =
+  let cores =
+    Hashtbl.fold
+      (fun _ sw acc ->
+        match sw.coords with
+        | Some (Coords.Core c) -> (c.stripe, c.member, sw) :: acc
+        | _ -> acc)
+      t.switches []
+  in
+  List.sort (fun (s1, m1, _) (s2, m2, _) -> compare (s1, m1) (s2, m2)) cores
+
+(* ---------------- coordinate assignment ---------------- *)
+
+(* union that carries a component's label (pod or stripe number) onto the
+   merged component's new root — required both for incremental discovery
+   and for adopting labels reclaimed after a fabric-manager restart *)
+let union_labelled uf labels a b =
+  let ra = Uf.find uf a and rb = Uf.find uf b in
+  if ra <> rb then begin
+    let la = Hashtbl.find_opt labels ra and lb = Hashtbl.find_opt labels rb in
+    Uf.union uf a b;
+    let root = Uf.find uf a in
+    Hashtbl.remove labels ra;
+    Hashtbl.remove labels rb;
+    match (la, lb) with
+    | Some l, _ | None, Some l -> Hashtbl.replace labels root l
+    | None, None -> ()
+  end
+
+let pod_of_component t root = Hashtbl.find_opt t.pod_ids root
+
+let assign_coords t sw coords =
+  sw.coords <- Some coords;
+  tracef t Eventsim.Trace.Info "assigned %a to switch %d" Coords.pp coords sw.sw_id;
+  Ctrl.send_to_switch t.ctrl sw.sw_id (Msg.Assign_coords coords)
+
+(* Stripe labelling must wait until the whole stripe component has been
+   discovered: labelling a partially formed component hands different
+   labels to members that later merge, and coordinates already granted
+   cannot be recalled. A component is structurally complete when it holds
+   one aggregation switch per pod and every core of the stripe — both
+   counts known from the spec. Member indexes are then the rank among the
+   stripe's core switch ids: stable and identical from every pod. *)
+let stripe_members_if_complete t root =
+  let member_ids = Uf.members t.stripe_uf root in
+  let aggs, cores =
+    List.fold_left
+      (fun (aggs, cores) id ->
+        match Hashtbl.find_opt t.switches id with
+        | Some sw when sw.level = Some Ldp_msg.Aggregation -> (sw :: aggs, cores)
+        | Some sw when sw.level = Some Ldp_msg.Core -> (aggs, sw :: cores)
+        | Some _ | None -> (aggs, cores))
+      ([], []) member_ids
+  in
+  if
+    List.length aggs = t.spec.Topology.Multirooted.num_pods
+    && List.length cores = Topology.Multirooted.uplinks_per_agg t.spec
+  then Some (aggs, cores)
+  else None
+
+let try_assign_stripe t sw =
+  let root = Uf.find t.stripe_uf sw.sw_id in
+  match stripe_members_if_complete t root with
+  | None -> ()
+  | Some (aggs, cores) ->
+    let stripe =
+      match Hashtbl.find_opt t.stripe_ids root with
+      | Some s -> s
+      | None ->
+        let s = t.next_stripe in
+        t.next_stripe <- s + 1;
+        Hashtbl.replace t.stripe_ids root s;
+        s
+    in
+    List.iter
+      (fun (a : sw_info) ->
+        if a.coords = None then
+          match pod_of_component t (Uf.find t.pod_uf a.sw_id) with
+          | Some pod -> assign_coords t a (Coords.Agg { pod; stripe })
+          | None -> () (* its pod is not labelled yet; a later pass assigns *))
+      aggs;
+    let member_tbl =
+      match Hashtbl.find_opt t.members stripe with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace t.members stripe tbl;
+        tbl
+    in
+    List.iteri
+      (fun member (c : sw_info) ->
+        if c.coords = None then begin
+          Hashtbl.replace member_tbl member c.sw_id;
+          assign_coords t c (Coords.Core { stripe; member })
+        end)
+      (List.sort (fun (a : sw_info) b -> compare a.sw_id b.sw_id) cores)
+
+let try_assign t sw =
+  if sw.coords = None then begin
+    match sw.level with
+    | Some Ldp_msg.Aggregation | Some Ldp_msg.Core -> try_assign_stripe t sw
+    | Some Ldp_msg.Edge | None -> () (* edges are assigned through position proposals *)
+  end
+
+let try_assign_all t = Hashtbl.iter (fun _ sw -> try_assign t sw) t.switches
+
+let on_report t ~switch_id ~level ~neighbors ~host_ports =
+  t.c.m_reports <- t.c.m_reports + 1;
+  let sw = get_sw t switch_id in
+  sw.level <- level;
+  sw.neighbors <- neighbors;
+  sw.host_ports <- host_ports;
+  List.iter
+    (fun (_, nbr, nbr_level) ->
+      match (level, nbr_level) with
+      | Some Ldp_msg.Edge, Some Ldp_msg.Aggregation
+      | Some Ldp_msg.Aggregation, Some Ldp_msg.Edge ->
+        union_labelled t.pod_uf t.pod_ids switch_id nbr
+      | Some Ldp_msg.Aggregation, Some Ldp_msg.Core
+      | Some Ldp_msg.Core, Some Ldp_msg.Aggregation ->
+        union_labelled t.stripe_uf t.stripe_ids switch_id nbr
+      | _, _ -> ())
+    neighbors;
+  try_assign_all t
+
+(* a switch re-registers coordinates granted by a previous fabric-manager
+   incarnation: adopt its labels verbatim and advance the allocators so
+   fresh assignments never collide with reclaimed ones *)
+let on_reclaim t ~switch_id coords =
+  let sw = get_sw t switch_id in
+  sw.coords <- Some coords;
+  sw.level <- Some (Coords.level coords);
+  let claim_pod pod =
+    Hashtbl.replace t.pod_ids (Uf.find t.pod_uf switch_id) pod;
+    t.next_pod <- max t.next_pod (pod + 1)
+  in
+  let claim_stripe stripe =
+    Hashtbl.replace t.stripe_ids (Uf.find t.stripe_uf switch_id) stripe;
+    t.next_stripe <- max t.next_stripe (stripe + 1)
+  in
+  match coords with
+  | Coords.Edge { pod; position } ->
+    claim_pod pod;
+    let taken =
+      match Hashtbl.find_opt t.positions pod with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace t.positions pod tbl;
+        tbl
+    in
+    Hashtbl.replace taken position switch_id
+  | Coords.Agg { pod; stripe } ->
+    claim_pod pod;
+    claim_stripe stripe
+  | Coords.Core { stripe; member } ->
+    claim_stripe stripe;
+    let tbl =
+      match Hashtbl.find_opt t.members stripe with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace t.members stripe tbl;
+        tbl
+    in
+    Hashtbl.replace tbl member switch_id
+
+let on_propose_position t ~switch_id ~position =
+  let sw = get_sw t switch_id in
+  let deny () = Ctrl.send_to_switch t.ctrl switch_id (Msg.Position_denied { position }) in
+  if sw.level <> Some Ldp_msg.Edge || position < 0 || position >= t.spec.Topology.Multirooted.edges_per_pod
+  then deny ()
+  else begin
+    match sw.coords with
+    | Some (Coords.Edge _ as c) -> Ctrl.send_to_switch t.ctrl switch_id (Msg.Assign_coords c)
+    | Some _ -> deny ()
+    | None ->
+      let root = Uf.find t.pod_uf switch_id in
+      let pod =
+        match pod_of_component t root with
+        | Some pod -> pod
+        | None ->
+          let pod = t.next_pod in
+          t.next_pod <- pod + 1;
+          Hashtbl.replace t.pod_ids root pod;
+          pod
+      in
+      let taken =
+        match Hashtbl.find_opt t.positions pod with
+        | Some tbl -> tbl
+        | None ->
+          let tbl = Hashtbl.create 8 in
+          Hashtbl.replace t.positions pod tbl;
+          tbl
+      in
+      (match Hashtbl.find_opt taken position with
+       | Some owner when owner <> switch_id -> deny ()
+       | Some _ | None ->
+         Hashtbl.replace taken position switch_id;
+         assign_coords t sw (Coords.Edge { pod; position });
+         (* an edge joining a pod may unblock aggregation/core labelling *)
+         try_assign_all t)
+  end
+
+(* ---------------- multicast ---------------- *)
+
+let group_state t group =
+  match Hashtbl.find_opt t.groups group with
+  | Some g -> g
+  | None ->
+    let g = { receivers = Hashtbl.create 4; core_sw = None; programmed = [] } in
+    Hashtbl.replace t.groups group g;
+    g
+
+let receiver_list g =
+  Hashtbl.fold
+    (fun sw ports acc ->
+      let ps = Hashtbl.fold (fun p () acc -> p :: acc) ports [] in
+      if ps = [] then acc else (sw, List.sort compare ps) :: acc)
+    g.receivers []
+  |> List.sort compare
+
+let core_viable t ~stripe ~member ~receiver_coords =
+  List.for_all
+    (fun (pod, edge_pos) ->
+      (not (Fault.Set.agg_core_down t.faults ~pod ~stripe ~member))
+      && not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos ~stripe))
+    receiver_coords
+
+let send_programs t group (targets : (int * int list) list) g =
+  (* clear switches no longer in the tree, then program current ones *)
+  List.iter
+    (fun (sw, _) ->
+      if not (List.mem_assoc sw targets) then
+        Ctrl.send_to_switch t.ctrl sw (Msg.Mcast_program { group; out_ports = [] }))
+    g.programmed;
+  List.iter
+    (fun (sw, ports) ->
+      match List.assoc_opt sw g.programmed with
+      | Some old when old = ports -> ()
+      | Some _ | None -> Ctrl.send_to_switch t.ctrl sw (Msg.Mcast_program { group; out_ports = ports }))
+    targets;
+  g.programmed <- targets
+
+let recompute_group t group =
+  t.c.m_mcast_recomputes <- t.c.m_mcast_recomputes + 1;
+  let g = group_state t group in
+  let receivers = receiver_list g in
+  if receivers = [] then begin
+    g.core_sw <- None;
+    send_programs t group [] g
+  end
+  else begin
+    let receiver_coords =
+      List.filter_map
+        (fun (sw, _) ->
+          match switch_coords t sw with
+          | Some (Coords.Edge e) -> Some (e.pod, e.position)
+          | _ -> None)
+        receivers
+    in
+    let cores = sorted_cores t in
+    let n = List.length cores in
+    let chosen =
+      if n = 0 then None
+      else begin
+        let start = Ipv4_addr.multicast_group group mod n in
+        let arr = Array.of_list cores in
+        let rec probe i =
+          if i >= n then None
+          else begin
+            let stripe, member, sw = arr.((start + i) mod n) in
+            if core_viable t ~stripe ~member ~receiver_coords then Some (stripe, member, sw)
+            else probe (i + 1)
+          end
+        in
+        probe 0
+      end
+    in
+    match chosen with
+    | None ->
+      g.core_sw <- None;
+      send_programs t group [] g
+    | Some (stripe, _member, core_sw) ->
+      (match g.core_sw with
+       | Some prev when prev <> core_sw.sw_id ->
+         tracef t Eventsim.Trace.Info "multicast group %a re-rooted: core %d -> %d" Ipv4_addr.pp
+           group prev core_sw.sw_id
+       | _ -> ());
+      g.core_sw <- Some core_sw.sw_id;
+      let receiver_pods = List.sort_uniq compare (List.map fst receiver_coords) in
+      let targets = ref [] in
+      let add sw ports =
+        let ports = List.sort_uniq compare ports in
+        if ports <> [] then targets := (sw, ports) :: !targets
+      in
+      (* core: one port per receiver pod *)
+      let core_ports =
+        List.filter_map
+          (fun pod ->
+            match find_agg t ~pod ~stripe with
+            | Some agg -> port_to core_sw agg.sw_id
+            | None -> None)
+          receiver_pods
+      in
+      add core_sw.sw_id core_ports;
+      (* aggregation switches of this stripe, in every pod: uplink toward the
+         chosen core (so local senders can go up), plus down-ports to
+         receiver edges in their pod *)
+      Hashtbl.iter
+        (fun _ sw ->
+          match sw.coords with
+          | Some (Coords.Agg a) when a.stripe = stripe ->
+            let up = match port_to sw core_sw.sw_id with Some p -> [ p ] | None -> [] in
+            let down =
+              List.filter_map
+                (fun (rsw, _) ->
+                  match switch_coords t rsw with
+                  | Some (Coords.Edge e) when e.pod = a.pod -> port_to sw rsw
+                  | _ -> None)
+                receivers
+            in
+            add sw.sw_id (up @ down)
+          | _ -> ())
+        t.switches;
+      (* every edge switch: uplink toward its stripe agg (sender path), plus
+         local receiver host ports *)
+      List.iter
+        (fun sw ->
+          match sw.coords with
+          | Some (Coords.Edge e) ->
+            let up =
+              match find_agg t ~pod:e.pod ~stripe with
+              | Some agg -> (match port_to sw agg.sw_id with Some p -> [ p ] | None -> [])
+              | None -> []
+            in
+            let local = match List.assoc_opt sw.sw_id receivers with Some ps -> ps | None -> [] in
+            add sw.sw_id (up @ local)
+          | _ -> ())
+        (edges_of t);
+      send_programs t group (List.sort compare !targets) g
+  end
+
+let recompute_all_groups t = Hashtbl.iter (fun group _ -> recompute_group t group) t.groups
+
+(* Broadcast is the special multicast group spanning every host (paper
+   §3.4): its receiver set is derived from the reported host ports of all
+   edge switches rather than from joins, and it rides the same tree
+   computation and installation machinery. *)
+let recompute_broadcast t =
+  let g = group_state t Ipv4_addr.broadcast in
+  Hashtbl.reset g.receivers;
+  List.iter
+    (fun sw ->
+      if sw.host_ports <> [] then begin
+        let ports = Hashtbl.create 4 in
+        List.iter (fun p -> Hashtbl.replace ports p ()) sw.host_ports;
+        Hashtbl.replace g.receivers sw.sw_id ports
+      end)
+    (edges_of t);
+  recompute_group t Ipv4_addr.broadcast
+
+(* ---------------- faults ---------------- *)
+
+let translate_fault t a b =
+  let ca = switch_coords t a and cb = switch_coords t b in
+  match (ca, cb) with
+  | Some (Coords.Edge e), Some (Coords.Agg g) | Some (Coords.Agg g), Some (Coords.Edge e) ->
+    if e.pod = g.pod then
+      Some (Fault.Edge_agg { pod = e.pod; edge_pos = e.position; stripe = g.stripe })
+    else None
+  | Some (Coords.Agg g), Some (Coords.Core c) | Some (Coords.Core c), Some (Coords.Agg g) ->
+    if g.stripe = c.stripe then
+      Some (Fault.Agg_core { pod = g.pod; stripe = g.stripe; member = c.member })
+    else None
+  | _, _ -> None
+
+let broadcast_faults t =
+  t.c.m_fault_broadcasts <- t.c.m_fault_broadcasts + 1;
+  tracef t Eventsim.Trace.Warn "fault matrix now %d entries; broadcasting"
+    (Fault.Set.cardinal t.faults);
+  Ctrl.broadcast_to_switches t.ctrl (Msg.Fault_update { faults = Fault.Set.elements t.faults })
+
+let on_fault_notice t ~switch_id ~neighbor =
+  t.c.m_fault_notices <- t.c.m_fault_notices + 1;
+  match translate_fault t switch_id neighbor with
+  | Some f when not (Fault.Set.mem t.faults f) ->
+    Fault.Set.add t.faults f;
+    broadcast_faults t;
+    recompute_all_groups t
+  | Some _ | None -> ()
+
+let on_recovery_notice t ~switch_id ~neighbor =
+  match translate_fault t switch_id neighbor with
+  | Some f when Fault.Set.mem t.faults f ->
+    Fault.Set.remove t.faults f;
+    broadcast_faults t;
+    recompute_all_groups t
+  | Some _ | None -> ()
+
+(* ---------------- ARP & host mappings ---------------- *)
+
+let answer_arp t ~to_sw ~target_ip ~target_pmac ~requester_ip ~requester_port =
+  Ctrl.send_to_switch t.ctrl to_sw
+    (Msg.Arp_answer { target_ip; target_pmac; requester_ip; requester_port })
+
+let on_arp_query t ~from_sw ~requester_ip ~requester_pmac ~requester_port ~target_ip =
+  t.c.m_arp_queries <- t.c.m_arp_queries + 1;
+  let respond () =
+    match resolve t target_ip with
+    | Some pmac ->
+      t.c.m_arp_hits <- t.c.m_arp_hits + 1;
+      answer_arp t ~to_sw:from_sw ~target_ip ~target_pmac:(Some pmac) ~requester_ip
+        ~requester_port
+    | None ->
+      t.c.m_arp_misses <- t.c.m_arp_misses + 1;
+      let entry = { from_sw; requester_ip; requester_port } in
+      let waiting = try Hashtbl.find t.pending target_ip with Not_found -> [] in
+      Hashtbl.replace t.pending target_ip (entry :: waiting);
+      (* broadcast fallback: every edge switch re-emits the query on its
+         host ports *)
+      List.iter
+        (fun sw ->
+          Ctrl.send_to_switch t.ctrl sw.sw_id
+            (Msg.Arp_flood { requester_ip; requester_pmac; target_ip }))
+        (edges_of t)
+  in
+  (* model the fabric manager's per-request service time *)
+  ignore (Eventsim.Engine.schedule t.engine ~delay:t.config.Config.fm_arp_service_time respond)
+
+let on_host_announce t (b : Msg.host_binding) =
+  t.c.m_host_announces <- t.c.m_host_announces + 1;
+  (match Hashtbl.find_opt t.ip_table b.Msg.ip with
+   | Some old when not (Pmac.equal old.Msg.pmac b.Msg.pmac) ->
+     (* the IP moved: a VM migration (or host re-plug). Invalidate at the
+        previous edge switch so stale senders are corrected. *)
+     t.c.m_migrations <- t.c.m_migrations + 1;
+     tracef t Eventsim.Trace.Info "migration: %a moved %a -> %a" Ipv4_addr.pp b.Msg.ip Pmac.pp
+       old.Msg.pmac Pmac.pp b.Msg.pmac;
+     Ctrl.send_to_switch t.ctrl old.Msg.edge_switch
+       (Msg.Invalidate_pmac { ip = b.Msg.ip; old_pmac = old.Msg.pmac; new_pmac = b.Msg.pmac })
+   | Some _ | None -> ());
+  Hashtbl.replace t.ip_table b.Msg.ip b;
+  (* answer anyone who was waiting on this mapping *)
+  match Hashtbl.find_opt t.pending b.Msg.ip with
+  | None -> ()
+  | Some waiting ->
+    Hashtbl.remove t.pending b.Msg.ip;
+    List.iter
+      (fun w ->
+        answer_arp t ~to_sw:w.from_sw ~target_ip:b.Msg.ip ~target_pmac:(Some b.Msg.pmac)
+          ~requester_ip:w.requester_ip ~requester_port:w.requester_port)
+      waiting
+
+(* ---------------- dispatch ---------------- *)
+
+let handle t ~from:_ (msg : Msg.to_fm) =
+  match msg with
+  | Msg.Neighbor_report { switch_id; level; neighbors; host_ports } ->
+    on_report t ~switch_id ~level ~neighbors ~host_ports;
+    recompute_broadcast t
+  | Msg.Propose_position { switch_id; position } ->
+    on_propose_position t ~switch_id ~position;
+    (* a granted position may complete the broadcast tree's receiver set *)
+    recompute_broadcast t
+  | Msg.Arp_query { switch_id; requester_ip; requester_pmac; requester_port; target_ip } ->
+    on_arp_query t ~from_sw:switch_id ~requester_ip ~requester_pmac ~requester_port ~target_ip
+  | Msg.Host_announce b -> on_host_announce t b
+  | Msg.Fault_notice { switch_id; neighbor; _ } -> on_fault_notice t ~switch_id ~neighbor
+  | Msg.Recovery_notice { switch_id; neighbor; _ } -> on_recovery_notice t ~switch_id ~neighbor
+  | Msg.Mcast_join { switch_id; group; port } ->
+    let g = group_state t group in
+    let ports =
+      match Hashtbl.find_opt g.receivers switch_id with
+      | Some ports -> ports
+      | None ->
+        let ports = Hashtbl.create 4 in
+        Hashtbl.replace g.receivers switch_id ports;
+        ports
+    in
+    Hashtbl.replace ports port ();
+    recompute_group t group
+  | Msg.Reclaim_coords { switch_id; coords } -> on_reclaim t ~switch_id coords
+  | Msg.Mcast_leave { switch_id; group; port } ->
+    let g = group_state t group in
+    (match Hashtbl.find_opt g.receivers switch_id with
+     | Some ports ->
+       Hashtbl.remove ports port;
+       if Hashtbl.length ports = 0 then Hashtbl.remove g.receivers switch_id
+     | None -> ());
+    recompute_group t group
+
+let create ?(trace = Eventsim.Trace.null) engine config ctrl ~spec =
+  let t =
+    { engine; config; ctrl; trace; spec;
+      switches = Hashtbl.create 128;
+      pod_uf = Uf.create ();
+      stripe_uf = Uf.create ();
+      pod_ids = Hashtbl.create 16;
+      next_pod = 0;
+      stripe_ids = Hashtbl.create 16;
+      next_stripe = 0;
+      positions = Hashtbl.create 16;
+      members = Hashtbl.create 16;
+      ip_table = Hashtbl.create 1024;
+      pending = Hashtbl.create 16;
+      faults = Fault.Set.create ();
+      groups = Hashtbl.create 16;
+      c =
+        { m_arp_queries = 0; m_arp_hits = 0; m_arp_misses = 0; m_host_announces = 0;
+          m_migrations = 0; m_fault_notices = 0; m_fault_broadcasts = 0; m_mcast_recomputes = 0;
+          m_reports = 0 } }
+  in
+  Ctrl.register_fm ctrl (fun ~from msg -> handle t ~from msg);
+  (* (re)built instance: ask every reachable switch to resync, which is a
+     no-op at first boot (nothing registered yet) and reconstructs the
+     soft state after a fabric-manager restart *)
+  Ctrl.broadcast_to_switches ctrl Msg.Resync_request;
+  t

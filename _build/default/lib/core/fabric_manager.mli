@@ -1,0 +1,71 @@
+(** The fabric manager (PortLand §3.1, §3.3–§3.6).
+
+    A logically centralized process connected to every switch over the
+    out-of-band control network. All of its state is soft — rebuilt from
+    switch reports and host announcements:
+
+    - {b Topology view & coordinate assignment.} Neighbor reports drive
+      two union-finds: edge–agg adjacency components become pods,
+      agg–core adjacency components become stripes. Edge switches propose
+      positions which the FM grants iff unique within the pod; agg and
+      core switches are assigned coordinates as soon as their components
+      are labelled.
+    - {b Proxy ARP.} IP → PMAC resolution for edge switches, with a
+      broadcast fallback on miss and queued answers once the target
+      announces.
+    - {b Migration.} A host announcing an already-known IP from a new
+      location updates the mapping and sends an invalidation to the
+      previous edge switch.
+    - {b Fault matrix.} Fault/recovery notices are translated to
+      coordinate faults ({!Fault.t}) and the full matrix is re-broadcast
+      on every change.
+    - {b Multicast.} Group membership from edge switches; the FM maps
+      each group to a viable core, computes the distribution tree and
+      programs per-switch port sets, recomputing on membership or fault
+      changes. *)
+
+type t
+
+type counters = {
+  arp_queries : int;
+  arp_hits : int;
+  arp_misses : int;
+  host_announces : int;
+  migrations : int;       (** announces that moved an existing IP *)
+  fault_notices : int;
+  fault_broadcasts : int;
+  mcast_recomputes : int;
+  reports : int;
+}
+
+val create :
+  ?trace:Eventsim.Trace.t -> Eventsim.Engine.t -> Config.t -> Ctrl.t ->
+  spec:Topology.Multirooted.spec -> t
+(** Registers itself as the control network's fabric manager. Significant
+    events (coordinate grants, fault-matrix changes, migrations,
+    multicast re-rooting) are recorded to [trace] when one is given. *)
+
+val counters : t -> counters
+
+val switch_coords : t -> int -> Coords.t option
+(** Coordinates the FM has granted to a switch id, if any. *)
+
+val known_switches : t -> int list
+val fault_set : t -> Fault.t list
+val binding_count : t -> int
+
+(** {1 Direct access, used by benchmarks and tests}
+
+    These bypass the control network and engine. *)
+
+val resolve : t -> Netcore.Ipv4_addr.t -> Pmac.t option
+(** The lookup at the heart of proxy ARP — benchmarked to reproduce the
+    paper's fabric-manager CPU-requirements figure. *)
+
+val lookup_binding : t -> Netcore.Ipv4_addr.t -> Msg.host_binding option
+
+val insert_binding_for_test : t -> Msg.host_binding -> unit
+(** Pre-populate the IP table without a network (benchmark setup). *)
+
+val group_core : t -> Netcore.Ipv4_addr.t -> int option
+(** Core switch currently serving a multicast group, if programmed. *)

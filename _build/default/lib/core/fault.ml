@@ -1,0 +1,46 @@
+type t =
+  | Edge_agg of { pod : int; edge_pos : int; stripe : int }
+  | Agg_core of { pod : int; stripe : int; member : int }
+  | Host_edge of { pod : int; edge_pos : int; port : int }
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let pp fmt = function
+  | Edge_agg { pod; edge_pos; stripe } ->
+    Format.fprintf fmt "edge%d/agg%d@pod%d" edge_pos stripe pod
+  | Agg_core { pod; stripe; member } ->
+    Format.fprintf fmt "agg%d@pod%d/core%d.%d" stripe pod stripe member
+  | Host_edge { pod; edge_pos; port } ->
+    Format.fprintf fmt "host@pod%d/edge%d:port%d" pod edge_pos port
+
+module Set = struct
+  type fault = t
+  type nonrec t = (fault, unit) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+  let add t f = Hashtbl.replace t f ()
+  let remove t f = Hashtbl.remove t f
+  let mem t f = Hashtbl.mem t f
+  let cardinal t = Hashtbl.length t
+  let elements t = Hashtbl.fold (fun f () acc -> f :: acc) t []
+
+  let of_list fs =
+    let t = create () in
+    List.iter (add t) fs;
+    t
+
+  let clear t = Hashtbl.reset t
+
+  let edge_agg_down t ~pod ~edge_pos ~stripe = mem t (Edge_agg { pod; edge_pos; stripe })
+  let agg_core_down t ~pod ~stripe ~member = mem t (Agg_core { pod; stripe; member })
+
+  let stripe_reaches_pod t ~members ~src_pod ~stripe ~dst_pod =
+    let alive m pod = not (agg_core_down t ~pod ~stripe ~member:m) in
+    let rec go m =
+      if m >= members then false
+      else if alive m src_pod && alive m dst_pod then true
+      else go (m + 1)
+    in
+    go 0
+end

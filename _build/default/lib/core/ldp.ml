@@ -1,0 +1,214 @@
+open Eventsim
+open Netcore
+
+type neighbor = {
+  switch_id : int;
+  nbr_level : Ldp_msg.level option;
+  nbr_pod : int option;
+  nbr_position : int option;
+  their_port : int;
+  last_heard : Time.t;
+}
+
+type port_state =
+  | Unknown
+  | Switch_port of neighbor
+  | Host_port
+  | Dead_port of neighbor
+
+type event =
+  | Level_inferred of Ldp_msg.level
+  | View_changed
+  | Port_dead of { port : int; neighbor_id : int }
+  | Port_recovered of { port : int; neighbor_id : int }
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  switch_id : int;
+  nports : int;
+  send : port:int -> Ldp_msg.t -> unit;
+  notify : event -> unit;
+  ports : port_state array;
+  mutable self_level : Ldp_msg.level option;
+  mutable self_coords : Coords.t option;
+  mutable beacon : Timer.t option;
+  mutable checker : Timer.t option;
+}
+
+let create engine config ~switch_id ~nports ~send ~notify =
+  { engine; config; switch_id; nports; send; notify;
+    ports = Array.make nports Unknown;
+    self_level = None; self_coords = None; beacon = None; checker = None }
+
+let level t = t.self_level
+let coords t = t.self_coords
+
+let port_state t port =
+  if port < 0 || port >= t.nports then invalid_arg "Ldp.port_state: port out of range";
+  t.ports.(port)
+
+let switch_ports t =
+  let acc = ref [] in
+  for p = t.nports - 1 downto 0 do
+    match t.ports.(p) with
+    | Switch_port n -> acc := (p, n) :: !acc
+    | Unknown | Host_port | Dead_port _ -> ()
+  done;
+  !acc
+
+let dead_ports t =
+  let acc = ref [] in
+  for p = t.nports - 1 downto 0 do
+    match t.ports.(p) with
+    | Dead_port n -> acc := (p, n) :: !acc
+    | Unknown | Host_port | Switch_port _ -> ()
+  done;
+  !acc
+
+let host_ports t =
+  let acc = ref [] in
+  for p = t.nports - 1 downto 0 do
+    match t.ports.(p) with
+    | Host_port -> acc := p :: !acc
+    | Unknown | Switch_port _ | Dead_port _ -> ()
+  done;
+  !acc
+
+(* Direction of a port, derivable once levels are known. A port nothing
+   has ever been heard on stays Unknown_dir — only a confirmed host port
+   counts as facing down. *)
+let dir_of t port =
+  match t.ports.(port) with
+  | Unknown -> Ldp_msg.Unknown_dir
+  | Host_port ->
+    if t.self_level = Some Ldp_msg.Edge then Ldp_msg.Down else Ldp_msg.Unknown_dir
+  | Switch_port n | Dead_port n ->
+    (match (t.self_level, n.nbr_level) with
+     | Some Ldp_msg.Edge, Some Ldp_msg.Aggregation -> Ldp_msg.Up
+     | Some Ldp_msg.Aggregation, Some Ldp_msg.Core -> Ldp_msg.Up
+     | Some Ldp_msg.Aggregation, Some Ldp_msg.Edge -> Ldp_msg.Down
+     | Some Ldp_msg.Core, Some Ldp_msg.Aggregation -> Ldp_msg.Down
+     | _, _ -> Ldp_msg.Unknown_dir)
+
+let current_ldm t ~out_port =
+  let pod, position =
+    match t.self_coords with
+    | Some c -> Coords.to_ldm_fields c
+    | None -> (None, None)
+  in
+  { Ldp_msg.switch_id = t.switch_id;
+    level = t.self_level;
+    pod;
+    position;
+    dir = dir_of t out_port;
+    out_port }
+
+let set_level t level =
+  match t.self_level with
+  | Some l when l = level -> ()
+  | Some l ->
+    invalid_arg
+      (Printf.sprintf "Ldp: switch %d level changing from %s to %s" t.switch_id
+         (Ldp_msg.level_to_string l) (Ldp_msg.level_to_string level))
+  | None ->
+    t.self_level <- Some level;
+    t.notify (Level_inferred level)
+
+let set_coords t c =
+  t.self_coords <- Some c;
+  if t.self_level = None then set_level t (Coords.level c)
+
+(* Re-run level inference from the current port view. *)
+let infer_level t =
+  if t.self_level = None then begin
+    let has_host = ref false in
+    let n_agg_neighbors = ref 0 in
+    let heard_edge_or_core = ref false in
+    Array.iter
+      (fun st ->
+        match st with
+        | Host_port -> has_host := true
+        | Switch_port n | Dead_port n ->
+          (match n.nbr_level with
+           | Some Ldp_msg.Edge | Some Ldp_msg.Core -> heard_edge_or_core := true
+           | Some Ldp_msg.Aggregation -> incr n_agg_neighbors
+           | None -> ())
+        | Unknown -> ())
+      t.ports;
+    if !has_host then set_level t Ldp_msg.Edge
+    else if !heard_edge_or_core then set_level t Ldp_msg.Aggregation
+    else if !n_agg_neighbors = t.nports then set_level t Ldp_msg.Core
+  end
+
+let on_ldm t ~port (msg : Ldp_msg.t) =
+  if port < 0 || port >= t.nports then invalid_arg "Ldp.on_ldm: port out of range";
+  let now = Engine.now t.engine in
+  let fresh =
+    { switch_id = msg.Ldp_msg.switch_id;
+      nbr_level = msg.Ldp_msg.level;
+      nbr_pod = msg.Ldp_msg.pod;
+      nbr_position = msg.Ldp_msg.position;
+      their_port = msg.Ldp_msg.out_port;
+      last_heard = now }
+  in
+  let view_changed =
+    match t.ports.(port) with
+    | Switch_port old ->
+      old.switch_id <> fresh.switch_id
+      || old.nbr_level <> fresh.nbr_level
+      || old.nbr_pod <> fresh.nbr_pod
+      || old.nbr_position <> fresh.nbr_position
+    | Unknown | Host_port -> true
+    | Dead_port _ -> true
+  in
+  (match t.ports.(port) with
+   | Dead_port old ->
+     t.ports.(port) <- Switch_port fresh;
+     t.notify (Port_recovered { port; neighbor_id = old.switch_id })
+   | Unknown | Host_port | Switch_port _ -> t.ports.(port) <- Switch_port fresh);
+  infer_level t;
+  if view_changed then t.notify View_changed
+
+let on_host_frame t ~port =
+  if port < 0 || port >= t.nports then invalid_arg "Ldp.on_host_frame: port out of range";
+  match t.ports.(port) with
+  | Unknown ->
+    t.ports.(port) <- Host_port;
+    infer_level t;
+    t.notify View_changed
+  | Host_port | Switch_port _ | Dead_port _ -> ()
+
+let beacon_all t =
+  for p = 0 to t.nports - 1 do
+    t.send ~port:p (current_ldm t ~out_port:p)
+  done
+
+let check_liveness t =
+  let now = Engine.now t.engine in
+  for p = 0 to t.nports - 1 do
+    match t.ports.(p) with
+    | Switch_port n when now - n.last_heard > t.config.Config.ldm_timeout ->
+      t.ports.(p) <- Dead_port n;
+      t.notify (Port_dead { port = p; neighbor_id = n.switch_id })
+    | Switch_port _ | Unknown | Host_port | Dead_port _ -> ()
+  done
+
+let start t =
+  if t.beacon = None then begin
+    (* deterministic per-switch phase stagger avoids lock-step beacons *)
+    let phase = 1 + (t.switch_id * 1619 mod t.config.Config.ldm_period) in
+    t.beacon <-
+      Some (Timer.every t.engine ~period:t.config.Config.ldm_period ~start_delay:phase (fun () ->
+                beacon_all t));
+    t.checker <-
+      Some
+        (Timer.every t.engine ~period:t.config.Config.ldm_period
+           ~start_delay:(phase + (t.config.Config.ldm_period / 2)) (fun () -> check_liveness t))
+  end
+
+let stop t =
+  Option.iter Timer.stop t.beacon;
+  Option.iter Timer.stop t.checker;
+  t.beacon <- None;
+  t.checker <- None

@@ -1,0 +1,73 @@
+(** Location Discovery Protocol state machine (PortLand §3.2 and §3.5).
+
+    One instance runs inside every switch agent. It periodically beacons
+    LDMs on every port, digests incoming LDMs into a per-port neighbor
+    view, infers the switch's own tree level from that view, and acts as
+    the failure detector: a switch-facing port silent for the LDM timeout
+    is declared dead (and recovers when LDMs resume).
+
+    Level inference, exactly as the paper argues it:
+    - a port that carries non-LDP traffic but never LDMs is host-facing,
+      and any switch with a host-facing port is an {e edge} switch;
+    - a switch hearing an edge (or core) neighbor is an {e aggregation}
+      switch;
+    - a switch all of whose ports hear aggregation neighbors is a
+      {e core} switch (an edge switch can never satisfy this because its
+      host ports carry no LDMs).
+
+    Pod / position / stripe / member assignment is the fabric manager's
+    job; the agent feeds granted coordinates back via {!set_coords} so
+    subsequent LDMs advertise them. *)
+
+type neighbor = {
+  switch_id : int;
+  nbr_level : Netcore.Ldp_msg.level option;
+  nbr_pod : int option;       (** stripe for cores — see {!Coords.to_ldm_fields} *)
+  nbr_position : int option;  (** member for cores *)
+  their_port : int;
+  last_heard : Eventsim.Time.t;
+}
+
+type port_state =
+  | Unknown
+  | Switch_port of neighbor
+  | Host_port
+  | Dead_port of neighbor  (** switch-facing, LDM timeout expired *)
+
+type event =
+  | Level_inferred of Netcore.Ldp_msg.level
+  | View_changed  (** neighbor appeared or refined its claims *)
+  | Port_dead of { port : int; neighbor_id : int }
+  | Port_recovered of { port : int; neighbor_id : int }
+
+type t
+
+val create :
+  Eventsim.Engine.t -> Config.t -> switch_id:int -> nports:int ->
+  send:(port:int -> Netcore.Ldp_msg.t -> unit) -> notify:(event -> unit) -> t
+
+val start : t -> unit
+(** Arm the beacon and liveness timers. Beacons are phase-staggered
+    deterministically by switch id. *)
+
+val stop : t -> unit
+
+val on_ldm : t -> port:int -> Netcore.Ldp_msg.t -> unit
+val on_host_frame : t -> port:int -> unit
+(** Tell LDP a non-LDP frame arrived, for host-port inference. Only
+    meaningful on ports not already known to face a switch. *)
+
+val level : t -> Netcore.Ldp_msg.level option
+val set_coords : t -> Coords.t -> unit
+(** Record fabric-manager-assigned coordinates; advertised in subsequent
+    LDMs. Also fixes the level if not yet inferred. *)
+
+val coords : t -> Coords.t option
+val port_state : t -> int -> port_state
+val switch_ports : t -> (int * neighbor) list
+(** Live switch-facing ports only. *)
+
+val dead_ports : t -> (int * neighbor) list
+val host_ports : t -> int list
+val current_ldm : t -> out_port:int -> Netcore.Ldp_msg.t
+(** What the next beacon on that port will carry (exposed for tests). *)

@@ -1,0 +1,87 @@
+type host_binding = {
+  ip : Netcore.Ipv4_addr.t;
+  amac : Netcore.Mac_addr.t;
+  pmac : Pmac.t;
+  edge_switch : int;
+}
+
+type to_fm =
+  | Neighbor_report of {
+      switch_id : int;
+      level : Netcore.Ldp_msg.level option;
+      neighbors : (int * int * Netcore.Ldp_msg.level option) list;
+      host_ports : int list;
+    }
+  | Propose_position of { switch_id : int; position : int }
+  | Arp_query of {
+      switch_id : int;
+      requester_ip : Netcore.Ipv4_addr.t;
+      requester_pmac : Pmac.t;
+      requester_port : int;
+      target_ip : Netcore.Ipv4_addr.t;
+    }
+  | Host_announce of host_binding
+  | Fault_notice of { switch_id : int; port : int; neighbor : int }
+  | Recovery_notice of { switch_id : int; port : int; neighbor : int }
+  | Mcast_join of { switch_id : int; group : Netcore.Ipv4_addr.t; port : int }
+  | Mcast_leave of { switch_id : int; group : Netcore.Ipv4_addr.t; port : int }
+  | Reclaim_coords of { switch_id : int; coords : Coords.t }
+
+type to_switch =
+  | Assign_coords of Coords.t
+  | Position_denied of { position : int }
+  | Arp_answer of {
+      target_ip : Netcore.Ipv4_addr.t;
+      target_pmac : Pmac.t option;
+      requester_ip : Netcore.Ipv4_addr.t;
+      requester_port : int;
+    }
+  | Arp_flood of {
+      requester_ip : Netcore.Ipv4_addr.t;
+      requester_pmac : Pmac.t;
+      target_ip : Netcore.Ipv4_addr.t;
+    }
+  | Fault_update of { faults : Fault.t list }
+  | Invalidate_pmac of { ip : Netcore.Ipv4_addr.t; old_pmac : Pmac.t; new_pmac : Pmac.t }
+  | Mcast_program of { group : Netcore.Ipv4_addr.t; out_ports : int list }
+  | Resync_request
+
+let pp_to_fm fmt = function
+  | Neighbor_report { switch_id; neighbors; host_ports; _ } ->
+    Format.fprintf fmt "Neighbor_report{sw=%d nbrs=%d hosts=%d}" switch_id (List.length neighbors)
+      (List.length host_ports)
+  | Propose_position { switch_id; position } ->
+    Format.fprintf fmt "Propose_position{sw=%d pos=%d}" switch_id position
+  | Arp_query { switch_id; target_ip; _ } ->
+    Format.fprintf fmt "Arp_query{sw=%d target=%a}" switch_id Netcore.Ipv4_addr.pp target_ip
+  | Host_announce { ip; pmac; _ } ->
+    Format.fprintf fmt "Host_announce{ip=%a pmac=%a}" Netcore.Ipv4_addr.pp ip Pmac.pp pmac
+  | Fault_notice { switch_id; port; neighbor } ->
+    Format.fprintf fmt "Fault_notice{sw=%d port=%d nbr=%d}" switch_id port neighbor
+  | Recovery_notice { switch_id; port; neighbor } ->
+    Format.fprintf fmt "Recovery_notice{sw=%d port=%d nbr=%d}" switch_id port neighbor
+  | Mcast_join { switch_id; group; port } ->
+    Format.fprintf fmt "Mcast_join{sw=%d group=%a port=%d}" switch_id Netcore.Ipv4_addr.pp group
+      port
+  | Mcast_leave { switch_id; group; port } ->
+    Format.fprintf fmt "Mcast_leave{sw=%d group=%a port=%d}" switch_id Netcore.Ipv4_addr.pp group
+      port
+  | Reclaim_coords { switch_id; coords } ->
+    Format.fprintf fmt "Reclaim_coords{sw=%d %a}" switch_id Coords.pp coords
+
+let pp_to_switch fmt = function
+  | Assign_coords c -> Format.fprintf fmt "Assign_coords{%a}" Coords.pp c
+  | Position_denied { position } -> Format.fprintf fmt "Position_denied{pos=%d}" position
+  | Arp_answer { target_ip; target_pmac; _ } ->
+    Format.fprintf fmt "Arp_answer{target=%a pmac=%s}" Netcore.Ipv4_addr.pp target_ip
+      (match target_pmac with Some p -> Pmac.to_string p | None -> "miss")
+  | Arp_flood { target_ip; _ } ->
+    Format.fprintf fmt "Arp_flood{target=%a}" Netcore.Ipv4_addr.pp target_ip
+  | Fault_update { faults } -> Format.fprintf fmt "Fault_update{%d faults}" (List.length faults)
+  | Invalidate_pmac { ip; old_pmac; new_pmac } ->
+    Format.fprintf fmt "Invalidate_pmac{ip=%a %a->%a}" Netcore.Ipv4_addr.pp ip Pmac.pp old_pmac
+      Pmac.pp new_pmac
+  | Mcast_program { group; out_ports } ->
+    Format.fprintf fmt "Mcast_program{group=%a ports=[%s]}" Netcore.Ipv4_addr.pp group
+      (String.concat ";" (List.map string_of_int out_ports))
+  | Resync_request -> Format.pp_print_string fmt "Resync_request"

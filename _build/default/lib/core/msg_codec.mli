@@ -1,0 +1,22 @@
+(** Wire codec for the control protocol ({!Msg}).
+
+    The paper's switches speak to the fabric manager over a real network
+    (OpenFlow in its testbed); this codec gives every control message a
+    concrete binary encoding so that (a) control-plane load can be
+    reported in bytes, not just message counts (the {!Ctrl} channel
+    meters both), and (b) the protocol is pinned by round-trip property
+    tests like the dataplane formats are.
+
+    Layout: a one-byte message tag, then fixed-width big-endian fields;
+    lists are length-prefixed (u16). PMACs travel as their 6-byte MAC
+    encoding; coordinates as a kind byte plus two u16s; faults as a kind
+    byte plus three u16s. *)
+
+val encode_to_fm : Msg.to_fm -> bytes
+val decode_to_fm : bytes -> (Msg.to_fm, string) result
+
+val encode_to_switch : Msg.to_switch -> bytes
+val decode_to_switch : bytes -> (Msg.to_switch, string) result
+
+val to_fm_wire_len : Msg.to_fm -> int
+val to_switch_wire_len : Msg.to_switch -> int

@@ -1,0 +1,653 @@
+open Eventsim
+open Netcore
+module FT = Switchfab.Flow_table
+module Spec = Topology.Multirooted
+
+type host_entry = { h_amac : Mac_addr.t; h_port : int; h_pmac : Pmac.t }
+
+type trap_entry = { t_ip : Ipv4_addr.t; t_new_pmac : Pmac.t }
+
+type agent_counters = {
+  arps_proxied : int;
+  arps_answered : int;
+  hosts_learned : int;
+  trap_hits : int;
+  corrective_arps : int;
+  table_recomputes : int;
+  faults_reported : int;
+  recoveries_reported : int;
+}
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  ctrl : Ctrl.t;
+  net : Switchfab.Net.t;
+  spec : Spec.spec;
+  device : Switchfab.Net.device;
+  sw_id : int;
+  table : FT.t;
+  mutable dp : Switchfab.Dataplane.t option;
+  mutable ldp : Ldp.t option;
+  prng : Prng.t;
+  mutable coords : Coords.t option;
+  mutable operational : bool;
+  faults : Fault.Set.t;
+  (* edge-only state *)
+  amac_to_host : (Mac_addr.t, host_entry) Hashtbl.t;
+  pmac_to_host : (int, host_entry) Hashtbl.t; (* key: PMAC as int *)
+  ip_to_pmac : (Ipv4_addr.t, Pmac.t) Hashtbl.t; (* local hosts *)
+  next_vmid : (int, int) Hashtbl.t; (* port -> next vmid *)
+  traps : (int, trap_entry) Hashtbl.t; (* stale PMAC int -> trap *)
+  mcast : (Ipv4_addr.t, int list) Hashtbl.t;
+  mutable pending_learn : (int * Mac_addr.t * Ipv4_addr.t option) list;
+  mutable position_candidate : int;
+  mutable proposal_outstanding : bool;
+  mutable report_scheduled : bool;
+  (* counters *)
+  mutable c_arps_proxied : int;
+  mutable c_arps_answered : int;
+  mutable c_hosts_learned : int;
+  mutable c_trap_hits : int;
+  mutable c_corrective_arps : int;
+  mutable c_table_recomputes : int;
+  mutable c_faults_reported : int;
+  mutable c_recoveries_reported : int;
+}
+
+let switch_id t = t.sw_id
+let coords t = t.coords
+let table t = t.table
+let table_size t = FT.size t.table
+let is_operational t = t.operational
+
+let get_ldp t =
+  match t.ldp with Some l -> l | None -> invalid_arg "Switch_agent: not started"
+
+let get_dp t =
+  match t.dp with Some d -> d | None -> invalid_arg "Switch_agent: not started"
+
+let ldp = get_ldp
+let dataplane = get_dp
+let level t = match t.ldp with Some l -> Ldp.level l | None -> None
+
+let counters t =
+  { arps_proxied = t.c_arps_proxied;
+    arps_answered = t.c_arps_answered;
+    hosts_learned = t.c_hosts_learned;
+    trap_hits = t.c_trap_hits;
+    corrective_arps = t.c_corrective_arps;
+    table_recomputes = t.c_table_recomputes;
+    faults_reported = t.c_faults_reported;
+    recoveries_reported = t.c_recoveries_reported }
+
+(* ---------------- group-id scheme ---------------- *)
+
+let gid_same e = 10_000 + e
+let gid_pod p = 20_000 + p
+let gid_ovr p e = 30_000 + (p * 256) + e
+
+(* ---------------- table programming ---------------- *)
+
+(* local stripe map at an edge: up port -> stripe label (from agg LDMs) *)
+let edge_stripe_ports t =
+  List.filter_map
+    (fun (port, (n : Ldp.neighbor)) ->
+      match (n.Ldp.nbr_level, n.Ldp.nbr_position) with
+      | Some Ldp_msg.Aggregation, Some stripe -> Some (stripe, port)
+      | _ -> None)
+    (Ldp.switch_ports (get_ldp t))
+
+let members_per_stripe t = Spec.uplinks_per_agg t.spec
+
+let install_host_entry t (h : host_entry) =
+  FT.install t.table
+    { FT.name = Printf.sprintf "host:%d" (Mac_addr.to_int (Pmac.to_mac h.h_pmac));
+      priority = 90;
+      mtch = FT.match_dst_prefix ~value:(Mac_addr.to_int (Pmac.to_mac h.h_pmac))
+               ~mask:0xFFFFFFFFFFFF;
+      actions = [ FT.Set_dst_mac h.h_amac; FT.Output h.h_port ] }
+
+let install_trap_entry t stale_pmac_int =
+  FT.install t.table
+    { FT.name = Printf.sprintf "trap:%d" stale_pmac_int;
+      priority = 90;
+      mtch = FT.match_dst_prefix ~value:stale_pmac_int ~mask:0xFFFFFFFFFFFF;
+      actions = [ FT.Punt ] }
+
+let install_mcast_entry t group ports =
+  (* the limited-broadcast "group" matches the Ethernet broadcast address
+     and must shadow the default punt-and-drop entry *)
+  let mac, priority =
+    if Ipv4_addr.is_broadcast group then (Mac_addr.broadcast, 160)
+    else (Mac_addr.multicast_of_group (Ipv4_addr.multicast_group group), 85)
+  in
+  FT.install t.table
+    { FT.name = Printf.sprintf "mcast:%d" (Ipv4_addr.to_int group);
+      priority;
+      mtch = FT.match_dst_prefix ~value:(Mac_addr.to_int mac) ~mask:0xFFFFFFFFFFFF;
+      actions = [ FT.Multi ports ] }
+
+let recompute_edge_tables t ~pod ~position =
+  let stripes = edge_stripe_ports t in
+  let u = members_per_stripe t in
+  (* broadcast frames go to the agent (which drops non-ARP broadcast) *)
+  FT.install t.table
+    { FT.name = "bcast";
+      priority = 150;
+      mtch = FT.match_dst_prefix ~value:(Mac_addr.to_int Mac_addr.broadcast) ~mask:0xFFFFFFFFFFFF;
+      actions = [ FT.Punt ] };
+  (* same-pod destinations, one entry per remote edge position *)
+  for e' = 0 to t.spec.Spec.edges_per_pod - 1 do
+    if e' <> position then begin
+      let members =
+        List.filter_map
+          (fun (stripe, port) ->
+            if
+              (not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos:position ~stripe))
+              && not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos:e' ~stripe)
+            then Some port
+            else None)
+          stripes
+      in
+      FT.set_group t.table (gid_same e') (Array.of_list members);
+      FT.install t.table
+        { FT.name = Printf.sprintf "samepod:%d" e';
+          priority = 80;
+          mtch = { FT.match_any with FT.dst_mac = Some (Pmac.position_prefix ~pod ~position:e') };
+          actions = [ FT.Group (gid_same e') ] }
+    end
+  done;
+  (* remote pods: default per-pod ECMP groups *)
+  for p' = 0 to t.spec.Spec.num_pods - 1 do
+    if p' <> pod then begin
+      let members =
+        List.filter_map
+          (fun (stripe, port) ->
+            if
+              (not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos:position ~stripe))
+              && Fault.Set.stripe_reaches_pod t.faults ~members:u ~src_pod:pod ~stripe
+                   ~dst_pod:p'
+            then Some port
+            else None)
+          stripes
+      in
+      FT.set_group t.table (gid_pod p') (Array.of_list members);
+      FT.install t.table
+        { FT.name = Printf.sprintf "pod:%d" p';
+          priority = 70;
+          mtch = { FT.match_any with FT.dst_mac = Some (Pmac.pod_prefix ~pod:p') };
+          actions = [ FT.Group (gid_pod p') ] }
+    end
+  done;
+  (* overrides for remote edge switches that lost an uplink: avoid the
+     stripe whose last hop to that edge is dead *)
+  List.iter
+    (fun fault ->
+      match fault with
+      | Fault.Edge_agg { pod = p'; edge_pos = e'; stripe = _ } when p' <> pod ->
+        let members =
+          List.filter_map
+            (fun (stripe, port) ->
+              if
+                (not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos:position ~stripe))
+                && Fault.Set.stripe_reaches_pod t.faults ~members:u ~src_pod:pod ~stripe
+                     ~dst_pod:p'
+                && not (Fault.Set.edge_agg_down t.faults ~pod:p' ~edge_pos:e' ~stripe)
+              then Some port
+              else None)
+            stripes
+        in
+        FT.set_group t.table (gid_ovr p' e') (Array.of_list members);
+        FT.install t.table
+          { FT.name = Printf.sprintf "ovr:%d:%d" p' e';
+            priority = 75;
+            mtch =
+              { FT.match_any with
+                FT.dst_mac = Some (Pmac.position_prefix ~pod:p' ~position:e') };
+            actions = [ FT.Group (gid_ovr p' e') ] }
+      | Fault.Edge_agg _ | Fault.Agg_core _ | Fault.Host_edge _ -> ())
+    (Fault.Set.elements t.faults);
+  (* local hosts and traps *)
+  Hashtbl.iter (fun _ h -> install_host_entry t h) t.pmac_to_host;
+  Hashtbl.iter (fun stale _ -> install_trap_entry t stale) t.traps
+
+let recompute_agg_tables t ~pod ~stripe =
+  let u = members_per_stripe t in
+  let ports = Ldp.switch_ports (get_ldp t) in
+  (* downward: one entry per live edge neighbor *)
+  List.iter
+    (fun (port, (n : Ldp.neighbor)) ->
+      match (n.Ldp.nbr_level, n.Ldp.nbr_position) with
+      | Some Ldp_msg.Edge, Some e' ->
+        if not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos:e' ~stripe) then
+          FT.install t.table
+            { FT.name = Printf.sprintf "down:%d" e';
+              priority = 80;
+              mtch =
+                { FT.match_any with FT.dst_mac = Some (Pmac.position_prefix ~pod ~position:e') };
+              actions = [ FT.Output port ] }
+      | _ -> ())
+    ports;
+  (* upward: per-destination-pod ECMP over this stripe's cores *)
+  let core_ports =
+    List.filter_map
+      (fun (port, (n : Ldp.neighbor)) ->
+        match (n.Ldp.nbr_level, n.Ldp.nbr_pod, n.Ldp.nbr_position) with
+        | Some Ldp_msg.Core, Some s, Some m when s = stripe -> Some (m, port)
+        | _ -> None)
+      ports
+  in
+  ignore u;
+  for p' = 0 to t.spec.Spec.num_pods - 1 do
+    if p' <> pod then begin
+      let members =
+        List.filter_map
+          (fun (m, port) ->
+            if
+              (not (Fault.Set.agg_core_down t.faults ~pod ~stripe ~member:m))
+              && not (Fault.Set.agg_core_down t.faults ~pod:p' ~stripe ~member:m)
+            then Some port
+            else None)
+          core_ports
+      in
+      FT.set_group t.table (gid_pod p') (Array.of_list members);
+      FT.install t.table
+        { FT.name = Printf.sprintf "pod:%d" p';
+          priority = 70;
+          mtch = { FT.match_any with FT.dst_mac = Some (Pmac.pod_prefix ~pod:p') };
+          actions = [ FT.Group (gid_pod p') ] }
+    end
+  done
+
+let recompute_core_tables t ~stripe ~member =
+  List.iter
+    (fun (port, (n : Ldp.neighbor)) ->
+      match (n.Ldp.nbr_level, n.Ldp.nbr_pod) with
+      | Some Ldp_msg.Aggregation, Some p ->
+        if not (Fault.Set.agg_core_down t.faults ~pod:p ~stripe ~member) then
+          FT.install t.table
+            { FT.name = Printf.sprintf "pod:%d" p;
+              priority = 70;
+              mtch = { FT.match_any with FT.dst_mac = Some (Pmac.pod_prefix ~pod:p) };
+              actions = [ FT.Output port ] }
+      | _ -> ())
+    (Ldp.switch_ports (get_ldp t))
+
+let recompute_tables t =
+  match t.coords with
+  | None -> ()
+  | Some c ->
+    t.c_table_recomputes <- t.c_table_recomputes + 1;
+    FT.clear t.table;
+    (match c with
+     | Coords.Edge { pod; position } -> recompute_edge_tables t ~pod ~position
+     | Coords.Agg { pod; stripe } -> recompute_agg_tables t ~pod ~stripe
+     | Coords.Core { stripe; member } -> recompute_core_tables t ~stripe ~member);
+    Hashtbl.iter (fun group ports -> install_mcast_entry t group ports) t.mcast;
+    t.operational <- true
+
+(* ---------------- reporting & position proposals ---------------- *)
+
+let send_report t =
+  let l = get_ldp t in
+  let neighbors =
+    List.map
+      (fun (port, (n : Ldp.neighbor)) -> (port, n.Ldp.switch_id, n.Ldp.nbr_level))
+      (Ldp.switch_ports l)
+  in
+  Ctrl.send_to_fm t.ctrl ~from:t.sw_id
+    (Msg.Neighbor_report
+       { switch_id = t.sw_id;
+         level = Ldp.level l;
+         neighbors;
+         host_ports = Ldp.host_ports l })
+
+let schedule_report t =
+  if not t.report_scheduled then begin
+    t.report_scheduled <- true;
+    ignore
+      (Engine.schedule t.engine ~delay:(Time.ms 1) (fun () ->
+           t.report_scheduled <- false;
+           send_report t))
+  end
+
+let has_agg_neighbor t =
+  List.exists
+    (fun (_, (n : Ldp.neighbor)) -> n.Ldp.nbr_level = Some Ldp_msg.Aggregation)
+    (Ldp.switch_ports (get_ldp t))
+
+let maybe_propose_position t =
+  if
+    t.coords = None
+    && level t = Some Ldp_msg.Edge
+    && (not t.proposal_outstanding)
+    && has_agg_neighbor t
+  then begin
+    t.proposal_outstanding <- true;
+    (* a report always precedes the proposal so the fabric manager can
+       place us in a pod component first *)
+    send_report t;
+    Ctrl.send_to_fm t.ctrl ~from:t.sw_id
+      (Msg.Propose_position { switch_id = t.sw_id; position = t.position_candidate })
+  end
+
+(* ---------------- edge: host learning, ARP, IGMP ---------------- *)
+
+let announce_host t (h : host_entry) ip =
+  match t.coords with
+  | Some (Coords.Edge _) ->
+    Ctrl.send_to_fm t.ctrl ~from:t.sw_id
+      (Msg.Host_announce { Msg.ip; amac = h.h_amac; pmac = h.h_pmac; edge_switch = t.sw_id })
+  | _ -> ()
+
+let learn_host t ~port ~amac ~ip =
+  match t.coords with
+  | Some (Coords.Edge { pod; position }) ->
+    let entry =
+      match Hashtbl.find_opt t.amac_to_host amac with
+      | Some h -> h
+      | None ->
+        let vmid = match Hashtbl.find_opt t.next_vmid port with Some v -> v | None -> 1 in
+        Hashtbl.replace t.next_vmid port (vmid + 1);
+        let pmac = Pmac.make ~pod ~position ~port ~vmid in
+        let h = { h_amac = amac; h_port = port; h_pmac = pmac } in
+        Hashtbl.replace t.amac_to_host amac h;
+        Hashtbl.replace t.pmac_to_host (Mac_addr.to_int (Pmac.to_mac pmac)) h;
+        t.c_hosts_learned <- t.c_hosts_learned + 1;
+        install_host_entry t h;
+        h
+    in
+    (match ip with
+     | Some ip ->
+       let known = Hashtbl.find_opt t.ip_to_pmac ip in
+       if known <> Some entry.h_pmac then begin
+         Hashtbl.replace t.ip_to_pmac ip entry.h_pmac;
+         announce_host t entry ip
+       end
+     | None -> ());
+    Some entry
+  | _ ->
+    (* no coordinates yet: remember and learn when they arrive *)
+    t.pending_learn <- (port, amac, ip) :: t.pending_learn;
+    None
+
+let flush_pending_learn t =
+  let pending = List.rev t.pending_learn in
+  t.pending_learn <- [];
+  List.iter (fun (port, amac, ip) -> ignore (learn_host t ~port ~amac ~ip)) pending
+
+let is_host_port t port = Ldp.port_state (get_ldp t) port = Ldp.Host_port
+
+let handle_arp t ~in_port (frame : Eth.t) (a : Arp.t) =
+  match t.coords with
+  | Some (Coords.Edge _) when is_host_port t in_port ->
+    let learned = learn_host t ~port:in_port ~amac:a.Arp.sender_mac ~ip:(Some a.Arp.sender_ip) in
+    if Arp.is_gratuitous a then () (* announcement: consumed *)
+    else begin
+      match (a.Arp.op, learned) with
+      | Arp.Request, Some h ->
+        t.c_arps_proxied <- t.c_arps_proxied + 1;
+        Ctrl.send_to_fm t.ctrl ~from:t.sw_id
+          (Msg.Arp_query
+             { switch_id = t.sw_id;
+               requester_ip = a.Arp.sender_ip;
+               requester_pmac = h.h_pmac;
+               requester_port = in_port;
+               target_ip = a.Arp.target_ip })
+      | Arp.Request, None -> () (* coordinates pending; host will retry *)
+      | Arp.Reply, _ -> () (* reply to a fallback flood: learning above is all we need *)
+    end
+  | None ->
+    (* no coordinates yet: remember the sender so nothing is lost *)
+    ignore (learn_host t ~port:in_port ~amac:a.Arp.sender_mac ~ip:(Some a.Arp.sender_ip))
+  | Some (Coords.Edge _) | Some (Coords.Agg _) | Some (Coords.Core _) ->
+    (* an ARP riding the fabric (e.g. a corrective gratuitous ARP headed
+       for a stale sender): forward it like any unicast frame *)
+    Switchfab.Dataplane.inject (get_dp t) ~in_port frame
+
+let handle_igmp t ~in_port (m : Igmp.t) =
+  match t.coords with
+  | Some (Coords.Edge _) when is_host_port t in_port ->
+    (match m.Igmp.op with
+     | Igmp.Join ->
+       Ctrl.send_to_fm t.ctrl ~from:t.sw_id
+         (Msg.Mcast_join { switch_id = t.sw_id; group = m.Igmp.group; port = in_port })
+     | Igmp.Leave ->
+       Ctrl.send_to_fm t.ctrl ~from:t.sw_id
+         (Msg.Mcast_leave { switch_id = t.sw_id; group = m.Igmp.group; port = in_port }))
+  | _ -> ()
+
+(* corrective gratuitous ARP to the sender of a trapped frame *)
+let send_corrective_arp t ~in_port ~to_mac (trap : trap_entry) =
+  t.c_corrective_arps <- t.c_corrective_arps + 1;
+  let reply =
+    Arp.reply
+      ~sender_mac:(Pmac.to_mac trap.t_new_pmac)
+      ~sender_ip:trap.t_ip ~target_mac:to_mac
+      ~target_ip:Ipv4_addr.(of_int 0)
+  in
+  let frame = Eth.make ~dst:to_mac ~src:(Pmac.to_mac trap.t_new_pmac) (Eth.Arp reply) in
+  (* route it like any unicast frame: through our own tables *)
+  Switchfab.Dataplane.inject (get_dp t) ~in_port frame
+
+let on_punt t ~in_port (frame : Eth.t) =
+  let dst = Mac_addr.to_int frame.Eth.dst in
+  match Hashtbl.find_opt t.traps dst with
+  | Some trap ->
+    t.c_trap_hits <- t.c_trap_hits + 1;
+    send_corrective_arp t ~in_port ~to_mac:frame.Eth.src trap;
+    if t.config.Config.forward_stale then begin
+      let fixed = { frame with Eth.dst = Pmac.to_mac trap.t_new_pmac } in
+      Switchfab.Dataplane.inject (get_dp t) ~in_port fixed
+    end
+  | None -> () (* broadcast or other punted frame: dropped *)
+
+(* ---------------- fabric-manager messages ---------------- *)
+
+let craft_arp_reply t ~target_ip ~target_pmac ~requester_ip ~requester_port =
+  match Hashtbl.find_opt t.ip_to_pmac requester_ip with
+  | None -> () (* requester vanished (migrated?) *)
+  | Some req_pmac ->
+    (match Hashtbl.find_opt t.pmac_to_host (Mac_addr.to_int (Pmac.to_mac req_pmac)) with
+     | None -> ()
+     | Some h ->
+       t.c_arps_answered <- t.c_arps_answered + 1;
+       let reply =
+         Arp.reply ~sender_mac:(Pmac.to_mac target_pmac) ~sender_ip:target_ip
+           ~target_mac:h.h_amac ~target_ip:requester_ip
+       in
+       let frame =
+         Eth.make ~dst:h.h_amac ~src:(Pmac.to_mac target_pmac) (Eth.Arp reply)
+       in
+       Switchfab.Dataplane.forward_out (get_dp t) ~out_port:requester_port frame)
+
+let emit_arp_flood t ~requester_ip ~requester_pmac ~target_ip =
+  match t.coords with
+  | Some (Coords.Edge _) ->
+    let request =
+      Arp.request ~sender_mac:(Pmac.to_mac requester_pmac) ~sender_ip:requester_ip ~target_ip
+    in
+    let frame =
+      Eth.make ~dst:Mac_addr.broadcast ~src:(Pmac.to_mac requester_pmac) (Eth.Arp request)
+    in
+    List.iter
+      (fun port -> Switchfab.Dataplane.forward_out (get_dp t) ~out_port:port frame)
+      (Ldp.host_ports (get_ldp t))
+  | _ -> ()
+
+let on_invalidate t ~ip ~old_pmac ~new_pmac =
+  let old_int = Mac_addr.to_int (Pmac.to_mac old_pmac) in
+  (match Hashtbl.find_opt t.pmac_to_host old_int with
+   | Some h ->
+     Hashtbl.remove t.amac_to_host h.h_amac;
+     Hashtbl.remove t.pmac_to_host old_int;
+     FT.remove t.table (Printf.sprintf "host:%d" old_int)
+   | None -> ());
+  (match Hashtbl.find_opt t.ip_to_pmac ip with
+   | Some p when Pmac.equal p old_pmac -> Hashtbl.remove t.ip_to_pmac ip
+   | Some _ | None -> ());
+  Hashtbl.replace t.traps old_int { t_ip = ip; t_new_pmac = new_pmac };
+  install_trap_entry t old_int;
+  (* traps outlive the longest possible stale ARP cache entry, then die *)
+  ignore
+    (Engine.schedule t.engine ~delay:(2 * t.config.Config.arp_cache_timeout) (fun () ->
+         Hashtbl.remove t.traps old_int;
+         FT.remove t.table (Printf.sprintf "trap:%d" old_int)))
+
+let on_ctrl_msg t (msg : Msg.to_switch) =
+  match msg with
+  | Msg.Assign_coords c ->
+    t.proposal_outstanding <- false;
+    t.coords <- Some c;
+    Ldp.set_coords (get_ldp t) c;
+    flush_pending_learn t;
+    recompute_tables t
+  | Msg.Position_denied { position = _ } ->
+    t.proposal_outstanding <- false;
+    t.position_candidate <- (t.position_candidate + 1) mod t.spec.Spec.edges_per_pod;
+    maybe_propose_position t
+  | Msg.Arp_answer { target_ip; target_pmac; requester_ip; requester_port } ->
+    (match target_pmac with
+     | Some pmac -> craft_arp_reply t ~target_ip ~target_pmac:pmac ~requester_ip ~requester_port
+     | None -> ())
+  | Msg.Arp_flood { requester_ip; requester_pmac; target_ip } ->
+    emit_arp_flood t ~requester_ip ~requester_pmac ~target_ip
+  | Msg.Fault_update { faults } ->
+    Fault.Set.clear t.faults;
+    List.iter (Fault.Set.add t.faults) faults;
+    recompute_tables t
+  | Msg.Invalidate_pmac { ip; old_pmac; new_pmac } -> on_invalidate t ~ip ~old_pmac ~new_pmac
+  | Msg.Resync_request ->
+    (match t.coords with
+     | Some c ->
+       Ctrl.send_to_fm t.ctrl ~from:t.sw_id
+         (Msg.Reclaim_coords { switch_id = t.sw_id; coords = c });
+       send_report t;
+       (* edge switches also re-announce every local host binding *)
+       Hashtbl.iter
+         (fun ip pmac ->
+           match Hashtbl.find_opt t.pmac_to_host (Mac_addr.to_int (Pmac.to_mac pmac)) with
+           | Some h -> announce_host t h ip
+           | None -> ())
+         t.ip_to_pmac
+     | None ->
+       (* any proposal in flight died with the old instance *)
+       t.proposal_outstanding <- false;
+       schedule_report t;
+       maybe_propose_position t)
+  | Msg.Mcast_program { group; out_ports } ->
+    if out_ports = [] then begin
+      Hashtbl.remove t.mcast group;
+      FT.remove t.table (Printf.sprintf "mcast:%d" (Ipv4_addr.to_int group))
+    end
+    else begin
+      Hashtbl.replace t.mcast group out_ports;
+      install_mcast_entry t group out_ports
+    end
+
+(* ---------------- LDP events ---------------- *)
+
+let on_ldp_event t (ev : Ldp.event) =
+  match ev with
+  | Ldp.Level_inferred _ ->
+    schedule_report t;
+    maybe_propose_position t
+  | Ldp.View_changed ->
+    schedule_report t;
+    maybe_propose_position t;
+    if t.operational then recompute_tables t
+  | Ldp.Port_dead { port; neighbor_id } ->
+    t.c_faults_reported <- t.c_faults_reported + 1;
+    Ctrl.send_to_fm t.ctrl ~from:t.sw_id
+      (Msg.Fault_notice { switch_id = t.sw_id; port; neighbor = neighbor_id });
+    (* react locally right away; the fabric manager's update follows *)
+    recompute_tables t
+  | Ldp.Port_recovered { port; neighbor_id } ->
+    t.c_recoveries_reported <- t.c_recoveries_reported + 1;
+    Ctrl.send_to_fm t.ctrl ~from:t.sw_id
+      (Msg.Recovery_notice { switch_id = t.sw_id; port; neighbor = neighbor_id });
+    recompute_tables t
+
+(* ---------------- frame handler ---------------- *)
+
+let handle_frame t in_port (frame : Eth.t) =
+  match frame.Eth.payload with
+  | Eth.Ldp msg -> Ldp.on_ldm (get_ldp t) ~port:in_port msg
+  | Eth.Arp a ->
+    Ldp.on_host_frame (get_ldp t) ~port:in_port;
+    handle_arp t ~in_port frame a
+  | Eth.Ipv4 { Ipv4_pkt.payload = Ipv4_pkt.Igmp m; _ } ->
+    Ldp.on_host_frame (get_ldp t) ~port:in_port;
+    handle_igmp t ~in_port m
+  | Eth.Ipv4 p ->
+    Ldp.on_host_frame (get_ldp t) ~port:in_port;
+    let frame =
+      (* ingress rewrite: frames entering the fabric from a host carry the
+         host's PMAC as source *)
+      if is_host_port t in_port then begin
+        ignore (learn_host t ~port:in_port ~amac:frame.Eth.src ~ip:(Some p.Ipv4_pkt.src));
+        match Hashtbl.find_opt t.amac_to_host frame.Eth.src with
+        | Some h -> { frame with Eth.src = Pmac.to_mac h.h_pmac }
+        | None -> frame
+      end
+      else frame
+    in
+    Switchfab.Dataplane.inject (get_dp t) ~in_port frame
+  | Eth.Bpdu _ -> () (* PortLand switches ignore spanning tree *)
+  | Eth.Raw _ ->
+    Ldp.on_host_frame (get_ldp t) ~port:in_port;
+    Switchfab.Dataplane.inject (get_dp t) ~in_port frame
+
+(* ---------------- lifecycle ---------------- *)
+
+let create engine config ctrl net ~spec ~device ~seed =
+  let dev = Switchfab.Net.device net device in
+  let prng = Prng.create (seed lxor (device * 7919)) in
+  let t =
+    { engine; config; ctrl; net; spec; device = dev; sw_id = device;
+      table = FT.create ();
+      dp = None; ldp = None; prng;
+      coords = None; operational = false;
+      faults = Fault.Set.create ();
+      amac_to_host = Hashtbl.create 16;
+      pmac_to_host = Hashtbl.create 16;
+      ip_to_pmac = Hashtbl.create 16;
+      next_vmid = Hashtbl.create 8;
+      traps = Hashtbl.create 4;
+      mcast = Hashtbl.create 4;
+      pending_learn = [];
+      position_candidate = 0;
+      proposal_outstanding = false;
+      report_scheduled = false;
+      c_arps_proxied = 0; c_arps_answered = 0; c_hosts_learned = 0; c_trap_hits = 0;
+      c_corrective_arps = 0; c_table_recomputes = 0; c_faults_reported = 0;
+      c_recoveries_reported = 0 }
+  in
+  t.position_candidate <- Prng.int t.prng spec.Spec.edges_per_pod;
+  FT.set_hash_salt t.table (device * 0x85EBCA6B);
+  let dp =
+    Switchfab.Dataplane.attach net ~device ~table:t.table ~miss:Switchfab.Dataplane.Miss_drop
+      ~on_punt:(fun ~in_port frame -> on_punt t ~in_port frame)
+      ()
+  in
+  t.dp <- Some dp;
+  let send ~port msg =
+    Switchfab.Net.transmit net ~node:device ~port
+      (Eth.make ~dst:Mac_addr.broadcast ~src:Mac_addr.zero (Eth.Ldp msg))
+  in
+  let ldp_inst =
+    Ldp.create engine config ~switch_id:device ~nports:(Switchfab.Net.nports dev) ~send
+      ~notify:(fun ev -> on_ldp_event t ev)
+  in
+  t.ldp <- Some ldp_inst;
+  (* the agent's own handler wraps the dataplane (multi-table semantics) *)
+  Switchfab.Net.set_handler dev (fun in_port frame -> handle_frame t in_port frame);
+  Ctrl.register_switch ctrl device (fun msg -> on_ctrl_msg t msg);
+  t
+
+let start t = Ldp.start (get_ldp t)
+
+let stop t =
+  Ldp.stop (get_ldp t);
+  Ctrl.unregister_switch t.ctrl t.sw_id

@@ -1,0 +1,58 @@
+(** Per-switch PortLand control plane.
+
+    One agent runs on every switch. It owns the switch's {!Ldp} instance,
+    talks to the fabric manager over the control network, and programs the
+    local {!Switchfab.Flow_table}. Its behaviour specializes once LDP and
+    the fabric manager have placed the switch:
+
+    - {b Edge switches} assign PMACs to hosts (one vmid counter per host
+      port), announce IP↔PMAC↔AMAC bindings to the fabric manager,
+      rewrite source AMAC→PMAC on frames entering the fabric and
+      destination PMAC→AMAC on delivery, intercept every ARP (proxying
+      who-has queries to the FM and emitting the FM's broadcast-fallback
+      floods), intercept IGMP joins/leaves, and — after a VM migrates
+      away — trap frames addressed to the stale PMAC, answering their
+      senders with corrective gratuitous ARPs.
+    - {b Aggregation switches} forward on (pod, position) prefixes
+      downward and ECMP on per-destination-pod core groups upward.
+    - {b Core switches} forward on pod prefixes.
+
+    Forwarding state is recomputed locally — from the switch's own
+    coordinates, its LDP neighbor view, and the fabric-manager-broadcast
+    fault matrix — on every relevant change; total state is O(k) plus one
+    entry per local host, per trap, and per multicast group, as the paper
+    claims. *)
+
+type t
+
+type agent_counters = {
+  arps_proxied : int;        (** who-has queries forwarded to the FM *)
+  arps_answered : int;       (** ARP replies crafted for local hosts *)
+  hosts_learned : int;
+  trap_hits : int;           (** frames caught on a stale PMAC *)
+  corrective_arps : int;
+  table_recomputes : int;
+  faults_reported : int;
+  recoveries_reported : int;
+}
+
+val create :
+  Eventsim.Engine.t -> Config.t -> Ctrl.t -> Switchfab.Net.t ->
+  spec:Topology.Multirooted.spec -> device:int -> seed:int -> t
+(** Attach an agent to a switch device. Call {!start} to begin discovery. *)
+
+val start : t -> unit
+val stop : t -> unit
+(** Stop timers and detach (used when simulating a switch crash). *)
+
+val switch_id : t -> int
+val coords : t -> Coords.t option
+val level : t -> Netcore.Ldp_msg.level option
+val table : t -> Switchfab.Flow_table.t
+val table_size : t -> int
+val counters : t -> agent_counters
+val ldp : t -> Ldp.t
+val dataplane : t -> Switchfab.Dataplane.t
+
+val is_operational : t -> bool
+(** Coordinates assigned and forwarding state installed. *)

@@ -1,0 +1,33 @@
+type t = { parent : (int, int) Hashtbl.t; rank : (int, int) Hashtbl.t }
+
+let create () = { parent = Hashtbl.create 64; rank = Hashtbl.create 64 }
+
+let rec find t x =
+  match Hashtbl.find_opt t.parent x with
+  | None ->
+    Hashtbl.replace t.parent x x;
+    x
+  | Some p when p = x -> x
+  | Some p ->
+    let root = find t p in
+    Hashtbl.replace t.parent x root;
+    root
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    let rank x = try Hashtbl.find t.rank x with Not_found -> 0 in
+    let ka = rank ra and kb = rank rb in
+    if ka < kb then Hashtbl.replace t.parent ra rb
+    else if ka > kb then Hashtbl.replace t.parent rb ra
+    else begin
+      Hashtbl.replace t.parent rb ra;
+      Hashtbl.replace t.rank ra (ka + 1)
+    end
+  end
+
+let same t a b = find t a = find t b
+
+let members t x =
+  let root = find t x in
+  Hashtbl.fold (fun k _ acc -> if find t k = root then k :: acc else acc) t.parent []

@@ -1,0 +1,21 @@
+(** Union-find over integer keys (hashtable-backed, path-halving).
+
+    The fabric manager uses one instance to group edge and aggregation
+    switches into pods (components of the edge–agg adjacency) and another
+    to group aggregation and core switches into stripes (components of the
+    agg–core adjacency). *)
+
+type t
+
+val create : unit -> t
+
+val find : t -> int -> int
+(** Representative of the key's component (a key is its own component
+    until unioned). *)
+
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool
+
+val members : t -> int -> int list
+(** All keys ever seen that share the given key's component. *)

@@ -1,0 +1,1 @@
+lib/harness/exp_ablation.ml: Array Eventsim Format Hashtbl List Netcore Portland Printf Prng Render Switchfab Time Topology Transport

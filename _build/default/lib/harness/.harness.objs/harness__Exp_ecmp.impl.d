@@ -1,0 +1,1 @@
+lib/harness/exp_ecmp.ml: Array Baselines Eventsim Format List Portland Printf Prng Render Switchfab Time Topology Transport Workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_fm_cpu.ml: Array Eventsim Format List Netcore Portland Printf Render Topology Unix

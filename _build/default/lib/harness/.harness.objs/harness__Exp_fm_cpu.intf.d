@@ -1,0 +1,1 @@
+lib/harness/exp_fm_cpu.mli: Format

@@ -1,0 +1,1 @@
+lib/harness/exp_fm_load.ml: Eventsim Format List Portland Render Time Topology

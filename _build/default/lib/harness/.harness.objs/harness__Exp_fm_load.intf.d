@@ -1,0 +1,1 @@
+lib/harness/exp_fm_load.mli: Format

@@ -1,0 +1,1 @@
+lib/harness/exp_migration.ml: Array Eventsim Format List Portland Printf Render Stats Time Transport

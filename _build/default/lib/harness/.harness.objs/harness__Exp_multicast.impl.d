@@ -1,0 +1,1 @@
+lib/harness/exp_multicast.ml: Eventsim Format List Netcore Portland Printf Render Time Transport

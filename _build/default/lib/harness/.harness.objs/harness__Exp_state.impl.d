@@ -1,0 +1,1 @@
+lib/harness/exp_state.ml: Array Baselines Eventsim Format List Netcore Portland Prng Render Time Topology

@@ -1,0 +1,1 @@
+lib/harness/exp_table1.ml: Array Baselines Engine Eventsim Exp_udp_convergence Format List Netcore Portland Printf Prng Render Switchfab Time Topology Transport

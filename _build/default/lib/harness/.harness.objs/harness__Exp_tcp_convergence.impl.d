@@ -1,0 +1,1 @@
+lib/harness/exp_tcp_convergence.ml: Array Eventsim Format List Netcore Portland Printf Render Stats Time Transport

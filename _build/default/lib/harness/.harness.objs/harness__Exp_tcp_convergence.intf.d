@@ -1,0 +1,1 @@
+lib/harness/exp_tcp_convergence.mli: Format

@@ -1,0 +1,1 @@
+lib/harness/exp_udp_convergence.ml: Array Eventsim Format List Netcore Portland Printf Prng Render Time Topology Transport Workloads

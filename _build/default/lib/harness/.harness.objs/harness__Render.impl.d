@@ -1,0 +1,1 @@
+lib/harness/render.ml: Array Eventsim Format List Printf String

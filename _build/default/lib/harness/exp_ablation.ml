@@ -1,0 +1,159 @@
+open Eventsim
+
+type result = {
+  timeout_sweep : (float * float) list;
+  flows_traced : int;
+  cores_with_salt : int;
+  cores_without_salt : int;
+  total_cores : int;
+  loss_sweep : (float * int * int * bool) list;
+}
+
+(* single-failure convergence under a custom LDM timeout *)
+let convergence_with_timeout ~seed ~timeout =
+  let config = { Portland.Config.default with Portland.Config.ldm_timeout = timeout } in
+  let fab = Portland.Fabric.create_fattree ~config ~seed ~k:4 () in
+  if not (Portland.Fabric.await_convergence fab) then None
+  else begin
+    let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+    let dst = Portland.Fabric.host fab ~pod:3 ~edge:1 ~slot:1 in
+    let mux = Transport.Port_mux.attach dst in
+    let rx = Transport.Udp_flow.Receiver.attach (Portland.Fabric.engine fab) mux ~flow_id:3 () in
+    let tx =
+      Transport.Udp_flow.Sender.start (Portland.Fabric.engine fab) src
+        ~dst:(Portland.Host_agent.ip dst) ~flow_id:3 ~rate_pps:2000 ()
+    in
+    Portland.Fabric.run_for fab (Time.ms 200);
+    let phase = Prng.create seed in
+    Portland.Fabric.run_for fab (Prng.int phase config.Portland.Config.ldm_period);
+    let probe =
+      Netcore.Ipv4_pkt.Udp (Netcore.Udp.make ~flow_id:3 ~app_seq:0 ~payload_len:1000 ())
+    in
+    match Portland.Fabric.trace_route fab ~src ~dst_ip:(Portland.Host_agent.ip dst) probe with
+    | Ok (_ :: a :: b :: _) ->
+      let fail_at = Portland.Fabric.now fab in
+      ignore (Portland.Fabric.fail_link_between fab ~a ~b);
+      Portland.Fabric.run_for fab ((2 * timeout) + Time.ms 100);
+      Transport.Udp_flow.Sender.stop tx;
+      (match Transport.Udp_flow.Receiver.max_gap rx ~after:(fail_at - Time.ms 5) with
+       | Some (_, gap) -> Some (Time.to_ms_f gap)
+       | None -> None)
+    | Ok _ | Error _ -> None
+  end
+
+(* distinct cores reached by a set of flows between two fixed hosts *)
+let count_cores fab ~flows =
+  let mt = Portland.Fabric.tree fab in
+  let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let dst = Portland.Fabric.host fab ~pod:3 ~edge:0 ~slot:0 in
+  let cores = Hashtbl.create 8 in
+  for sport = 1000 to 1000 + flows - 1 do
+    let probe =
+      Netcore.Ipv4_pkt.Udp
+        (Netcore.Udp.make ~src_port:sport ~flow_id:1 ~app_seq:0 ~payload_len:64 ())
+    in
+    match Portland.Fabric.trace_route fab ~src ~dst_ip:(Portland.Host_agent.ip dst) probe with
+    | Ok path ->
+      List.iter
+        (fun dev ->
+          if Array.exists (fun c -> c = dev) mt.Topology.Multirooted.cores then
+            Hashtbl.replace cores dev ())
+        path
+    | Error _ -> ()
+  done;
+  Hashtbl.length cores
+
+(* false fault notices under random frame loss, no real failures *)
+let detector_under_loss ~seed ~loss_rate =
+  let link_params = { Switchfab.Net.default_link_params with Switchfab.Net.loss_rate } in
+  let fab = Portland.Fabric.create_fattree ~link_params ~seed ~k:4 () in
+  if not (Portland.Fabric.await_convergence ~timeout:(Time.sec 10) fab) then
+    (0, 0, false)
+  else begin
+    let fm = Portland.Fabric.fabric_manager fab in
+    let before = (Portland.Fabric_manager.counters fm).Portland.Fabric_manager.fault_notices in
+    Portland.Fabric.run_for fab (Time.sec 2);
+    let after = Portland.Fabric_manager.counters fm in
+    let notices = after.Portland.Fabric_manager.fault_notices - before in
+    let recoveries =
+      List.fold_left
+        (fun acc a -> acc + (Portland.Switch_agent.counters a).Portland.Switch_agent.recoveries_reported)
+        0 (Portland.Fabric.agents fab)
+    in
+    (* connectivity probe across pods *)
+    let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+    let dst = Portland.Fabric.host fab ~pod:3 ~edge:1 ~slot:1 in
+    let got = ref 0 in
+    Portland.Host_agent.set_rx dst (fun _ -> incr got);
+    let ok = ref false in
+    for i = 0 to 4 do
+      if not !ok then begin
+        Portland.Host_agent.send_ip src ~dst:(Portland.Host_agent.ip dst)
+          (Netcore.Ipv4_pkt.Udp (Netcore.Udp.make ~flow_id:2 ~app_seq:i ~payload_len:64 ()));
+        Portland.Fabric.run_for fab (Time.ms 100);
+        if !got > 0 then ok := true
+      end
+    done;
+    (notices, recoveries, !ok)
+  end
+
+let run ?(quick = false) ?(seed = 42) () =
+  let timeouts =
+    if quick then [ Time.ms 20; Time.ms 50 ] else [ Time.ms 20; Time.ms 50; Time.ms 100; Time.ms 200 ]
+  in
+  let timeout_sweep =
+    List.filter_map
+      (fun timeout ->
+        match convergence_with_timeout ~seed ~timeout with
+        | Some ms -> Some (Time.to_ms_f timeout, ms)
+        | None -> None)
+      timeouts
+  in
+  let flows = 64 in
+  let fab = Portland.Fabric.create_fattree ~seed ~k:4 () in
+  assert (Portland.Fabric.await_convergence fab);
+  let with_salt = count_cores fab ~flows in
+  (* zero every switch's selector salt: all switches hash identically *)
+  List.iter
+    (fun agent -> Switchfab.Flow_table.set_hash_salt (Portland.Switch_agent.table agent) 0)
+    (Portland.Fabric.agents fab);
+  let without_salt = count_cores fab ~flows in
+  let loss_rates = if quick then [ 0.0; 0.3 ] else [ 0.0; 0.05; 0.15; 0.3; 0.5 ] in
+  let loss_sweep =
+    List.map
+      (fun rate ->
+        let notices, recoveries, ok = detector_under_loss ~seed ~loss_rate:rate in
+        (rate, notices, recoveries, ok))
+      loss_rates
+  in
+  { timeout_sweep;
+    flows_traced = flows;
+    cores_with_salt = with_salt;
+    cores_without_salt = without_salt;
+    total_cores = 4;
+    loss_sweep }
+
+let print fmt r =
+  Render.heading fmt "Ablations: detection timeout; per-switch ECMP hash salting";
+  Format.fprintf fmt "Convergence tracks the missed-LDM timeout (k=4, single failure):@.";
+  Render.table fmt ~header:[ "LDM timeout (ms)"; "measured convergence (ms)" ]
+    ~rows:(List.map (fun (t, c) -> [ Render.f1 t; Render.f1 c ]) r.timeout_sweep);
+  Format.fprintf fmt
+    "@.Path diversity across %d flows between one host pair (k=4, %d cores):@." r.flows_traced
+    r.total_cores;
+  Render.table fmt ~header:[ "ECMP hashing"; "distinct cores used" ]
+    ~rows:
+      [ [ "per-switch salted (default)"; string_of_int r.cores_with_salt ];
+        [ "identical on every switch"; string_of_int r.cores_without_salt ] ];
+  Format.fprintf fmt
+    "@.Failure detector under random frame loss (2 s window, no real failures, 50 ms timeout):@.";
+  Render.table fmt
+    ~header:[ "frame loss"; "false fault notices"; "recoveries"; "ping (5 tries, lossy)" ]
+    ~rows:
+      (List.map
+         (fun (rate, notices, recoveries, ok) ->
+           [ Printf.sprintf "%.0f%%" (rate *. 100.0);
+             string_of_int notices;
+             string_of_int recoveries;
+             (if ok then "intact" else "BROKEN") ])
+         r.loss_sweep)

@@ -1,0 +1,36 @@
+(** Experiment E10 — ablations of two design choices DESIGN.md calls out.
+
+    {b Detection timeout.} PortLand's convergence is bounded by the
+    missed-LDM timeout, not by topology: sweeping the timeout should move
+    measured convergence one-for-one (plus sub-period detection phase and
+    control/recompute costs). This quantifies the paper's implicit
+    trade-off between detection latency and false-positive robustness.
+
+    {b Per-switch ECMP hash salting.} Switches hashing flows identically
+    make correlated up-path choices: on a k=4 fat tree only 2 of 4 cores
+    are ever used. Salting each switch's selector decorrelates the
+    choices and restores full path diversity. (Found by this repository's
+    own test suite; real fabrics seed per-switch hash functions for the
+    same reason.)
+
+    {b Detector robustness under frame loss.} LDM beacons ride the data
+    links, so random frame loss can fake a failure: the 50 ms timeout
+    tolerates four consecutive lost beacons. Sweeping the loss rate with
+    {e no} real failures counts false fault notices (and the matching
+    recoveries when beacons resume) — the other side of the
+    detection-latency trade-off. *)
+
+type result = {
+  timeout_sweep : (float * float) list;  (** (timeout ms, measured convergence ms) *)
+  flows_traced : int;
+  cores_with_salt : int;
+  cores_without_salt : int;
+  total_cores : int;
+  loss_sweep : (float * int * int * bool) list;
+      (** (frame loss rate, false fault notices, recovery notices,
+          connectivity intact) over a 2 s window with no real failures —
+          the failure detector's robustness/latency trade-off *)
+}
+
+val run : ?quick:bool -> ?seed:int -> unit -> result
+val print : Format.formatter -> result -> unit

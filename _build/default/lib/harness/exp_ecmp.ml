@@ -1,0 +1,92 @@
+open Eventsim
+
+type side = { label : string; delivered_mb : float; goodput_gbps : float; queue_drops : int }
+
+type result = {
+  k : int;
+  flows : int;
+  per_flow_mbps : float;
+  duration_ms : float;
+  portland : side;
+  ethernet_stp : side;
+  speedup : float;
+}
+
+(* run a random-permutation UDP workload over abstract host handles *)
+let run_workload ~engine ~net ~label ~hosts ~rate_pps ~payload_len ~duration ~seed ~run_for =
+  let prng = Prng.create seed in
+  let pairs = Workloads.Traffic.random_permutation prng hosts in
+  let receivers =
+    List.mapi
+      (fun i (_, dst) ->
+        let mux = Transport.Port_mux.attach dst in
+        Transport.Udp_flow.Receiver.attach engine mux ~flow_id:i ())
+      pairs
+  in
+  let senders =
+    List.mapi
+      (fun i (src, dst) ->
+        Transport.Udp_flow.Sender.start engine src ~dst:(Portland.Host_agent.ip dst) ~flow_id:i
+          ~rate_pps ~payload_len ())
+      pairs
+  in
+  run_for duration;
+  List.iter Transport.Udp_flow.Sender.stop senders;
+  run_for (Time.ms 20);
+  let delivered_pkts =
+    List.fold_left (fun acc rx -> acc + Transport.Udp_flow.Receiver.received rx) 0 receivers
+  in
+  let bytes = delivered_pkts * payload_len in
+  let drops = (Switchfab.Net.total_counters net).Switchfab.Net.queue_drops in
+  { label;
+    delivered_mb = float_of_int bytes /. 1e6;
+    goodput_gbps = float_of_int bytes *. 8.0 /. Time.to_sec_f duration /. 1e9;
+    queue_drops = drops }
+
+let run ?(quick = false) ?(seed = 42) () =
+  let k = 4 in
+  let payload_len = 1000 in
+  let rate_pps = if quick then 40_000 else 62_500 in
+  let duration = if quick then Time.ms 200 else Time.ms 500 in
+  (* PortLand side *)
+  let pl =
+    let fab = Portland.Fabric.create_fattree ~seed ~k () in
+    assert (Portland.Fabric.await_convergence fab);
+    let hosts = Array.of_list (Portland.Fabric.hosts fab) in
+    run_workload ~engine:(Portland.Fabric.engine fab) ~net:(Portland.Fabric.net fab)
+      ~label:"PortLand (ECMP over all paths)" ~hosts ~rate_pps ~payload_len ~duration ~seed
+      ~run_for:(Portland.Fabric.run_for fab)
+  in
+  (* Ethernet + spanning tree side *)
+  let eth =
+    let fab = Baselines.Ethernet_fabric.create_fattree ~stp:true ~k () in
+    assert (Baselines.Ethernet_fabric.await_stp_convergence fab);
+    let hosts = Array.of_list (Baselines.Ethernet_fabric.hosts fab) in
+    run_workload ~engine:(Baselines.Ethernet_fabric.engine fab)
+      ~net:(Baselines.Ethernet_fabric.net fab) ~label:"Flat L2 (single spanning tree)" ~hosts
+      ~rate_pps ~payload_len ~duration ~seed
+      ~run_for:(Baselines.Ethernet_fabric.run_for fab)
+  in
+  let flows = Topology.Fattree.num_hosts ~k in
+  { k;
+    flows;
+    per_flow_mbps = float_of_int (rate_pps * payload_len * 8) /. 1e6;
+    duration_ms = Time.to_ms_f duration;
+    portland = pl;
+    ethernet_stp = eth;
+    speedup = (if eth.goodput_gbps > 0.0 then pl.goodput_gbps /. eth.goodput_gbps else 0.0) }
+
+let print fmt r =
+  Render.heading fmt
+    (Printf.sprintf
+       "Multipath ablation: random permutation, %d flows x %.0f Mb/s offered, k=%d" r.flows
+       r.per_flow_mbps r.k);
+  Render.table fmt
+    ~header:[ "fabric"; "delivered (MB)"; "aggregate goodput (Gb/s)"; "queue drops" ]
+    ~rows:
+      (List.map
+         (fun s ->
+           [ s.label; Render.f2 s.delivered_mb; Render.f2 s.goodput_gbps;
+             string_of_int s.queue_drops ])
+         [ r.portland; r.ethernet_stp ]);
+  Format.fprintf fmt "@.PortLand / spanning-tree goodput ratio: %.2fx@." r.speedup

@@ -1,0 +1,23 @@
+(** Experiment E9 (ablation) — multipath spreading vs. a single tree.
+
+    PortLand's loop-free up/down forwarding lets it hash flows across all
+    equal-cost paths, while conventional layer 2 must disable all but a
+    spanning tree's worth of links. Identical random-permutation UDP
+    workloads run on both fabrics; the aggregate goodput ratio shows what
+    ECMP buys on a fat tree (ideally the full bisection, vs. the tree's
+    single-root bottleneck). *)
+
+type side = { label : string; delivered_mb : float; goodput_gbps : float; queue_drops : int }
+
+type result = {
+  k : int;
+  flows : int;
+  per_flow_mbps : float;
+  duration_ms : float;
+  portland : side;
+  ethernet_stp : side;
+  speedup : float;
+}
+
+val run : ?quick:bool -> ?seed:int -> unit -> result
+val print : Format.formatter -> result -> unit

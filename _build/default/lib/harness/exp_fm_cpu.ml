@@ -1,0 +1,101 @@
+type result = {
+  bindings : int;
+  ns_per_arp : float;
+  arps_per_sec_per_core : float;
+  projections : (float * float) list;
+}
+
+let build_fm ~bindings =
+  let engine = Eventsim.Engine.create () in
+  let ctrl = Portland.Ctrl.create engine ~latency:(Eventsim.Time.us 50) in
+  let spec = Topology.Fattree.spec ~k:48 in
+  let fm = Portland.Fabric_manager.create engine Portland.Config.default ctrl ~spec in
+  let ips = Array.make bindings (Netcore.Ipv4_addr.of_int 0) in
+  for i = 0 to bindings - 1 do
+    let ip = Netcore.Ipv4_addr.of_int (0x0A000000 lor i) in
+    ips.(i) <- ip;
+    let pmac =
+      Portland.Pmac.make ~pod:(i mod 48) ~position:(i mod 24) ~port:(i mod 24)
+        ~vmid:(1 + (i mod 1000))
+    in
+    Portland.Fabric_manager.insert_binding_for_test fm
+      { Portland.Msg.ip; amac = Netcore.Mac_addr.of_int (0x020000000000 lor i); pmac;
+        edge_switch = i mod 1000 }
+  done;
+  (fm, ips)
+
+let measured_ns_per_arp ?(bindings = 100_000) () =
+  let fm, ips = build_fm ~bindings in
+  let n = Array.length ips in
+  (* warm up *)
+  for i = 0 to 99_999 do
+    ignore (Portland.Fabric_manager.resolve fm ips.(i mod n))
+  done;
+  let iters = 2_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to iters - 1 do
+    ignore (Portland.Fabric_manager.resolve fm ips.(i mod n))
+  done;
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0) *. 1e9 /. float_of_int iters
+
+(* the full control path: query message in, dispatch, lookup, answer
+   message out — what a fabric-manager core actually executes per ARP *)
+let measured_ns_per_arp_full ?(bindings = 100_000) () =
+  let engine = Eventsim.Engine.create () in
+  let config = { Portland.Config.default with Portland.Config.fm_arp_service_time = 0 } in
+  let ctrl = Portland.Ctrl.create engine ~latency:(Eventsim.Time.ns 1) in
+  let spec = Topology.Fattree.spec ~k:48 in
+  let fm = Portland.Fabric_manager.create engine config ctrl ~spec in
+  let ips = Array.make bindings (Netcore.Ipv4_addr.of_int 0) in
+  for i = 0 to bindings - 1 do
+    let ip = Netcore.Ipv4_addr.of_int (0x0A000000 lor i) in
+    ips.(i) <- ip;
+    let pmac =
+      Portland.Pmac.make ~pod:(i mod 48) ~position:(i mod 24) ~port:(i mod 24)
+        ~vmid:(1 + (i mod 1000))
+    in
+    Portland.Fabric_manager.insert_binding_for_test fm
+      { Portland.Msg.ip; amac = Netcore.Mac_addr.of_int (0x020000000000 lor i); pmac;
+        edge_switch = i mod 1000 }
+  done;
+  let answered = ref 0 in
+  Portland.Ctrl.register_switch ctrl 0 (fun _ -> incr answered);
+  let requester_pmac = Portland.Pmac.make ~pod:0 ~position:0 ~port:0 ~vmid:1 in
+  let iters = 200_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to iters - 1 do
+    Portland.Ctrl.send_to_fm ctrl ~from:0
+      (Portland.Msg.Arp_query
+         { switch_id = 0;
+           requester_ip = ips.(i mod bindings);
+           requester_pmac;
+           requester_port = 0;
+           target_ip = ips.((i * 7) mod bindings) });
+    Eventsim.Engine.run engine
+  done;
+  let t1 = Unix.gettimeofday () in
+  assert (!answered = iters);
+  (t1 -. t0) *. 1e9 /. float_of_int iters
+
+let run ?(quick = false) ?seed:_ () =
+  let bindings = if quick then 10_000 else 100_000 in
+  let ns = measured_ns_per_arp_full ~bindings () in
+  let per_core = 1e9 /. ns in
+  let rates = [ 1e4; 5e4; 1e5; 2.5e5; 5e5; 1e6 ] in
+  { bindings;
+    ns_per_arp = ns;
+    arps_per_sec_per_core = per_core;
+    projections = List.map (fun r -> (r, r /. per_core)) rates }
+
+let print fmt r =
+  Render.heading fmt "Fabric manager CPU requirements for ARP service";
+  Format.fprintf fmt
+    "Measured on this machine with %d IP->PMAC bindings: %.0f ns per ARP request through the \
+     full control path (%.0f ARPs/s per core).@.@."
+    r.bindings r.ns_per_arp r.arps_per_sec_per_core;
+  Render.table fmt ~header:[ "aggregate ARPs/s"; "cores needed" ]
+    ~rows:
+      (List.map
+         (fun (rate, cores) -> [ Printf.sprintf "%.0f" rate; Render.f2 cores ])
+         r.projections)

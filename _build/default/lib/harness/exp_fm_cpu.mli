@@ -1,0 +1,28 @@
+(** Experiment E7 — "CPU requirements for ARP requests".
+
+    The paper measures the fabric manager's per-ARP service cost and
+    projects how many CPU cores a deployment needs at a given aggregate
+    ARP rate. Reproduced by timing this implementation's
+    [Fabric_manager.resolve] over a table pre-populated with bindings for
+    a large fabric, then projecting cores = rate × per-ARP seconds.
+    (The Bechamel benchmark in [bench/main.ml] measures the same path
+    with statistical rigor; this experiment uses a simple timing loop so
+    the experiments binary stays self-contained.) *)
+
+type result = {
+  bindings : int;             (** table size during measurement *)
+  ns_per_arp : float;         (** measured wall-clock cost per lookup *)
+  arps_per_sec_per_core : float;
+  projections : (float * float) list;  (** (ARPs/s, cores needed) *)
+}
+
+val run : ?quick:bool -> ?seed:int -> unit -> result
+val print : Format.formatter -> result -> unit
+
+val measured_ns_per_arp : ?bindings:int -> unit -> float
+(** Cost of the bare IP→PMAC lookup, exposed for reuse. *)
+
+val measured_ns_per_arp_full : ?bindings:int -> unit -> float
+(** Cost of the full control path per ARP: query message delivery,
+    dispatch, lookup, answer message delivery — what {!run} projects
+    cores from. *)

@@ -1,0 +1,90 @@
+open Eventsim
+
+type model_row = {
+  k : int;
+  hosts : int;
+  arps_per_sec_1pct : float;
+  arps_per_sec_10pct : float;
+  arps_per_sec_100pct : float;
+}
+
+type measured_row = {
+  mk : int;
+  switches : int;
+  boot_msgs_to_fm : int;
+  boot_msgs_to_switches : int;
+  boot_bytes : int;
+  steady_msgs_per_sec : float;
+}
+
+type result = {
+  flows_per_host_per_sec : int;
+  model : model_row list;
+  measured : measured_row list;
+}
+
+let flows_per_host_per_sec = 25
+
+let model_row k =
+  let hosts = Topology.Fattree.num_hosts ~k in
+  let base = float_of_int (hosts * flows_per_host_per_sec) in
+  { k;
+    hosts;
+    arps_per_sec_1pct = base *. 0.01;
+    arps_per_sec_10pct = base *. 0.10;
+    arps_per_sec_100pct = base }
+
+let measure k seed =
+  let fab = Portland.Fabric.create_fattree ~seed ~k () in
+  assert (Portland.Fabric.await_convergence fab);
+  let ctrl = Portland.Fabric.ctrl fab in
+  let boot_to_fm = Portland.Ctrl.to_fm_count ctrl in
+  let boot_to_sw = Portland.Ctrl.to_switch_count ctrl in
+  let boot_bytes = Portland.Ctrl.to_fm_bytes ctrl + Portland.Ctrl.to_switch_bytes ctrl in
+  let window = Time.sec 1 in
+  Portland.Fabric.run_for fab window;
+  let steady =
+    Portland.Ctrl.to_fm_count ctrl + Portland.Ctrl.to_switch_count ctrl - boot_to_fm - boot_to_sw
+  in
+  { mk = k;
+    switches = Topology.Fattree.num_switches ~k;
+    boot_msgs_to_fm = boot_to_fm;
+    boot_msgs_to_switches = boot_to_sw;
+    boot_bytes;
+    steady_msgs_per_sec = float_of_int steady /. Time.to_sec_f window }
+
+let run ?(quick = false) ?(seed = 42) () =
+  let model = List.map model_row (if quick then [ 8; 16 ] else [ 8; 16; 24; 32; 48 ]) in
+  let measured = List.map (fun k -> measure k seed) (if quick then [ 4 ] else [ 4; 6; 8 ]) in
+  { flows_per_host_per_sec; model; measured }
+
+let print fmt r =
+  Render.heading fmt "Fabric manager control traffic";
+  Format.fprintf fmt "Modelled ARP load (%d new flows/host/s; columns = ARP-cache miss fraction):@."
+    r.flows_per_host_per_sec;
+  Render.table fmt
+    ~header:[ "k"; "hosts"; "ARPs/s @1%"; "ARPs/s @10%"; "ARPs/s @100%" ]
+    ~rows:
+      (List.map
+         (fun m ->
+           [ string_of_int m.k;
+             string_of_int m.hosts;
+             Render.f1 m.arps_per_sec_1pct;
+             Render.f1 m.arps_per_sec_10pct;
+             Render.f1 m.arps_per_sec_100pct ])
+         r.model);
+  Format.fprintf fmt "@.Measured control-network traffic (simulated fabrics):@.";
+  Render.table fmt
+    ~header:
+      [ "k"; "switches"; "boot msgs -> FM"; "boot msgs -> switches"; "boot wire bytes";
+        "steady msgs/s" ]
+    ~rows:
+      (List.map
+         (fun m ->
+           [ string_of_int m.mk;
+             string_of_int m.switches;
+             string_of_int m.boot_msgs_to_fm;
+             string_of_int m.boot_msgs_to_switches;
+             string_of_int m.boot_bytes;
+             Render.f1 m.steady_msgs_per_sec ])
+         r.measured)

@@ -1,0 +1,87 @@
+open Eventsim
+
+type mode_result = {
+  forward_stale : bool;
+  outage_ms : float;
+  timeouts : int;
+  delivered_after_mb : float;
+  trace : (float * float) list;
+}
+
+type result = {
+  k : int;
+  downtime_ms : float;
+  migrate_at_ms : float;
+  modes : mode_result list;
+}
+
+let longest_stall pts ~after =
+  let best = ref 0 in
+  for i = 1 to Array.length pts - 1 do
+    let t0, _ = pts.(i - 1) and t1, _ = pts.(i) in
+    if t0 >= after && t1 - t0 > !best then best := t1 - t0
+  done;
+  !best
+
+let one_mode ~seed ~quick ~forward_stale ~downtime =
+  let k = 4 in
+  let config = { Portland.Config.default with Portland.Config.forward_stale } in
+  let fab = Portland.Fabric.create_fattree ~config ~seed ~k ~spare_slots:[ (2, 0, 0) ] () in
+  assert (Portland.Fabric.await_convergence fab);
+  let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let vm = Portland.Fabric.host fab ~pod:3 ~edge:1 ~slot:1 in
+  let m_src = Transport.Port_mux.attach src in
+  let m_vm = Transport.Port_mux.attach vm in
+  let conn = Transport.Tcp.connect (Portland.Fabric.engine fab) ~src:m_src ~dst:m_vm () in
+  Portland.Fabric.run_for fab (if quick then Time.ms 300 else Time.sec 1);
+  let migrate_at = Portland.Fabric.now fab in
+  Portland.Fabric.migrate fab ~vm ~to_:(2, 0, 0) ~downtime ();
+  let before = (Transport.Tcp.stats conn).Transport.Tcp.bytes_delivered in
+  Portland.Fabric.run_for fab (if quick then Time.sec 2 else Time.sec 3);
+  let stats = Transport.Tcp.stats conn in
+  Transport.Tcp.stop conn;
+  let pts = Stats.Series.points (Transport.Tcp.delivery_trace conn) in
+  let trace =
+    Array.to_list pts
+    |> List.filter (fun (t, _) -> t >= migrate_at - Time.ms 100 && t <= migrate_at + Time.sec 2)
+    |> List.filteri (fun i _ -> i mod 50 = 0)
+    |> List.map (fun (t, v) -> (Time.to_ms_f t, v /. 1e6))
+  in
+  ( migrate_at,
+    { forward_stale;
+      outage_ms = float_of_int (longest_stall pts ~after:(migrate_at - Time.ms 5)) /. 1e6;
+      timeouts = stats.Transport.Tcp.timeouts;
+      delivered_after_mb = float_of_int (stats.Transport.Tcp.bytes_delivered - before) /. 1e6;
+      trace } )
+
+let run ?(quick = false) ?(seed = 42) () =
+  let downtime = Time.ms 200 in
+  let at1, m1 = one_mode ~seed ~quick ~forward_stale:false ~downtime in
+  let _, m2 = one_mode ~seed ~quick ~forward_stale:true ~downtime in
+  { k = 4;
+    downtime_ms = Time.to_ms_f downtime;
+    migrate_at_ms = Time.to_ms_f at1;
+    modes = [ m1; m2 ] }
+
+let print fmt r =
+  Render.heading fmt
+    (Printf.sprintf
+       "TCP flow during VM migration (k=%d, pod 3 -> pod 2, %.0f ms downtime, at %.0f ms)" r.k
+       r.downtime_ms r.migrate_at_ms);
+  Render.table fmt
+    ~header:[ "mode"; "flow outage (ms)"; "RTOs"; "delivered after (MB)" ]
+    ~rows:
+      (List.map
+         (fun m ->
+           [ (if m.forward_stale then "forward-stale (optimization)" else "drop-stale (paper)");
+             Render.f1 m.outage_ms;
+             string_of_int m.timeouts;
+             Render.f2 m.delivered_after_mb ])
+         r.modes);
+  List.iter
+    (fun m ->
+      Format.fprintf fmt "@.Delivery trace (%s):@."
+        (if m.forward_stale then "forward-stale" else "drop-stale");
+      Render.series fmt ~title:"(downsampled)" ~x_label:"time (ms)" ~y_label:"MB delivered"
+        m.trace)
+    r.modes

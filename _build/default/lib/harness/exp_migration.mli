@@ -1,0 +1,31 @@
+(** Experiment E5 — "TCP flow during VM migration".
+
+    A long-lived TCP flow targets a VM that live-migrates to another pod
+    (the machine disappears, stays down for the migration downtime, then
+    resumes at a new edge switch and sends a gratuitous ARP). The fabric
+    manager updates the IP→PMAC mapping and invalidates the old one; the
+    previous edge switch traps packets still addressed to the stale PMAC
+    and unicasts corrective gratuitous ARPs to their senders. The flow
+    resumes after the downtime plus a few RTO backoffs.
+
+    Run both with the paper's behaviour (trapped packets dropped) and the
+    paper's suggested optimization (trapped packets forwarded to the new
+    PMAC), which removes one RTO round. *)
+
+type mode_result = {
+  forward_stale : bool;
+  outage_ms : float;
+  timeouts : int;
+  delivered_after_mb : float;
+  trace : (float * float) list;  (** (time ms, MB delivered) around migration *)
+}
+
+type result = {
+  k : int;
+  downtime_ms : float;
+  migrate_at_ms : float;
+  modes : mode_result list;
+}
+
+val run : ?quick:bool -> ?seed:int -> unit -> result
+val print : Format.formatter -> result -> unit

@@ -1,0 +1,110 @@
+open Eventsim
+
+type outage = { receiver : string; failure : int; gap_ms : float; lost : int }
+
+type result = {
+  k : int;
+  group : string;
+  rate_pps : int;
+  initial_core : int option;
+  core_after_first : int option;
+  core_after_second : int option;
+  outages : outage list;
+}
+
+let find_agg fab ~pod ~stripe =
+  List.find_opt
+    (fun a ->
+      match Portland.Switch_agent.coords a with
+      | Some (Portland.Coords.Agg c) -> c.pod = pod && c.stripe = stripe
+      | _ -> false)
+    (Portland.Fabric.agents fab)
+
+(* fail the current tree's core<->agg link into the given receiver pod *)
+let fail_tree_link fab group ~pod =
+  let fm = Portland.Fabric.fabric_manager fab in
+  match Portland.Fabric_manager.group_core fm group with
+  | None -> false
+  | Some core_dev ->
+    (match Portland.Fabric_manager.switch_coords fm core_dev with
+     | Some (Portland.Coords.Core { stripe; _ }) ->
+       (match find_agg fab ~pod ~stripe with
+        | Some agg ->
+          Portland.Fabric.fail_link_between fab ~a:core_dev
+            ~b:(Portland.Switch_agent.switch_id agg)
+        | None -> false)
+     | _ -> false)
+
+let run ?(quick = false) ?(seed = 42) () =
+  let k = 4 in
+  let fab = Portland.Fabric.create_fattree ~seed ~k () in
+  assert (Portland.Fabric.await_convergence fab);
+  let group = Netcore.Ipv4_addr.of_string_exn "230.1.1.1" in
+  let sender = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let receiver_positions = [ ("pod1", (1, 0, 0)); ("pod2", (2, 1, 0)); ("pod3", (3, 0, 1)) ] in
+  let receivers =
+    List.map
+      (fun (name, (p, e, s)) ->
+        let h = Portland.Fabric.host fab ~pod:p ~edge:e ~slot:s in
+        Portland.Host_agent.join_group h group;
+        let mux = Transport.Port_mux.attach h in
+        let rx = Transport.Udp_flow.Receiver.attach (Portland.Fabric.engine fab) mux ~flow_id:9 () in
+        (name, rx))
+      receiver_positions
+  in
+  Portland.Fabric.run_for fab (Time.ms 50);
+  let fm = Portland.Fabric.fabric_manager fab in
+  let initial_core = Portland.Fabric_manager.group_core fm group in
+  let rate_pps = if quick then 200 else 500 in
+  let tx =
+    Transport.Udp_flow.Sender.start (Portland.Fabric.engine fab) sender ~dst:group ~flow_id:9
+      ~rate_pps ()
+  in
+  Portland.Fabric.run_for fab (Time.ms 300);
+  let outages = ref [] in
+  let measure failure_no =
+    let fail_at = Portland.Fabric.now fab in
+    let lost_before = List.map (fun (n, rx) -> (n, Transport.Udp_flow.Receiver.lost rx)) receivers in
+    ignore (fail_tree_link fab group ~pod:1);
+    Portland.Fabric.run_for fab (Time.sec 1);
+    List.iter
+      (fun (name, rx) ->
+        let gap =
+          match Transport.Udp_flow.Receiver.max_gap rx ~after:(fail_at - Time.ms 5) with
+          | Some (_, g) -> Time.to_ms_f g
+          | None -> 0.0
+        in
+        let lost = Transport.Udp_flow.Receiver.lost rx - List.assoc name lost_before in
+        outages := { receiver = name; failure = failure_no; gap_ms = gap; lost } :: !outages)
+      receivers
+  in
+  measure 1;
+  let core_after_first = Portland.Fabric_manager.group_core fm group in
+  measure 2;
+  let core_after_second = Portland.Fabric_manager.group_core fm group in
+  Transport.Udp_flow.Sender.stop tx;
+  { k;
+    group = Netcore.Ipv4_addr.to_string group;
+    rate_pps;
+    initial_core;
+    core_after_first;
+    core_after_second;
+    outages = List.rev !outages }
+
+let print fmt r =
+  Render.heading fmt
+    (Printf.sprintf "Multicast convergence across two tree failures (k=%d, group %s, %d pkt/s)"
+       r.k r.group r.rate_pps);
+  let core = function Some c -> string_of_int c | None -> "(none)" in
+  Render.table fmt ~header:[ "stage"; "group core (device id)" ]
+    ~rows:
+      [ [ "initial tree"; core r.initial_core ];
+        [ "after 1st failure"; core r.core_after_first ];
+        [ "after 2nd failure"; core r.core_after_second ] ];
+  Format.fprintf fmt "@.";
+  Render.table fmt ~header:[ "receiver"; "failure"; "outage (ms)"; "packets lost" ]
+    ~rows:
+      (List.map
+         (fun o ->
+           [ o.receiver; string_of_int o.failure; Render.f1 o.gap_ms; string_of_int o.lost ])
+         r.outages)

@@ -1,0 +1,23 @@
+(** Experiment E4 — "Multicast convergence".
+
+    One sender streams to a multicast group with receivers in three other
+    pods. The fabric manager has mapped the group to a core and installed
+    the distribution tree. Two successive failures hit tree links; after
+    each, LDM timeouts fire, the fabric manager recomputes the tree around
+    a new core, and reprograms the affected switches. Per receiver and per
+    failure, the result records the reception outage. *)
+
+type outage = { receiver : string; failure : int; gap_ms : float; lost : int }
+
+type result = {
+  k : int;
+  group : string;
+  rate_pps : int;
+  initial_core : int option;
+  core_after_first : int option;
+  core_after_second : int option;
+  outages : outage list;
+}
+
+val run : ?quick:bool -> ?seed:int -> unit -> result
+val print : Format.formatter -> result -> unit

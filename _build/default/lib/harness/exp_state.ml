@@ -1,0 +1,92 @@
+open Eventsim
+
+type row = {
+  k : int;
+  hosts : int;
+  portland_edge_max : int;
+  portland_agg_max : int;
+  portland_core_max : int;
+  ethernet_mac_max : int;
+  ethernet_mac_mean : float;
+  flat_l2_worst_case : int;
+}
+
+type result = { warmup_peers : int; rows : row list }
+
+let warmup_peers = 8
+
+let portland_sizes ~k ~seed =
+  let fab = Portland.Fabric.create_fattree ~seed ~k () in
+  assert (Portland.Fabric.await_convergence fab);
+  let max_of level =
+    List.fold_left
+      (fun acc (l, size) -> if l = level then max acc size else acc)
+      0
+      (Portland.Fabric.switch_table_sizes fab)
+  in
+  (max_of Netcore.Ldp_msg.Edge, max_of Netcore.Ldp_msg.Aggregation, max_of Netcore.Ldp_msg.Core)
+
+let ethernet_sizes ~k ~seed =
+  let fab = Baselines.Ethernet_fabric.create_fattree ~stp:true ~k () in
+  assert (Baselines.Ethernet_fabric.await_stp_convergence fab);
+  (* warm-up: every host talks to a deterministic sample of remote peers *)
+  let hosts = Array.of_list (Baselines.Ethernet_fabric.hosts fab) in
+  let prng = Prng.create seed in
+  Array.iter
+    (fun h ->
+      for _ = 1 to min warmup_peers (Array.length hosts - 1) do
+        let peer = Prng.pick prng hosts in
+        if peer != h then begin
+          let u = Netcore.Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:64 () in
+          Portland.Host_agent.send_ip h ~dst:(Portland.Host_agent.ip peer)
+            (Netcore.Ipv4_pkt.Udp u)
+        end
+      done)
+    hosts;
+  Baselines.Ethernet_fabric.run_for fab (Time.sec 2);
+  let sizes = Baselines.Ethernet_fabric.mac_table_sizes fab in
+  let mx = List.fold_left max 0 sizes in
+  let mean =
+    if sizes = [] then 0.0
+    else float_of_int (List.fold_left ( + ) 0 sizes) /. float_of_int (List.length sizes)
+  in
+  (mx, mean)
+
+let one_row ~k ~seed =
+  let pe, pa, pc = portland_sizes ~k ~seed in
+  let em, emean = ethernet_sizes ~k ~seed in
+  { k;
+    hosts = Topology.Fattree.num_hosts ~k;
+    portland_edge_max = pe;
+    portland_agg_max = pa;
+    portland_core_max = pc;
+    ethernet_mac_max = em;
+    ethernet_mac_mean = emean;
+    flat_l2_worst_case = Topology.Fattree.num_hosts ~k }
+
+let run ?(quick = false) ?(seed = 42) () =
+  let ks = if quick then [ 4 ] else [ 4; 6; 8 ] in
+  { warmup_peers; rows = List.map (fun k -> one_row ~k ~seed) ks }
+
+let print fmt r =
+  Render.heading fmt "Per-switch forwarding state: PortLand vs. flat layer 2";
+  Format.fprintf fmt
+    "(Ethernet columns measured after each host exchanged traffic with %d random peers; \
+     flat-L2 worst case is one MAC entry per host.)@."
+    r.warmup_peers;
+  Render.table fmt
+    ~header:
+      [ "k"; "hosts"; "PL edge max"; "PL agg max"; "PL core max"; "Eth MAC max";
+        "Eth MAC mean"; "flat L2 worst" ]
+    ~rows:
+      (List.map
+         (fun row ->
+           [ string_of_int row.k;
+             string_of_int row.hosts;
+             string_of_int row.portland_edge_max;
+             string_of_int row.portland_agg_max;
+             string_of_int row.portland_core_max;
+             string_of_int row.ethernet_mac_max;
+             Render.f1 row.ethernet_mac_mean;
+             string_of_int row.flat_l2_worst_case ])
+         r.rows)

@@ -1,0 +1,25 @@
+(** Experiment E8 — switch forwarding-state scaling.
+
+    PortLand's central scalability claim: PMAC prefix forwarding keeps
+    per-switch state O(k) (plus one entry per directly attached host),
+    while conventional layer-2 switches hold one MAC entry per
+    {e communicating host} anywhere in the fabric. Both are measured on
+    identical topologies: PortLand tables after convergence, Ethernet MAC
+    tables after a warm-up in which every host exchanges traffic with a
+    sample of peers across the fabric. *)
+
+type row = {
+  k : int;
+  hosts : int;
+  portland_edge_max : int;
+  portland_agg_max : int;
+  portland_core_max : int;
+  ethernet_mac_max : int;
+  ethernet_mac_mean : float;
+  flat_l2_worst_case : int;  (** one entry per host — the analytic bound *)
+}
+
+type result = { warmup_peers : int; rows : row list }
+
+val run : ?quick:bool -> ?seed:int -> unit -> result
+val print : Format.formatter -> result -> unit

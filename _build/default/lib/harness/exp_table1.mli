@@ -1,0 +1,28 @@
+(** Experiment E1 — the paper's Table 1, measured rather than asserted.
+
+    The paper motivates PortLand with five requirements a data-center
+    fabric should satisfy and tabulates how existing approaches fall
+    short. This experiment re-derives every cell empirically by running
+    scenario probes against four complete fabrics on the same k=4 fat
+    tree: conventional layer 2 (flood-and-learn with spanning tree), the
+    same partitioned into per-pod 802.1Q VLANs, static layer 3 (subnet
+    per pod), and PortLand.
+
+    - {b R1} — a VM migrates keeping its IP; can peers still reach it?
+    - {b R2} — how much manual switch configuration does the fabric need
+      before any packet flows?
+    - {b R3} — can any host reach any other host (sampled pairs)?
+    - {b R4} — are forwarding loops possible? (Layer 2 is additionally
+      probed {e without} spanning tree to exhibit the broadcast storm.)
+    - {b R5} — how long does recovery from a link failure take? *)
+
+type verdict = Pass | Fail | Partial
+
+type cell = { verdict : verdict; note : string }
+
+type row = { requirement : string; l2 : cell; vlan : cell; l3 : cell; portland : cell }
+
+type result = { rows : row list; storm_events : int; storm_budget : int }
+
+val run : ?quick:bool -> ?seed:int -> unit -> result
+val print : Format.formatter -> result -> unit

@@ -1,0 +1,86 @@
+open Eventsim
+
+type result = {
+  k : int;
+  fail_at_ms : float;
+  stall_ms : float;
+  fabric_reconverge_ms : float;
+  rto_min_ms : float;
+  timeouts : int;
+  fast_retransmits : int;
+  retransmits : int;
+  goodput_before_mbps : float;
+  goodput_after_mbps : float;
+  trace : (float * float) list;
+}
+
+let longest_stall pts ~after =
+  let best = ref 0 in
+  for i = 1 to Array.length pts - 1 do
+    let t0, _ = pts.(i - 1) and t1, _ = pts.(i) in
+    if t0 >= after && t1 - t0 > !best then best := t1 - t0
+  done;
+  !best
+
+let run ?(quick = false) ?(seed = 42) () =
+  let k = 4 in
+  let config = Portland.Config.default in
+  let fab = Portland.Fabric.create_fattree ~config ~seed ~k () in
+  assert (Portland.Fabric.await_convergence fab);
+  let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let dst = Portland.Fabric.host fab ~pod:3 ~edge:1 ~slot:1 in
+  let m_src = Transport.Port_mux.attach src in
+  let m_dst = Transport.Port_mux.attach dst in
+  let conn = Transport.Tcp.connect (Portland.Fabric.engine fab) ~src:m_src ~dst:m_dst () in
+  let warm = if quick then Time.ms 300 else Time.sec 1 in
+  Portland.Fabric.run_for fab warm;
+  let before_bytes = (Transport.Tcp.stats conn).Transport.Tcp.bytes_delivered in
+  let fail_at = Portland.Fabric.now fab in
+  let probe =
+    Netcore.Ipv4_pkt.Tcp (Netcore.Tcp_seg.make ~seq:0 ~ack_num:0 ~payload_len:1460 ())
+  in
+  (match Portland.Fabric.trace_route fab ~src ~dst_ip:(Portland.Host_agent.ip dst) probe with
+   | Ok (_ :: sw1 :: sw2 :: _) ->
+     ignore (Portland.Fabric.fail_link_between fab ~a:sw1 ~b:sw2)
+   | Ok _ | Error _ -> failwith "Exp_tcp_convergence: could not locate the flow's path");
+  let post = if quick then Time.ms 800 else Time.sec 2 in
+  Portland.Fabric.run_for fab post;
+  let stats = Transport.Tcp.stats conn in
+  Transport.Tcp.stop conn;
+  let pts = Stats.Series.points (Transport.Tcp.delivery_trace conn) in
+  let stall = longest_stall pts ~after:(fail_at - Time.ms 5) in
+  let after_bytes = stats.Transport.Tcp.bytes_delivered - before_bytes in
+  let trace =
+    Array.to_list pts
+    |> List.filter (fun (t, _) -> t >= fail_at - Time.ms 100 && t <= fail_at + Time.ms 500)
+    |> List.filteri (fun i _ -> i mod 20 = 0)
+    |> List.map (fun (t, v) -> (Time.to_ms_f t, v /. 1e6))
+  in
+  { k;
+    fail_at_ms = Time.to_ms_f fail_at;
+    stall_ms = float_of_int stall /. 1e6;
+    fabric_reconverge_ms = Time.to_ms_f config.Portland.Config.ldm_timeout;
+    rto_min_ms = Time.to_ms_f Transport.Tcp.default_params.Transport.Tcp.rto_min;
+    timeouts = stats.Transport.Tcp.timeouts;
+    fast_retransmits = stats.Transport.Tcp.fast_retransmits;
+    retransmits = stats.Transport.Tcp.retransmits;
+    goodput_before_mbps = float_of_int before_bytes *. 8.0 /. Time.to_sec_f warm /. 1e6;
+    goodput_after_mbps = float_of_int after_bytes *. 8.0 /. Time.to_sec_f post /. 1e6;
+    trace }
+
+let print fmt r =
+  Render.heading fmt
+    (Printf.sprintf "TCP convergence across a link failure (k=%d fat tree)" r.k);
+  Render.table fmt ~header:[ "metric"; "value" ]
+    ~rows:
+      [ [ "link failed at (ms)"; Render.f1 r.fail_at_ms ];
+        [ "TCP delivery stall (ms)"; Render.f1 r.stall_ms ];
+        [ "fabric detection timeout (ms)"; Render.f1 r.fabric_reconverge_ms ];
+        [ "TCP min RTO (ms)"; Render.f1 r.rto_min_ms ];
+        [ "RTO events"; string_of_int r.timeouts ];
+        [ "fast retransmits"; string_of_int r.fast_retransmits ];
+        [ "segments retransmitted"; string_of_int r.retransmits ];
+        [ "goodput before failure (Mb/s)"; Render.f1 r.goodput_before_mbps ];
+        [ "goodput after failure (Mb/s)"; Render.f1 r.goodput_after_mbps ] ];
+  Format.fprintf fmt "@.Receiver sequence trace around the failure:@.";
+  Render.series fmt ~title:"(downsampled)" ~x_label:"time (ms)" ~y_label:"MB delivered" r.trace

@@ -1,0 +1,26 @@
+(** Experiment E3 — "TCP convergence" after a fabric link failure.
+
+    A long-lived TCP flow crosses pods; one link on its current path fails
+    mid-flow. The fabric re-converges within the LDM detection timeout
+    (tens of milliseconds), but the {e flow's} outage is bounded below by
+    TCP's 200 ms minimum retransmission timeout — the paper's point: the
+    network recovers before TCP even notices, so a single RTO covers the
+    whole event. The result carries the receiver's sequence trace around
+    the failure (the paper's figure) plus the stall statistics. *)
+
+type result = {
+  k : int;
+  fail_at_ms : float;
+  stall_ms : float;            (** longest delivery interruption *)
+  fabric_reconverge_ms : float;  (** LDM timeout configured (lower bound) *)
+  rto_min_ms : float;
+  timeouts : int;
+  fast_retransmits : int;
+  retransmits : int;
+  goodput_before_mbps : float;
+  goodput_after_mbps : float;
+  trace : (float * float) list;  (** (time ms, MB delivered), around the failure *)
+}
+
+val run : ?quick:bool -> ?seed:int -> unit -> result
+val print : Format.formatter -> result -> unit

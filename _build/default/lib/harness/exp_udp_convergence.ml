@@ -1,0 +1,181 @@
+open Eventsim
+module MR = Topology.Multirooted
+
+type point = {
+  failures : int;
+  trials : int;
+  mean_ms : float;
+  min_ms : float;
+  max_ms : float;
+  packets_lost_mean : float;
+}
+
+type result = {
+  k : int;
+  rate_pps : int;
+  points : point list;
+  size_sweep : (int * float) list;
+}
+
+let rate_pps = 1000
+
+(* one trial: returns (convergence ms, packets lost) *)
+let trial ~k ~failures ~seed =
+  let fab = Portland.Fabric.create_fattree ~seed ~k () in
+  if not (Portland.Fabric.await_convergence fab) then None
+  else begin
+    let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+    let dst = Portland.Fabric.host fab ~pod:(k - 1) ~edge:(k / 2 - 1) ~slot:(k / 2 - 1) in
+    let mux = Transport.Port_mux.attach dst in
+    let rx = Transport.Udp_flow.Receiver.attach (Portland.Fabric.engine fab) mux ~flow_id:7 () in
+    let tx =
+      Transport.Udp_flow.Sender.start (Portland.Fabric.engine fab) src
+        ~dst:(Portland.Host_agent.ip dst) ~flow_id:7 ~rate_pps ()
+    in
+    Portland.Fabric.run_for fab (Time.ms 300);
+    (* sample the failure instant uniformly within an LDM period so the
+       detection delay (time since the port's last beacon, plus the
+       timeout) is honestly distributed rather than phase-locked to the
+       deterministic beacon schedule *)
+    let phase_prng = Prng.create (seed * 7 + failures) in
+    Portland.Fabric.run_for fab
+      (Prng.int phase_prng Portland.Config.default.Portland.Config.ldm_period);
+    let mt = Portland.Fabric.tree fab in
+    let src_host = Portland.Host_agent.device_id src in
+    let dst_host = Portland.Host_agent.device_id dst in
+    (* anchor the failure set on a link the flow is actually using, so a
+       single failure always disrupts it; extra failures stress the
+       re-routes (each re-route that lands on another dead-but-undetected
+       link costs a further detection timeout) *)
+    let probe = Netcore.Ipv4_pkt.Udp (Netcore.Udp.make ~flow_id:7 ~app_seq:0 ~payload_len:1000 ()) in
+    let on_path =
+      match Portland.Fabric.trace_route fab ~src ~dst_ip:(Portland.Host_agent.ip dst) probe with
+      | Ok (_ :: a :: b :: rest) when rest <> [] -> Some (a, b)
+      | Ok _ | Error _ -> None
+    in
+    let candidates = Workloads.Failure_plan.flow_relevant_links mt ~src_host ~dst_host in
+    let prng = Prng.create (seed * 31 + failures) in
+    let chosen =
+      match on_path with
+      | None ->
+        Workloads.Failure_plan.pick_survivable prng mt ~candidates ~src_host ~dst_host
+          ~n:failures
+      | Some anchor ->
+        if failures = 1 then Some [ anchor ]
+        else begin
+          let rest_candidates = List.filter (fun l -> l <> anchor) candidates in
+          (* sample (n-1) extra links such that the whole set stays survivable *)
+          let rec attempt tries =
+            if tries = 0 then None
+            else begin
+              match
+                Workloads.Failure_plan.pick_survivable prng mt ~candidates:rest_candidates
+                  ~src_host ~dst_host ~n:(failures - 1)
+              with
+              | None -> None
+              | Some extra ->
+                let all = anchor :: extra in
+                let excluded =
+                  List.filter_map
+                    (fun (a, b) ->
+                      let links = Topology.Topo.links mt.MR.topo in
+                      let found = ref None in
+                      Array.iteri
+                        (fun i (l : Topology.Topo.link) ->
+                          let la = l.Topology.Topo.a.Topology.Topo.node
+                          and lb = l.Topology.Topo.b.Topology.Topo.node in
+                          if (la = a && lb = b) || (la = b && lb = a) then found := Some i)
+                        links;
+                      !found)
+                    all
+                in
+                if
+                  Topology.Paths.reachable ~excluded_links:excluded mt.MR.topo ~src:src_host
+                    ~dst:dst_host
+                then Some all
+                else attempt (tries - 1)
+            end
+          in
+          attempt 100
+        end
+    in
+    match chosen with
+    | None -> None
+    | Some chosen ->
+      let fail_time = Portland.Fabric.now fab in
+      List.iter
+        (fun (a, b) -> ignore (Portland.Fabric.fail_link_between fab ~a ~b))
+        chosen;
+      let lost_before = Transport.Udp_flow.Receiver.lost rx in
+      Portland.Fabric.run_for fab (Time.sec 2);
+      Transport.Udp_flow.Sender.stop tx;
+      let lost = Transport.Udp_flow.Receiver.lost rx - lost_before in
+      (match Transport.Udp_flow.Receiver.max_gap rx ~after:(fail_time - Time.ms 5) with
+       | Some (_, gap) -> Some (Time.to_ms_f gap, lost)
+       | None -> None)
+  end
+
+let single_trial ~k ~failures ~seed =
+  match trial ~k ~failures ~seed with Some (ms, _) -> Some ms | None -> None
+
+let run ?(quick = false) ?(seed = 42) () =
+  let k = if quick then 4 else 8 in
+  let max_failures = if quick then 2 else 8 in
+  let trials = if quick then 2 else 5 in
+  let points =
+    List.filter_map
+      (fun failures ->
+        let samples =
+          List.filter_map (fun i -> trial ~k ~failures ~seed:(seed + (i * 101)))
+            (List.init trials (fun i -> i))
+        in
+        match samples with
+        | [] -> None
+        | _ ->
+          let n = List.length samples in
+          let gaps = List.map fst samples in
+          let losses = List.map (fun (_, l) -> float_of_int l) samples in
+          Some
+            { failures;
+              trials = n;
+              mean_ms = List.fold_left ( +. ) 0.0 gaps /. float_of_int n;
+              min_ms = List.fold_left min infinity gaps;
+              max_ms = List.fold_left max neg_infinity gaps;
+              packets_lost_mean = List.fold_left ( +. ) 0.0 losses /. float_of_int n })
+      (List.init max_failures (fun i -> i + 1))
+  in
+  let size_sweep =
+    List.filter_map
+      (fun k' ->
+        match single_trial ~k:k' ~failures:1 ~seed:(seed + 7) with
+        | Some ms -> Some (k', ms)
+        | None -> None)
+      (if quick then [ 4 ] else [ 4; 6; 8 ])
+  in
+  { k; rate_pps; points; size_sweep }
+
+let print fmt (r : result) =
+  Render.heading fmt
+    (Printf.sprintf
+       "UDP convergence vs. simultaneous failures (k=%d fat tree, %d pkt/s probe)" r.k
+       r.rate_pps);
+  Render.table fmt
+    ~header:[ "failures"; "trials"; "mean (ms)"; "min (ms)"; "max (ms)"; "pkts lost (mean)" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [ string_of_int p.failures;
+             string_of_int p.trials;
+             Render.f1 p.mean_ms;
+             Render.f1 p.min_ms;
+             Render.f1 p.max_ms;
+             Render.f1 p.packets_lost_mean ])
+         r.points);
+  Format.fprintf fmt "@.Single-failure convergence vs. fabric size:@.";
+  Render.table fmt
+    ~header:[ "k"; "hosts"; "convergence (ms)" ]
+    ~rows:
+      (List.map
+         (fun (k, ms) ->
+           [ string_of_int k; string_of_int (Topology.Fattree.num_hosts ~k); Render.f1 ms ])
+         r.size_sweep)

@@ -1,0 +1,38 @@
+(** Experiment E2 — "Convergence time with increasing failures" (UDP).
+
+    A constant-rate UDP flow crosses pods while [n] fabric links that the
+    flow's ECMP paths could use fail simultaneously (chosen so the pair
+    stays physically connected). The convergence time is the longest
+    interruption in the receive stream. The paper measures ~65 ms for a
+    single failure, growing moderately with the number of simultaneous
+    failures (each re-route that lands on another dead-but-undetected
+    link costs a further detection timeout).
+
+    Also sweeps fabric size at a single failure, demonstrating that
+    convergence is independent of k (it is detection-timeout-bound, not
+    topology-bound). *)
+
+type point = {
+  failures : int;
+  trials : int;
+  mean_ms : float;
+  min_ms : float;
+  max_ms : float;
+  packets_lost_mean : float;
+}
+
+type result = {
+  k : int;
+  rate_pps : int;
+  points : point list;
+  size_sweep : (int * float) list;  (** (k, single-failure convergence ms) *)
+}
+
+val run : ?quick:bool -> ?seed:int -> unit -> result
+(** [quick] trims trial counts and the failure sweep (used by tests). *)
+
+val print : Format.formatter -> result -> unit
+
+val single_trial : k:int -> failures:int -> seed:int -> float option
+(** One trial's convergence time in ms ([None] when no survivable failure
+    combination exists). Exposed for tests. *)

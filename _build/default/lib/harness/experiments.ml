@@ -1,0 +1,48 @@
+let all =
+  [ ("table1", "requirements matrix: flat L2 vs static L3 vs PortLand (Table 1)");
+    ("udp-convergence", "UDP convergence vs number of simultaneous failures");
+    ("tcp-convergence", "TCP sequence trace across a link failure");
+    ("multicast", "multicast convergence across two tree failures");
+    ("migration", "TCP flow during VM migration (plus forward-stale ablation)");
+    ("fm-load", "fabric manager control traffic: modelled ARP load + measured boot traffic");
+    ("fm-cpu", "fabric manager CPU requirements for ARP service");
+    ("state", "per-switch forwarding state: PortLand vs flat layer 2");
+    ("ecmp", "multipath ablation: ECMP fat tree vs single spanning tree");
+    ("ablation", "design-choice ablations: detection timeout sweep; ECMP hash salting") ]
+
+let run_one ?quick ?seed fmt id =
+  match id with
+  | "table1" ->
+    Exp_table1.print fmt (Exp_table1.run ?quick ?seed ());
+    true
+  | "udp-convergence" ->
+    Exp_udp_convergence.print fmt (Exp_udp_convergence.run ?quick ?seed ());
+    true
+  | "tcp-convergence" ->
+    Exp_tcp_convergence.print fmt (Exp_tcp_convergence.run ?quick ?seed ());
+    true
+  | "multicast" ->
+    Exp_multicast.print fmt (Exp_multicast.run ?quick ?seed ());
+    true
+  | "migration" ->
+    Exp_migration.print fmt (Exp_migration.run ?quick ?seed ());
+    true
+  | "fm-load" ->
+    Exp_fm_load.print fmt (Exp_fm_load.run ?quick ?seed ());
+    true
+  | "fm-cpu" ->
+    Exp_fm_cpu.print fmt (Exp_fm_cpu.run ?quick ?seed ());
+    true
+  | "state" ->
+    Exp_state.print fmt (Exp_state.run ?quick ?seed ());
+    true
+  | "ecmp" ->
+    Exp_ecmp.print fmt (Exp_ecmp.run ?quick ?seed ());
+    true
+  | "ablation" ->
+    Exp_ablation.print fmt (Exp_ablation.run ?quick ?seed ());
+    true
+  | _ -> false
+
+let run_all ?quick ?seed fmt =
+  List.iter (fun (id, _) -> ignore (run_one ?quick ?seed fmt id)) all

@@ -1,0 +1,13 @@
+(** Index of every reproduced table and figure.
+
+    Each entry maps an experiment id (the names used in DESIGN.md and
+    EXPERIMENTS.md) to a runner that executes the scenario and prints the
+    paper-style rows or series. *)
+
+val all : (string * string) list
+(** [(id, one-line description)], in the order they appear in the paper. *)
+
+val run_one : ?quick:bool -> ?seed:int -> Format.formatter -> string -> bool
+(** Run one experiment by id; [false] for an unknown id. *)
+
+val run_all : ?quick:bool -> ?seed:int -> Format.formatter -> unit

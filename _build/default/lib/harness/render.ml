@@ -1,0 +1,32 @@
+let table fmt ~header ~rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Format.fprintf fmt "  ";
+        Format.fprintf fmt "%-*s" widths.(i) cell)
+      row;
+    Format.fprintf fmt "@."
+  in
+  print_row header;
+  let rule = Array.fold_left (fun acc w -> acc + w) 0 widths + (2 * (ncols - 1)) in
+  Format.fprintf fmt "%s@." (String.make rule '-');
+  List.iter print_row rows
+
+let series fmt ~title ~x_label ~y_label points =
+  Format.fprintf fmt "%s@." title;
+  Format.fprintf fmt "%-14s %-14s@." x_label y_label;
+  List.iter (fun (x, y) -> Format.fprintf fmt "%-14.4g %-14.4g@." x y) points
+
+let ms t = Printf.sprintf "%.1f" (Eventsim.Time.to_ms_f t)
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+
+let heading fmt title =
+  Format.fprintf fmt "@.%s@.%s@." title (String.make (String.length title) '=')

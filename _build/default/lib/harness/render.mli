@@ -1,0 +1,19 @@
+(** Plain-text rendering of experiment outputs: aligned tables and
+    (time, value) series in the row/column style the paper's tables and
+    figure data would take. *)
+
+val table : Format.formatter -> header:string list -> rows:string list list -> unit
+(** Column-aligned ASCII table with a rule under the header. *)
+
+val series :
+  Format.formatter -> title:string -> x_label:string -> y_label:string ->
+  (float * float) list -> unit
+(** Two-column numeric series with a title line. *)
+
+val ms : Eventsim.Time.t -> string
+(** Milliseconds with one decimal, e.g. ["52.4"]. *)
+
+val f1 : float -> string
+val f2 : float -> string
+val heading : Format.formatter -> string -> unit
+(** Underlined section heading. *)

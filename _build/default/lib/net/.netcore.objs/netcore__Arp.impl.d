@@ -1,0 +1,1 @@
+lib/net/arp.ml: Format Ipv4_addr Mac_addr

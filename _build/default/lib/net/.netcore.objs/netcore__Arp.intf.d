@@ -1,0 +1,1 @@
+lib/net/arp.mli: Format Ipv4_addr Mac_addr

@@ -1,0 +1,1 @@
+lib/net/codec.ml: Arp Array Bpdu Bytes Char Eth Icmp Igmp Ipv4_pkt Lazy Ldp_msg Printf Tcp_seg Udp Wire

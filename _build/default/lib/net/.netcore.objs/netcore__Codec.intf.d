@@ -1,0 +1,1 @@
+lib/net/codec.mli: Eth

@@ -1,0 +1,1 @@
+lib/net/eth.mli: Arp Bpdu Format Ipv4_pkt Ldp_msg Mac_addr

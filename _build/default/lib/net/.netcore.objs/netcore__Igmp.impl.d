@@ -1,0 +1,1 @@
+lib/net/igmp.ml: Format Ipv4_addr Printf

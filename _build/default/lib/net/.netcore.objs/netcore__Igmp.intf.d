@@ -1,0 +1,1 @@
+lib/net/igmp.mli: Format Ipv4_addr

@@ -1,0 +1,1 @@
+lib/net/ipv4_addr.ml: Format Hashtbl Int Printf String

@@ -1,0 +1,1 @@
+lib/net/ipv4_addr.mli: Format

@@ -1,0 +1,1 @@
+lib/net/ipv4_pkt.mli: Format Icmp Igmp Ipv4_addr Tcp_seg Udp

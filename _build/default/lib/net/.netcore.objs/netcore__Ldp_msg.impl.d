@@ -1,0 +1,1 @@
+lib/net/ldp_msg.ml: Format

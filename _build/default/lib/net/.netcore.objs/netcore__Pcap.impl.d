@@ -1,0 +1,1 @@
+lib/net/pcap.ml: Buffer Bytes Char Codec Fun List

@@ -1,0 +1,1 @@
+lib/net/wire.ml: Buffer Bytes Char Ipv4_addr Mac_addr String

@@ -1,0 +1,1 @@
+lib/net/wire.mli: Buffer Ipv4_addr Mac_addr

@@ -1,0 +1,38 @@
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Mac_addr.t;
+  sender_ip : Ipv4_addr.t;
+  target_mac : Mac_addr.t;
+  target_ip : Ipv4_addr.t;
+}
+
+let request ~sender_mac ~sender_ip ~target_ip =
+  { op = Request; sender_mac; sender_ip; target_mac = Mac_addr.zero; target_ip }
+
+let reply ~sender_mac ~sender_ip ~target_mac ~target_ip =
+  { op = Reply; sender_mac; sender_ip; target_mac; target_ip }
+
+let gratuitous ~mac ~ip =
+  { op = Request; sender_mac = mac; sender_ip = ip; target_mac = Mac_addr.zero; target_ip = ip }
+
+let is_gratuitous t = Ipv4_addr.equal t.sender_ip t.target_ip
+
+let wire_len = 28
+
+let equal a b =
+  a.op = b.op
+  && Mac_addr.equal a.sender_mac b.sender_mac
+  && Ipv4_addr.equal a.sender_ip b.sender_ip
+  && Mac_addr.equal a.target_mac b.target_mac
+  && Ipv4_addr.equal a.target_ip b.target_ip
+
+let pp fmt t =
+  match t.op with
+  | Request ->
+    Format.fprintf fmt "ARP who-has %a tell %a (%a)" Ipv4_addr.pp t.target_ip Ipv4_addr.pp
+      t.sender_ip Mac_addr.pp t.sender_mac
+  | Reply ->
+    Format.fprintf fmt "ARP %a is-at %a (to %a)" Ipv4_addr.pp t.sender_ip Mac_addr.pp t.sender_mac
+      Mac_addr.pp t.target_mac

@@ -1,0 +1,34 @@
+(** ARP packets (RFC 826, Ethernet/IPv4 flavour only).
+
+    In PortLand, ARP requests never reach other hosts: edge switches
+    intercept them and proxy them to the fabric manager, which answers with
+    the target's PMAC. Gratuitous ARPs (sender = target IP) are how hosts
+    announce themselves at boot and after VM migration. *)
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Mac_addr.t;
+  sender_ip : Ipv4_addr.t;
+  target_mac : Mac_addr.t;  (** zero in requests *)
+  target_ip : Ipv4_addr.t;
+}
+
+val request : sender_mac:Mac_addr.t -> sender_ip:Ipv4_addr.t -> target_ip:Ipv4_addr.t -> t
+(** A broadcast who-has request ([target_mac] = zero). *)
+
+val reply :
+  sender_mac:Mac_addr.t -> sender_ip:Ipv4_addr.t -> target_mac:Mac_addr.t ->
+  target_ip:Ipv4_addr.t -> t
+
+val gratuitous : mac:Mac_addr.t -> ip:Ipv4_addr.t -> t
+(** Gratuitous announcement: a request with sender = target = [ip]. *)
+
+val is_gratuitous : t -> bool
+
+val wire_len : int
+(** 28 bytes on the wire. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+type t = { root_id : int; root_cost : int; bridge_id : int; port : int }
+
+let wire_len = 35
+
+let better a b =
+  compare (a.root_id, a.root_cost, a.bridge_id, a.port) (b.root_id, b.root_cost, b.bridge_id, b.port)
+  < 0
+
+let equal a b = a = b
+
+let pp fmt t =
+  Format.fprintf fmt "BPDU{root=%d cost=%d bridge=%d port=%d}" t.root_id t.root_cost t.bridge_id
+    t.port

@@ -1,0 +1,23 @@
+(** Spanning-tree BPDUs (simplified 802.1D), used by the baseline flat
+    layer-2 fabric that PortLand is compared against.
+
+    Only the configuration-BPDU fields the baseline's root election and
+    port-role computation need are modelled. *)
+
+type t = {
+  root_id : int;    (** sender's current belief of the root bridge id *)
+  root_cost : int;  (** sender's cost to that root *)
+  bridge_id : int;  (** sender's own bridge id *)
+  port : int;       (** sender's egress port *)
+}
+
+val wire_len : int
+(** 35 bytes, as in 802.1D configuration BPDUs. *)
+
+val better : t -> t -> bool
+(** [better a b] is true when [a] advertises a strictly better path:
+    lower root id, then lower cost, then lower bridge id, then lower
+    port. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type payload =
+  | Arp of Arp.t
+  | Ipv4 of Ipv4_pkt.t
+  | Ldp of Ldp_msg.t
+  | Bpdu of Bpdu.t
+  | Raw of { ethertype : int; len : int }
+
+type t = { dst : Mac_addr.t; src : Mac_addr.t; vlan : int option; payload : payload }
+
+let make ?vlan ~dst ~src payload =
+  (match vlan with
+   | Some v when v < 1 || v > 4094 -> invalid_arg "Eth.make: VLAN id out of range"
+   | Some _ | None -> ());
+  { dst; src; vlan; payload }
+
+let with_vlan t vlan =
+  (match vlan with
+   | Some v when v < 1 || v > 4094 -> invalid_arg "Eth.with_vlan: VLAN id out of range"
+   | Some _ | None -> ());
+  { t with vlan }
+
+let vlan_header_len = 4
+
+let ldp_ethertype = 0x88B5
+let bpdu_ethertype = 0x88B6
+
+let ethertype = function
+  | Arp _ -> 0x0806
+  | Ipv4 _ -> 0x0800
+  | Ldp _ -> ldp_ethertype
+  | Bpdu _ -> bpdu_ethertype
+  | Raw { ethertype; _ } -> ethertype
+
+let header_len = 14
+let min_frame_len = 64
+let fcs_len = 4
+
+let payload_len = function
+  | Arp _ -> Arp.wire_len
+  | Ipv4 p -> Ipv4_pkt.wire_len p
+  | Ldp _ -> Ldp_msg.wire_len
+  | Bpdu _ -> Bpdu.wire_len
+  | Raw { len; _ } -> len
+
+let wire_len t =
+  let tag = match t.vlan with Some _ -> vlan_header_len | None -> 0 in
+  max min_frame_len (header_len + tag + payload_len t.payload + fcs_len)
+
+let is_broadcast t = Mac_addr.is_broadcast t.dst
+
+let equal a b = a = b
+
+let pp fmt t =
+  let pp_payload fmt = function
+    | Arp a -> Arp.pp fmt a
+    | Ipv4 p -> Ipv4_pkt.pp fmt p
+    | Ldp l -> Ldp_msg.pp fmt l
+    | Bpdu b -> Bpdu.pp fmt b
+    | Raw { ethertype; len } -> Format.fprintf fmt "raw type=0x%04x len=%d" ethertype len
+  in
+  let pp_vlan fmt = function
+    | Some v -> Format.fprintf fmt " vlan=%d" v
+    | None -> ()
+  in
+  Format.fprintf fmt "[%a -> %a%a] %a" Mac_addr.pp t.src Mac_addr.pp t.dst pp_vlan t.vlan
+    pp_payload t.payload

@@ -1,0 +1,55 @@
+(** Ethernet frames — the unit the simulated dataplane forwards.
+
+    The payload is structured; {!Codec} provides the bit-exact wire
+    encoding. {!wire_len} is what links use for serialization delay, and
+    includes header, payload, any padding up to the Ethernet minimum, and
+    the FCS. *)
+
+type payload =
+  | Arp of Arp.t
+  | Ipv4 of Ipv4_pkt.t
+  | Ldp of Ldp_msg.t     (** PortLand location discovery, ethertype {!ldp_ethertype} *)
+  | Bpdu of Bpdu.t       (** spanning-tree, for the baseline fabric *)
+  | Raw of { ethertype : int; len : int }
+
+type t = {
+  dst : Mac_addr.t;
+  src : Mac_addr.t;
+  vlan : int option;  (** 802.1Q VID when tagged (1–4094) *)
+  payload : payload;
+}
+
+val make : ?vlan:int -> dst:Mac_addr.t -> src:Mac_addr.t -> payload -> t
+(** [vlan], when given, must be in [\[1, 4094\]]. *)
+
+val with_vlan : t -> int option -> t
+(** Tag or untag a frame (what a trunk/access port does on egress). *)
+
+val vlan_header_len : int
+(** 4 bytes of 802.1Q tag when present. *)
+
+val ldp_ethertype : int
+(** 0x88B5 (IEEE local experimental), used for LDMs. *)
+
+val bpdu_ethertype : int
+(** 0x88B6 — the baseline carries BPDUs in a plain tagged frame rather
+    than LLC encapsulation, which changes nothing the experiments
+    measure. *)
+
+val ethertype : payload -> int
+
+val header_len : int
+(** 14. *)
+
+val min_frame_len : int
+(** 64, including FCS. *)
+
+val fcs_len : int
+(** 4. *)
+
+val wire_len : t -> int
+(** Header + payload + padding to the 64-byte minimum + FCS. *)
+
+val is_broadcast : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

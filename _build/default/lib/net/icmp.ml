@@ -1,0 +1,30 @@
+type t =
+  | Echo_request of { ident : int; seq : int; payload_len : int }
+  | Echo_reply of { ident : int; seq : int; payload_len : int }
+
+let check ~ident ~seq ~payload_len =
+  if ident < 0 || ident > 0xFFFF then invalid_arg "Icmp: ident out of range";
+  if seq < 0 || seq > 0xFFFF then invalid_arg "Icmp: seq out of range";
+  if payload_len < 0 then invalid_arg "Icmp: negative payload length"
+
+let echo_request ?(payload_len = 56) ~ident ~seq () =
+  check ~ident ~seq ~payload_len;
+  Echo_request { ident; seq; payload_len }
+
+let reply_to = function
+  | Echo_request { ident; seq; payload_len } -> Echo_reply { ident; seq; payload_len }
+  | Echo_reply _ -> invalid_arg "Icmp.reply_to: already a reply"
+
+let header_len = 8
+
+let wire_len = function
+  | Echo_request { payload_len; _ } | Echo_reply { payload_len; _ } ->
+    header_len + payload_len
+
+let equal a b = a = b
+
+let pp fmt = function
+  | Echo_request { ident; seq; payload_len } ->
+    Format.fprintf fmt "ICMP echo-request id=%d seq=%d len=%d" ident seq payload_len
+  | Echo_reply { ident; seq; payload_len } ->
+    Format.fprintf fmt "ICMP echo-reply id=%d seq=%d len=%d" ident seq payload_len

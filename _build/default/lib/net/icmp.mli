@@ -1,0 +1,25 @@
+(** ICMP echo (ping) — the two message types the simulator's hosts answer
+    and measure with.
+
+    [payload_len] counts the echo data bytes after the 8-byte ICMP
+    header; replies echo the request's identifier, sequence number and
+    payload length, which is how a pinger matches them up. *)
+
+type t =
+  | Echo_request of { ident : int; seq : int; payload_len : int }
+  | Echo_reply of { ident : int; seq : int; payload_len : int }
+
+val echo_request : ?payload_len:int -> ident:int -> seq:int -> unit -> t
+(** Default payload 56 bytes, like the classic ping(8). Fields are
+    range-checked (16-bit ident/seq, non-negative payload). *)
+
+val reply_to : t -> t
+(** The matching reply for a request; raises [Invalid_argument] on a
+    reply. *)
+
+val header_len : int
+(** 8 bytes. *)
+
+val wire_len : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

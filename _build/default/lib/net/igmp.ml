@@ -1,0 +1,24 @@
+type op = Join | Leave
+
+type t = { op : op; group : Ipv4_addr.t }
+
+let check group =
+  if not (Ipv4_addr.is_multicast group) then
+    invalid_arg
+      (Printf.sprintf "Igmp: %s is not a class-D multicast address" (Ipv4_addr.to_string group))
+
+let join group =
+  check group;
+  { op = Join; group }
+
+let leave group =
+  check group;
+  { op = Leave; group }
+
+let wire_len = 8
+
+let equal a b = a = b
+
+let pp fmt t =
+  let op = match t.op with Join -> "join" | Leave -> "leave" in
+  Format.fprintf fmt "IGMP %s %a" op Ipv4_addr.pp t.group

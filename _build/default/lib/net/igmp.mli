@@ -1,0 +1,21 @@
+(** IGMP-style multicast membership messages.
+
+    PortLand edge switches intercept these and forward the membership
+    change to the fabric manager, which maintains the group's distribution
+    tree (paper §3.4). Only the two operations the fabric needs are
+    modelled. *)
+
+type op = Join | Leave
+
+type t = { op : op; group : Ipv4_addr.t (** class-D group address *) }
+
+val join : Ipv4_addr.t -> t
+(** Raises [Invalid_argument] if the address is not class-D multicast. *)
+
+val leave : Ipv4_addr.t -> t
+
+val wire_len : int
+(** 8 bytes, as in IGMPv2. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+type t = int
+
+let of_int v =
+  if v < 0 || v > 0xFFFFFFFF then
+    invalid_arg (Printf.sprintf "Ipv4_addr.of_int: %d out of range" v);
+  v
+
+let to_int t = t
+
+let of_octets a b c d =
+  let check o = if o < 0 || o > 255 then invalid_arg "Ipv4_addr.of_octets: octet out of range" in
+  check a;
+  check b;
+  check c;
+  check d;
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+    (try Ok (of_octets (int_of_string a) (int_of_string b) (int_of_string c) (int_of_string d))
+     with _ -> Error (Printf.sprintf "Ipv4_addr.of_string: %S" s))
+  | _ -> Error (Printf.sprintf "Ipv4_addr.of_string: %S" s)
+
+let of_string_exn s =
+  match of_string s with Ok v -> v | Error e -> invalid_arg e
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d" ((t lsr 24) land 0xff) ((t lsr 16) land 0xff) ((t lsr 8) land 0xff)
+    (t land 0xff)
+
+let is_multicast t = (t lsr 28) = 0xE
+let broadcast = 0xFFFFFFFF
+let is_broadcast t = t = broadcast
+let multicast_group t = t land 0x0FFFFFFF
+let of_multicast_group g = (0xE lsl 28) lor (g land 0x0FFFFFFF)
+
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,35 @@
+(** IPv4 addresses, represented as a non-negative [int] in [\[0, 2^32)]. *)
+
+type t = private int
+
+val of_int : int -> t
+(** Checks [0 <= v < 2^32]. Raises [Invalid_argument] otherwise. *)
+
+val to_int : t -> int
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] is [a.b.c.d]; each octet checked to be in
+    [\[0, 255\]]. *)
+
+val of_string : string -> (t, string) result
+val of_string_exn : string -> t
+val to_string : t -> string
+
+val is_multicast : t -> bool
+(** Class-D: [224.0.0.0/4]. *)
+
+val broadcast : t
+(** The limited broadcast address [255.255.255.255]. *)
+
+val is_broadcast : t -> bool
+
+val multicast_group : t -> int
+(** Low 28 bits of a class-D address (the group id). *)
+
+val of_multicast_group : int -> t
+(** [224.0.0.0] + low 28 bits of the group id. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

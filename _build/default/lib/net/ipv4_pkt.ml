@@ -1,0 +1,56 @@
+type payload =
+  | Udp of Udp.t
+  | Tcp of Tcp_seg.t
+  | Igmp of Igmp.t
+  | Icmp of Icmp.t
+  | Raw of { proto : int; len : int }
+
+type t = {
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+  ttl : int;
+  payload : payload;
+}
+
+let header_len = 20
+let default_ttl = 64
+
+let make ?(ttl = default_ttl) ~src ~dst payload =
+  if ttl < 1 || ttl > 255 then invalid_arg "Ipv4_pkt.make: ttl out of range";
+  { src; dst; ttl; payload }
+
+let udp ~src ~dst u = make ~src ~dst (Udp u)
+let tcp ~src ~dst t = make ~src ~dst (Tcp t)
+let igmp ~src m = make ~src ~dst:m.Igmp.group (Igmp m)
+let icmp ~src ~dst m = make ~src ~dst (Icmp m)
+
+let proto_number = function
+  | Udp _ -> 17
+  | Tcp _ -> 6
+  | Igmp _ -> 2
+  | Icmp _ -> 1
+  | Raw { proto; _ } -> proto
+
+let payload_len = function
+  | Udp u -> Udp.wire_len u
+  | Tcp t -> Tcp_seg.wire_len t
+  | Igmp _ -> Igmp.wire_len
+  | Icmp m -> Icmp.wire_len m
+  | Raw { len; _ } -> len
+
+let wire_len t = header_len + payload_len t.payload
+
+let decrement_ttl t = if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
+
+let equal a b = a = b
+
+let pp fmt t =
+  let pp_payload fmt = function
+    | Udp u -> Udp.pp fmt u
+    | Tcp s -> Tcp_seg.pp fmt s
+    | Igmp m -> Igmp.pp fmt m
+    | Icmp m -> Icmp.pp fmt m
+    | Raw { proto; len } -> Format.fprintf fmt "proto=%d len=%d" proto len
+  in
+  Format.fprintf fmt "IP %a->%a ttl=%d [%a]" Ipv4_addr.pp t.src Ipv4_addr.pp t.dst t.ttl pp_payload
+    t.payload

@@ -1,0 +1,48 @@
+(** IPv4 packets.
+
+    The payload is structured (one constructor per transport the simulator
+    understands) rather than raw bytes; the wire codec in {!Codec} maps the
+    structure to and from real header layouts. *)
+
+type payload =
+  | Udp of Udp.t
+  | Tcp of Tcp_seg.t
+  | Igmp of Igmp.t
+  | Icmp of Icmp.t
+  | Raw of { proto : int; len : int }
+      (** Any other protocol: kept only as its protocol number and payload
+          length, enough for forwarding and delay modelling. *)
+
+type t = {
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+  ttl : int;
+  payload : payload;
+}
+
+val header_len : int
+(** 20 bytes (no options). *)
+
+val default_ttl : int
+(** 64. *)
+
+val make : ?ttl:int -> src:Ipv4_addr.t -> dst:Ipv4_addr.t -> payload -> t
+
+val udp : src:Ipv4_addr.t -> dst:Ipv4_addr.t -> Udp.t -> t
+val tcp : src:Ipv4_addr.t -> dst:Ipv4_addr.t -> Tcp_seg.t -> t
+val igmp : src:Ipv4_addr.t -> Igmp.t -> t
+(** Addressed to the group itself, as real IGMP reports are. *)
+
+val icmp : src:Ipv4_addr.t -> dst:Ipv4_addr.t -> Icmp.t -> t
+
+val proto_number : payload -> int
+(** 17 for UDP, 6 for TCP, 2 for IGMP, 1 for ICMP, the stored number for
+    [Raw]. *)
+
+val payload_len : payload -> int
+val wire_len : t -> int
+val decrement_ttl : t -> t option
+(** [None] when the TTL would reach 0 (packet must be dropped). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

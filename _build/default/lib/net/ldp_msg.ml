@@ -1,0 +1,35 @@
+type level = Edge | Aggregation | Core
+
+type dir = Up | Down | Unknown_dir
+
+type t = {
+  switch_id : int;
+  level : level option;
+  pod : int option;
+  position : int option;
+  dir : dir;
+  out_port : int;
+}
+
+let initial ~switch_id ~out_port =
+  { switch_id; level = None; pod = None; position = None; dir = Unknown_dir; out_port }
+
+let wire_len = 16
+
+let level_to_string = function
+  | Edge -> "edge"
+  | Aggregation -> "aggregation"
+  | Core -> "core"
+
+let equal a b = a = b
+
+let pp_opt pp_v fmt = function
+  | None -> Format.pp_print_string fmt "?"
+  | Some v -> pp_v fmt v
+
+let pp fmt t =
+  let pp_level fmt l = Format.pp_print_string fmt (level_to_string l) in
+  let pp_int fmt i = Format.pp_print_int fmt i in
+  let dir_s = match t.dir with Up -> "up" | Down -> "down" | Unknown_dir -> "?" in
+  Format.fprintf fmt "LDM{sw=%d level=%a pod=%a pos=%a dir=%s port=%d}" t.switch_id
+    (pp_opt pp_level) t.level (pp_opt pp_int) t.pod (pp_opt pp_int) t.position dir_s t.out_port

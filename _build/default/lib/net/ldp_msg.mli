@@ -1,0 +1,33 @@
+(** Location Discovery Messages (PortLand §3.2).
+
+    Switches emit an LDM on every port each LDM period. The message carries
+    everything a neighbour needs to refine its own view: the sender's
+    switch identifier, its current belief about its tree level, pod and
+    position, and which direction the egress port faces. LDMs also act as
+    liveness beacons: a port that misses LDMs for the liveness timeout is
+    declared faulty. *)
+
+type level = Edge | Aggregation | Core
+
+type dir = Up | Down | Unknown_dir
+(** Direction the sending port faces, once known: edge→agg and agg→core
+    ports face [Up]; agg→edge and core→agg ports face [Down]. *)
+
+type t = {
+  switch_id : int;       (** unique, factory-style identifier *)
+  level : level option;  (** [None] until inferred *)
+  pod : int option;      (** [None] until assigned by the fabric manager *)
+  position : int option; (** [None] until verified by the fabric manager *)
+  dir : dir;
+  out_port : int;        (** sender's port number the LDM left through *)
+}
+
+val initial : switch_id:int -> out_port:int -> t
+(** The all-unknown LDM a freshly booted switch sends. *)
+
+val wire_len : int
+(** Fixed encoded size in bytes. *)
+
+val level_to_string : level -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

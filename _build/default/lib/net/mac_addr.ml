@@ -1,0 +1,51 @@
+type t = int
+
+let max_value = (1 lsl 48) - 1
+
+let of_int v =
+  if v < 0 || v > max_value then invalid_arg (Printf.sprintf "Mac_addr.of_int: %d out of range" v);
+  v
+
+let to_int t = t
+
+let of_bytes_exn s =
+  if String.length s <> 6 then invalid_arg "Mac_addr.of_bytes_exn: need exactly 6 bytes";
+  let b i = Char.code s.[i] in
+  (b 0 lsl 40) lor (b 1 lsl 32) lor (b 2 lsl 24) lor (b 3 lsl 16) lor (b 4 lsl 8) lor b 5
+
+let to_bytes t =
+  String.init 6 (fun i -> Char.chr ((t lsr ((5 - i) * 8)) land 0xff))
+
+let of_string s =
+  let parts = String.split_on_char ':' s in
+  if List.length parts <> 6 then Error (Printf.sprintf "Mac_addr.of_string: %S" s)
+  else
+    try
+      let v =
+        List.fold_left
+          (fun acc p ->
+            if String.length p <> 2 then failwith "octet";
+            (acc lsl 8) lor int_of_string ("0x" ^ p))
+          0 parts
+      in
+      Ok v
+    with _ -> Error (Printf.sprintf "Mac_addr.of_string: %S" s)
+
+let of_string_exn s =
+  match of_string s with Ok v -> v | Error e -> invalid_arg e
+
+let to_string t =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" ((t lsr 40) land 0xff) ((t lsr 32) land 0xff)
+    ((t lsr 24) land 0xff) ((t lsr 16) land 0xff) ((t lsr 8) land 0xff) (t land 0xff)
+
+let broadcast = max_value
+let zero = 0
+let is_broadcast t = t = broadcast
+let is_multicast t = (t lsr 40) land 0x01 = 1
+
+let multicast_of_group g = 0x01005e000000 lor (g land 0x7fffff)
+
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,44 @@
+(** 48-bit Ethernet MAC addresses.
+
+    Represented as a non-negative [int] (fits easily in OCaml's 63-bit
+    native ints). In PortLand terms an address may be an AMAC (a host's
+    actual, factory-assigned MAC) or a PMAC (a fabric-assigned pseudo-MAC
+    encoding location — see [Portland.Pmac], which layers structure on top
+    of this module). *)
+
+type t = private int
+
+val of_int : int -> t
+(** [of_int v] checks [0 <= v < 2^48]. Raises [Invalid_argument] otherwise. *)
+
+val to_int : t -> int
+
+val of_bytes_exn : string -> t
+(** Big-endian, exactly 6 bytes. *)
+
+val to_bytes : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse ["aa:bb:cc:dd:ee:ff"]. *)
+
+val of_string_exn : string -> t
+val to_string : t -> string
+
+val broadcast : t
+(** ff:ff:ff:ff:ff:ff *)
+
+val zero : t
+
+val is_broadcast : t -> bool
+
+val is_multicast : t -> bool
+(** Group bit (least-significant bit of the first octet) set. *)
+
+val multicast_of_group : int -> t
+(** IPv4-multicast-style MAC [01:00:5e:…] derived from the low 23 bits of
+    the group id, as Ethernet does for IP multicast. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack_num : int;
+  window : int;
+  flags : flags;
+  payload_len : int;
+}
+
+let header_len = 20
+let no_flags = { syn = false; ack = false; fin = false; rst = false }
+let ack_flags = { no_flags with ack = true }
+
+let make ?(src_port = 5001) ?(dst_port = 5001) ?(flags = ack_flags) ?(window = 65535) ~seq
+    ~ack_num ~payload_len () =
+  if src_port < 0 || src_port > 0xFFFF then invalid_arg "Tcp_seg.make: src_port out of range";
+  if dst_port < 0 || dst_port > 0xFFFF then invalid_arg "Tcp_seg.make: dst_port out of range";
+  if seq < 0 || ack_num < 0 then invalid_arg "Tcp_seg.make: negative sequence number";
+  if payload_len < 0 then invalid_arg "Tcp_seg.make: negative payload_len";
+  if window < 0 || window > 0xFFFFFFFF then invalid_arg "Tcp_seg.make: window out of range";
+  { src_port; dst_port; seq; ack_num; window; flags; payload_len }
+
+let wire_len t = header_len + t.payload_len
+
+let equal a b = a = b
+
+let pp fmt t =
+  let flag b c = if b then c else "" in
+  Format.fprintf fmt "TCP %d->%d seq=%d ack=%d len=%d win=%d %s%s%s%s" t.src_port t.dst_port t.seq
+    t.ack_num t.payload_len t.window (flag t.flags.syn "S") (flag t.flags.ack "A")
+    (flag t.flags.fin "F") (flag t.flags.rst "R")

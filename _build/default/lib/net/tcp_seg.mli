@@ -1,0 +1,33 @@
+(** TCP segments carried inside {!Ipv4_pkt}.
+
+    Sequence and acknowledgement numbers count bytes, as in real TCP; the
+    payload itself is modelled by its length only (its content never
+    matters to the fabric). Flags cover what the simplified transport in
+    [lib/transport] uses. *)
+
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;          (** first payload byte's sequence number *)
+  ack_num : int;      (** cumulative ACK (valid when [flags.ack]) *)
+  window : int;       (** advertised receive window, bytes *)
+  flags : flags;
+  payload_len : int;  (** bytes of payload *)
+}
+
+val header_len : int
+(** 20 bytes (no options modelled). *)
+
+val no_flags : flags
+val ack_flags : flags
+
+val make :
+  ?src_port:int -> ?dst_port:int -> ?flags:flags -> ?window:int -> seq:int -> ack_num:int ->
+  payload_len:int -> unit -> t
+(** Ports default to 5001/5001, flags to [ack_flags], window to 65535. *)
+
+val wire_len : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

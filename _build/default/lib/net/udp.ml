@@ -1,0 +1,29 @@
+type t = {
+  src_port : int;
+  dst_port : int;
+  flow_id : int;
+  app_seq : int;
+  payload_len : int;
+}
+
+let meta_len = 12
+let header_len = 8
+
+let check_port p name =
+  if p < 0 || p > 0xFFFF then invalid_arg (Printf.sprintf "Udp.make: %s out of range" name)
+
+let make ?(src_port = 9000) ?(dst_port = 9000) ~flow_id ~app_seq ~payload_len () =
+  check_port src_port "src_port";
+  check_port dst_port "dst_port";
+  if flow_id < 0 || flow_id > 0xFFFFFFFF then invalid_arg "Udp.make: flow_id out of range";
+  if app_seq < 0 then invalid_arg "Udp.make: app_seq must be non-negative";
+  if payload_len < meta_len then invalid_arg "Udp.make: payload_len below metadata size";
+  { src_port; dst_port; flow_id; app_seq; payload_len }
+
+let wire_len t = header_len + t.payload_len
+
+let equal a b = a = b
+
+let pp fmt t =
+  Format.fprintf fmt "UDP %d->%d flow=%d seq=%d len=%d" t.src_port t.dst_port t.flow_id t.app_seq
+    t.payload_len

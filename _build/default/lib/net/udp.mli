@@ -1,0 +1,33 @@
+(** UDP datagrams carried inside {!Ipv4_pkt}.
+
+    The simulated application payload is structured rather than opaque: a
+    flow identifier and an application sequence number, which is what the
+    convergence experiments measure (gaps in received [app_seq] mark the
+    packets lost during re-convergence). [payload_len] is the *wire* length
+    of the UDP payload and may exceed the 12 bytes of metadata; the
+    remainder models application data and affects serialization delay
+    only. *)
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  flow_id : int;       (** 32-bit application flow identifier *)
+  app_seq : int;       (** application sequence number *)
+  payload_len : int;   (** bytes of UDP payload, >= {!meta_len} *)
+}
+
+val meta_len : int
+(** Bytes of structured metadata encoded at the head of the payload (12). *)
+
+val header_len : int
+(** UDP header bytes (8). *)
+
+val make : ?src_port:int -> ?dst_port:int -> flow_id:int -> app_seq:int -> payload_len:int -> unit -> t
+(** Ports default to 9000/9000. Raises [Invalid_argument] if
+    [payload_len < meta_len] or any field is out of range. *)
+
+val wire_len : t -> int
+(** [header_len + payload_len]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

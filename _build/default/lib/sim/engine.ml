@@ -1,0 +1,72 @@
+type event = {
+  time : Time.t;
+  seq : int;
+  thunk : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable clock : Time.t;
+  mutable next_seq : int;
+  mutable fired : int;
+  queue : event Heap.t;
+}
+
+let leq_event (a : event) (b : event) =
+  a.time < b.time || (a.time = b.time && a.seq <= b.seq)
+
+let create ?(now = 0) () =
+  { clock = now; next_seq = 0; fired = 0; queue = Heap.create ~leq:leq_event () }
+
+let now t = t.clock
+
+let schedule_at t ~time thunk =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)" time t.clock);
+  let ev = { time; seq = t.next_seq; thunk; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ~delay thunk =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock + delay) thunk
+
+let cancel _t handle = handle.cancelled <- true
+let is_pending handle = not handle.cancelled
+let pending_count t = Heap.length t.queue
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    if ev.cancelled then step t
+    else begin
+      t.clock <- ev.time;
+      t.fired <- t.fired + 1;
+      ev.thunk ();
+      true
+    end
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some ev when ev.cancelled ->
+      ignore (Heap.pop t.queue)
+    | Some ev ->
+      (match until with
+       | Some bound when ev.time > bound ->
+         t.clock <- bound;
+         continue := false
+       | _ ->
+         ignore (step t);
+         decr budget)
+  done
+
+let events_processed t = t.fired

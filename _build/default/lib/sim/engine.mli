@@ -1,0 +1,49 @@
+(** Discrete-event simulation engine.
+
+    The engine holds a virtual clock (nanoseconds, see {!Time}) and a
+    priority queue of pending events. Events scheduled for the same instant
+    fire in FIFO order of scheduling, which — together with the explicit
+    {!Prng} — makes whole-simulation runs fully deterministic. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : ?now:Time.t -> unit -> t
+(** A fresh engine whose clock starts at [now] (default 0). *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t + delay]. [delay] must be
+    non-negative; a zero delay fires after all events already queued for
+    the current instant. *)
+
+val schedule_at : t -> time:Time.t -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] runs [f] at absolute [time] (>= [now t]). *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event; cancelling an already-fired or already-cancelled
+    event is a no-op. *)
+
+val is_pending : handle -> bool
+(** [is_pending h] is true iff the event has neither fired nor been
+    cancelled. *)
+
+val pending_count : t -> int
+(** Number of events still queued (including cancelled-but-unpopped ones
+    only transiently; cancelled events are skipped when reached). *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** [run t] processes events in time order until the queue is empty, or the
+    clock would pass [until], or [max_events] events have fired. The clock
+    is left at the last fired event's time (or at [until] when that bound
+    stopped the run). *)
+
+val step : t -> bool
+(** Fire the single next event. Returns [false] when the queue is empty. *)
+
+val events_processed : t -> int
+(** Total events fired since creation (cancelled events excluded). *)

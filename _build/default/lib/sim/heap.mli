@@ -1,0 +1,35 @@
+(** Resizable binary min-heap.
+
+    Generic over the element type; ordering is supplied at creation time.
+    Used by {!Engine} for the pending-event queue, and reusable by any
+    component that needs a priority queue (e.g. path search in
+    [topology]). *)
+
+type 'a t
+
+val create : ?capacity:int -> leq:('a -> 'a -> bool) -> unit -> 'a t
+(** [create ~leq ()] is an empty heap ordered by [leq] (a total preorder;
+    [leq a b] means [a] sorts at or before [b]). *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x]. Amortized O(log n). *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element. O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+
+val clear : 'a t -> unit
+(** Remove all elements (releases references). *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Iterate over elements in unspecified order. *)

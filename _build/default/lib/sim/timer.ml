@@ -1,0 +1,46 @@
+type t = {
+  engine : Engine.t;
+  mutable stopped : bool;
+  mutable handle : Engine.handle option;
+}
+
+let stop t =
+  t.stopped <- true;
+  match t.handle with
+  | Some h ->
+    Engine.cancel t.engine h;
+    t.handle <- None
+  | None -> ()
+
+let active t = not t.stopped
+
+let every engine ~period ?start_delay ?jitter f =
+  if period <= 0 then invalid_arg "Timer.every: period must be positive";
+  let t = { engine; stopped = false; handle = None } in
+  let delay_of base =
+    match jitter with
+    | None -> base
+    | Some j -> max 0 (base + j ())
+  in
+  let rec arm delay =
+    if not t.stopped then
+      t.handle <- Some (Engine.schedule engine ~delay (fun () ->
+        t.handle <- None;
+        if not t.stopped then begin
+          f ();
+          if not t.stopped then arm (delay_of period)
+        end))
+  in
+  let first = match start_delay with Some d -> d | None -> period in
+  arm (delay_of first);
+  t
+
+let after engine ~delay f =
+  let t = { engine; stopped = false; handle = None } in
+  t.handle <- Some (Engine.schedule engine ~delay (fun () ->
+    t.handle <- None;
+    if not t.stopped then begin
+      t.stopped <- true;
+      f ()
+    end));
+  t

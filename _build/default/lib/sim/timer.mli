@@ -1,0 +1,25 @@
+(** Recurring timers on top of {!Engine}.
+
+    Protocol periodics (LDM beacons, ARP-cache sweeps, traffic sources) are
+    built on this module so that they can be stopped cleanly when a device
+    fails or a scenario ends. *)
+
+type t
+
+val every :
+  Engine.t -> period:Time.t -> ?start_delay:Time.t -> ?jitter:(unit -> Time.t) ->
+  (unit -> unit) -> t
+(** [every engine ~period f] calls [f] every [period], first at
+    [start_delay] (default: one [period]) from now. If [jitter] is given,
+    each firing is displaced by [jitter ()] (must keep the effective delay
+    non-negative). The callback may call {!stop} on its own timer. *)
+
+val after : Engine.t -> delay:Time.t -> (unit -> unit) -> t
+(** One-shot timer; equivalent to [Engine.schedule] but stoppable through
+    the same {!stop} interface. *)
+
+val stop : t -> unit
+(** Stop the timer; pending and future firings are suppressed. Idempotent. *)
+
+val active : t -> bool
+(** True until {!stop} is called (and, for one-shots, until it fires). *)

@@ -1,0 +1,1 @@
+lib/switch/capture.mli: Net Netcore

@@ -1,0 +1,1 @@
+lib/switch/dataplane.ml: Flow_table List Net Netcore

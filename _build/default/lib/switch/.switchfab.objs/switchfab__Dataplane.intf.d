@@ -1,0 +1,1 @@
+lib/switch/dataplane.mli: Flow_table Net Netcore

@@ -1,0 +1,1 @@
+lib/switch/flow_table.ml: Array Eth Format Hashtbl Ipv4_addr Ipv4_pkt List Mac_addr Netcore Option String Tcp_seg Udp

@@ -1,0 +1,1 @@
+lib/switch/flow_table.mli: Format Netcore

@@ -1,0 +1,1 @@
+lib/switch/net.ml: Array Engine Eventsim List Netcore Prng Time Topology

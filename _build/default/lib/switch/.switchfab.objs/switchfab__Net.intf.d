@@ -1,0 +1,1 @@
+lib/switch/net.mli: Eventsim Netcore Topology

@@ -1,0 +1,19 @@
+type side = Rx_only | Tx_only | Both
+
+type t = { net : Net.t; pcap : Netcore.Pcap.t }
+
+let create net = { net; pcap = Netcore.Pcap.create () }
+
+let tap t ~device ?(side = Rx_only) () =
+  Net.add_tap t.net ~device (fun dir ~port:_ frame ->
+      let wanted =
+        match (side, dir) with
+        | (Rx_only | Both), Net.Rx -> true
+        | (Tx_only | Both), Net.Tx -> true
+        | Rx_only, Net.Tx | Tx_only, Net.Rx -> false
+      in
+      if wanted then Netcore.Pcap.add_frame t.pcap ~time_ns:(Net.now t.net) frame)
+
+let frame_count t = Netcore.Pcap.frame_count t.pcap
+let pcap t = t.pcap
+let write_file t path = Netcore.Pcap.write_file t.pcap path

@@ -1,0 +1,24 @@
+(** Packet capture: tap devices and export what the virtual wire carried
+    as a standard pcap file.
+
+    A capture taps one or more devices and records frames (received,
+    sent, or both) with their simulated timestamps into a
+    {!Netcore.Pcap} buffer — `tcpdump` for the simulator. Because frames
+    are serialized through the real wire codec, the resulting file opens
+    in Wireshark with ARP, IPv4, UDP and TCP fully dissected. *)
+
+type t
+
+type side = Rx_only | Tx_only | Both
+
+val create : Net.t -> t
+(** An empty capture bound to a network (timestamps come from its
+    engine). *)
+
+val tap : t -> device:int -> ?side:side -> unit -> unit
+(** Start recording the device's traffic ([side] defaults to [Rx_only],
+    which sees every frame exactly once per receiving device). *)
+
+val frame_count : t -> int
+val pcap : t -> Netcore.Pcap.t
+val write_file : t -> string -> unit

@@ -1,0 +1,69 @@
+type miss_policy = Miss_drop | Miss_punt | Miss_flood
+
+type stats = { matched : int; missed : int; punts : int; dropped : int }
+
+type t = {
+  net : Net.t;
+  device : int;
+  table : Flow_table.t;
+  miss : miss_policy;
+  on_punt : in_port:int -> Netcore.Eth.t -> unit;
+  mutable s_matched : int;
+  mutable s_missed : int;
+  mutable s_punts : int;
+  mutable s_dropped : int;
+}
+
+let table t = t.table
+
+let stats t =
+  { matched = t.s_matched; missed = t.s_missed; punts = t.s_punts; dropped = t.s_dropped }
+
+let punt t ~in_port frame =
+  t.s_punts <- t.s_punts + 1;
+  t.on_punt ~in_port frame
+
+let run_actions t ~in_port frame actions =
+  let frame = ref frame in
+  List.iter
+    (fun (action : Flow_table.action) ->
+      match action with
+      | Flow_table.Output port -> Net.transmit t.net ~node:t.device ~port !frame
+      | Flow_table.Group g ->
+        let hash = Flow_table.flow_hash !frame in
+        (match Flow_table.select_member t.table ~group:g ~hash with
+         | Some port -> Net.transmit t.net ~node:t.device ~port !frame
+         | None -> t.s_dropped <- t.s_dropped + 1)
+      | Flow_table.Multi ports ->
+        List.iter
+          (fun port -> if port <> in_port then Net.transmit t.net ~node:t.device ~port !frame)
+          ports
+      | Flow_table.Flood -> Net.flood t.net ~node:t.device ~except:in_port !frame
+      | Flow_table.Set_dst_mac mac -> frame := { !frame with Netcore.Eth.dst = mac }
+      | Flow_table.Set_src_mac mac -> frame := { !frame with Netcore.Eth.src = mac }
+      | Flow_table.Punt -> punt t ~in_port !frame
+      | Flow_table.Drop -> t.s_dropped <- t.s_dropped + 1)
+    actions
+
+let handle t in_port frame =
+  match Flow_table.lookup t.table frame with
+  | Some entry ->
+    t.s_matched <- t.s_matched + 1;
+    run_actions t ~in_port frame entry.Flow_table.actions
+  | None ->
+    t.s_missed <- t.s_missed + 1;
+    (match t.miss with
+     | Miss_drop -> t.s_dropped <- t.s_dropped + 1
+     | Miss_punt -> punt t ~in_port frame
+     | Miss_flood -> Net.flood t.net ~node:t.device ~except:in_port frame)
+
+let attach net ~device ~table ~miss ?(on_punt = fun ~in_port:_ _ -> ()) () =
+  let t =
+    { net; device; table; miss; on_punt; s_matched = 0; s_missed = 0; s_punts = 0; s_dropped = 0 }
+  in
+  Net.set_handler (Net.device net device) (fun in_port frame -> handle t in_port frame);
+  t
+
+let inject t ~in_port frame = handle t in_port frame
+
+let forward_out t ~out_port frame = Net.transmit t.net ~node:t.device ~port:out_port frame

@@ -1,0 +1,30 @@
+(** Generic switch dataplane: binds a {!Flow_table} to a {!Net} device.
+
+    The pipeline applies the highest-priority matching entry's actions in
+    order; MAC rewrites affect the frame seen by subsequent actions, so
+    "rewrite then output" (PortLand's egress PMAC→AMAC step) composes
+    naturally. Control planes attach via the punt callback — frames a
+    table entry (or the miss policy) directs to the control agent. *)
+
+type miss_policy = Miss_drop | Miss_punt | Miss_flood
+
+type stats = { matched : int; missed : int; punts : int; dropped : int }
+
+type t
+
+val attach :
+  Net.t -> device:int -> table:Flow_table.t -> miss:miss_policy ->
+  ?on_punt:(in_port:int -> Netcore.Eth.t -> unit) -> unit -> t
+(** Install the pipeline as the device's receive handler. The punt
+    callback defaults to dropping. *)
+
+val table : t -> Flow_table.t
+val stats : t -> stats
+
+val inject : t -> in_port:int -> Netcore.Eth.t -> unit
+(** Run a frame through the pipeline as if it had arrived on [in_port] —
+    how local agents originate traffic that should obey the tables. *)
+
+val forward_out : t -> out_port:int -> Netcore.Eth.t -> unit
+(** Transmit directly out of a port, bypassing the tables (used by control
+    planes for protocol frames like LDMs). *)

@@ -1,0 +1,216 @@
+open Netcore
+
+type mask_match = { value : int; mask : int }
+
+type mtch = {
+  dst_mac : mask_match option;
+  src_mac : mask_match option;
+  ethertype : int option;
+  ip_dst : mask_match option;
+  ip_proto : int option;
+}
+
+let match_any = { dst_mac = None; src_mac = None; ethertype = None; ip_dst = None; ip_proto = None }
+
+let match_dst_prefix ~value ~mask = { match_any with dst_mac = Some { value; mask } }
+
+type action =
+  | Output of int
+  | Group of int
+  | Multi of int list
+  | Flood
+  | Set_dst_mac of Mac_addr.t
+  | Set_src_mac of Mac_addr.t
+  | Punt
+  | Drop
+
+type entry = { name : string; priority : int; mtch : mtch; actions : action list }
+
+type t = {
+  mutable entries : entry list; (* kept sorted: priority desc, insertion order for ties *)
+  mutable next_tie : int;
+  ties : (string, int) Hashtbl.t; (* name -> tie-break (later insertion wins) *)
+  groups : (int, int array) Hashtbl.t;
+  hits : (string, int) Hashtbl.t;
+  mutable salt : int;
+}
+
+let create () =
+  { entries = []; next_tie = 0; ties = Hashtbl.create 16; groups = Hashtbl.create 8;
+    hits = Hashtbl.create 16; salt = 0 }
+
+let set_hash_salt t salt = t.salt <- salt
+
+let sort_entries t =
+  let tie name = try Hashtbl.find t.ties name with Not_found -> 0 in
+  t.entries <-
+    List.stable_sort
+      (fun a b ->
+        match compare b.priority a.priority with
+        | 0 -> compare (tie b.name) (tie a.name)
+        | c -> c)
+      t.entries
+
+let install t entry =
+  t.entries <- List.filter (fun e -> e.name <> entry.name) t.entries;
+  Hashtbl.replace t.ties entry.name t.next_tie;
+  t.next_tie <- t.next_tie + 1;
+  t.entries <- entry :: t.entries;
+  sort_entries t
+
+let remove t name =
+  t.entries <- List.filter (fun e -> e.name <> name) t.entries;
+  Hashtbl.remove t.ties name;
+  Hashtbl.remove t.hits name
+
+let clear t =
+  t.entries <- [];
+  Hashtbl.reset t.ties;
+  Hashtbl.reset t.groups;
+  Hashtbl.reset t.hits
+
+let size t = List.length t.entries
+let entry_names t = List.map (fun e -> e.name) t.entries
+
+let set_group t id members = Hashtbl.replace t.groups id (Array.copy members)
+let group_members t id = Option.map Array.copy (Hashtbl.find_opt t.groups id)
+
+let mask_ok mm field = field land mm.mask = mm.value land mm.mask
+
+let ip_fields (frame : Eth.t) =
+  match frame.payload with
+  | Eth.Ipv4 p ->
+    Some (Ipv4_addr.to_int p.Ipv4_pkt.src, Ipv4_addr.to_int p.Ipv4_pkt.dst,
+          Ipv4_pkt.proto_number p.Ipv4_pkt.payload)
+  | _ -> None
+
+let matches m (frame : Eth.t) =
+  let dst = Mac_addr.to_int frame.dst and src = Mac_addr.to_int frame.src in
+  let et = Eth.ethertype frame.payload in
+  let dst_ok = match m.dst_mac with None -> true | Some mm -> mask_ok mm dst in
+  let src_ok = match m.src_mac with None -> true | Some mm -> mask_ok mm src in
+  let et_ok = match m.ethertype with None -> true | Some e -> e = et in
+  let ip = ip_fields frame in
+  let ip_dst_ok =
+    match m.ip_dst with
+    | None -> true
+    | Some mm -> (match ip with Some (_, d, _) -> mask_ok mm d | None -> false)
+  in
+  let proto_ok =
+    match m.ip_proto with
+    | None -> true
+    | Some p -> (match ip with Some (_, _, pr) -> p = pr | None -> false)
+  in
+  dst_ok && src_ok && et_ok && ip_dst_ok && proto_ok
+
+let lookup t frame =
+  match List.find_opt (fun e -> matches e.mtch frame) t.entries with
+  | Some e as hit ->
+    Hashtbl.replace t.hits e.name (1 + (try Hashtbl.find t.hits e.name with Not_found -> 0));
+    hit
+  | None -> None
+
+let hit_count t name = try Hashtbl.find t.hits name with Not_found -> 0
+
+let select_member t ~group ~hash =
+  match Hashtbl.find_opt t.groups group with
+  | None -> None
+  | Some members when Array.length members = 0 -> None
+  | Some members ->
+    (* decorrelate from other switches on the path via the local salt,
+       with a full avalanche so even mod-2 member choices see every input
+       bit (a plain multiply preserves low-bit parity) *)
+    let h = hash lxor t.salt in
+    let h = (h lxor (h lsr 30)) * 0x1BF58476D1CE4E5B land max_int in
+    let h = (h lxor (h lsr 27)) * 0x1094D049BB133111 land max_int in
+    let mixed = h lxor (h lsr 31) in
+    Some members.(mixed mod Array.length members)
+
+(* FNV-1a over selected fields *)
+let fnv_prime = 0x100000001b3
+let fnv_offset = 0x3bf29ce484222325 (* FNV offset basis truncated to 62 bits *)
+
+let fnv acc v = (acc lxor v) * fnv_prime land max_int
+
+let ports_of (frame : Eth.t) =
+  match frame.payload with
+  | Eth.Ipv4 p ->
+    (match p.Ipv4_pkt.payload with
+     | Ipv4_pkt.Udp u -> (u.Udp.src_port, u.Udp.dst_port)
+     | Ipv4_pkt.Tcp s -> (s.Tcp_seg.src_port, s.Tcp_seg.dst_port)
+     | Ipv4_pkt.Igmp _ | Ipv4_pkt.Icmp _ | Ipv4_pkt.Raw _ -> (0, 0))
+  | _ -> (0, 0)
+
+let flow_hash (frame : Eth.t) =
+  let h =
+    match ip_fields frame with
+    | Some (src, dst, proto) ->
+      let sp, dp = ports_of frame in
+      fnv (fnv (fnv (fnv (fnv fnv_offset src) dst) proto) sp) dp
+    | None ->
+      fnv (fnv (fnv fnv_offset (Mac_addr.to_int frame.src)) (Mac_addr.to_int frame.dst))
+        (Eth.ethertype frame.payload)
+  in
+  abs h
+
+let pp_mask_match fmt (mm : mask_match) =
+  if mm.mask = 0xFFFFFFFFFFFF then Format.fprintf fmt "=%012x" mm.value
+  else Format.fprintf fmt "%012x/%012x" mm.value mm.mask
+
+let pp_mtch fmt m =
+  let started = ref false in
+  let sep () =
+    if !started then Format.pp_print_string fmt ",";
+    started := true
+  in
+  (match m.dst_mac with
+   | Some mm ->
+     sep ();
+     Format.fprintf fmt "dst:%a" pp_mask_match mm
+   | None -> ());
+  (match m.src_mac with
+   | Some mm ->
+     sep ();
+     Format.fprintf fmt "src:%a" pp_mask_match mm
+   | None -> ());
+  (match m.ethertype with
+   | Some e ->
+     sep ();
+     Format.fprintf fmt "type:0x%04x" e
+   | None -> ());
+  (match m.ip_dst with
+   | Some mm ->
+     sep ();
+     Format.fprintf fmt "ip_dst:%a" pp_mask_match mm
+   | None -> ());
+  (match m.ip_proto with
+   | Some p ->
+     sep ();
+     Format.fprintf fmt "proto:%d" p
+   | None -> ());
+  if not !started then Format.pp_print_string fmt "any"
+
+let pp_action fmt = function
+  | Output p -> Format.fprintf fmt "out:%d" p
+  | Group g -> Format.fprintf fmt "group:%d" g
+  | Multi ports ->
+    Format.fprintf fmt "multi:[%s]" (String.concat ";" (List.map string_of_int ports))
+  | Flood -> Format.pp_print_string fmt "flood"
+  | Set_dst_mac m -> Format.fprintf fmt "set_dst:%a" Mac_addr.pp m
+  | Set_src_mac m -> Format.fprintf fmt "set_src:%a" Mac_addr.pp m
+  | Punt -> Format.pp_print_string fmt "punt"
+  | Drop -> Format.pp_print_string fmt "drop"
+
+let pp fmt t =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%4d %-14s %-40s [%s] hits=%d@." e.priority e.name
+        (Format.asprintf "%a" pp_mtch e.mtch)
+        (String.concat "; " (List.map (Format.asprintf "%a" pp_action) e.actions))
+        (hit_count t e.name))
+    t.entries;
+  Hashtbl.iter
+    (fun gid members ->
+      Format.fprintf fmt "group %d -> [%s]@." gid
+        (String.concat ";" (List.map string_of_int (Array.to_list members))))
+    t.groups

@@ -1,0 +1,101 @@
+(** Priority match/action flow tables — the switch dataplane abstraction
+    PortLand programs (the paper targets OpenFlow switches).
+
+    A table holds prioritized entries whose matches may wildcard or
+    mask-match individual fields (masked destination-MAC matching is how
+    PMAC prefix forwarding is expressed), plus ECMP *select groups*: an
+    action may defer the output-port choice to a group, which picks a live
+    member by flow hash so that a flow sticks to one path but flows spread
+    across all members. *)
+
+type mask_match = { value : int; mask : int }
+(** Field matches when [field land mask = value land mask]. *)
+
+type mtch = {
+  dst_mac : mask_match option;
+  src_mac : mask_match option;
+  ethertype : int option;
+  ip_dst : mask_match option;
+  ip_proto : int option;
+}
+
+val match_any : mtch
+(** Matches every frame. *)
+
+val match_dst_prefix : value:int -> mask:int -> mtch
+(** Destination-MAC mask match, everything else wildcarded. *)
+
+type action =
+  | Output of int            (** forward out of the given port *)
+  | Group of int             (** forward via select group *)
+  | Multi of int list
+      (** copy to every listed port except the ingress port — multicast
+          tree semantics, which keeps a switch on both the up- and
+          down-path of a tree from bouncing a packet back where it came
+          from *)
+  | Flood                    (** all ports except ingress *)
+  | Set_dst_mac of Netcore.Mac_addr.t  (** rewrite before subsequent output *)
+  | Set_src_mac of Netcore.Mac_addr.t
+  | Punt                     (** send to the local control agent *)
+  | Drop
+
+type entry = {
+  name : string;    (** unique handle for update/removal *)
+  priority : int;   (** higher wins; ties broken by later insertion *)
+  mtch : mtch;
+  actions : action list;
+}
+
+type t
+
+val create : unit -> t
+
+val install : t -> entry -> unit
+(** Insert or replace (by [name]). *)
+
+val remove : t -> string -> unit
+(** Remove by name; absent names are ignored. *)
+
+val clear : t -> unit
+
+val size : t -> int
+(** Number of installed entries — the "switch state" metric in the state
+    experiment. *)
+
+val entry_names : t -> string list
+
+val set_hash_salt : t -> int -> unit
+(** Per-switch salt mixed into select-group member choice. Without it,
+    every switch on a path would derive the same hash from the same flow
+    and make {e correlated} ECMP choices, collapsing the usable path set
+    (the classic reason real fabrics seed per-switch hash functions).
+    Defaults to 0. *)
+
+val set_group : t -> int -> int array -> unit
+(** Define or replace a select group's member port list. An empty member
+    list makes the group select nothing (lookups through it drop). *)
+
+val group_members : t -> int -> int array option
+
+val lookup : t -> Netcore.Eth.t -> entry option
+(** Highest-priority matching entry. Increments the entry's hit
+    counter. *)
+
+val hit_count : t -> string -> int
+(** Times the named entry matched (0 for unknown names; counters survive
+    entry replacement but not {!remove}/{!clear}). *)
+
+val pp : Format.formatter -> t -> unit
+(** Operator-style dump: one line per entry (priority, name, match
+    summary, actions, hits), highest priority first, then the groups. *)
+
+val select_member : t -> group:int -> hash:int -> int option
+(** Deterministic member choice: [members.(hash mod length)]. *)
+
+val flow_hash : Netcore.Eth.t -> int
+(** Non-negative hash over (src IP, dst IP, protocol, ports) for IP
+    frames; over (src MAC, dst MAC, ethertype) otherwise. Flows hash
+    stably; distinct flows spread. *)
+
+val matches : mtch -> Netcore.Eth.t -> bool
+(** Exposed for tests. *)

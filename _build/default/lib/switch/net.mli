@@ -1,0 +1,115 @@
+(** Runtime network: devices, ports and links instantiated from a
+    {!Topology.Topo.t} on top of an {!Eventsim.Engine.t}.
+
+    The transmission model is store-and-forward with per-port output
+    buffering: each outbound port direction serializes frames at link
+    bandwidth; a frame whose queueing backlog would exceed the port's
+    buffer is tail-dropped; delivered frames arrive one serialization time
+    plus one propagation delay after their departure. Links and devices
+    can fail and recover at runtime, and ports can be re-wired (VM
+    migration re-plugs a host under a different edge switch). *)
+
+type link_params = {
+  delay : Eventsim.Time.t;        (** one-way propagation delay *)
+  bandwidth_bps : int;            (** link rate, bits per second *)
+  queue_cap_bytes : int;          (** per-direction output buffer *)
+  loss_rate : float;              (** i.i.d. per-frame loss probability *)
+}
+
+val default_link_params : link_params
+(** 1 Gb/s, 1 µs delay, 512 KiB buffer, lossless. *)
+
+type t
+type device
+type link
+
+val create :
+  ?params:link_params -> ?loss_seed:int -> Eventsim.Engine.t -> Topology.Topo.t -> t
+(** Instantiate every node and wire every topology link. All devices start
+    up with a null (drop-everything) handler. [loss_seed] (default 7)
+    seeds the deterministic stream that decides per-frame losses when any
+    link has a non-zero [loss_rate]. *)
+
+val engine : t -> Eventsim.Engine.t
+val topo : t -> Topology.Topo.t
+val now : t -> Eventsim.Time.t
+
+(** {1 Devices} *)
+
+val device : t -> int -> device
+val device_count : t -> int
+val device_by_name : t -> string -> device option
+val id : device -> int
+val name : device -> string
+val kind : device -> Topology.Topo.kind
+val nports : device -> int
+val is_up : device -> bool
+
+val set_handler : device -> (int -> Netcore.Eth.t -> unit) -> unit
+(** [set_handler d f] makes [f in_port frame] the receive callback. *)
+
+val fail_device : t -> int -> unit
+(** A failed device silently drops everything it would receive or send. *)
+
+val recover_device : t -> int -> unit
+
+(** {1 Links} *)
+
+val link_of_topo : t -> int -> link
+(** Runtime link for a topology link index. Raises [Invalid_argument] if
+    that wiring was removed by {!unplug}. *)
+
+val link_between : t -> int -> int -> link option
+(** Any current link directly connecting two device ids. *)
+
+val link_is_up : link -> bool
+val fail_link : t -> link -> unit
+val recover_link : t -> link -> unit
+val link_ends : link -> (int * int) * (int * int)
+(** [((dev_a, port_a), (dev_b, port_b))]. *)
+
+val unplug : t -> node:int -> port:int -> unit
+(** Remove the cable at a port (both ends become unwired). No-op when the
+    port is already empty. *)
+
+val plug : ?params:link_params -> t -> a:int * int -> b:int * int -> link
+(** Wire two free ports together with a fresh cable. Raises
+    [Invalid_argument] when either port is occupied. *)
+
+val peer_of : t -> node:int -> port:int -> (int * int) option
+(** Current peer (device, port) wired at the given port, if any. *)
+
+(** {1 Transmission} *)
+
+val transmit : t -> node:int -> port:int -> Netcore.Eth.t -> unit
+(** Enqueue a frame for transmission out of a port. Dropped (with a
+    counter) when the device or link is down, the port is unwired, or the
+    output buffer is full. *)
+
+val flood : t -> node:int -> except:int -> Netcore.Eth.t -> unit
+(** Transmit on every wired port except [except] (pass [-1] to use all). *)
+
+(** {1 Taps} *)
+
+type direction = Rx | Tx
+
+val add_tap : t -> device:int -> (direction -> port:int -> Netcore.Eth.t -> unit) -> unit
+(** Observe every frame the device sends ([Tx], at enqueue time) or
+    receives ([Rx], at delivery, before the handler runs). Multiple taps
+    stack; there is no removal (taps live as long as the network —
+    they're a debugging/capture facility, see {!Capture}). *)
+
+(** {1 Counters} *)
+
+type counters = {
+  rx_frames : int;
+  tx_frames : int;
+  rx_bytes : int;
+  tx_bytes : int;
+  queue_drops : int;
+  down_drops : int;  (** dropped because device/link down or port unwired *)
+  loss_drops : int;  (** dropped by the link's random-loss model *)
+}
+
+val device_counters : device -> counters
+val total_counters : t -> counters

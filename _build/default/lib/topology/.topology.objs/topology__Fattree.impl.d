@@ -1,0 +1,1 @@
+lib/topology/fattree.ml: Array Multirooted Printf

@@ -1,0 +1,1 @@
+lib/topology/multirooted.ml: Array List Printf Topo

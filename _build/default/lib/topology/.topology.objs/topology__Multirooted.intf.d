@@ -1,0 +1,1 @@
+lib/topology/multirooted.mli: Topo

@@ -1,0 +1,1 @@
+lib/topology/paths.ml: Array Eventsim Hashtbl List Printf Queue Topo

@@ -1,0 +1,1 @@
+lib/topology/topo.ml: Array Buffer Format Hashtbl List Printf Queue String

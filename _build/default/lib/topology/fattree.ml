@@ -1,0 +1,44 @@
+type t = Multirooted.t
+
+let spec ~k =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Fattree.spec: k must be even and >= 2";
+  let half = k / 2 in
+  { Multirooted.num_pods = k;
+    edges_per_pod = half;
+    aggs_per_pod = half;
+    hosts_per_edge = half;
+    num_cores = half * half }
+
+let build ~k = Multirooted.build (spec ~k)
+
+let k (t : t) = 2 * t.Multirooted.spec.Multirooted.edges_per_pod
+
+let num_hosts ~k = k * k * k / 4
+let num_switches ~k = (k * k) + (k / 2 * (k / 2))
+
+let check name v bound =
+  if v < 0 || v >= bound then invalid_arg (Printf.sprintf "Fattree.%s: out of range" name)
+
+let host (t : t) ~pod ~edge ~slot =
+  let s = t.Multirooted.spec in
+  check "host" pod s.Multirooted.num_pods;
+  check "host" edge s.Multirooted.edges_per_pod;
+  check "host" slot s.Multirooted.hosts_per_edge;
+  t.Multirooted.hosts.((pod * s.Multirooted.edges_per_pod * s.Multirooted.hosts_per_edge)
+                       + (edge * s.Multirooted.hosts_per_edge) + slot)
+
+let edge (t : t) ~pod ~pos =
+  let s = t.Multirooted.spec in
+  check "edge" pod s.Multirooted.num_pods;
+  check "edge" pos s.Multirooted.edges_per_pod;
+  t.Multirooted.edges.(pod).(pos)
+
+let agg (t : t) ~pod ~pos =
+  let s = t.Multirooted.spec in
+  check "agg" pod s.Multirooted.num_pods;
+  check "agg" pos s.Multirooted.aggs_per_pod;
+  t.Multirooted.aggs.(pod).(pos)
+
+let core (t : t) ~index =
+  check "core" index (Array.length t.Multirooted.cores);
+  t.Multirooted.cores.(index)

@@ -1,0 +1,29 @@
+(** Canonical k-ary fat tree (Al-Fares et al., SIGCOMM 2008) — the
+    substrate PortLand's evaluation runs on.
+
+    For even [k >= 2]: [k] pods; each pod has [k/2] edge and [k/2]
+    aggregation switches of [k] ports each; [(k/2)^2] core switches;
+    [k^3/4] hosts. A thin specialization of {!Multirooted}. *)
+
+type t = Multirooted.t
+
+val spec : k:int -> Multirooted.spec
+(** Raises [Invalid_argument] unless [k] is even and [>= 2]. *)
+
+val build : k:int -> t
+
+val k : t -> int
+(** Recovered from the spec ([2 * edges_per_pod]). *)
+
+val num_hosts : k:int -> int
+(** [k^3/4]. *)
+
+val num_switches : k:int -> int
+(** [k*k + (k/2)^2] (edge + agg + core). *)
+
+val host : t -> pod:int -> edge:int -> slot:int -> int
+(** Node id; raises [Invalid_argument] when out of range. *)
+
+val edge : t -> pod:int -> pos:int -> int
+val agg : t -> pod:int -> pos:int -> int
+val core : t -> index:int -> int

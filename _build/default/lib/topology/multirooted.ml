@@ -1,0 +1,124 @@
+type spec = {
+  num_pods : int;
+  edges_per_pod : int;
+  aggs_per_pod : int;
+  hosts_per_edge : int;
+  num_cores : int;
+}
+
+type t = {
+  spec : spec;
+  topo : Topo.t;
+  hosts : int array;
+  edges : int array array;
+  aggs : int array array;
+  cores : int array;
+}
+
+let uplinks_per_agg s = s.num_cores / s.aggs_per_pod
+
+let validate_spec s =
+  if s.num_pods <= 0 then Error "num_pods must be positive"
+  else if s.edges_per_pod <= 0 then Error "edges_per_pod must be positive"
+  else if s.aggs_per_pod <= 0 then Error "aggs_per_pod must be positive"
+  else if s.hosts_per_edge <= 0 then Error "hosts_per_edge must be positive"
+  else if s.num_cores <= 0 then Error "num_cores must be positive"
+  else if s.num_cores mod s.aggs_per_pod <> 0 then
+    Error "num_cores must be divisible by aggs_per_pod (stripe wiring)"
+  else Ok ()
+
+let build s =
+  (match validate_spec s with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Multirooted.build: " ^ msg));
+  let u = uplinks_per_agg s in
+  let next_id = ref 0 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let nodes = ref [] in
+  let add_node kind name nports =
+    let id = fresh () in
+    nodes := { Topo.id; kind; name; nports } :: !nodes;
+    id
+  in
+  (* hosts first, then edges, aggs, cores — ids are dense in that order *)
+  let hosts =
+    Array.init (s.num_pods * s.edges_per_pod * s.hosts_per_edge) (fun i ->
+        let pod = i / (s.edges_per_pod * s.hosts_per_edge) in
+        let rem = i mod (s.edges_per_pod * s.hosts_per_edge) in
+        let edge = rem / s.hosts_per_edge in
+        let slot = rem mod s.hosts_per_edge in
+        add_node Topo.Host (Printf.sprintf "host-%d-%d-%d" pod edge slot) 1)
+  in
+  let edges =
+    Array.init s.num_pods (fun pod ->
+        Array.init s.edges_per_pod (fun pos ->
+            add_node Topo.Edge_switch
+              (Printf.sprintf "edge-%d-%d" pod pos)
+              (s.hosts_per_edge + s.aggs_per_pod)))
+  in
+  let aggs =
+    Array.init s.num_pods (fun pod ->
+        Array.init s.aggs_per_pod (fun pos ->
+            add_node Topo.Agg_switch (Printf.sprintf "agg-%d-%d" pod pos) (s.edges_per_pod + u)))
+  in
+  let cores =
+    Array.init s.num_cores (fun c ->
+        add_node Topo.Core_switch (Printf.sprintf "core-%d" c) s.num_pods)
+  in
+  let links = ref [] in
+  let connect a ap b bp =
+    links := { Topo.a = { Topo.node = a; port = ap }; b = { Topo.node = b; port = bp } } :: !links
+  in
+  (* host <-> edge *)
+  Array.iteri
+    (fun i host ->
+      let pod = i / (s.edges_per_pod * s.hosts_per_edge) in
+      let rem = i mod (s.edges_per_pod * s.hosts_per_edge) in
+      let edge = rem / s.hosts_per_edge in
+      let slot = rem mod s.hosts_per_edge in
+      connect host 0 edges.(pod).(edge) slot)
+    hosts;
+  (* edge <-> agg, full bipartite within pod *)
+  for pod = 0 to s.num_pods - 1 do
+    for e = 0 to s.edges_per_pod - 1 do
+      for a = 0 to s.aggs_per_pod - 1 do
+        connect edges.(pod).(e) (s.hosts_per_edge + a) aggs.(pod).(a) e
+      done
+    done
+  done;
+  (* agg <-> core stripes: agg position a owns cores a*u .. a*u+u-1 *)
+  for pod = 0 to s.num_pods - 1 do
+    for a = 0 to s.aggs_per_pod - 1 do
+      for j = 0 to u - 1 do
+        let core = cores.((a * u) + j) in
+        connect aggs.(pod).(a) (s.edges_per_pod + j) core pod
+      done
+    done
+  done;
+  let topo = Topo.create ~nodes:(List.rev !nodes) ~links:(List.rev !links) in
+  { spec = s; topo; hosts; edges; aggs; cores }
+
+let host_ids t = Array.to_list t.hosts
+let edge_uplink_port t ~agg_pos = t.spec.hosts_per_edge + agg_pos
+let agg_uplink_port t ~stripe_member = t.spec.edges_per_pod + stripe_member
+
+let core_of_stripe t ~agg_pos ~member =
+  let u = uplinks_per_agg t.spec in
+  if agg_pos < 0 || agg_pos >= t.spec.aggs_per_pod || member < 0 || member >= u then
+    invalid_arg "Multirooted.core_of_stripe: out of range";
+  t.cores.((agg_pos * u) + member)
+
+let host_location t id =
+  let n = Array.length t.hosts in
+  (* hosts occupy ids [0, n): dense construction order *)
+  if id < 0 || id >= n || t.hosts.(id) <> id then None
+  else begin
+    let per_pod = t.spec.edges_per_pod * t.spec.hosts_per_edge in
+    let pod = id / per_pod in
+    let rem = id mod per_pod in
+    Some (pod, rem / t.spec.hosts_per_edge, rem mod t.spec.hosts_per_edge)
+  end

@@ -1,0 +1,65 @@
+(** Generalized multi-rooted tree builder.
+
+    PortLand targets any multi-rooted tree, of which the k-ary fat tree is
+    the canonical instance ({!Fattree} is a thin wrapper over this module).
+    A spec describes a three-tier topology:
+
+    - [num_pods] pods, each with [edges_per_pod] edge switches and
+      [aggs_per_pod] aggregation switches, fully bipartitely wired inside
+      the pod;
+    - [hosts_per_edge] hosts per edge switch;
+    - [num_cores] core switches, wired in stripes: aggregation switch at
+      position [a] (in every pod) connects to cores
+      [a*u .. a*u+u-1] where [u = num_cores / aggs_per_pod], and every core
+      has exactly one link to every pod.
+
+    Port conventions (relied upon throughout the PortLand layer):
+    - edge switch: ports [0 .. hosts_per_edge-1] face hosts (down), ports
+      [hosts_per_edge ..] face aggregation switches (up, one per agg
+      position, in order);
+    - aggregation switch: ports [0 .. edges_per_pod-1] face edge switches
+      (down, indexed by edge position), remaining ports face its core
+      stripe (up, in order);
+    - core switch: port [p] faces pod [p];
+    - host: single port (0) to its edge switch. *)
+
+type spec = {
+  num_pods : int;
+  edges_per_pod : int;
+  aggs_per_pod : int;
+  hosts_per_edge : int;
+  num_cores : int;
+}
+
+type t = {
+  spec : spec;
+  topo : Topo.t;
+  hosts : int array;        (** node id of host [pod*epp*hpe + edge*hpe + slot] *)
+  edges : int array array;  (** [edges.(pod).(pos)] *)
+  aggs : int array array;   (** [aggs.(pod).(pos)] *)
+  cores : int array;        (** [cores.(a*u + j)] is stripe [a], member [j] *)
+}
+
+val validate_spec : spec -> (unit, string) result
+(** All counts positive, [num_cores] divisible by [aggs_per_pod], and
+    core degree = [num_pods] consistent with stripe wiring. *)
+
+val build : spec -> t
+(** Raises [Invalid_argument] when {!validate_spec} fails. *)
+
+val uplinks_per_agg : spec -> int
+(** [num_cores / aggs_per_pod]. *)
+
+val host_ids : t -> int list
+val edge_uplink_port : t -> agg_pos:int -> int
+(** Edge-switch port facing the aggregation switch at [agg_pos]. *)
+
+val agg_uplink_port : t -> stripe_member:int -> int
+(** Aggregation-switch port facing member [stripe_member] of its core
+    stripe. *)
+
+val core_of_stripe : t -> agg_pos:int -> member:int -> int
+(** Node id of that core switch. *)
+
+val host_location : t -> int -> (int * int * int) option
+(** [host_location t id] is [(pod, edge_pos, slot)] when [id] is a host. *)

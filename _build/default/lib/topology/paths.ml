@@ -1,0 +1,117 @@
+let bfs_parents ?(excluded_links = []) topo ~src =
+  let n = Topo.node_count topo in
+  let excluded = Hashtbl.create (List.length excluded_links) in
+  List.iter (fun l -> Hashtbl.replace excluded l ()) excluded_links;
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(src) <- true;
+  Queue.push src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun (port, (e : Topo.endpoint)) ->
+        let link_ok =
+          match Topo.link_index topo ~node:u ~port with
+          | Some idx -> not (Hashtbl.mem excluded idx)
+          | None -> false
+        in
+        if link_ok && not seen.(e.Topo.node) then begin
+          seen.(e.Topo.node) <- true;
+          parent.(e.Topo.node) <- u;
+          Queue.push e.Topo.node queue
+        end)
+      (Topo.neighbors topo u)
+  done;
+  (parent, seen)
+
+let shortest ?excluded_links topo ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let parent, seen = bfs_parents ?excluded_links topo ~src in
+    if not seen.(dst) then None
+    else begin
+      let rec walk acc v = if v = src then src :: acc else walk (v :: acc) parent.(v) in
+      Some (walk [] dst)
+    end
+  end
+
+let distance ?excluded_links topo ~src ~dst =
+  match shortest ?excluded_links topo ~src ~dst with
+  | Some path -> Some (List.length path - 1)
+  | None -> None
+
+let reachable ?excluded_links topo ~src ~dst =
+  match distance ?excluded_links topo ~src ~dst with Some _ -> true | None -> false
+
+let links_on_path topo path =
+  let rec go acc = function
+    | [] | [ _ ] -> List.rev acc
+    | u :: (v :: _ as rest) ->
+      let link =
+        List.find_map
+          (fun (port, (e : Topo.endpoint)) ->
+            if e.Topo.node = v then Topo.link_index topo ~node:u ~port else None)
+          (Topo.neighbors topo u)
+      in
+      (match link with
+       | Some idx -> go (idx :: acc) rest
+       | None ->
+         invalid_arg (Printf.sprintf "Paths.links_on_path: %d and %d not adjacent" u v))
+  in
+  go [] path
+
+let average_shortest_path ?(sample = 2000) ?(seed = 42) topo ~between =
+  let ids = Topo.nodes_of_kind topo between |> List.map (fun n -> n.Topo.id) |> Array.of_list in
+  let n = Array.length ids in
+  if n < 2 then 0.0
+  else begin
+    let prng = Eventsim.Prng.create seed in
+    let total_pairs = n * (n - 1) in
+    let count = min sample total_pairs in
+    let sum = ref 0 and measured = ref 0 in
+    (* exhaustively when small, sampled otherwise *)
+    if total_pairs <= sample then
+      Array.iter
+        (fun s ->
+          Array.iter
+            (fun d ->
+              if s <> d then
+                match distance topo ~src:s ~dst:d with
+                | Some h ->
+                  sum := !sum + h;
+                  incr measured
+                | None -> ())
+            ids)
+        ids
+    else
+      for _ = 1 to count do
+        let s = Eventsim.Prng.pick prng ids in
+        let d = ref (Eventsim.Prng.pick prng ids) in
+        while !d = s do
+          d := Eventsim.Prng.pick prng ids
+        done;
+        match distance topo ~src:s ~dst:!d with
+        | Some h ->
+          sum := !sum + h;
+          incr measured
+        | None -> ()
+      done;
+    if !measured = 0 then 0.0 else float_of_int !sum /. float_of_int !measured
+  end
+
+let edge_disjoint_count topo ~src ~dst =
+  if src = dst then 0
+  else begin
+    let removed = ref [] in
+    let count = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match shortest ~excluded_links:!removed topo ~src ~dst with
+      | None -> continue := false
+      | Some path ->
+        incr count;
+        removed := links_on_path topo path @ !removed
+    done;
+    !count
+  end

@@ -1,0 +1,26 @@
+(** Path and reachability queries over a {!Topo.t}, with optional link
+    exclusions (used by tests to reason about failure scenarios and by the
+    experiment harness to choose on-path links to fail). *)
+
+val shortest : ?excluded_links:int list -> Topo.t -> src:int -> dst:int -> int list option
+(** BFS shortest path as a node list [src; …; dst]. [excluded_links] are
+    indexes into [Topo.links] treated as absent. [None] when unreachable. *)
+
+val distance : ?excluded_links:int list -> Topo.t -> src:int -> dst:int -> int option
+(** Hop count of {!shortest}. *)
+
+val reachable : ?excluded_links:int list -> Topo.t -> src:int -> dst:int -> bool
+
+val links_on_path : Topo.t -> int list -> int list
+(** Link indexes traversed by a node path; raises [Invalid_argument] when
+    consecutive nodes are not adjacent. *)
+
+val average_shortest_path :
+  ?sample:int -> ?seed:int -> Topo.t -> between:Topo.kind -> float
+(** Mean hop distance between (a sample of) node pairs of the given kind.
+    [sample] bounds the number of pairs (default 2000). *)
+
+val edge_disjoint_count : Topo.t -> src:int -> dst:int -> int
+(** Number of pairwise link-disjoint paths between two nodes, computed by
+    iterated BFS with link removal (exact for unit-capacity max-flow on
+    these small graphs' purposes; used by fault-tolerance tests). *)

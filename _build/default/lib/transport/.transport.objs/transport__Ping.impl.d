@@ -1,0 +1,1 @@
+lib/transport/ping.ml: Engine Eventsim Format Hashtbl Icmp Ipv4_addr Ipv4_pkt Netcore Option Port_mux Portland Stats Time Timer

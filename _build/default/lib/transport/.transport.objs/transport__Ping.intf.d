@@ -1,0 +1,1 @@
+lib/transport/ping.mli: Eventsim Format Netcore Port_mux

@@ -1,0 +1,1 @@
+lib/transport/port_mux.ml: Hashtbl Icmp Ipv4_addr Ipv4_pkt Netcore Portland Tcp_seg Udp

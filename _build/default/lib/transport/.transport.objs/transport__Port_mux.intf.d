@@ -1,0 +1,1 @@
+lib/transport/port_mux.mli: Netcore Portland

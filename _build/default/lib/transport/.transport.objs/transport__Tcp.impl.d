@@ -1,0 +1,1 @@
+lib/transport/tcp.ml: Array Engine Eventsim Hashtbl Ipv4_pkt List Netcore Option Port_mux Portland Stats Tcp_seg Time Timer

@@ -1,0 +1,1 @@
+lib/transport/tcp.mli: Eventsim Port_mux

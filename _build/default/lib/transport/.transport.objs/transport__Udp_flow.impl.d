@@ -1,0 +1,1 @@
+lib/transport/udp_flow.ml: Array Engine Eventsim Ipv4_pkt Lazy Netcore Port_mux Portland Stats Timer Udp

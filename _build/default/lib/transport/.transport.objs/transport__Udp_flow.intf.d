@@ -1,0 +1,1 @@
+lib/transport/udp_flow.mli: Eventsim Netcore Port_mux Portland

@@ -1,0 +1,77 @@
+open Eventsim
+open Netcore
+
+type t = {
+  engine : Engine.t;
+  mux : Port_mux.t;
+  dst : Ipv4_addr.t;
+  ident : int;
+  outstanding : (int, Time.t) Hashtbl.t; (* seq -> send time *)
+  rtt : Stats.Distribution.t;
+  mutable next_seq : int;
+  mutable received : int;
+  mutable timer : Timer.t option;
+}
+
+let create engine mux ~dst ?ident () =
+  let ident =
+    match ident with
+    | Some i -> i
+    | None -> Portland.Host_agent.device_id (Port_mux.host mux) land 0xFFFF
+  in
+  let t =
+    { engine; mux; dst; ident;
+      outstanding = Hashtbl.create 16;
+      rtt = Stats.Distribution.create ();
+      next_seq = 0; received = 0; timer = None }
+  in
+  Port_mux.set_icmp_handler mux (fun ~src (m : Icmp.t) ->
+      match m with
+      | Icmp.Echo_reply { ident; seq; _ }
+        when ident = t.ident && Ipv4_addr.equal src t.dst ->
+        (match Hashtbl.find_opt t.outstanding seq with
+         | Some sent_at ->
+           Hashtbl.remove t.outstanding seq;
+           t.received <- t.received + 1;
+           Stats.Distribution.add t.rtt (Time.to_us_f (Engine.now engine - sent_at))
+         | None -> ())
+      | Icmp.Echo_reply _ | Icmp.Echo_request _ -> ());
+  t
+
+let send_one t ~payload_len =
+  let seq = t.next_seq land 0xFFFF in
+  t.next_seq <- t.next_seq + 1;
+  Hashtbl.replace t.outstanding seq (Engine.now t.engine);
+  let req = Icmp.echo_request ~payload_len ~ident:t.ident ~seq () in
+  Portland.Host_agent.send_ip (Port_mux.host t.mux) ~dst:t.dst (Ipv4_pkt.Icmp req)
+
+let stop t =
+  Option.iter Timer.stop t.timer;
+  t.timer <- None
+
+let start t ?(count = 10) ?(interval = Time.ms 10) ?(payload_len = 56) () =
+  stop t;
+  let remaining = ref count in
+  t.timer <-
+    Some
+      (Timer.every t.engine ~period:interval ~start_delay:1 (fun () ->
+           if !remaining > 0 then begin
+             send_one t ~payload_len;
+             decr remaining
+           end
+           else stop t))
+
+let sent t = t.next_seq
+let received t = t.received
+let lost t = Hashtbl.length t.outstanding
+let rtt t = t.rtt
+
+let pp_summary fmt t =
+  if Stats.Distribution.count t.rtt = 0 then
+    Format.fprintf fmt "%d sent, 0 received" (sent t)
+  else
+    Format.fprintf fmt "%d sent, %d received; rtt min/avg/max = %.1f/%.1f/%.1f us" (sent t)
+      (received t)
+      (Stats.Distribution.min t.rtt)
+      (Stats.Distribution.mean t.rtt)
+      (Stats.Distribution.max t.rtt)

@@ -1,0 +1,31 @@
+(** ICMP echo measurement — ping(8) for the simulator.
+
+    Sends sequence-numbered echo requests at an interval and matches the
+    kernel-answered replies by (identifier, sequence), collecting the
+    round-trip times into an {!Eventsim.Stats.Distribution}. On a fat
+    tree the RTT distribution cleanly exposes the three locality tiers
+    (same edge switch, same pod, across pods). *)
+
+type t
+
+val create : Eventsim.Engine.t -> Port_mux.t -> dst:Netcore.Ipv4_addr.t -> ?ident:int -> unit -> t
+(** Bind a pinger on the mux's host toward a destination. [ident]
+    defaults to a value derived from the host's device id. Claims the
+    mux's ICMP handler. *)
+
+val start : t -> ?count:int -> ?interval:Eventsim.Time.t -> ?payload_len:int -> unit -> unit
+(** Begin probing: [count] requests (default 10) every [interval]
+    (default 10 ms), [payload_len] echo bytes (default 56). *)
+
+val stop : t -> unit
+
+val sent : t -> int
+val received : t -> int
+val lost : t -> int
+(** Requests sent whose reply has not (yet) arrived. *)
+
+val rtt : t -> Eventsim.Stats.Distribution.t
+(** Round-trip times in microseconds. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** ping(8)-style one-liner: sent/received plus min/avg/max RTT. *)

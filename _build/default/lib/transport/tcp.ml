@@ -1,0 +1,337 @@
+open Eventsim
+open Netcore
+
+type params = {
+  mss : int;
+  init_cwnd_mss : int;
+  init_ssthresh : int;
+  rto_min : Time.t;
+  rto_init : Time.t;
+  rto_max : Time.t;
+  dupack_threshold : int;
+  rcv_window : int;
+  delayed_ack : bool;
+}
+
+let default_params =
+  { mss = 1460;
+    init_cwnd_mss = 2;
+    init_ssthresh = 65535;
+    rto_min = Time.ms 200;
+    rto_init = Time.sec 1;
+    rto_max = Time.sec 60;
+    dupack_threshold = 3;
+    rcv_window = 65535;
+    delayed_ack = false }
+
+type tcp_stats = {
+  bytes_acked : int;
+  bytes_delivered : int;
+  segments_sent : int;
+  acks_sent : int;
+  retransmits : int;
+  fast_retransmits : int;
+  timeouts : int;
+  cwnd_bytes : int;
+  srtt : Time.t option;
+}
+
+type t = {
+  engine : Engine.t;
+  p : params;
+  src_host : Portland.Host_agent.t;
+  dst_host : Portland.Host_agent.t;
+  src_port : int;
+  dst_port : int;
+  total : int option;
+  (* sender state *)
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable high_water : int; (* highest byte ever sent; sends below it are retransmissions *)
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable dup_acks : int;
+  mutable in_recovery : bool;
+  mutable recover : int;
+  mutable srtt : Time.t option;
+  mutable rttvar : Time.t;
+  mutable rto_backoff : int;
+  mutable rto_timer : Timer.t option;
+  mutable timed_seq : int;       (* ack covering this ends the sample *)
+  mutable timed_start : Time.t;
+  mutable timed_valid : bool;
+  mutable stopped : bool;
+  (* receiver state *)
+  mutable rcv_nxt : int;
+  ooo : (int, int) Hashtbl.t; (* seq -> len *)
+  mutable unacked_segs : int;
+  mutable delack_timer : Timer.t option;
+  trace : Stats.Series.t;
+  cwnd_series : Stats.Series.t;
+  (* stats *)
+  mutable s_segments : int;
+  mutable s_acks_sent : int;
+  mutable s_retransmits : int;
+  mutable s_fast_retransmits : int;
+  mutable s_timeouts : int;
+}
+
+let finished t =
+  match t.total with Some total -> t.snd_una >= total | None -> false
+
+let stats t =
+  { bytes_acked = t.snd_una;
+    bytes_delivered = t.rcv_nxt;
+    segments_sent = t.s_segments;
+    acks_sent = t.s_acks_sent;
+    retransmits = t.s_retransmits;
+    fast_retransmits = t.s_fast_retransmits;
+    timeouts = t.s_timeouts;
+    cwnd_bytes = t.cwnd;
+    srtt = t.srtt }
+
+let delivery_trace t = t.trace
+let cwnd_trace t = t.cwnd_series
+
+let set_cwnd t v =
+  if v <> t.cwnd then begin
+    t.cwnd <- v;
+    Stats.Series.add t.cwnd_series ~time:(Engine.now t.engine) (float_of_int v)
+  end
+
+let goodput_bps t ~window =
+  if window <= 0 then invalid_arg "Tcp.goodput_bps: window must be positive";
+  let pts = Stats.Series.points t.trace in
+  if Array.length pts = 0 then []
+  else begin
+    (* per-window delivered deltas from the cumulative trace *)
+    let tbl = Hashtbl.create 64 in
+    let prev = ref 0.0 in
+    Array.iter
+      (fun (time, v) ->
+        let b = time / window in
+        let delta = v -. !prev in
+        prev := v;
+        let cur = try Hashtbl.find tbl b with Not_found -> 0.0 in
+        Hashtbl.replace tbl b (cur +. delta))
+      pts;
+    Hashtbl.fold (fun b v acc -> (b, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (b, bytes) -> (b * window, bytes *. 8.0 *. (1e9 /. float_of_int window)))
+  end
+
+(* ---------------- sender internals ---------------- *)
+
+let current_rto t =
+  let base =
+    match t.srtt with
+    | Some srtt -> max t.p.rto_min (srtt + (4 * t.rttvar))
+    | None -> t.p.rto_init
+  in
+  min t.p.rto_max (base * t.rto_backoff)
+
+let cancel_rto t =
+  Option.iter Timer.stop t.rto_timer;
+  t.rto_timer <- None
+
+let seg_len t seq =
+  let upper = match t.total with Some total -> total | None -> max_int in
+  max 0 (min t.p.mss (upper - seq))
+
+let send_segment t ~seq ~len ~retransmission =
+  t.s_segments <- t.s_segments + 1;
+  if retransmission then t.s_retransmits <- t.s_retransmits + 1;
+  if retransmission && t.timed_valid && seq <= t.timed_seq then t.timed_valid <- false
+  else if (not retransmission) && not t.timed_valid then begin
+    t.timed_valid <- true;
+    t.timed_seq <- seq + len;
+    t.timed_start <- Engine.now t.engine
+  end;
+  let seg =
+    Tcp_seg.make ~src_port:t.src_port ~dst_port:t.dst_port ~seq ~ack_num:0
+      ~window:t.p.rcv_window ~payload_len:len ()
+  in
+  Portland.Host_agent.send_ip t.src_host ~dst:(Portland.Host_agent.ip t.dst_host)
+    (Ipv4_pkt.Tcp seg)
+
+let rec arm_rto t =
+  cancel_rto t;
+  if t.snd_nxt > t.snd_una && not t.stopped then
+    t.rto_timer <- Some (Timer.after t.engine ~delay:(current_rto t) (fun () -> on_rto t))
+
+and send_more t =
+  if not t.stopped then begin
+    let window = min t.cwnd t.p.rcv_window in
+    let continue = ref true in
+    while !continue do
+      let inflight = t.snd_nxt - t.snd_una in
+      let len = seg_len t t.snd_nxt in
+      if len > 0 && inflight + len <= window then begin
+        send_segment t ~seq:t.snd_nxt ~len ~retransmission:(t.snd_nxt < t.high_water);
+        t.snd_nxt <- t.snd_nxt + len;
+        if t.snd_nxt > t.high_water then t.high_water <- t.snd_nxt
+      end
+      else continue := false
+    done;
+    if t.rto_timer = None && t.snd_nxt > t.snd_una then arm_rto t
+  end
+
+and on_rto t =
+  t.rto_timer <- None;
+  if t.snd_nxt > t.snd_una && not t.stopped then begin
+    t.s_timeouts <- t.s_timeouts + 1;
+    let inflight = t.snd_nxt - t.snd_una in
+    t.ssthresh <- max (inflight / 2) (2 * t.p.mss);
+    set_cwnd t t.p.mss;
+    t.in_recovery <- false;
+    t.dup_acks <- 0;
+    t.timed_valid <- false;
+    t.rto_backoff <- min 64 (t.rto_backoff * 2);
+    (* go-back-N: rewind and let send_more retransmit from the hole *)
+    t.snd_nxt <- t.snd_una;
+    send_more t;
+    arm_rto t
+  end
+
+let sample_rtt t =
+  let sample = Engine.now t.engine - t.timed_start in
+  (match t.srtt with
+   | None ->
+     t.srtt <- Some sample;
+     t.rttvar <- sample / 2
+   | Some srtt ->
+     let err = abs (srtt - sample) in
+     t.rttvar <- ((3 * t.rttvar) + err) / 4;
+     t.srtt <- Some (((7 * srtt) + sample) / 8));
+  t.timed_valid <- false
+
+let on_ack t (seg : Tcp_seg.t) =
+  if not t.stopped then begin
+    let ack = seg.Tcp_seg.ack_num in
+    if ack > t.snd_una then begin
+      if t.timed_valid && ack >= t.timed_seq then sample_rtt t;
+      let newly = ack - t.snd_una in
+      t.snd_una <- ack;
+      t.rto_backoff <- 1;
+      t.dup_acks <- 0;
+      if t.in_recovery then begin
+        if ack >= t.recover then begin
+          (* full recovery: deflate *)
+          t.in_recovery <- false;
+          set_cwnd t t.ssthresh
+        end
+        else begin
+          (* NewReno partial ack: retransmit the next hole, stay in
+             recovery, partial deflation *)
+          let len = min t.p.mss (t.snd_nxt - t.snd_una) in
+          if len > 0 then send_segment t ~seq:t.snd_una ~len ~retransmission:true;
+          set_cwnd t (max t.p.mss (t.cwnd - newly + t.p.mss))
+        end
+      end
+      else if t.cwnd < t.ssthresh then set_cwnd t (t.cwnd + min newly t.p.mss)
+      else set_cwnd t (t.cwnd + max 1 (t.p.mss * t.p.mss / t.cwnd));
+      if t.snd_nxt > t.snd_una then arm_rto t else cancel_rto t;
+      send_more t
+    end
+    else if t.snd_nxt > t.snd_una then begin
+      t.dup_acks <- t.dup_acks + 1;
+      if (not t.in_recovery) && t.dup_acks = t.p.dupack_threshold then begin
+        t.s_fast_retransmits <- t.s_fast_retransmits + 1;
+        let inflight = t.snd_nxt - t.snd_una in
+        t.ssthresh <- max (inflight / 2) (2 * t.p.mss);
+        let len = min t.p.mss (t.snd_nxt - t.snd_una) in
+        send_segment t ~seq:t.snd_una ~len ~retransmission:true;
+        set_cwnd t (t.ssthresh + (t.p.dupack_threshold * t.p.mss));
+        t.in_recovery <- true;
+        t.recover <- t.snd_nxt;
+        arm_rto t
+      end
+      else if t.in_recovery then begin
+        set_cwnd t (t.cwnd + t.p.mss);
+        send_more t
+      end
+    end
+  end
+
+(* ---------------- receiver internals ---------------- *)
+
+let send_ack t =
+  t.s_acks_sent <- t.s_acks_sent + 1;
+  t.unacked_segs <- 0;
+  Option.iter Timer.stop t.delack_timer;
+  t.delack_timer <- None;
+  let seg =
+    Tcp_seg.make ~src_port:t.dst_port ~dst_port:t.src_port ~seq:0 ~ack_num:t.rcv_nxt
+      ~window:t.p.rcv_window ~payload_len:0 ()
+  in
+  Portland.Host_agent.send_ip t.dst_host ~dst:(Portland.Host_agent.ip t.src_host)
+    (Ipv4_pkt.Tcp seg)
+
+let maybe_ack t ~in_order =
+  if not t.p.delayed_ack then send_ack t
+  else if not in_order then send_ack t (* out-of-order: immediate dup ACK *)
+  else begin
+    t.unacked_segs <- t.unacked_segs + 1;
+    if t.unacked_segs >= 2 then send_ack t
+    else if t.delack_timer = None then
+      t.delack_timer <- Some (Timer.after t.engine ~delay:(Time.ms 40) (fun () ->
+          t.delack_timer <- None;
+          if t.unacked_segs > 0 then send_ack t))
+  end
+
+let on_data t (seg : Tcp_seg.t) =
+  if seg.Tcp_seg.payload_len > 0 then begin
+    let seq = seg.Tcp_seg.seq and len = seg.Tcp_seg.payload_len in
+    if seq = t.rcv_nxt then begin
+      t.rcv_nxt <- t.rcv_nxt + len;
+      let continue = ref true in
+      while !continue do
+        match Hashtbl.find_opt t.ooo t.rcv_nxt with
+        | Some l ->
+          Hashtbl.remove t.ooo t.rcv_nxt;
+          t.rcv_nxt <- t.rcv_nxt + l
+        | None -> continue := false
+      done;
+      Stats.Series.add t.trace ~time:(Engine.now t.engine) (float_of_int t.rcv_nxt);
+      maybe_ack t ~in_order:true
+    end
+    else begin
+      if seq > t.rcv_nxt then Hashtbl.replace t.ooo seq len;
+      maybe_ack t ~in_order:false
+    end
+  end
+
+(* ---------------- lifecycle ---------------- *)
+
+let stop t =
+  t.stopped <- true;
+  Option.iter Timer.stop t.delack_timer;
+  t.delack_timer <- None;
+  cancel_rto t
+
+let connect engine ?(params = default_params) ~src ~dst ?(src_port = 5001) ?(dst_port = 5001)
+    ?total_bytes () =
+  let t =
+    { engine; p = params;
+      src_host = Port_mux.host src;
+      dst_host = Port_mux.host dst;
+      src_port; dst_port;
+      total = total_bytes;
+      snd_una = 0; snd_nxt = 0; high_water = 0;
+      cwnd = params.init_cwnd_mss * params.mss;
+      ssthresh = params.init_ssthresh;
+      dup_acks = 0; in_recovery = false; recover = 0;
+      srtt = None; rttvar = 0; rto_backoff = 1; rto_timer = None;
+      timed_seq = 0; timed_start = 0; timed_valid = false;
+      stopped = false;
+      rcv_nxt = 0; ooo = Hashtbl.create 32; unacked_segs = 0; delack_timer = None;
+      trace = Stats.Series.create ~name:"tcp-delivered" ();
+      cwnd_series = Stats.Series.create ~name:"tcp-cwnd" ();
+      s_segments = 0; s_acks_sent = 0; s_retransmits = 0; s_fast_retransmits = 0;
+      s_timeouts = 0 }
+  in
+  Port_mux.register_tcp src ~port:src_port (fun ~src:_ seg ->
+      if seg.Tcp_seg.flags.Tcp_seg.ack then on_ack t seg);
+  Port_mux.register_tcp dst ~port:dst_port (fun ~src:_ seg -> on_data t seg);
+  ignore (Engine.schedule engine ~delay:0 (fun () -> send_more t));
+  t

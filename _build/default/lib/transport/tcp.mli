@@ -1,0 +1,79 @@
+(** Simplified TCP — everything the paper's evaluation depends on, nothing
+    it doesn't.
+
+    Implemented: byte-sequence transfer with cumulative ACKs, slow start
+    and congestion avoidance, triple-duplicate-ACK fast retransmit with
+    fast recovery, SRTT/RTTVAR estimation (Karn's rule: retransmitted
+    segments don't update the estimate), retransmission timeouts with
+    exponential backoff and the classical {b 200 ms minimum RTO} — the
+    constant that bounds the paper's TCP convergence and VM migration
+    results. Omitted (documented in DESIGN.md): connection establishment
+    and teardown (endpoints are pre-associated), delayed ACKs, SACK,
+    window scaling beyond the configured receive window.
+
+    A connection is one sender and one receiver pinned to two hosts. The
+    receiver records a [(time, contiguous bytes delivered)] trace — the
+    sequence-vs-time figure of the paper — and both ends count
+    retransmission events. *)
+
+type params = {
+  mss : int;               (** payload bytes per segment (default 1460) *)
+  init_cwnd_mss : int;     (** initial congestion window, in MSS (2) *)
+  init_ssthresh : int;     (** bytes (65535) *)
+  rto_min : Eventsim.Time.t;  (** 200 ms *)
+  rto_init : Eventsim.Time.t; (** 1 s, before the first RTT sample *)
+  rto_max : Eventsim.Time.t;  (** backoff cap, 60 s *)
+  dupack_threshold : int;  (** 3 *)
+  rcv_window : int;        (** receiver's advertised window, bytes *)
+  delayed_ack : bool;      (** ACK every second in-order segment, with a
+                               40 ms delayed-ACK timer (off by default,
+                               matching the rest of the evaluation) *)
+}
+
+val default_params : params
+
+type t
+
+type tcp_stats = {
+  bytes_acked : int;          (** delivered & acknowledged at the sender *)
+  bytes_delivered : int;      (** contiguous bytes at the receiver *)
+  segments_sent : int;
+  acks_sent : int;            (** pure ACKs emitted by the receiver *)
+  retransmits : int;
+  fast_retransmits : int;
+  timeouts : int;
+  cwnd_bytes : int;
+  srtt : Eventsim.Time.t option;
+}
+
+val connect :
+  Eventsim.Engine.t -> ?params:params -> src:Port_mux.t -> dst:Port_mux.t ->
+  ?src_port:int -> ?dst_port:int -> ?total_bytes:int -> unit -> t
+(** Associate a sender on [src]'s host with a receiver on [dst]'s host and
+    start transferring immediately. [total_bytes] absent means an
+    unbounded stream.
+
+    The connection follows the {e receiver's host} wherever it goes: the
+    sender addresses the destination IP, so a migrated VM keeps receiving
+    once ARP state heals — exactly the property the migration experiment
+    demonstrates. *)
+
+val stop : t -> unit
+(** Stop transmitting and cancel timers. *)
+
+val finished : t -> bool
+(** True when [total_bytes] was given and fully acknowledged. *)
+
+val stats : t -> tcp_stats
+
+val delivery_trace : t -> Eventsim.Stats.Series.t
+(** Receiver-side (time, contiguous bytes) points — one per segment that
+    advanced delivery. *)
+
+val goodput_bps : t -> window:Eventsim.Time.t -> (Eventsim.Time.t * float) list
+(** Delivered-bytes trace differentiated into a bits-per-second series
+    over windows of the given width. *)
+
+val cwnd_trace : t -> Eventsim.Stats.Series.t
+(** Sender-side (time, congestion-window bytes) points, one per change —
+    slow start, fast recovery and RTO collapses are all visible. *)

@@ -1,0 +1,77 @@
+open Eventsim
+open Netcore
+
+module Sender = struct
+  type t = {
+    timer : Timer.t;
+    mutable count : int;
+  }
+
+  let start engine host ~dst ?(src_port = 9000) ?(dst_port = 9000) ?(payload_len = 1000)
+      ~flow_id ~rate_pps () =
+    if rate_pps <= 0 then invalid_arg "Udp_flow.Sender.start: rate must be positive";
+    let period = max 1 (1_000_000_000 / rate_pps) in
+    let rec t = lazy { timer = Timer.every engine ~period ~start_delay:period tick; count = 0 }
+    and tick () =
+      let t = Lazy.force t in
+      let u = Udp.make ~src_port ~dst_port ~flow_id ~app_seq:t.count ~payload_len () in
+      Portland.Host_agent.send_ip host ~dst (Ipv4_pkt.Udp u);
+      t.count <- t.count + 1
+    in
+    Lazy.force t
+
+  let stop t = Timer.stop t.timer
+  let sent t = t.count
+end
+
+module Receiver = struct
+  type t = {
+    flow_id : int;
+    arrivals : Stats.Series.t;
+    mutable received : int;
+    mutable lost : int;
+    mutable duplicate : int;
+    mutable next_expected : int;
+  }
+
+  let attach engine mux ?(port = 9000) ~flow_id () =
+    let t =
+      { flow_id;
+        arrivals = Stats.Series.create ~name:"udp-arrivals" ();
+        received = 0; lost = 0; duplicate = 0; next_expected = 0 }
+    in
+    Port_mux.register_udp mux ~port (fun ~src:_ (u : Udp.t) ->
+        if u.Udp.flow_id = t.flow_id then begin
+          t.received <- t.received + 1;
+          Stats.Series.add t.arrivals ~time:(Engine.now engine) (float_of_int u.Udp.app_seq);
+          if u.Udp.app_seq >= t.next_expected then begin
+            t.lost <- t.lost + (u.Udp.app_seq - t.next_expected);
+            t.next_expected <- u.Udp.app_seq + 1
+          end
+          else t.duplicate <- t.duplicate + 1
+        end);
+    t
+
+  let received t = t.received
+  let lost t = t.lost
+  let duplicate t = t.duplicate
+  let arrivals t = t.arrivals
+
+  let max_gap t ~after =
+    let pts = Stats.Series.points t.arrivals in
+    let n = Array.length pts in
+    if n < 2 then None
+    else begin
+      let best = ref None in
+      for i = 1 to n - 1 do
+        let t0, _ = pts.(i - 1) and t1, _ = pts.(i) in
+        if t0 >= after then begin
+          let gap = t1 - t0 in
+          match !best with
+          | Some (_, g) when g >= gap -> ()
+          | _ -> best := Some (t0, gap)
+        end
+      done;
+      !best
+    end
+end

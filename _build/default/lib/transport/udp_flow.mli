@@ -1,0 +1,41 @@
+(** Constant-rate UDP flows with loss and outage accounting — the probe
+    traffic of the paper's UDP convergence experiment.
+
+    A sender emits sequence-numbered datagrams at a fixed rate; the
+    receiver records arrival times and sequence numbers, from which the
+    experiment extracts the outage window (the longest inter-arrival gap)
+    and the number of lost packets. *)
+
+module Sender : sig
+  type t
+
+  val start :
+    Eventsim.Engine.t -> Portland.Host_agent.t -> dst:Netcore.Ipv4_addr.t ->
+    ?src_port:int -> ?dst_port:int -> ?payload_len:int -> flow_id:int -> rate_pps:int ->
+    unit -> t
+  (** Begin sending immediately; [payload_len] defaults to 1000 bytes. *)
+
+  val stop : t -> unit
+  val sent : t -> int
+end
+
+module Receiver : sig
+  type t
+
+  val attach : Eventsim.Engine.t -> Port_mux.t -> ?port:int -> flow_id:int -> unit -> t
+  (** Listen on [port] (default 9000) for datagrams of the given flow. *)
+
+  val received : t -> int
+  val lost : t -> int
+  (** Sequence numbers skipped so far (assumes in-order delivery, which
+      holds per flow because ECMP pins a flow to one path). *)
+
+  val duplicate : t -> int
+
+  val arrivals : t -> Eventsim.Stats.Series.t
+  (** One point per datagram: (arrival time, sequence number). *)
+
+  val max_gap : t -> after:Eventsim.Time.t -> (Eventsim.Time.t * Eventsim.Time.t) option
+  (** Longest inter-arrival gap whose start is at or after the given time:
+      [(gap_start, gap_length)]. [None] with fewer than 2 arrivals. *)
+end

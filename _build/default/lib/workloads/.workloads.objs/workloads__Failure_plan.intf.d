@@ -1,0 +1,1 @@
+lib/workloads/failure_plan.mli: Eventsim Topology

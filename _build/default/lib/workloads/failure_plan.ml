@@ -1,0 +1,58 @@
+module MR = Topology.Multirooted
+module T = Topology.Topo
+
+let switch_links (mt : MR.t) =
+  Array.to_list (T.links mt.MR.topo)
+  |> List.filter_map (fun (l : T.link) ->
+         let a = l.T.a.T.node and b = l.T.b.T.node in
+         let is_switch n = (T.node mt.MR.topo n).T.kind <> T.Host in
+         if is_switch a && is_switch b then Some (a, b) else None)
+
+let pod_of_host (mt : MR.t) host =
+  match MR.host_location mt host with
+  | Some (pod, edge, _) -> (pod, edge)
+  | None -> invalid_arg "Failure_plan: not a host id"
+
+let flow_relevant_links (mt : MR.t) ~src_host ~dst_host =
+  let src_pod, src_edge = pod_of_host mt src_host in
+  let dst_pod, dst_edge = pod_of_host mt dst_host in
+  let src_edge_sw = mt.MR.edges.(src_pod).(src_edge) in
+  let dst_edge_sw = mt.MR.edges.(dst_pod).(dst_edge) in
+  let relevant (a, b) =
+    let touches sw = a = sw || b = sw in
+    let is_agg_of pod sw = Array.exists (fun x -> x = sw) mt.MR.aggs.(pod) in
+    let is_core sw = Array.exists (fun x -> x = sw) mt.MR.cores in
+    touches src_edge_sw || touches dst_edge_sw
+    || ((is_agg_of src_pod a || is_agg_of dst_pod a) && is_core b)
+    || ((is_agg_of src_pod b || is_agg_of dst_pod b) && is_core a)
+  in
+  List.filter relevant (switch_links mt)
+
+let link_index_between (mt : MR.t) a b =
+  let links = T.links mt.MR.topo in
+  let found = ref None in
+  Array.iteri
+    (fun i (l : T.link) ->
+      let la = l.T.a.T.node and lb = l.T.b.T.node in
+      if (la = a && lb = b) || (la = b && lb = a) then found := Some i)
+    links;
+  !found
+
+let pick_survivable prng mt ~candidates ~src_host ~dst_host ~n =
+  let arr = Array.of_list candidates in
+  if Array.length arr < n then None
+  else begin
+    let attempt () =
+      let copy = Array.copy arr in
+      Eventsim.Prng.shuffle prng copy;
+      let chosen = Array.to_list (Array.sub copy 0 n) in
+      let excluded = List.filter_map (fun (a, b) -> link_index_between mt a b) chosen in
+      if Topology.Paths.reachable ~excluded_links:excluded mt.MR.topo ~src:src_host ~dst:dst_host
+      then Some chosen
+      else None
+    in
+    let rec go tries = if tries = 0 then None else
+        match attempt () with Some c -> Some c | None -> go (tries - 1)
+    in
+    go 200
+  end

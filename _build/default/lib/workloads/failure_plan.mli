@@ -1,0 +1,20 @@
+(** Failure-scenario helpers: which links can fail, and which sets of
+    simultaneous failures keep a source–destination pair connected. *)
+
+val switch_links : Topology.Multirooted.t -> (int * int) list
+(** All switch–switch links as (device, device) pairs — the links LDP can
+    detect failures on (host access links carry no LDMs). *)
+
+val flow_relevant_links :
+  Topology.Multirooted.t -> src_host:int -> dst_host:int -> (int * int) list
+(** The switch–switch links any ECMP path of the flow could traverse: the
+    source edge's uplinks, core links touching the source or destination
+    pod, and the destination edge's uplinks. Failing subsets of these is
+    how the increasing-failures experiment stresses re-convergence. *)
+
+val pick_survivable :
+  Eventsim.Prng.t -> Topology.Multirooted.t -> candidates:(int * int) list ->
+  src_host:int -> dst_host:int -> n:int -> (int * int) list option
+(** Choose [n] distinct candidate links, uniformly, such that the
+    source and destination remain connected with all of them removed.
+    [None] if 200 attempts find no survivable combination. *)

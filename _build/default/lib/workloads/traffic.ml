@@ -1,0 +1,51 @@
+let random_permutation prng hosts =
+  let n = Array.length hosts in
+  if n < 2 then invalid_arg "Traffic.random_permutation: need at least 2 hosts";
+  (* sattolo's algorithm produces a uniformly random single cycle, which is
+     in particular a derangement *)
+  let idx = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Eventsim.Prng.int prng i in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  List.init n (fun i -> (hosts.(i), hosts.(idx.(i))))
+
+let stride hosts ~stride =
+  let n = Array.length hosts in
+  if n = 0 then []
+  else
+    List.filter_map
+      (fun i ->
+        let j = (i + stride) mod n in
+        let j = if j < 0 then j + n else j in
+        if j = i then None else Some (hosts.(i), hosts.(j)))
+      (List.init n (fun i -> i))
+
+let all_pairs hosts =
+  let n = Array.length hosts in
+  List.concat_map
+    (fun i ->
+      List.filter_map
+        (fun j -> if i = j then None else Some (hosts.(i), hosts.(j)))
+        (List.init n (fun j -> j)))
+    (List.init n (fun i -> i))
+
+let hotspot hosts ~target_index =
+  let n = Array.length hosts in
+  if target_index < 0 || target_index >= n then invalid_arg "Traffic.hotspot: bad target";
+  List.filter_map
+    (fun i -> if i = target_index then None else Some (hosts.(i), hosts.(target_index)))
+    (List.init n (fun i -> i))
+
+let sample_pairs prng hosts ~n =
+  let len = Array.length hosts in
+  if len < 2 then invalid_arg "Traffic.sample_pairs: need at least 2 hosts";
+  List.init n (fun _ ->
+      let i = Eventsim.Prng.int prng len in
+      let j = ref (Eventsim.Prng.int prng len) in
+      while !j = i do
+        j := Eventsim.Prng.int prng len
+      done;
+      (hosts.(i), hosts.(!j)))

@@ -1,0 +1,22 @@
+(** Communication patterns over a set of hosts.
+
+    Pure pair-list generators, parameterized by an explicit PRNG where
+    randomized; experiments turn the pairs into UDP/TCP flows. *)
+
+val random_permutation : Eventsim.Prng.t -> 'a array -> ('a * 'a) list
+(** Each host sends to exactly one other and receives from exactly one
+    other (a derangement: nobody talks to itself). Needs at least two
+    hosts. *)
+
+val stride : 'a array -> stride:int -> ('a * 'a) list
+(** Host [i] sends to host [(i + stride) mod n], skipping self-pairs. *)
+
+val all_pairs : 'a array -> ('a * 'a) list
+(** Every ordered pair of distinct hosts. O(n²). *)
+
+val hotspot : 'a array -> target_index:int -> ('a * 'a) list
+(** Every other host sends to the host at [target_index]. *)
+
+val sample_pairs : Eventsim.Prng.t -> 'a array -> n:int -> ('a * 'a) list
+(** [n] random ordered pairs of distinct hosts (with replacement across
+    pairs). *)

@@ -1,0 +1,1 @@
+test/test_eventsim.ml: Alcotest Array Engine Eventsim Heap Lazy List Prng QCheck2 Stats Testutil Time Timer Trace

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Buffer Eventsim Format Harness List String Testutil

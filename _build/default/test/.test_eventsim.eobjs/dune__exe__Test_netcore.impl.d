@@ -1,0 +1,1 @@
+test/test_netcore.ml: Alcotest Arp Bpdu Bytes Char Codec Eth Icmp Igmp Ipv4_addr Ipv4_pkt Ldp_msg List Mac_addr Netcore Pcap QCheck2 Result String Tcp_seg Testutil Udp

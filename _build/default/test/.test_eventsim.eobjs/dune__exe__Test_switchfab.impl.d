@@ -1,0 +1,1 @@
+test/test_switchfab.ml: Alcotest Arp Array Bytes Capture Char Dataplane Eth Eventsim Flow_table Format Ipv4_addr Ipv4_pkt List Mac_addr Net Netcore Option String Switchfab Testutil Topology Udp

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Fattree List Multirooted Option Paths QCheck2 Result String Testutil Topo Topology

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Array Baselines Engine Eventsim Icmp Ipv4_addr Ipv4_pkt List Mac_addr Netcore Option Portland Stats Switchfab Tcp_seg Testutil Time Topology Transport Udp

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Eventsim Failure_plan List QCheck2 Testutil Topology Traffic Workloads

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Baselines Eventsim List Netcore Portland Printf QCheck2 QCheck_alcotest Switchfab Topology

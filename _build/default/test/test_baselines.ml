@@ -1,0 +1,320 @@
+open Eventsim
+open Netcore
+open Baselines
+
+(* ---------------- Mac_table ---------------- *)
+
+let test_mac_table_learn_lookup () =
+  let engine = Engine.create () in
+  let t = Mac_table.create engine () in
+  let mac = Mac_addr.of_int 42 in
+  Mac_table.learn t ~mac ~port:3;
+  Testutil.check_bool "lookup" true (Mac_table.lookup t mac = Some 3);
+  Mac_table.learn t ~mac ~port:5;
+  Testutil.check_bool "relearn moves" true (Mac_table.lookup t mac = Some 5);
+  Testutil.check_int "size" 1 (Mac_table.size t)
+
+let test_mac_table_aging () =
+  let engine = Engine.create () in
+  let t = Mac_table.create engine ~aging:(Time.sec 1) () in
+  Mac_table.learn t ~mac:(Mac_addr.of_int 1) ~port:0;
+  (* advance simulated time past the aging horizon *)
+  ignore (Engine.schedule engine ~delay:(Time.sec 2) (fun () -> ()));
+  Engine.run engine;
+  Testutil.check_bool "aged out" true (Mac_table.lookup t (Mac_addr.of_int 1) = None);
+  Testutil.check_int "size sweeps" 0 (Mac_table.size t)
+
+let test_mac_table_flush_port () =
+  let engine = Engine.create () in
+  let t = Mac_table.create engine () in
+  Mac_table.learn t ~mac:(Mac_addr.of_int 1) ~port:0;
+  Mac_table.learn t ~mac:(Mac_addr.of_int 2) ~port:1;
+  Mac_table.flush_port t 0;
+  Testutil.check_bool "port 0 gone" true (Mac_table.lookup t (Mac_addr.of_int 1) = None);
+  Testutil.check_bool "port 1 kept" true (Mac_table.lookup t (Mac_addr.of_int 2) = Some 1);
+  Mac_table.flush t;
+  Testutil.check_int "flushed" 0 (Mac_table.size t)
+
+(* ---------------- STP on small topologies ---------------- *)
+
+(* a ring of three switches: exactly one link must end up blocked *)
+let ring_fabric () =
+  let engine = Engine.create () in
+  let nodes =
+    List.init 3 (fun i ->
+        { Topology.Topo.id = i; kind = Topology.Topo.Edge_switch;
+          name = Printf.sprintf "s%d" i; nports = 2 })
+  in
+  let links =
+    [ { Topology.Topo.a = { Topology.Topo.node = 0; port = 0 };
+        b = { Topology.Topo.node = 1; port = 0 } };
+      { Topology.Topo.a = { Topology.Topo.node = 1; port = 1 };
+        b = { Topology.Topo.node = 2; port = 0 } };
+      { Topology.Topo.a = { Topology.Topo.node = 2; port = 1 };
+        b = { Topology.Topo.node = 0; port = 1 } } ]
+  in
+  let topo = Topology.Topo.create ~nodes ~links in
+  let net = Switchfab.Net.create engine topo in
+  let switches =
+    List.init 3 (fun i ->
+        let sw = Learning_switch.attach engine net ~device:i ~stp:true () in
+        Learning_switch.start sw;
+        sw)
+  in
+  (engine, net, switches)
+
+let test_stp_ring_blocks_one () =
+  let engine, _net, switches = ring_fabric () in
+  Engine.run ~until:(Time.sec 60) engine;
+  let blocked = ref 0 and forwarding = ref 0 in
+  List.iter
+    (fun sw ->
+      let stp = Option.get (Learning_switch.stp sw) in
+      for p = 0 to 1 do
+        if Stp.role stp ~port:p = Stp.Blocked then incr blocked
+        else if Stp.forwarding stp ~port:p then incr forwarding
+      done)
+    switches;
+  Testutil.check_int "one blocked port" 1 !blocked;
+  Testutil.check_int "rest forwarding" 5 !forwarding;
+  (* root is the lowest bridge id, and everyone agrees *)
+  List.iter
+    (fun sw ->
+      let stp = Option.get (Learning_switch.stp sw) in
+      Testutil.check_int "agreed root" 0 (Stp.root_id stp))
+    switches;
+  Testutil.check_bool "root bridge knows" true
+    (Stp.is_root_bridge (Option.get (Learning_switch.stp (List.hd switches))))
+
+let test_stp_converged_predicate () =
+  let engine, _net, switches = ring_fabric () in
+  let stp0 = Option.get (Learning_switch.stp (List.hd switches)) in
+  Testutil.check_bool "not converged at boot" false (Stp.converged stp0);
+  Engine.run ~until:(Time.sec 60) engine;
+  List.iter
+    (fun sw -> Testutil.check_bool "converged" true (Stp.converged (Option.get (Learning_switch.stp sw))))
+    switches
+
+(* ---------------- Learning switch behaviour ---------------- *)
+
+let test_learning_unicast_after_flood () =
+  let engine, net, hosts = Testutil.tiny_lan ~n:3 () in
+  let h = Array.of_list hosts in
+  (* h0 -> h1 resolves by ARP (flooded), then data flows unicast *)
+  let got1 = ref 0 in
+  Portland.Host_agent.set_rx h.(1) (fun _ -> incr got1);
+  (* forget the boot-time gratuitous-ARP learning so h0 must flood one
+     ARP request *)
+  Portland.Host_agent.flush_arp_cache h.(0);
+  (* count raw frames reaching h2's NIC to verify no data flooding *)
+  let d2 = Switchfab.Net.device net (Portland.Host_agent.device_id h.(2)) in
+  let before = (Switchfab.Net.device_counters d2).Switchfab.Net.rx_frames in
+  Portland.Host_agent.send_ip h.(0) ~dst:(Portland.Host_agent.ip h.(1))
+    (Ipv4_pkt.Udp (Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:64 ()));
+  Testutil.run_ms engine 50;
+  for i = 1 to 5 do
+    Portland.Host_agent.send_ip h.(0) ~dst:(Portland.Host_agent.ip h.(1))
+      (Ipv4_pkt.Udp (Udp.make ~flow_id:1 ~app_seq:i ~payload_len:64 ()))
+  done;
+  Testutil.run_ms engine 50;
+  Testutil.check_int "all delivered" 6 !got1;
+  let h2_frames = (Switchfab.Net.device_counters d2).Switchfab.Net.rx_frames - before in
+  (* h2 sees only the single flooded ARP request, none of the data *)
+  Testutil.check_int "no data flooding after learning" 1 h2_frames
+
+let test_broadcast_storm_without_stp () =
+  let fab = Ethernet_fabric.create_fattree ~stp:false ~k:4 () in
+  let h = Ethernet_fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  Portland.Host_agent.announce h;
+  let consumed = Ethernet_fabric.run_bounded fab ~max_events:100_000 in
+  Testutil.check_int "storm consumes the whole budget" 100_000 consumed
+
+let test_no_storm_with_stp () =
+  let fab = Ethernet_fabric.create_fattree ~stp:true ~k:4 () in
+  Testutil.check_bool "stp converges" true (Ethernet_fabric.await_stp_convergence fab);
+  let before = Engine.events_processed (Ethernet_fabric.engine fab) in
+  let h = Ethernet_fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  Portland.Host_agent.announce h;
+  Ethernet_fabric.run_for fab (Time.ms 100);
+  let used = Engine.events_processed (Ethernet_fabric.engine fab) - before in
+  Testutil.check_bool "bounded broadcast" true (used < 10_000)
+
+let test_ethernet_fabric_connectivity () =
+  let fab = Ethernet_fabric.create_fattree ~stp:true ~k:4 () in
+  Testutil.check_bool "stp converges" true (Ethernet_fabric.await_stp_convergence fab);
+  let src = Ethernet_fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let dst = Ethernet_fabric.host fab ~pod:3 ~edge:1 ~slot:1 in
+  let got = ref 0 in
+  Portland.Host_agent.set_rx dst (fun _ -> incr got);
+  Portland.Host_agent.send_ip src ~dst:(Portland.Host_agent.ip dst)
+    (Ipv4_pkt.Udp (Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:64 ()));
+  Ethernet_fabric.run_for fab (Time.ms 500);
+  Testutil.check_int "delivered across pods" 1 !got;
+  Testutil.check_bool "mac tables populated" true
+    (List.exists (fun s -> s > 0) (Ethernet_fabric.mac_table_sizes fab))
+
+(* ---------------- L3 fabric ---------------- *)
+
+let test_l3_connectivity () =
+  let fab = L3_fabric.create_fattree ~k:4 () in
+  let src = L3_fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let dst = L3_fabric.host fab ~pod:3 ~edge:1 ~slot:1 in
+  L3_fabric.Host.send_ip src ~dst:(L3_fabric.Host.ip dst)
+    (Ipv4_pkt.Udp (Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:64 ()));
+  L3_fabric.run_for fab (Time.ms 100);
+  Testutil.check_int "delivered" 1 (L3_fabric.Host.received dst);
+  (* same pod too *)
+  let near = L3_fabric.host fab ~pod:0 ~edge:1 ~slot:0 in
+  L3_fabric.Host.send_ip src ~dst:(L3_fabric.Host.ip near)
+    (Ipv4_pkt.Udp (Udp.make ~flow_id:1 ~app_seq:1 ~payload_len:64 ()));
+  L3_fabric.run_for fab (Time.ms 100);
+  Testutil.check_int "same pod" 1 (L3_fabric.Host.received near)
+
+let test_l3_migration_breaks () =
+  let fab = L3_fabric.create_fattree ~k:4 () in
+  let src = L3_fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let vm = L3_fabric.host fab ~pod:3 ~edge:1 ~slot:1 in
+  L3_fabric.migrate_keeping_ip fab vm ~to_:(1, 0, 0);
+  L3_fabric.Host.send_ip src ~dst:(L3_fabric.Host.ip vm)
+    (Ipv4_pkt.Udp (Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:64 ()));
+  L3_fabric.run_for fab (Time.ms 100);
+  Testutil.check_int "unreachable after move" 0 (L3_fabric.Host.received vm)
+
+let test_l3_config_burden () =
+  let fab = L3_fabric.create_fattree ~k:4 () in
+  (* edges: 8 x (2 host routes + default) = 24; aggs: 8 x (2 + 1) = 24;
+     cores: 4 x 4 = 16 *)
+  Testutil.check_int "static entries" 64 (L3_fabric.config_entry_count fab)
+
+let test_l3_local_ecmp_repair () =
+  let fab = L3_fabric.create_fattree ~k:4 () in
+  let mt = Topology.Fattree.build ~k:4 in
+  let src = L3_fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let dst = L3_fabric.host fab ~pod:3 ~edge:1 ~slot:1 in
+  (* kill one uplink of the source edge router: the router's local repair
+     must route around it *)
+  ignore
+    (L3_fabric.fail_link_between fab ~a:mt.Topology.Multirooted.edges.(0).(0)
+       ~b:mt.Topology.Multirooted.aggs.(0).(0));
+  L3_fabric.Host.send_ip src ~dst:(L3_fabric.Host.ip dst)
+    (Ipv4_pkt.Udp (Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:64 ()));
+  L3_fabric.run_for fab (Time.ms 100);
+  Testutil.check_int "local repair works" 1 (L3_fabric.Host.received dst)
+
+(* ---------------- VLAN fabric ---------------- *)
+
+let vlan_ping fab ~src ~dst =
+  let got = ref 0 in
+  Portland.Host_agent.set_rx dst (fun _ -> incr got);
+  Portland.Host_agent.send_ip src ~dst:(Portland.Host_agent.ip dst)
+    (Ipv4_pkt.Udp (Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:64 ()));
+  Vlan_fabric.run_for fab (Time.ms 300);
+  !got > 0
+
+let test_vlan_same_pod_connectivity () =
+  let fab = Vlan_fabric.create_fattree ~stp:true ~k:4 () in
+  Testutil.check_bool "stp" true (Vlan_fabric.await_stp_convergence fab);
+  Testutil.check_bool "same pod, same VLAN" true
+    (vlan_ping fab
+       ~src:(Vlan_fabric.host fab ~pod:1 ~edge:0 ~slot:0)
+       ~dst:(Vlan_fabric.host fab ~pod:1 ~edge:1 ~slot:1))
+
+let test_vlan_isolation () =
+  let fab = Vlan_fabric.create_fattree ~stp:true ~k:4 () in
+  Testutil.check_bool "stp" true (Vlan_fabric.await_stp_convergence fab);
+  Testutil.check_bool "cross-pod VLANs are isolated" false
+    (vlan_ping fab
+       ~src:(Vlan_fabric.host fab ~pod:0 ~edge:0 ~slot:0)
+       ~dst:(Vlan_fabric.host fab ~pod:3 ~edge:0 ~slot:0))
+
+let test_vlan_tags_on_trunks () =
+  let fab = Vlan_fabric.create_fattree ~stp:true ~k:4 () in
+  Testutil.check_bool "stp" true (Vlan_fabric.await_stp_convergence fab);
+  (* capture at an aggregation switch: data frames must carry 802.1Q tags *)
+  let mt = Vlan_fabric.tree fab in
+  let cap = Switchfab.Capture.create (Vlan_fabric.net fab) in
+  Switchfab.Capture.tap cap ~device:mt.Topology.Multirooted.aggs.(1).(0) ();
+  Switchfab.Capture.tap cap ~device:mt.Topology.Multirooted.aggs.(1).(1) ();
+  ignore
+    (vlan_ping fab
+       ~src:(Vlan_fabric.host fab ~pod:1 ~edge:0 ~slot:0)
+       ~dst:(Vlan_fabric.host fab ~pod:1 ~edge:1 ~slot:0));
+  let bytes = Netcore.Pcap.contents (Switchfab.Capture.pcap cap) in
+  Testutil.check_bool "frames crossed the agg layer" true
+    (Switchfab.Capture.frame_count cap > 0);
+  (* first captured record: decode and check the tag *)
+  let len =
+    Char.code (Bytes.get bytes 32)
+    lor (Char.code (Bytes.get bytes 33) lsl 8)
+  in
+  (match Netcore.Codec.decode (Bytes.sub bytes 40 len) with
+   | Ok f -> Testutil.check_bool "tagged with pod VLAN" true (f.Eth.vlan = Some 2)
+   | Error e -> Alcotest.fail e)
+
+let test_vlan_migration_scope () =
+  let fab = Vlan_fabric.create_fattree ~stp:true ~k:4 () in
+  Testutil.check_bool "stp" true (Vlan_fabric.await_stp_convergence fab);
+  let src = Vlan_fabric.host fab ~pod:1 ~edge:0 ~slot:0 in
+  let vm = Vlan_fabric.host fab ~pod:1 ~edge:1 ~slot:1 in
+  Testutil.check_bool "before" true (vlan_ping fab ~src ~dst:vm);
+  (* within the VLAN (same pod): fine *)
+  Vlan_fabric.migrate_host fab vm ~to_:(1, 0, 1);
+  Vlan_fabric.run_for fab (Time.ms 100);
+  Testutil.check_bool "intra-VLAN migration works" true (vlan_ping fab ~src ~dst:vm);
+  (* across pods: the new access port is in another VLAN — unreachable *)
+  Vlan_fabric.migrate_host fab vm ~to_:(2, 0, 0);
+  Vlan_fabric.run_for fab (Time.ms 100);
+  Testutil.check_bool "cross-VLAN migration breaks" false (vlan_ping fab ~src ~dst:vm)
+
+let test_vlan_config_burden () =
+  let fab = Vlan_fabric.create_fattree ~stp:true ~k:4 () in
+  (* 8 edge switches x 2 host ports *)
+  Testutil.check_int "access-port assignments" 16 (Vlan_fabric.config_entry_count fab)
+
+let test_vlan_unaware_ignores_tags () =
+  (* classic mode forwards tagged frames like any other *)
+  let engine, net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let got = ref 0 in
+  Portland.Host_agent.set_rx h1 (fun _ -> incr got);
+  ignore net;
+  (* hand-craft a tagged frame from h0's NIC *)
+  let pkt =
+    Ipv4_pkt.udp ~src:(Portland.Host_agent.ip h0) ~dst:(Portland.Host_agent.ip h1)
+      (Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:64 ())
+  in
+  let frame =
+    Eth.make ~vlan:7 ~dst:(Portland.Host_agent.amac h1) ~src:(Portland.Host_agent.amac h0)
+      (Eth.Ipv4 pkt)
+  in
+  Switchfab.Net.transmit net ~node:(Portland.Host_agent.device_id h0) ~port:0 frame;
+  Testutil.run_ms engine 10;
+  Testutil.check_int "delivered despite tag" 1 !got
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "mac table",
+        [ Alcotest.test_case "learn & lookup" `Quick test_mac_table_learn_lookup;
+          Alcotest.test_case "aging" `Quick test_mac_table_aging;
+          Alcotest.test_case "flush" `Quick test_mac_table_flush_port ] );
+      ( "spanning tree",
+        [ Alcotest.test_case "ring blocks one port" `Quick test_stp_ring_blocks_one;
+          Alcotest.test_case "convergence predicate" `Quick test_stp_converged_predicate ] );
+      ( "learning switch",
+        [ Alcotest.test_case "unicast after learning" `Quick test_learning_unicast_after_flood;
+          Alcotest.test_case "broadcast storm without stp" `Quick
+            test_broadcast_storm_without_stp;
+          Alcotest.test_case "no storm with stp" `Quick test_no_storm_with_stp;
+          Alcotest.test_case "fat-tree connectivity" `Quick test_ethernet_fabric_connectivity ] );
+      ( "vlan fabric",
+        [ Alcotest.test_case "same-pod connectivity" `Quick test_vlan_same_pod_connectivity;
+          Alcotest.test_case "cross-VLAN isolation" `Quick test_vlan_isolation;
+          Alcotest.test_case "tags on trunks" `Quick test_vlan_tags_on_trunks;
+          Alcotest.test_case "migration scoped to VLAN" `Quick test_vlan_migration_scope;
+          Alcotest.test_case "configuration burden" `Quick test_vlan_config_burden;
+          Alcotest.test_case "classic mode ignores tags" `Quick test_vlan_unaware_ignores_tags ] );
+      ( "l3 fabric",
+        [ Alcotest.test_case "connectivity" `Quick test_l3_connectivity;
+          Alcotest.test_case "migration breaks addressing" `Quick test_l3_migration_breaks;
+          Alcotest.test_case "configuration burden" `Quick test_l3_config_burden;
+          Alcotest.test_case "local ecmp repair" `Quick test_l3_local_ecmp_repair ] ) ]

@@ -1,0 +1,145 @@
+(* Harness tests: rendering, the experiment index, and quick runs of the
+   cheaper experiments to guarantee the reproduction pipeline stays
+   green. (The expensive sweeps run from bin/experiments.) *)
+
+let render_to_string f =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  f fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_render_table () =
+  let out =
+    render_to_string (fun fmt ->
+        Harness.Render.table fmt ~header:[ "col1"; "column2" ]
+          ~rows:[ [ "a"; "b" ]; [ "ccc"; "d" ] ])
+  in
+  Testutil.check_bool "has header" true (contains ~needle:"col1" out);
+  Testutil.check_bool "has rule" true (contains ~needle:"---" out);
+  Testutil.check_bool "has cells" true (contains ~needle:"ccc" out)
+
+let test_render_series () =
+  let out =
+    render_to_string (fun fmt ->
+        Harness.Render.series fmt ~title:"t" ~x_label:"x" ~y_label:"y" [ (1.0, 2.0); (3.0, 4.5) ])
+  in
+  Testutil.check_bool "x label" true (contains ~needle:"x" out);
+  Testutil.check_bool "value" true (contains ~needle:"4.5" out)
+
+let test_render_helpers () =
+  Testutil.check_string "ms" "12.5" (Harness.Render.ms (Eventsim.Time.us 12500));
+  Testutil.check_string "f1" "3.1" (Harness.Render.f1 3.14159);
+  Testutil.check_string "f2" "3.14" (Harness.Render.f2 3.14159)
+
+let test_experiment_index () =
+  Testutil.check_int "ten experiments" 10 (List.length Harness.Experiments.all);
+  Testutil.check_bool "unknown id rejected" false
+    (Harness.Experiments.run_one Format.str_formatter "nope");
+  List.iter
+    (fun (id, descr) ->
+      Testutil.check_bool "id nonempty" true (String.length id > 0);
+      Testutil.check_bool "descr nonempty" true (String.length descr > 0))
+    Harness.Experiments.all
+
+let test_udp_convergence_trial () =
+  match Harness.Exp_udp_convergence.single_trial ~k:4 ~failures:1 ~seed:3 with
+  | Some ms -> Testutil.check_bool "convergence in (1, 100) ms" true (ms > 1.0 && ms < 100.0)
+  | None -> Alcotest.fail "no trial result"
+
+let test_fm_cpu_measurement () =
+  let ns = Harness.Exp_fm_cpu.measured_ns_per_arp ~bindings:1000 () in
+  Testutil.check_bool "positive lookup cost" true (ns > 0.0);
+  Testutil.check_bool "lookup under 100us" true (ns < 100_000.0);
+  let r = Harness.Exp_fm_cpu.run ~quick:true () in
+  Testutil.check_bool "projections monotone" true
+    (let cores = List.map snd r.Harness.Exp_fm_cpu.projections in
+     List.sort compare cores = cores)
+
+let test_fm_load_model () =
+  let r = Harness.Exp_fm_load.run ~quick:true () in
+  List.iter
+    (fun m ->
+      let open Harness.Exp_fm_load in
+      Testutil.check_bool "1% < 10% < 100%" true
+        (m.arps_per_sec_1pct < m.arps_per_sec_10pct
+         && m.arps_per_sec_10pct < m.arps_per_sec_100pct);
+      Testutil.check_float_eps "model arithmetic" ~eps:1e-6
+        (float_of_int (m.hosts * r.flows_per_host_per_sec))
+        m.arps_per_sec_100pct)
+    r.Harness.Exp_fm_load.model;
+  (match r.Harness.Exp_fm_load.measured with
+   | m :: _ ->
+     Testutil.check_bool "boot control traffic happened" true
+       (m.Harness.Exp_fm_load.boot_msgs_to_fm > 0)
+   | [] -> Alcotest.fail "no measured rows")
+
+let test_tcp_convergence_quick () =
+  let r = Harness.Exp_tcp_convergence.run ~quick:true () in
+  (* the paper's claim: stall is RTO-bound, not fabric-bound *)
+  Testutil.check_bool "stall >= rto_min" true
+    (r.Harness.Exp_tcp_convergence.stall_ms >= r.Harness.Exp_tcp_convergence.rto_min_ms *. 0.9);
+  Testutil.check_bool "stall under 3 RTOs" true
+    (r.Harness.Exp_tcp_convergence.stall_ms < 3.0 *. r.Harness.Exp_tcp_convergence.rto_min_ms);
+  Testutil.check_bool "flow recovered" true
+    (r.Harness.Exp_tcp_convergence.goodput_after_mbps > 100.0)
+
+let test_migration_quick () =
+  let r = Harness.Exp_migration.run ~quick:true () in
+  match r.Harness.Exp_migration.modes with
+  | [ drop; fwd ] ->
+    Testutil.check_bool "both modes ran" true
+      ((not drop.Harness.Exp_migration.forward_stale) && fwd.Harness.Exp_migration.forward_stale);
+    Testutil.check_bool "outage covers downtime" true
+      (drop.Harness.Exp_migration.outage_ms >= r.Harness.Exp_migration.downtime_ms);
+    Testutil.check_bool "forwarding shortens the outage" true
+      (fwd.Harness.Exp_migration.outage_ms <= drop.Harness.Exp_migration.outage_ms);
+    Testutil.check_bool "flow resumed (drop mode)" true
+      (drop.Harness.Exp_migration.delivered_after_mb > 1.0)
+  | _ -> Alcotest.fail "expected two modes"
+
+let test_ablation_quick () =
+  let r = Harness.Exp_ablation.run ~quick:true () in
+  (* convergence must track the timeout roughly one-for-one *)
+  List.iter
+    (fun (timeout, conv) ->
+      Testutil.check_bool "conv >= timeout" true (conv >= timeout);
+      Testutil.check_bool "conv < timeout + 15ms" true (conv < timeout +. 15.0))
+    r.Harness.Exp_ablation.timeout_sweep;
+  Testutil.check_bool "salting widens path diversity" true
+    (r.Harness.Exp_ablation.cores_with_salt > r.Harness.Exp_ablation.cores_without_salt)
+
+let test_multicast_quick () =
+  let r = Harness.Exp_multicast.run ~quick:true () in
+  Testutil.check_bool "initial core chosen" true (r.Harness.Exp_multicast.initial_core <> None);
+  Testutil.check_bool "core moved after failure" true
+    (r.Harness.Exp_multicast.core_after_first <> r.Harness.Exp_multicast.initial_core);
+  (* the receiver in the failed pod saw an outage comparable to the
+     detection timeout; others kept receiving *)
+  let pod1_outages =
+    List.filter (fun o -> o.Harness.Exp_multicast.receiver = "pod1")
+      r.Harness.Exp_multicast.outages
+  in
+  Testutil.check_bool "pod1 saw outages" true
+    (List.for_all (fun o -> o.Harness.Exp_multicast.gap_ms > 20.0) pod1_outages)
+
+let () =
+  Alcotest.run "harness"
+    [ ( "render",
+        [ Alcotest.test_case "table" `Quick test_render_table;
+          Alcotest.test_case "series" `Quick test_render_series;
+          Alcotest.test_case "helpers" `Quick test_render_helpers ] );
+      ("index", [ Alcotest.test_case "experiment index" `Quick test_experiment_index ]);
+      ( "experiments (quick)",
+        [ Alcotest.test_case "udp convergence trial" `Quick test_udp_convergence_trial;
+          Alcotest.test_case "fm cpu measurement" `Quick test_fm_cpu_measurement;
+          Alcotest.test_case "fm load model" `Quick test_fm_load_model;
+          Alcotest.test_case "tcp convergence" `Quick test_tcp_convergence_quick;
+          Alcotest.test_case "migration (both modes)" `Quick test_migration_quick;
+          Alcotest.test_case "multicast" `Quick test_multicast_quick;
+          Alcotest.test_case "ablations" `Quick test_ablation_quick ] ) ]

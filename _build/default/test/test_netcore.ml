@@ -1,0 +1,459 @@
+open Netcore
+
+(* ---------------- Mac_addr ---------------- *)
+
+let test_mac_string_roundtrip () =
+  let s = "aa:bb:cc:dd:ee:ff" in
+  Testutil.check_string "roundtrip" s (Mac_addr.to_string (Mac_addr.of_string_exn s));
+  Testutil.check_string "zero-padded" "00:00:00:00:00:01"
+    (Mac_addr.to_string (Mac_addr.of_int 1))
+
+let test_mac_invalid () =
+  Testutil.check_bool "too few parts" true (Result.is_error (Mac_addr.of_string "aa:bb"));
+  Testutil.check_bool "garbage" true (Result.is_error (Mac_addr.of_string "zz:bb:cc:dd:ee:ff"));
+  (try
+     ignore (Mac_addr.of_int (-1));
+     Alcotest.fail "negative accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Mac_addr.of_int (1 lsl 48));
+    Alcotest.fail "overflow accepted"
+  with Invalid_argument _ -> ()
+
+let test_mac_flags () =
+  Testutil.check_bool "broadcast" true (Mac_addr.is_broadcast Mac_addr.broadcast);
+  Testutil.check_bool "broadcast is multicast" true (Mac_addr.is_multicast Mac_addr.broadcast);
+  Testutil.check_bool "unicast" false
+    (Mac_addr.is_multicast (Mac_addr.of_string_exn "02:00:00:00:00:01"));
+  let m = Mac_addr.multicast_of_group 0x123456 in
+  Testutil.check_bool "group mac multicast" true (Mac_addr.is_multicast m);
+  Testutil.check_string "group mac prefix" "01:00:5e:12:34:56" (Mac_addr.to_string m)
+
+let prop_mac_bytes_roundtrip =
+  Testutil.prop "mac bytes roundtrip"
+    QCheck2.Gen.(int_bound ((1 lsl 30) - 1))
+    (fun v ->
+      let mac = Mac_addr.of_int v in
+      Mac_addr.equal mac (Mac_addr.of_bytes_exn (Mac_addr.to_bytes mac)))
+
+(* ---------------- Ipv4_addr ---------------- *)
+
+let test_ip_basics () =
+  let ip = Ipv4_addr.of_octets 10 1 2 3 in
+  Testutil.check_string "to_string" "10.1.2.3" (Ipv4_addr.to_string ip);
+  Testutil.check_bool "of_string" true
+    (Ipv4_addr.equal ip (Ipv4_addr.of_string_exn "10.1.2.3"));
+  Testutil.check_bool "bad string" true (Result.is_error (Ipv4_addr.of_string "10.1.2"));
+  Testutil.check_bool "bad octet" true (Result.is_error (Ipv4_addr.of_string "10.1.2.300"))
+
+let test_ip_multicast () =
+  let g = Ipv4_addr.of_string_exn "230.1.2.3" in
+  Testutil.check_bool "is multicast" true (Ipv4_addr.is_multicast g);
+  Testutil.check_bool "unicast" false (Ipv4_addr.is_multicast (Ipv4_addr.of_octets 10 0 0 1));
+  let group = Ipv4_addr.multicast_group g in
+  Testutil.check_bool "group roundtrip" true
+    (Ipv4_addr.equal g (Ipv4_addr.of_multicast_group group))
+
+(* ---------------- ARP ---------------- *)
+
+let test_arp () =
+  let mac = Mac_addr.of_int 0x020000000001 in
+  let ip = Ipv4_addr.of_octets 10 0 0 2 in
+  let target = Ipv4_addr.of_octets 10 0 0 3 in
+  let req = Arp.request ~sender_mac:mac ~sender_ip:ip ~target_ip:target in
+  Testutil.check_bool "request not gratuitous" false (Arp.is_gratuitous req);
+  Testutil.check_bool "target mac zero" true (Mac_addr.equal req.Arp.target_mac Mac_addr.zero);
+  let g = Arp.gratuitous ~mac ~ip in
+  Testutil.check_bool "gratuitous" true (Arp.is_gratuitous g);
+  Testutil.check_int "wire len" 28 Arp.wire_len
+
+(* ---------------- UDP / TCP segments ---------------- *)
+
+let test_udp_validation () =
+  let u = Udp.make ~flow_id:1 ~app_seq:2 ~payload_len:100 () in
+  Testutil.check_int "wire" 108 (Udp.wire_len u);
+  (try
+     ignore (Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:4 ());
+     Alcotest.fail "tiny payload accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Udp.make ~src_port:70000 ~flow_id:1 ~app_seq:0 ~payload_len:100 ());
+    Alcotest.fail "bad port accepted"
+  with Invalid_argument _ -> ()
+
+let test_tcp_seg () =
+  let s = Tcp_seg.make ~seq:1000 ~ack_num:0 ~payload_len:1460 () in
+  Testutil.check_int "wire" 1480 (Tcp_seg.wire_len s);
+  Testutil.check_bool "default ack flag" true s.Tcp_seg.flags.Tcp_seg.ack;
+  try
+    ignore (Tcp_seg.make ~seq:(-1) ~ack_num:0 ~payload_len:0 ());
+    Alcotest.fail "negative seq accepted"
+  with Invalid_argument _ -> ()
+
+let test_igmp () =
+  let g = Ipv4_addr.of_string_exn "231.0.0.5" in
+  let j = Igmp.join g in
+  Testutil.check_bool "join op" true (j.Igmp.op = Igmp.Join);
+  try
+    ignore (Igmp.join (Ipv4_addr.of_octets 10 0 0 1));
+    Alcotest.fail "unicast group accepted"
+  with Invalid_argument _ -> ()
+
+(* ---------------- IPv4 packets ---------------- *)
+
+let test_ipv4_pkt () =
+  let src = Ipv4_addr.of_octets 10 0 0 2 and dst = Ipv4_addr.of_octets 10 1 0 2 in
+  let u = Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:100 () in
+  let p = Ipv4_pkt.udp ~src ~dst u in
+  Testutil.check_int "proto" 17 (Ipv4_pkt.proto_number p.Ipv4_pkt.payload);
+  Testutil.check_int "wire" (20 + 108) (Ipv4_pkt.wire_len p);
+  Testutil.check_int "default ttl" 64 p.Ipv4_pkt.ttl
+
+let test_ttl_decrement () =
+  let src = Ipv4_addr.of_octets 10 0 0 2 and dst = Ipv4_addr.of_octets 10 1 0 2 in
+  let p = Ipv4_pkt.make ~ttl:2 ~src ~dst (Ipv4_pkt.Raw { proto = 99; len = 10 }) in
+  match Ipv4_pkt.decrement_ttl p with
+  | Some p1 ->
+    Testutil.check_int "ttl 1" 1 p1.Ipv4_pkt.ttl;
+    Testutil.check_bool "drops at 1" true (Ipv4_pkt.decrement_ttl p1 = None)
+  | None -> Alcotest.fail "ttl 2 dropped"
+
+(* ---------------- Ethernet ---------------- *)
+
+let test_eth_padding () =
+  let dst = Mac_addr.of_int 1 and src = Mac_addr.of_int 2 in
+  let tiny = Eth.make ~dst ~src (Eth.Raw { ethertype = 0x9999; len = 1 }) in
+  Testutil.check_int "padded to minimum" Eth.min_frame_len (Eth.wire_len tiny);
+  let u = Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:1000 () in
+  let big =
+    Eth.make ~dst ~src
+      (Eth.Ipv4 (Ipv4_pkt.udp ~src:(Ipv4_addr.of_int 1) ~dst:(Ipv4_addr.of_int 2) u))
+  in
+  Testutil.check_int "big frame" (14 + 20 + 1008 + 4) (Eth.wire_len big)
+
+let test_eth_ethertype () =
+  let dst = Mac_addr.of_int 1 and src = Mac_addr.of_int 2 in
+  let mk payload = Eth.ethertype (Eth.make ~dst ~src payload).Eth.payload in
+  Testutil.check_int "arp" 0x0806
+    (mk (Eth.Arp (Arp.gratuitous ~mac:src ~ip:(Ipv4_addr.of_int 5))));
+  Testutil.check_int "ldp" 0x88B5 (mk (Eth.Ldp (Ldp_msg.initial ~switch_id:1 ~out_port:0)));
+  Testutil.check_int "raw" 0x1234 (mk (Eth.Raw { ethertype = 0x1234; len = 0 }))
+
+let test_bpdu_better () =
+  let b ~root ~cost ~bridge ~port =
+    { Bpdu.root_id = root; root_cost = cost; bridge_id = bridge; port }
+  in
+  Testutil.check_bool "lower root wins" true
+    (Bpdu.better (b ~root:1 ~cost:9 ~bridge:9 ~port:9) (b ~root:2 ~cost:0 ~bridge:0 ~port:0));
+  Testutil.check_bool "lower cost wins" true
+    (Bpdu.better (b ~root:1 ~cost:1 ~bridge:9 ~port:9) (b ~root:1 ~cost:2 ~bridge:0 ~port:0));
+  Testutil.check_bool "tie is not better" false
+    (Bpdu.better (b ~root:1 ~cost:1 ~bridge:1 ~port:1) (b ~root:1 ~cost:1 ~bridge:1 ~port:1))
+
+(* ---------------- Codec ---------------- *)
+
+let roundtrip frame =
+  match Codec.decode (Codec.encode frame) with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let frame_eq name a b = Testutil.check_bool name true (Eth.equal a b)
+
+let dst = Mac_addr.of_string_exn "02:00:00:00:00:aa"
+let src = Mac_addr.of_string_exn "02:00:00:00:00:bb"
+
+let test_codec_arp () =
+  let a =
+    Arp.reply
+      ~sender_mac:(Mac_addr.of_int 0x112233445566)
+      ~sender_ip:(Ipv4_addr.of_octets 10 1 2 3)
+      ~target_mac:(Mac_addr.of_int 0x0200AB00CD01)
+      ~target_ip:(Ipv4_addr.of_octets 10 3 2 1)
+  in
+  let f = Eth.make ~dst ~src (Eth.Arp a) in
+  frame_eq "arp roundtrip" f (roundtrip f)
+
+let test_codec_udp () =
+  let u =
+    Udp.make ~src_port:1234 ~dst_port:80 ~flow_id:77 ~app_seq:123456789 ~payload_len:200 ()
+  in
+  let p =
+    Ipv4_pkt.udp ~src:(Ipv4_addr.of_octets 10 0 0 2) ~dst:(Ipv4_addr.of_octets 10 1 1 2) u
+  in
+  let f = Eth.make ~dst ~src (Eth.Ipv4 p) in
+  frame_eq "udp roundtrip" f (roundtrip f)
+
+let test_codec_tcp () =
+  let s =
+    Tcp_seg.make ~src_port:5001 ~dst_port:5002
+      ~flags:{ Tcp_seg.syn = true; ack = true; fin = false; rst = false }
+      ~window:4096 ~seq:99999 ~ack_num:1234 ~payload_len:33 ()
+  in
+  let p =
+    Ipv4_pkt.tcp ~src:(Ipv4_addr.of_octets 10 0 0 2) ~dst:(Ipv4_addr.of_octets 10 1 1 2) s
+  in
+  let f = Eth.make ~dst ~src (Eth.Ipv4 p) in
+  frame_eq "tcp roundtrip" f (roundtrip f)
+
+let test_codec_icmp () =
+  let req = Icmp.echo_request ~payload_len:56 ~ident:77 ~seq:3 () in
+  let f =
+    Eth.make ~dst ~src
+      (Eth.Ipv4
+         (Ipv4_pkt.icmp ~src:(Ipv4_addr.of_octets 10 0 0 2) ~dst:(Ipv4_addr.of_octets 10 1 0 2)
+            req))
+  in
+  frame_eq "icmp request roundtrip" f (roundtrip f);
+  let rep = Icmp.reply_to req in
+  let f2 =
+    Eth.make ~dst ~src
+      (Eth.Ipv4
+         (Ipv4_pkt.icmp ~src:(Ipv4_addr.of_octets 10 1 0 2) ~dst:(Ipv4_addr.of_octets 10 0 0 2)
+            rep))
+  in
+  frame_eq "icmp reply roundtrip" f2 (roundtrip f2);
+  (try
+     ignore (Icmp.reply_to rep);
+     Alcotest.fail "reply_to reply accepted"
+   with Invalid_argument _ -> ())
+
+let test_codec_vlan_tag () =
+  let f =
+    Eth.make ~vlan:42 ~dst ~src
+      (Eth.Ipv4
+         (Ipv4_pkt.udp ~src:(Ipv4_addr.of_octets 10 0 0 2) ~dst:(Ipv4_addr.of_octets 10 1 0 2)
+            (Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:100 ())))
+  in
+  frame_eq "tagged roundtrip" f (roundtrip f);
+  Testutil.check_int "tag adds 4 bytes" (Eth.wire_len (Eth.with_vlan f None) + 4)
+    (Eth.wire_len f);
+  (* the TPID is on the wire where 802.1Q puts it *)
+  let b = Codec.encode f in
+  Testutil.check_int "tpid" 0x81 (Char.code (Bytes.get b 12));
+  Testutil.check_int "tpid lo" 0x00 (Char.code (Bytes.get b 13));
+  Testutil.check_int "vid" 42 (Char.code (Bytes.get b 15));
+  try
+    ignore (Eth.make ~vlan:5000 ~dst ~src (Eth.Raw { ethertype = 1; len = 0 }));
+    Alcotest.fail "vid 5000 accepted"
+  with Invalid_argument _ -> ()
+
+let test_codec_igmp () =
+  let m = Igmp.leave (Ipv4_addr.of_string_exn "239.1.2.3") in
+  let f =
+    Eth.make ~dst ~src (Eth.Ipv4 (Ipv4_pkt.igmp ~src:(Ipv4_addr.of_octets 10 0 0 2) m))
+  in
+  frame_eq "igmp roundtrip" f (roundtrip f)
+
+let test_codec_ldp () =
+  let l =
+    { Ldp_msg.switch_id = 4242;
+      level = Some Ldp_msg.Aggregation;
+      pod = Some 3;
+      position = Some 1;
+      dir = Ldp_msg.Up;
+      out_port = 7 }
+  in
+  let f = Eth.make ~dst ~src (Eth.Ldp l) in
+  frame_eq "ldp roundtrip" f (roundtrip f);
+  let unknowns = Ldp_msg.initial ~switch_id:1 ~out_port:0 in
+  let f2 = Eth.make ~dst ~src (Eth.Ldp unknowns) in
+  frame_eq "ldp unknowns roundtrip" f2 (roundtrip f2)
+
+let test_codec_bpdu () =
+  let b = { Bpdu.root_id = 1; root_cost = 2; bridge_id = 3; port = 4 } in
+  let f = Eth.make ~dst ~src (Eth.Bpdu b) in
+  frame_eq "bpdu roundtrip" f (roundtrip f)
+
+let test_codec_raw () =
+  let f = Eth.make ~dst ~src (Eth.Raw { ethertype = 0x9000; len = 80 }) in
+  frame_eq "raw roundtrip" f (roundtrip f)
+
+let test_codec_fcs_corruption () =
+  let f = Eth.make ~dst ~src (Eth.Raw { ethertype = 0x9000; len = 80 }) in
+  let bytes = Codec.encode f in
+  Bytes.set bytes 20 (Char.chr (Char.code (Bytes.get bytes 20) lxor 0xff));
+  Testutil.check_bool "fcs catches corruption" true (Result.is_error (Codec.decode bytes))
+
+let test_codec_truncated () =
+  Testutil.check_bool "short buffer rejected" true
+    (Result.is_error (Codec.decode (Bytes.create 10)))
+
+let test_crc32_vector () =
+  (* the classic CRC-32 check value for "123456789" *)
+  let b = Bytes.of_string "123456789" in
+  Testutil.check_int "crc32" 0xCBF43926 (Codec.crc32 b 0 9)
+
+let test_ipv4_checksum_self () =
+  let f =
+    Eth.make ~dst ~src
+      (Eth.Ipv4
+         (Ipv4_pkt.make ~src:(Ipv4_addr.of_octets 1 2 3 4) ~dst:(Ipv4_addr.of_octets 5 6 7 8)
+            (Ipv4_pkt.Raw { proto = 50; len = 8 })))
+  in
+  let bytes = Codec.encode f in
+  (* IPv4 header starts after the 14-byte Ethernet header; a correct
+     header checksums to zero *)
+  Testutil.check_int "header sums to zero" 0 (Codec.ipv4_checksum bytes 14 20)
+
+let gen_frame : Eth.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let mac = map (fun v -> Mac_addr.of_int v) (int_bound ((1 lsl 30) - 1)) in
+  let ip = map (fun v -> Ipv4_addr.of_int v) (int_bound 0xFFFFFF) in
+  let arp =
+    let* sender_mac = mac in
+    let* sender_ip = ip in
+    let* target_ip = ip in
+    return (Eth.Arp (Arp.request ~sender_mac ~sender_ip ~target_ip))
+  in
+  let udp =
+    let* s = ip in
+    let* d = ip in
+    let* fl = int_bound 0xFFFF in
+    let* seq = int_bound 1_000_000 in
+    let* len = int_range 12 1400 in
+    return
+      (Eth.Ipv4 (Ipv4_pkt.udp ~src:s ~dst:d (Udp.make ~flow_id:fl ~app_seq:seq ~payload_len:len ())))
+  in
+  let tcp =
+    let* s = ip in
+    let* d = ip in
+    let* seq = int_bound 0xFFFFFF in
+    let* ack = int_bound 0xFFFFFF in
+    let* len = int_bound 1400 in
+    return
+      (Eth.Ipv4 (Ipv4_pkt.tcp ~src:s ~dst:d (Tcp_seg.make ~seq ~ack_num:ack ~payload_len:len ())))
+  in
+  let ldp =
+    let* swid = int_bound 0xFFFF in
+    let* port = int_bound 63 in
+    return (Eth.Ldp (Ldp_msg.initial ~switch_id:swid ~out_port:port))
+  in
+  let* payload = oneof [ arp; udp; tcp; ldp ] in
+  let* d = mac in
+  let* s = mac in
+  return (Eth.make ~dst:d ~src:s payload)
+
+let prop_codec_roundtrip =
+  Testutil.prop "codec roundtrip (random frames)" ~count:300 gen_frame (fun f ->
+      match Codec.decode (Codec.encode f) with
+      | Ok f' -> Eth.equal f f'
+      | Error _ -> false)
+
+let prop_codec_length =
+  Testutil.prop "encoded length = wire_len" ~count:300 gen_frame (fun f ->
+      Bytes.length (Codec.encode f) = Eth.wire_len f)
+
+let prop_decode_never_raises =
+  (* a decoder fed hostile bytes must fail cleanly, never crash *)
+  Testutil.prop "decode is total on random bytes" ~count:500
+    QCheck2.Gen.(list_size (int_bound 200) (int_bound 255))
+    (fun byte_list ->
+      let b = Bytes.of_string (String.init (List.length byte_list)
+                                 (fun i -> Char.chr (List.nth byte_list i))) in
+      match Codec.decode b with Ok _ | Error _ -> true)
+
+let prop_decode_bitflip_never_raises =
+  (* corrupting a valid frame anywhere must also fail cleanly (usually an
+     FCS error) or decode to something *)
+  Testutil.prop "decode survives bit flips" ~count:300
+    QCheck2.Gen.(pair gen_frame (pair (int_bound 10_000) (int_bound 7)))
+    (fun (f, (pos, bit)) ->
+      let b = Codec.encode f in
+      let pos = pos mod Bytes.length b in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      match Codec.decode b with Ok _ | Error _ -> true)
+
+(* ---------------- Pcap ---------------- *)
+
+let u32le b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let test_pcap_header () =
+  let p = Pcap.create () in
+  let b = Pcap.contents p in
+  Testutil.check_int "header only" 24 (Bytes.length b);
+  Testutil.check_int "nanosecond magic" 0xa1b23c4d (u32le b 0);
+  Testutil.check_int "version major" 2 (u32le b 4 land 0xffff);
+  Testutil.check_int "snaplen" 65535 (u32le b 16);
+  Testutil.check_int "linktype ethernet" 1 (u32le b 20)
+
+let test_pcap_records_roundtrip () =
+  let p = Pcap.create () in
+  let f1 =
+    Eth.make ~dst ~src (Eth.Arp (Arp.gratuitous ~mac:src ~ip:(Ipv4_addr.of_octets 10 0 0 2)))
+  in
+  let f2 =
+    Eth.make ~dst ~src
+      (Eth.Ipv4
+         (Ipv4_pkt.udp ~src:(Ipv4_addr.of_octets 10 0 0 2) ~dst:(Ipv4_addr.of_octets 10 1 0 2)
+            (Udp.make ~flow_id:1 ~app_seq:7 ~payload_len:100 ())))
+  in
+  Pcap.add_frame p ~time_ns:1_500_000_123 f1;
+  Pcap.add_frame p ~time_ns:2_000_000_456 f2;
+  Testutil.check_int "count" 2 (Pcap.frame_count p);
+  let b = Pcap.contents p in
+  (* first record header *)
+  Testutil.check_int "ts_sec" 1 (u32le b 24);
+  Testutil.check_int "ts_nsec" 500_000_123 (u32le b 28);
+  let len1 = u32le b 32 in
+  Testutil.check_int "incl = orig" len1 (u32le b 36);
+  Testutil.check_int "len is wire len" (Eth.wire_len f1) len1;
+  (* the embedded bytes decode back to the original frame *)
+  let frame_bytes = Bytes.sub b 40 len1 in
+  (match Codec.decode frame_bytes with
+   | Ok f -> Testutil.check_bool "frame 1 roundtrip" true (Eth.equal f f1)
+   | Error e -> Alcotest.fail e);
+  (* second record follows immediately *)
+  let off2 = 40 + len1 in
+  Testutil.check_int "ts_sec 2" 2 (u32le b off2);
+  let len2 = u32le b (off2 + 8) in
+  match Codec.decode (Bytes.sub b (off2 + 16) len2) with
+  | Ok f -> Testutil.check_bool "frame 2 roundtrip" true (Eth.equal f f2)
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "netcore"
+    [ ( "mac",
+        [ Alcotest.test_case "string roundtrip" `Quick test_mac_string_roundtrip;
+          Alcotest.test_case "invalid inputs" `Quick test_mac_invalid;
+          Alcotest.test_case "broadcast & multicast" `Quick test_mac_flags;
+          prop_mac_bytes_roundtrip ] );
+      ( "ipv4",
+        [ Alcotest.test_case "basics" `Quick test_ip_basics;
+          Alcotest.test_case "multicast" `Quick test_ip_multicast ] );
+      ("arp", [ Alcotest.test_case "construction" `Quick test_arp ]);
+      ( "transport segments",
+        [ Alcotest.test_case "udp validation" `Quick test_udp_validation;
+          Alcotest.test_case "tcp segment" `Quick test_tcp_seg;
+          Alcotest.test_case "igmp" `Quick test_igmp ] );
+      ( "ipv4 packet",
+        [ Alcotest.test_case "construction" `Quick test_ipv4_pkt;
+          Alcotest.test_case "ttl decrement" `Quick test_ttl_decrement ] );
+      ( "ethernet",
+        [ Alcotest.test_case "padding to minimum" `Quick test_eth_padding;
+          Alcotest.test_case "ethertypes" `Quick test_eth_ethertype;
+          Alcotest.test_case "bpdu ordering" `Quick test_bpdu_better ] );
+      ( "codec",
+        [ Alcotest.test_case "arp" `Quick test_codec_arp;
+          Alcotest.test_case "udp" `Quick test_codec_udp;
+          Alcotest.test_case "tcp" `Quick test_codec_tcp;
+          Alcotest.test_case "icmp" `Quick test_codec_icmp;
+          Alcotest.test_case "802.1q tag" `Quick test_codec_vlan_tag;
+          Alcotest.test_case "igmp" `Quick test_codec_igmp;
+          Alcotest.test_case "ldp" `Quick test_codec_ldp;
+          Alcotest.test_case "bpdu" `Quick test_codec_bpdu;
+          Alcotest.test_case "raw" `Quick test_codec_raw;
+          Alcotest.test_case "fcs corruption" `Quick test_codec_fcs_corruption;
+          Alcotest.test_case "truncated" `Quick test_codec_truncated;
+          Alcotest.test_case "crc32 known vector" `Quick test_crc32_vector;
+          Alcotest.test_case "ipv4 checksum" `Quick test_ipv4_checksum_self;
+          prop_codec_roundtrip;
+          prop_codec_length;
+          prop_decode_never_raises;
+          prop_decode_bitflip_never_raises ] );
+      ( "pcap",
+        [ Alcotest.test_case "global header" `Quick test_pcap_header;
+          Alcotest.test_case "records roundtrip" `Quick test_pcap_records_roundtrip ] ) ]

@@ -1,0 +1,317 @@
+open Topology
+
+let node id kind name nports = { Topo.id; kind; name; nports }
+let link a ap b bp = { Topo.a = { Topo.node = a; port = ap }; b = { Topo.node = b; port = bp } }
+
+(* ---------------- Topo ---------------- *)
+
+let small_topo () =
+  Topo.create
+    ~nodes:
+      [ node 0 Topo.Host "h0" 1;
+        node 1 Topo.Edge_switch "e0" 2;
+        node 2 Topo.Host "h1" 1 ]
+    ~links:[ link 0 0 1 0; link 2 0 1 1 ]
+
+let test_topo_basic () =
+  let t = small_topo () in
+  Testutil.check_int "nodes" 3 (Topo.node_count t);
+  Testutil.check_int "links" 2 (Topo.link_count t);
+  Testutil.check_int "degree switch" 2 (Topo.degree t 1);
+  Testutil.check_int "degree host" 1 (Topo.degree t 0);
+  Testutil.check_bool "connected" true (Topo.is_connected t);
+  (match Topo.find_by_name t "e0" with
+   | Some n -> Testutil.check_int "by name" 1 n.Topo.id
+   | None -> Alcotest.fail "name lookup");
+  Testutil.check_bool "absent name" true (Topo.find_by_name t "nope" = None)
+
+let test_topo_peer () =
+  let t = small_topo () in
+  (match Topo.peer t ~node:0 ~port:0 with
+   | Some e ->
+     Testutil.check_int "peer node" 1 e.Topo.node;
+     Testutil.check_int "peer port" 0 e.Topo.port
+   | None -> Alcotest.fail "no peer");
+  (* symmetric *)
+  (match Topo.peer t ~node:1 ~port:1 with
+   | Some e -> Testutil.check_int "reverse peer" 2 e.Topo.node
+   | None -> Alcotest.fail "no reverse peer");
+  Testutil.check_bool "out of range" true (Topo.peer t ~node:0 ~port:5 = None)
+
+let test_topo_validation () =
+  let bad_id () =
+    ignore
+      (Topo.create ~nodes:[ node 1 Topo.Host "h" 1 ] ~links:[])
+  in
+  (try
+     bad_id ();
+     Alcotest.fail "bad id accepted"
+   with Invalid_argument _ -> ());
+  let dup_name () =
+    ignore
+      (Topo.create
+         ~nodes:[ node 0 Topo.Host "h" 1; node 1 Topo.Host "h" 1 ]
+         ~links:[])
+  in
+  (try
+     dup_name ();
+     Alcotest.fail "duplicate name accepted"
+   with Invalid_argument _ -> ());
+  let double_wire () =
+    ignore
+      (Topo.create
+         ~nodes:[ node 0 Topo.Host "h0" 1; node 1 Topo.Host "h1" 1; node 2 Topo.Host "h2" 1 ]
+         ~links:[ link 0 0 1 0; link 0 0 2 0 ])
+  in
+  (try
+     double_wire ();
+     Alcotest.fail "double wiring accepted"
+   with Invalid_argument _ -> ());
+  let bad_port () =
+    ignore
+      (Topo.create ~nodes:[ node 0 Topo.Host "h0" 1; node 1 Topo.Host "h1" 1 ]
+         ~links:[ link 0 3 1 0 ])
+  in
+  try
+    bad_port ();
+    Alcotest.fail "bad port accepted"
+  with Invalid_argument _ -> ()
+
+let test_topo_disconnected () =
+  let t =
+    Topo.create
+      ~nodes:[ node 0 Topo.Host "h0" 1; node 1 Topo.Host "h1" 1 ]
+      ~links:[]
+  in
+  Testutil.check_bool "disconnected" false (Topo.is_connected t)
+
+(* ---------------- Fat tree ---------------- *)
+
+let test_fattree_counts () =
+  List.iter
+    (fun k ->
+      let ft = Fattree.build ~k in
+      let topo = ft.Multirooted.topo in
+      let hosts = Topo.nodes_of_kind topo Topo.Host in
+      let edges = Topo.nodes_of_kind topo Topo.Edge_switch in
+      let aggs = Topo.nodes_of_kind topo Topo.Agg_switch in
+      let cores = Topo.nodes_of_kind topo Topo.Core_switch in
+      Testutil.check_int "hosts" (k * k * k / 4) (List.length hosts);
+      Testutil.check_int "edges" (k * k / 2) (List.length edges);
+      Testutil.check_int "aggs" (k * k / 2) (List.length aggs);
+      Testutil.check_int "cores" (k * k / 4) (List.length cores);
+      (* links: host + edge-agg + agg-core *)
+      let expected_links = (k * k * k / 4) + (k * (k / 2) * (k / 2)) + (k * (k / 2) * (k / 2)) in
+      Testutil.check_int "links" expected_links (Topo.link_count topo);
+      Testutil.check_bool "connected" true (Topo.is_connected topo))
+    [ 2; 4; 6; 8 ]
+
+let test_fattree_degrees () =
+  let k = 4 in
+  let ft = Fattree.build ~k in
+  let topo = ft.Multirooted.topo in
+  Array.iter
+    (fun (n : Topo.node) ->
+      match n.Topo.kind with
+      | Topo.Host -> Testutil.check_int "host degree" 1 (Topo.degree topo n.Topo.id)
+      | Topo.Edge_switch | Topo.Agg_switch | Topo.Core_switch ->
+        Testutil.check_int "switch degree" k (Topo.degree topo n.Topo.id))
+    (Topo.nodes topo)
+
+let test_fattree_core_per_pod () =
+  let k = 4 in
+  let ft = Fattree.build ~k in
+  let topo = ft.Multirooted.topo in
+  (* every core connects to exactly one agg in every pod *)
+  Array.iter
+    (fun core ->
+      let pods_touched =
+        List.map
+          (fun (_, (e : Topo.endpoint)) ->
+            let agg = e.Topo.node in
+            (* find which pod this agg belongs to *)
+            let pod = ref (-1) in
+            Array.iteri
+              (fun p aggs -> if Array.exists (fun a -> a = agg) aggs then pod := p)
+              ft.Multirooted.aggs;
+            !pod)
+          (Topo.neighbors topo core)
+      in
+      Testutil.check_int "one per pod" k (List.length (List.sort_uniq compare pods_touched)))
+    ft.Multirooted.cores
+
+let test_fattree_accessors () =
+  let ft = Fattree.build ~k:4 in
+  Testutil.check_int "k" 4 (Fattree.k ft);
+  Testutil.check_int "num_hosts" 16 (Fattree.num_hosts ~k:4);
+  Testutil.check_int "num_switches" 20 (Fattree.num_switches ~k:4);
+  let h = Fattree.host ft ~pod:1 ~edge:1 ~slot:1 in
+  Testutil.check_string "host name" "host-1-1-1" (Topo.node ft.Multirooted.topo h).Topo.name;
+  let e = Fattree.edge ft ~pod:2 ~pos:0 in
+  Testutil.check_string "edge name" "edge-2-0" (Topo.node ft.Multirooted.topo e).Topo.name;
+  try
+    ignore (Fattree.host ft ~pod:9 ~edge:0 ~slot:0);
+    Alcotest.fail "out of range accepted"
+  with Invalid_argument _ -> ()
+
+let test_fattree_invalid_k () =
+  (try
+     ignore (Fattree.build ~k:3);
+     Alcotest.fail "odd k accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Fattree.build ~k:0);
+    Alcotest.fail "k=0 accepted"
+  with Invalid_argument _ -> ()
+
+let prop_fattree_structure =
+  Testutil.prop "fat tree structural invariants" ~count:4
+    (QCheck2.Gen.map (fun i -> 2 * (i + 1)) (QCheck2.Gen.int_bound 4))
+    (fun k ->
+      let ft = Fattree.build ~k in
+      let topo = ft.Multirooted.topo in
+      Topo.is_connected topo
+      && Array.for_all (fun h -> Topo.degree topo h = 1) ft.Multirooted.hosts
+      && Array.for_all (fun c -> Topo.degree topo c = k) ft.Multirooted.cores)
+
+let test_to_dot () =
+  let ft = Fattree.build ~k:4 in
+  let dot = Topo.to_dot ~name:"k4" ft.Multirooted.topo in
+  let contains needle =
+    let nl = String.length needle and hl = String.length dot in
+    let rec go i = i + nl <= hl && (String.sub dot i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Testutil.check_bool "graph header" true (contains "graph \"k4\"");
+  Testutil.check_bool "host node" true (contains "host-0-0-0");
+  Testutil.check_bool "core node" true (contains "core-3");
+  Testutil.check_bool "an edge-agg link" true (contains "\"edge-0-0\" -- \"agg-0-0\"");
+  (* one line per link *)
+  let count_links =
+    String.fold_left (fun (acc, prev) c ->
+        if prev = '-' && c = '-' then (acc + 1, ' ') else (acc, c))
+      (0, ' ') dot
+    |> fst
+  in
+  Testutil.check_int "link lines" (Topo.link_count ft.Multirooted.topo) count_links
+
+(* ---------------- Multirooted ---------------- *)
+
+let test_multirooted_validation () =
+  let bad =
+    { Multirooted.num_pods = 4; edges_per_pod = 2; aggs_per_pod = 3; hosts_per_edge = 2;
+      num_cores = 4 }
+  in
+  Testutil.check_bool "indivisible stripes" true (Result.is_error (Multirooted.validate_spec bad));
+  let bad2 = { bad with Multirooted.aggs_per_pod = 2; num_pods = 0 } in
+  Testutil.check_bool "zero pods" true (Result.is_error (Multirooted.validate_spec bad2))
+
+let test_multirooted_asymmetric () =
+  (* a non-fat-tree multi-rooted tree: 3 pods, oversubscribed edges *)
+  let spec =
+    { Multirooted.num_pods = 3; edges_per_pod = 2; aggs_per_pod = 2; hosts_per_edge = 4;
+      num_cores = 4 }
+  in
+  let mt = Multirooted.build spec in
+  let topo = mt.Multirooted.topo in
+  Testutil.check_int "hosts" 24 (List.length (Topo.nodes_of_kind topo Topo.Host));
+  Testutil.check_int "cores" 4 (List.length (Topo.nodes_of_kind topo Topo.Core_switch));
+  Testutil.check_bool "connected" true (Topo.is_connected topo);
+  Testutil.check_int "uplinks per agg" 2 (Multirooted.uplinks_per_agg spec);
+  (* every core has one link per pod *)
+  Array.iter (fun c -> Testutil.check_int "core degree" 3 (Topo.degree topo c)) mt.Multirooted.cores
+
+let test_host_location () =
+  let ft = Fattree.build ~k:4 in
+  let h = Fattree.host ft ~pod:2 ~edge:1 ~slot:0 in
+  (match Multirooted.host_location ft h with
+   | Some (p, e, s) ->
+     Testutil.check_int "pod" 2 p;
+     Testutil.check_int "edge" 1 e;
+     Testutil.check_int "slot" 0 s
+   | None -> Alcotest.fail "host not located");
+  Testutil.check_bool "non-host" true (Multirooted.host_location ft ft.Multirooted.cores.(0) = None)
+
+(* ---------------- Paths ---------------- *)
+
+let test_paths_distances () =
+  let ft = Fattree.build ~k:4 in
+  let topo = ft.Multirooted.topo in
+  let h000 = Fattree.host ft ~pod:0 ~edge:0 ~slot:0 in
+  let h001 = Fattree.host ft ~pod:0 ~edge:0 ~slot:1 in
+  let h010 = Fattree.host ft ~pod:0 ~edge:1 ~slot:0 in
+  let h300 = Fattree.host ft ~pod:3 ~edge:0 ~slot:0 in
+  Testutil.check_int "same edge" 2 (Option.get (Paths.distance topo ~src:h000 ~dst:h001));
+  Testutil.check_int "same pod" 4 (Option.get (Paths.distance topo ~src:h000 ~dst:h010));
+  Testutil.check_int "inter pod" 6 (Option.get (Paths.distance topo ~src:h000 ~dst:h300));
+  Testutil.check_int "self" 0 (Option.get (Paths.distance topo ~src:h000 ~dst:h000))
+
+let test_paths_exclusion () =
+  let ft = Fattree.build ~k:4 in
+  let topo = ft.Multirooted.topo in
+  let h0 = Fattree.host ft ~pod:0 ~edge:0 ~slot:0 in
+  let h3 = Fattree.host ft ~pod:3 ~edge:0 ~slot:0 in
+  let path = Option.get (Paths.shortest topo ~src:h0 ~dst:h3) in
+  let links = Paths.links_on_path topo path in
+  Testutil.check_int "links on 6-hop path" 6 (List.length links);
+  (* exclude the host's only access link: unreachable *)
+  let access = List.hd links in
+  Testutil.check_bool "unreachable without access link" false
+    (Paths.reachable ~excluded_links:[ access ] topo ~src:h0 ~dst:h3);
+  (* exclude an interior link: still reachable via another path *)
+  let interior = List.nth links 2 in
+  Testutil.check_bool "reachable around interior failure" true
+    (Paths.reachable ~excluded_links:[ interior ] topo ~src:h0 ~dst:h3)
+
+let test_edge_disjoint () =
+  let ft = Fattree.build ~k:4 in
+  let topo = ft.Multirooted.topo in
+  let h0 = Fattree.host ft ~pod:0 ~edge:0 ~slot:0 in
+  let h3 = Fattree.host ft ~pod:3 ~edge:0 ~slot:0 in
+  (* hosts have one NIC: exactly one disjoint path *)
+  Testutil.check_int "host pair" 1 (Paths.edge_disjoint_count topo ~src:h0 ~dst:h3);
+  (* edge switches in different pods have k/2 = 2 disjoint paths *)
+  let e0 = Fattree.edge ft ~pod:0 ~pos:0 in
+  let e3 = Fattree.edge ft ~pod:3 ~pos:0 in
+  Testutil.check_int "edge pair" 2 (Paths.edge_disjoint_count topo ~src:e0 ~dst:e3)
+
+let test_average_shortest_path () =
+  let ft = Fattree.build ~k:4 in
+  let avg = Paths.average_shortest_path ft.Multirooted.topo ~between:Topo.Host in
+  (* 16 hosts: 1/15 same edge (2 hops), 2/15 same pod (4), 12/15 inter-pod (6) *)
+  Testutil.check_float_eps "k=4 host average" ~eps:0.01 5.4666 avg
+
+let prop_paths_symmetric =
+  Testutil.prop "distance is symmetric" ~count:30
+    QCheck2.Gen.(pair (int_bound 15) (int_bound 15))
+    (fun (a, b) ->
+      let ft = Fattree.build ~k:4 in
+      let topo = ft.Multirooted.topo in
+      let ha = ft.Multirooted.hosts.(a) and hb = ft.Multirooted.hosts.(b) in
+      Paths.distance topo ~src:ha ~dst:hb = Paths.distance topo ~src:hb ~dst:ha)
+
+let () =
+  Alcotest.run "topology"
+    [ ( "topo",
+        [ Alcotest.test_case "basics" `Quick test_topo_basic;
+          Alcotest.test_case "peer lookup" `Quick test_topo_peer;
+          Alcotest.test_case "validation" `Quick test_topo_validation;
+          Alcotest.test_case "disconnected" `Quick test_topo_disconnected;
+          Alcotest.test_case "dot export" `Quick test_to_dot ] );
+      ( "fattree",
+        [ Alcotest.test_case "counts" `Quick test_fattree_counts;
+          Alcotest.test_case "degrees" `Quick test_fattree_degrees;
+          Alcotest.test_case "core per pod" `Quick test_fattree_core_per_pod;
+          Alcotest.test_case "accessors" `Quick test_fattree_accessors;
+          Alcotest.test_case "invalid k" `Quick test_fattree_invalid_k;
+          prop_fattree_structure ] );
+      ( "multirooted",
+        [ Alcotest.test_case "spec validation" `Quick test_multirooted_validation;
+          Alcotest.test_case "asymmetric spec" `Quick test_multirooted_asymmetric;
+          Alcotest.test_case "host location" `Quick test_host_location ] );
+      ( "paths",
+        [ Alcotest.test_case "fat-tree distances" `Quick test_paths_distances;
+          Alcotest.test_case "link exclusion" `Quick test_paths_exclusion;
+          Alcotest.test_case "edge-disjoint paths" `Quick test_edge_disjoint;
+          Alcotest.test_case "average shortest path" `Quick test_average_shortest_path;
+          prop_paths_symmetric ] ) ]

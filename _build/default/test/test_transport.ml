@@ -1,0 +1,357 @@
+(* Transport tests run over a tiny single-switch LAN (Testutil.tiny_lan)
+   and, for path-failure behaviour, over a full PortLand fabric. *)
+
+open Eventsim
+open Netcore
+
+(* ---------------- Port_mux ---------------- *)
+
+let test_mux_dispatch () =
+  let engine, _net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let mux = Transport.Port_mux.attach h1 in
+  let udp_got = ref 0 and tcp_got = ref 0 in
+  Transport.Port_mux.register_udp mux ~port:9000 (fun ~src:_ _ -> incr udp_got);
+  Transport.Port_mux.register_tcp mux ~port:5001 (fun ~src:_ _ -> incr tcp_got);
+  let dst = Portland.Host_agent.ip h1 in
+  Portland.Host_agent.send_ip h0 ~dst
+    (Ipv4_pkt.Udp (Udp.make ~dst_port:9000 ~flow_id:1 ~app_seq:0 ~payload_len:64 ()));
+  Portland.Host_agent.send_ip h0 ~dst
+    (Ipv4_pkt.Tcp (Tcp_seg.make ~dst_port:5001 ~seq:0 ~ack_num:0 ~payload_len:10 ()));
+  Portland.Host_agent.send_ip h0 ~dst
+    (Ipv4_pkt.Udp (Udp.make ~dst_port:1234 ~flow_id:1 ~app_seq:0 ~payload_len:64 ()));
+  Testutil.run_ms engine 50;
+  Testutil.check_int "udp dispatched" 1 !udp_got;
+  Testutil.check_int "tcp dispatched" 1 !tcp_got;
+  Testutil.check_int "unmatched counted" 1 (Transport.Port_mux.unmatched mux)
+
+let test_mux_unregister () =
+  let engine, _net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let mux = Transport.Port_mux.attach h1 in
+  let got = ref 0 in
+  Transport.Port_mux.register_udp mux ~port:9000 (fun ~src:_ _ -> incr got);
+  Transport.Port_mux.unregister_udp mux ~port:9000;
+  Portland.Host_agent.send_ip h0 ~dst:(Portland.Host_agent.ip h1)
+    (Ipv4_pkt.Udp (Udp.make ~dst_port:9000 ~flow_id:1 ~app_seq:0 ~payload_len:64 ()));
+  Testutil.run_ms engine 50;
+  Testutil.check_int "unregistered" 0 !got
+
+(* ---------------- UDP flows ---------------- *)
+
+let test_udp_flow_rate () =
+  let engine, _net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let mux = Transport.Port_mux.attach h1 in
+  let rx = Transport.Udp_flow.Receiver.attach engine mux ~flow_id:5 () in
+  let tx =
+    Transport.Udp_flow.Sender.start engine h0 ~dst:(Portland.Host_agent.ip h1) ~flow_id:5
+      ~rate_pps:1000 ()
+  in
+  Testutil.run_ms engine 500;
+  Transport.Udp_flow.Sender.stop tx;
+  Testutil.run_ms engine 20;
+  Testutil.check_int "sent 500 in 500ms" 500 (Transport.Udp_flow.Sender.sent tx);
+  Testutil.check_int "all received" 500 (Transport.Udp_flow.Receiver.received rx);
+  Testutil.check_int "nothing lost" 0 (Transport.Udp_flow.Receiver.lost rx);
+  Testutil.check_int "no duplicates" 0 (Transport.Udp_flow.Receiver.duplicate rx)
+
+let test_udp_flow_filtering () =
+  let engine, _net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let mux = Transport.Port_mux.attach h1 in
+  let rx = Transport.Udp_flow.Receiver.attach engine mux ~flow_id:5 () in
+  (* different flow id on the same port: ignored *)
+  Portland.Host_agent.send_ip h0 ~dst:(Portland.Host_agent.ip h1)
+    (Ipv4_pkt.Udp (Udp.make ~flow_id:6 ~app_seq:0 ~payload_len:64 ()));
+  Testutil.run_ms engine 50;
+  Testutil.check_int "foreign flow ignored" 0 (Transport.Udp_flow.Receiver.received rx)
+
+let test_udp_gap_detection () =
+  let engine, _net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let mux = Transport.Port_mux.attach h1 in
+  let rx = Transport.Udp_flow.Receiver.attach engine mux ~flow_id:5 () in
+  let send seq =
+    Portland.Host_agent.send_ip h0 ~dst:(Portland.Host_agent.ip h1)
+      (Ipv4_pkt.Udp (Udp.make ~flow_id:5 ~app_seq:seq ~payload_len:64 ()))
+  in
+  send 0;
+  Testutil.run_ms engine 10;
+  send 1;
+  Testutil.run_ms engine 10;
+  (* 100 ms of silence, then a jump over 2..4 *)
+  Testutil.run_ms engine 100;
+  send 5;
+  Testutil.run_ms engine 10;
+  send 5;
+  (* duplicate *)
+  Testutil.run_ms engine 10;
+  Testutil.check_int "lost" 3 (Transport.Udp_flow.Receiver.lost rx);
+  Testutil.check_int "dup" 1 (Transport.Udp_flow.Receiver.duplicate rx);
+  match Transport.Udp_flow.Receiver.max_gap rx ~after:0 with
+  | Some (_, gap) -> Testutil.check_bool "gap ~100ms" true (gap >= Time.ms 100)
+  | None -> Alcotest.fail "no gap"
+
+(* ---------------- TCP ---------------- *)
+
+let test_tcp_bounded_transfer () =
+  let engine, _net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let m0 = Transport.Port_mux.attach h0 and m1 = Transport.Port_mux.attach h1 in
+  let total = 1_000_000 in
+  let conn = Transport.Tcp.connect engine ~src:m0 ~dst:m1 ~total_bytes:total () in
+  Testutil.run_ms engine 2000;
+  Testutil.check_bool "finished" true (Transport.Tcp.finished conn);
+  let s = Transport.Tcp.stats conn in
+  Testutil.check_int "all bytes delivered" total s.Transport.Tcp.bytes_delivered;
+  Testutil.check_int "all bytes acked" total s.Transport.Tcp.bytes_acked;
+  Testutil.check_int "no retransmits on a clean lan" 0 s.Transport.Tcp.retransmits;
+  Testutil.check_bool "srtt measured" true (s.Transport.Tcp.srtt <> None)
+
+let test_tcp_slow_start_growth () =
+  let engine, _net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let m0 = Transport.Port_mux.attach h0 and m1 = Transport.Port_mux.attach h1 in
+  let conn = Transport.Tcp.connect engine ~src:m0 ~dst:m1 () in
+  let p = Transport.Tcp.default_params in
+  Testutil.check_int "initial cwnd"
+    (p.Transport.Tcp.init_cwnd_mss * p.Transport.Tcp.mss)
+    (Transport.Tcp.stats conn).Transport.Tcp.cwnd_bytes;
+  Testutil.run_ms engine 100;
+  let s = Transport.Tcp.stats conn in
+  Testutil.check_bool "cwnd grew" true
+    (s.Transport.Tcp.cwnd_bytes > p.Transport.Tcp.init_cwnd_mss * p.Transport.Tcp.mss);
+  Transport.Tcp.stop conn
+
+let test_tcp_throughput_near_line_rate () =
+  let engine, _net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let m0 = Transport.Port_mux.attach h0 and m1 = Transport.Port_mux.attach h1 in
+  let conn = Transport.Tcp.connect engine ~src:m0 ~dst:m1 () in
+  Testutil.run_ms engine 1000;
+  let s = Transport.Tcp.stats conn in
+  Transport.Tcp.stop conn;
+  let mbps = float_of_int s.Transport.Tcp.bytes_delivered *. 8.0 /. 1e6 in
+  Testutil.check_bool "over 700 Mb/s on a 1 Gb/s lan" true (mbps > 700.0)
+
+let test_tcp_rto_on_blackout () =
+  let engine, net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let m0 = Transport.Port_mux.attach h0 and m1 = Transport.Port_mux.attach h1 in
+  let conn = Transport.Tcp.connect engine ~src:m0 ~dst:m1 () in
+  Testutil.run_ms engine 100;
+  (* sever the receiver's link permanently *)
+  let l = Option.get (Switchfab.Net.link_between net 0 2) in
+  Switchfab.Net.fail_link net l;
+  Testutil.run_ms engine 2000;
+  let s = Transport.Tcp.stats conn in
+  Transport.Tcp.stop conn;
+  (* with a 200 ms min RTO and doubling backoff, 2 s of blackout gives
+     RTOs at +200, +600, +1400 ms: at least 3, at most 4 *)
+  Testutil.check_bool "rto backoff" true
+    (s.Transport.Tcp.timeouts >= 3 && s.Transport.Tcp.timeouts <= 4)
+
+let test_tcp_recovers_through_path_failure () =
+  (* full fabric: the flow must survive an on-path link failure and
+     deliver every byte exactly once *)
+  let fab = Testutil.converged_fabric () in
+  let engine = Portland.Fabric.engine fab in
+  let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let dst = Portland.Fabric.host fab ~pod:3 ~edge:1 ~slot:0 in
+  let m0 = Transport.Port_mux.attach src and m1 = Transport.Port_mux.attach dst in
+  let total = 40_000_000 in
+  let conn = Transport.Tcp.connect engine ~src:m0 ~dst:m1 ~total_bytes:total () in
+  Portland.Fabric.run_for fab (Time.ms 100);
+  let probe = Ipv4_pkt.Tcp (Tcp_seg.make ~seq:0 ~ack_num:0 ~payload_len:1460 ()) in
+  (match
+     Portland.Fabric.trace_route fab ~src ~dst_ip:(Portland.Host_agent.ip dst) probe
+   with
+   | Ok (_ :: a :: b :: _) -> ignore (Portland.Fabric.fail_link_between fab ~a ~b)
+   | Ok _ | Error _ -> Alcotest.fail "no path");
+  Portland.Fabric.run_for fab (Time.sec 2);
+  let s = Transport.Tcp.stats conn in
+  Testutil.check_bool "finished" true (Transport.Tcp.finished conn);
+  Testutil.check_int "exactly total delivered" total s.Transport.Tcp.bytes_delivered;
+  Testutil.check_bool "saw loss" true (s.Transport.Tcp.retransmits > 0)
+
+let test_tcp_exactly_once_over_lossy_link () =
+  (* 5% random loss: TCP must still deliver every byte exactly once *)
+  let engine = Engine.create () in
+  let nodes =
+    [ { Topology.Topo.id = 0; kind = Topology.Topo.Edge_switch; name = "sw"; nports = 2 };
+      { Topology.Topo.id = 1; kind = Topology.Topo.Host; name = "h0"; nports = 1 };
+      { Topology.Topo.id = 2; kind = Topology.Topo.Host; name = "h1"; nports = 1 } ]
+  in
+  let links =
+    [ { Topology.Topo.a = { Topology.Topo.node = 0; port = 0 };
+        b = { Topology.Topo.node = 1; port = 0 } };
+      { Topology.Topo.a = { Topology.Topo.node = 0; port = 1 };
+        b = { Topology.Topo.node = 2; port = 0 } } ]
+  in
+  let topo = Topology.Topo.create ~nodes ~links in
+  let params = { Switchfab.Net.default_link_params with Switchfab.Net.loss_rate = 0.05 } in
+  let net = Switchfab.Net.create ~params ~loss_seed:11 engine topo in
+  let sw = Baselines.Learning_switch.attach engine net ~device:0 ~stp:false () in
+  Baselines.Learning_switch.start sw;
+  let mk_host i ip_last =
+    let h =
+      Portland.Host_agent.create engine Portland.Config.default net ~device:i
+        ~amac:(Mac_addr.of_int (0x020000000000 lor i))
+        ~ip:(Ipv4_addr.of_octets 10 0 0 ip_last)
+    in
+    Portland.Host_agent.start h;
+    h
+  in
+  let h0 = mk_host 1 2 and h1 = mk_host 2 3 in
+  Testutil.run_ms engine 200;
+  let m0 = Transport.Port_mux.attach h0 and m1 = Transport.Port_mux.attach h1 in
+  let total = 2_000_000 in
+  let conn = Transport.Tcp.connect engine ~src:m0 ~dst:m1 ~total_bytes:total () in
+  Testutil.run_ms engine 30_000;
+  let s = Transport.Tcp.stats conn in
+  Testutil.check_bool "finished despite loss" true (Transport.Tcp.finished conn);
+  Testutil.check_int "every byte exactly once" total s.Transport.Tcp.bytes_delivered;
+  Testutil.check_bool "loss caused retransmissions" true (s.Transport.Tcp.retransmits > 0)
+
+let test_tcp_goodput_series () =
+  let engine, _net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let m0 = Transport.Port_mux.attach h0 and m1 = Transport.Port_mux.attach h1 in
+  let conn = Transport.Tcp.connect engine ~src:m0 ~dst:m1 () in
+  Testutil.run_ms engine 500;
+  Transport.Tcp.stop conn;
+  let series = Transport.Tcp.goodput_bps conn ~window:(Time.ms 100) in
+  Testutil.check_bool "series non-empty" true (List.length series >= 4);
+  List.iter (fun (_, bps) -> Testutil.check_bool "bps positive" true (bps >= 0.0)) series;
+  Testutil.check_bool "trace recorded" true
+    (Stats.Series.length (Transport.Tcp.delivery_trace conn) > 100)
+
+let test_tcp_delayed_ack () =
+  let engine, _net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let run_with params =
+    let m0 = Transport.Port_mux.attach h0 and m1 = Transport.Port_mux.attach h1 in
+    let conn =
+      Transport.Tcp.connect engine ~params ~src:m0 ~dst:m1 ~total_bytes:1_000_000 ()
+    in
+    Testutil.run_ms engine 3000;
+    let s = Transport.Tcp.stats conn in
+    Testutil.check_bool "finished" true (Transport.Tcp.finished conn);
+    s
+  in
+  let s_imm = run_with Transport.Tcp.default_params in
+  let s_del =
+    run_with { Transport.Tcp.default_params with Transport.Tcp.delayed_ack = true }
+  in
+  Testutil.check_int "same bytes" s_imm.Transport.Tcp.bytes_delivered
+    s_del.Transport.Tcp.bytes_delivered;
+  (* delayed acking roughly halves the pure-ACK count *)
+  Testutil.check_bool "fewer acks" true
+    (s_del.Transport.Tcp.acks_sent * 3 < s_imm.Transport.Tcp.acks_sent * 2)
+
+let test_tcp_cwnd_trace () =
+  let engine, _net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let m0 = Transport.Port_mux.attach h0 and m1 = Transport.Port_mux.attach h1 in
+  let conn = Transport.Tcp.connect engine ~src:m0 ~dst:m1 () in
+  Testutil.run_ms engine 300;
+  Transport.Tcp.stop conn;
+  let pts = Stats.Series.points (Transport.Tcp.cwnd_trace conn) in
+  Testutil.check_bool "cwnd changes recorded" true (Array.length pts > 5);
+  (* slow start: the early trace is strictly increasing *)
+  let increasing = ref true in
+  for i = 1 to min 5 (Array.length pts - 1) do
+    if snd pts.(i) <= snd pts.(i - 1) then increasing := false
+  done;
+  Testutil.check_bool "slow-start growth" true !increasing
+
+(* ---------------- ICMP / ping ---------------- *)
+
+let test_icmp_kernel_reply () =
+  let engine, _net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let mux = Transport.Port_mux.attach h0 in
+  let replies = ref 0 in
+  Transport.Port_mux.set_icmp_handler mux (fun ~src:_ m ->
+      match m with Icmp.Echo_reply _ -> incr replies | Icmp.Echo_request _ -> ());
+  (* h1 has no rx handler at all: the reply comes from its "kernel" *)
+  Portland.Host_agent.send_ip h0 ~dst:(Portland.Host_agent.ip h1)
+    (Ipv4_pkt.Icmp (Icmp.echo_request ~ident:9 ~seq:0 ()));
+  Testutil.run_ms engine 20;
+  Testutil.check_int "kernel replied" 1 !replies
+
+let test_ping_statistics () =
+  let engine, _net, hosts = Testutil.tiny_lan () in
+  let h0, h1 = (List.nth hosts 0, List.nth hosts 1) in
+  let mux = Transport.Port_mux.attach h0 in
+  let p = Transport.Ping.create engine mux ~dst:(Portland.Host_agent.ip h1) () in
+  Transport.Ping.start p ~count:25 ~interval:(Time.ms 2) ();
+  Testutil.run_ms engine 200;
+  Testutil.check_int "sent" 25 (Transport.Ping.sent p);
+  Testutil.check_int "received" 25 (Transport.Ping.received p);
+  Testutil.check_int "lost" 0 (Transport.Ping.lost p);
+  let rtt = Transport.Ping.rtt p in
+  Testutil.check_int "samples" 25 (Stats.Distribution.count rtt);
+  Testutil.check_bool "rtt positive" true (Stats.Distribution.min rtt > 0.0)
+
+let test_ping_rtt_tiers_on_fattree () =
+  let fab = Testutil.converged_fabric () in
+  let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let mux = Transport.Port_mux.attach src in
+  let median dst =
+    let p =
+      Transport.Ping.create (Portland.Fabric.engine fab) mux
+        ~dst:(Portland.Host_agent.ip dst) ()
+    in
+    Transport.Ping.start p ~count:10 ~interval:(Time.ms 5) ();
+    Portland.Fabric.run_for fab (Time.ms 100);
+    Transport.Ping.stop p;
+    Stats.Distribution.percentile (Transport.Ping.rtt p) 50.0
+  in
+  let same_edge = median (Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:1) in
+  let same_pod = median (Portland.Fabric.host fab ~pod:0 ~edge:1 ~slot:0) in
+  let inter_pod = median (Portland.Fabric.host fab ~pod:3 ~edge:1 ~slot:1) in
+  Testutil.check_bool "same edge < same pod" true (same_edge < same_pod);
+  Testutil.check_bool "same pod < inter pod" true (same_pod < inter_pod)
+
+let test_tcp_two_connections_independent () =
+  let engine, _net, hosts = Testutil.tiny_lan ~n:4 () in
+  let h = Array.of_list hosts in
+  let m = Array.map Transport.Port_mux.attach h in
+  let c1 = Transport.Tcp.connect engine ~src:m.(0) ~dst:m.(1) ~total_bytes:500_000 () in
+  let c2 =
+    Transport.Tcp.connect engine ~src:m.(2) ~dst:m.(3) ~src_port:6000 ~dst_port:6000
+      ~total_bytes:500_000 ()
+  in
+  Testutil.run_ms engine 2000;
+  Testutil.check_bool "c1 finished" true (Transport.Tcp.finished c1);
+  Testutil.check_bool "c2 finished" true (Transport.Tcp.finished c2)
+
+let () =
+  Alcotest.run "transport"
+    [ ( "port mux",
+        [ Alcotest.test_case "dispatch" `Quick test_mux_dispatch;
+          Alcotest.test_case "unregister" `Quick test_mux_unregister ] );
+      ( "udp flows",
+        [ Alcotest.test_case "constant rate, lossless" `Quick test_udp_flow_rate;
+          Alcotest.test_case "flow filtering" `Quick test_udp_flow_filtering;
+          Alcotest.test_case "gap & loss detection" `Quick test_udp_gap_detection ] );
+      ( "tcp",
+        [ Alcotest.test_case "bounded transfer" `Quick test_tcp_bounded_transfer;
+          Alcotest.test_case "slow start" `Quick test_tcp_slow_start_growth;
+          Alcotest.test_case "near line rate" `Quick test_tcp_throughput_near_line_rate;
+          Alcotest.test_case "rto backoff on blackout" `Quick test_tcp_rto_on_blackout;
+          Alcotest.test_case "recovers through path failure" `Quick
+            test_tcp_recovers_through_path_failure;
+          Alcotest.test_case "exactly-once over a lossy link" `Quick
+            test_tcp_exactly_once_over_lossy_link;
+          Alcotest.test_case "goodput series" `Quick test_tcp_goodput_series;
+          Alcotest.test_case "independent connections" `Quick
+            test_tcp_two_connections_independent;
+          Alcotest.test_case "delayed acks" `Quick test_tcp_delayed_ack;
+          Alcotest.test_case "cwnd trace" `Quick test_tcp_cwnd_trace ] );
+      ( "icmp & ping",
+        [ Alcotest.test_case "kernel echo reply" `Quick test_icmp_kernel_reply;
+          Alcotest.test_case "ping statistics" `Quick test_ping_statistics;
+          Alcotest.test_case "rtt tiers on a fat tree" `Quick test_ping_rtt_tiers_on_fattree ] ) ]

@@ -1,0 +1,83 @@
+open Workloads
+
+let hosts n = Array.init n (fun i -> i)
+
+let prop_permutation_derangement =
+  Testutil.prop "random_permutation is a derangement"
+    QCheck2.Gen.(pair int (int_range 2 40))
+    (fun (seed, n) ->
+      let prng = Eventsim.Prng.create seed in
+      let pairs = Traffic.random_permutation prng (hosts n) in
+      List.length pairs = n
+      && List.for_all (fun (a, b) -> a <> b) pairs
+      && List.sort_uniq compare (List.map snd pairs) = List.init n (fun i -> i))
+
+let test_stride () =
+  let pairs = Traffic.stride (hosts 4) ~stride:1 in
+  Alcotest.(check (list (pair int int))) "stride 1" [ (0, 1); (1, 2); (2, 3); (3, 0) ] pairs;
+  Testutil.check_int "stride n skips self" 0 (List.length (Traffic.stride (hosts 4) ~stride:4));
+  Testutil.check_int "empty hosts" 0 (List.length (Traffic.stride (hosts 0) ~stride:1))
+
+let test_all_pairs () =
+  let pairs = Traffic.all_pairs (hosts 4) in
+  Testutil.check_int "count" 12 (List.length pairs);
+  Testutil.check_bool "no self pairs" true (List.for_all (fun (a, b) -> a <> b) pairs)
+
+let test_hotspot () =
+  let pairs = Traffic.hotspot (hosts 5) ~target_index:2 in
+  Testutil.check_int "count" 4 (List.length pairs);
+  Testutil.check_bool "all to target" true (List.for_all (fun (_, b) -> b = 2) pairs)
+
+let test_sample_pairs () =
+  let prng = Eventsim.Prng.create 5 in
+  let pairs = Traffic.sample_pairs prng (hosts 10) ~n:30 in
+  Testutil.check_int "count" 30 (List.length pairs);
+  Testutil.check_bool "distinct endpoints" true (List.for_all (fun (a, b) -> a <> b) pairs)
+
+let test_switch_links_count () =
+  let mt = Topology.Fattree.build ~k:4 in
+  (* edge-agg: 4 pods x 2 x 2 = 16; agg-core: 4 pods x 2 x 2 = 16 *)
+  Testutil.check_int "switch-switch links" 32 (List.length (Failure_plan.switch_links mt))
+
+let test_flow_relevant_links () =
+  let mt = Topology.Fattree.build ~k:4 in
+  let src = Topology.Fattree.host mt ~pod:0 ~edge:0 ~slot:0 in
+  let dst = Topology.Fattree.host mt ~pod:3 ~edge:1 ~slot:1 in
+  let rel = Failure_plan.flow_relevant_links mt ~src_host:src ~dst_host:dst in
+  (* src edge uplinks (2) + dst edge uplinks (2) + agg-core links touching
+     pod 0 or pod 3 (2x4 = 8) = 12 *)
+  Testutil.check_int "relevant count" 12 (List.length rel);
+  let src_edge = Topology.Fattree.edge mt ~pod:0 ~pos:0 in
+  Testutil.check_bool "includes src edge uplinks" true
+    (List.exists (fun (a, b) -> a = src_edge || b = src_edge) rel)
+
+let test_pick_survivable () =
+  let mt = Topology.Fattree.build ~k:4 in
+  let src = Topology.Fattree.host mt ~pod:0 ~edge:0 ~slot:0 in
+  let dst = Topology.Fattree.host mt ~pod:3 ~edge:1 ~slot:1 in
+  let candidates = Failure_plan.flow_relevant_links mt ~src_host:src ~dst_host:dst in
+  let prng = Eventsim.Prng.create 9 in
+  for n = 1 to 3 do
+    match Failure_plan.pick_survivable prng mt ~candidates ~src_host:src ~dst_host:dst ~n with
+    | Some chosen ->
+      Testutil.check_int "chose n" n (List.length chosen);
+      Testutil.check_bool "subset of candidates" true
+        (List.for_all (fun l -> List.mem l candidates) chosen)
+    | None -> Alcotest.failf "no survivable set of %d" n
+  done;
+  (* asking for more than available: None *)
+  Testutil.check_bool "too many" true
+    (Failure_plan.pick_survivable prng mt ~candidates ~src_host:src ~dst_host:dst ~n:100 = None)
+
+let () =
+  Alcotest.run "workloads"
+    [ ( "traffic",
+        [ prop_permutation_derangement;
+          Alcotest.test_case "stride" `Quick test_stride;
+          Alcotest.test_case "all pairs" `Quick test_all_pairs;
+          Alcotest.test_case "hotspot" `Quick test_hotspot;
+          Alcotest.test_case "sample pairs" `Quick test_sample_pairs ] );
+      ( "failure plans",
+        [ Alcotest.test_case "switch links" `Quick test_switch_links_count;
+          Alcotest.test_case "flow-relevant links" `Quick test_flow_relevant_links;
+          Alcotest.test_case "survivable sets" `Quick test_pick_survivable ] ) ]

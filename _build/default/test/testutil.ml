@@ -1,0 +1,58 @@
+(* Shared helpers for the test suites. *)
+
+let prop name ?(count = 200) gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let check_float_eps name ~eps expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %g, got %g (eps %g)" name expected actual eps
+
+(* a converged k=4 PortLand fabric, reused by several suites *)
+let converged_fabric ?(k = 4) ?(seed = 42) ?spare_slots () =
+  let fab = Portland.Fabric.create_fattree ?spare_slots ~seed ~k () in
+  if not (Portland.Fabric.await_convergence fab) then
+    Alcotest.fail "fabric failed to converge";
+  fab
+
+(* a tiny flat-L2 playground: [n] hosts on one learning switch (no loops,
+   no STP needed) — convenient substrate for transport tests *)
+let tiny_lan ?(n = 2) () =
+  let engine = Eventsim.Engine.create () in
+  let nodes =
+    { Topology.Topo.id = 0; kind = Topology.Topo.Edge_switch; name = "sw"; nports = n }
+    :: List.init n (fun i ->
+           { Topology.Topo.id = i + 1;
+             kind = Topology.Topo.Host;
+             name = Printf.sprintf "h%d" i;
+             nports = 1 })
+  in
+  let links =
+    List.init n (fun i ->
+        { Topology.Topo.a = { Topology.Topo.node = 0; port = i };
+          b = { Topology.Topo.node = i + 1; port = 0 } })
+  in
+  let topo = Topology.Topo.create ~nodes ~links in
+  let net = Switchfab.Net.create engine topo in
+  let sw = Baselines.Learning_switch.attach engine net ~device:0 ~stp:false () in
+  Baselines.Learning_switch.start sw;
+  let hosts =
+    List.init n (fun i ->
+        let ip = Netcore.Ipv4_addr.of_octets 10 0 0 (i + 2) in
+        let amac = Netcore.Mac_addr.of_int (0x020000000000 lor (i + 1)) in
+        let h =
+          Portland.Host_agent.create engine Portland.Config.default net ~device:(i + 1) ~amac
+            ~ip
+        in
+        Portland.Host_agent.start h;
+        h)
+  in
+  (* let all boot-time gratuitous ARPs (3 per host) drain *)
+  Eventsim.Engine.run ~until:(Eventsim.Time.ms 600) engine;
+  (engine, net, hosts)
+
+let run_ms engine ms =
+  Eventsim.Engine.run ~until:(Eventsim.Engine.now engine + Eventsim.Time.ms ms) engine
