@@ -150,6 +150,108 @@ let run_scenario ~k ~seed ~duration_ms ~scenario ~verbose ~pcap_file ~dot_file =
          (Portland.Fabric.agents fab))
   end
 
+(* ---------------- static verification ---------------- *)
+
+let run_verify ~k ~seed ~inject ~corrupt =
+  let open Eventsim in
+  let module MR = Topology.Multirooted in
+  let module FT = Switchfab.Flow_table in
+  let module Verify = Portland_verify.Verify in
+  let fab = Portland.Fabric.create_fattree ~seed ~k () in
+  if not (Portland.Fabric.await_convergence fab) then begin
+    prerr_endline "fabric failed to converge";
+    exit 2
+  end;
+  Printf.printf "k=%d fat tree converged at %s\n%!" k
+    (Time.to_string (Portland.Fabric.now fab));
+  let mt = Portland.Fabric.tree fab in
+  if inject > 0 then begin
+    (* deterministic, non-partitioning failures: one edge-agg link in each
+       of the first [inject] pods, then let the fabric reconverge *)
+    let n = min inject (Array.length mt.MR.edges) in
+    for p = 0 to n - 1 do
+      ignore (Portland.Fabric.fail_link_between fab ~a:mt.MR.edges.(p).(0) ~b:mt.MR.aggs.(p).(0))
+    done;
+    Portland.Fabric.run_for fab (Time.ms 300);
+    Printf.printf "injected %d edge-agg link failure(s) and reconverged\n%!" n
+  end;
+  let binding_of ~pod =
+    let h = Portland.Fabric.host fab ~pod ~edge:0 ~slot:0 in
+    match
+      Portland.Fabric_manager.lookup_binding
+        (Portland.Fabric.fabric_manager fab)
+        (Portland.Host_agent.ip h)
+    with
+    | Some b -> b
+    | None ->
+      prerr_endline "host not registered at the fabric manager";
+      exit 2
+  in
+  let exact_match (b : Portland.Msg.host_binding) =
+    FT.match_dst_prefix
+      ~value:(Netcore.Mac_addr.to_int (Portland.Pmac.to_mac b.Portland.Msg.pmac))
+      ~mask:0xFFFFFFFFFFFF
+  in
+  let faults =
+    match corrupt with
+    | None -> None
+    | Some "wrong-port" ->
+      (* re-point a host's exact-match entry at the neighbouring host port *)
+      let b = binding_of ~pod:0 in
+      let table =
+        Portland.Switch_agent.table (Portland.Fabric.agent fab b.Portland.Msg.edge_switch)
+      in
+      let pmac_int = Netcore.Mac_addr.to_int (Portland.Pmac.to_mac b.Portland.Msg.pmac) in
+      FT.install table
+        { FT.name = Printf.sprintf "host:%d" pmac_int;
+          priority = 90;
+          mtch = exact_match b;
+          actions =
+            [ FT.Set_dst_mac b.Portland.Msg.amac;
+              FT.Output ((b.Portland.Msg.pmac.Portland.Pmac.port + 1) mod (k / 2)) ] };
+      Printf.printf "corrupted: host entry on switch %d points at the wrong port\n%!"
+        b.Portland.Msg.edge_switch;
+      None
+    | Some "loop" ->
+      (* bounce a remote pod's class between edge(0,0) and agg(0,0) *)
+      let b = binding_of ~pod:(k - 1) in
+      let up_port = k / 2 (* first uplink: host ports come first *) in
+      FT.install
+        (Portland.Switch_agent.table (Portland.Fabric.agent fab mt.MR.edges.(0).(0)))
+        { FT.name = "evil-up"; priority = 200; mtch = exact_match b;
+          actions = [ FT.Output up_port ] };
+      FT.install
+        (Portland.Switch_agent.table (Portland.Fabric.agent fab mt.MR.aggs.(0).(0)))
+        { FT.name = "evil-down"; priority = 200; mtch = exact_match b;
+          actions = [ FT.Output 0 ] };
+      Printf.printf "corrupted: looping entry pair installed on edge(0,0)/agg(0,0)\n%!";
+      None
+    | Some "stale-fault" ->
+      (* verify against a fault matrix naming a demonstrably alive link *)
+      let stale =
+        match
+          ( Portland.Switch_agent.coords (Portland.Fabric.agent fab mt.MR.edges.(0).(0)),
+            Portland.Switch_agent.coords (Portland.Fabric.agent fab mt.MR.aggs.(0).(0)) )
+        with
+        | Some (Portland.Coords.Edge { pod; position }), Some (Portland.Coords.Agg { stripe; _ })
+          ->
+          Portland.Fault.Edge_agg { pod; edge_pos = position; stripe }
+        | _ ->
+          prerr_endline "switches have no coordinates";
+          exit 2
+      in
+      Printf.printf "corrupted: fault matrix claims a live link is down\n%!";
+      Some
+        (stale
+        :: Portland.Fabric_manager.fault_set (Portland.Fabric.fabric_manager fab))
+    | Some other ->
+      Printf.eprintf "unknown corruption %s (wrong-port | loop | stale-fault)\n" other;
+      exit 2
+  in
+  let report = Verify.run ?faults fab in
+  Format.printf "%a@." Verify.pp_report report;
+  exit (if Verify.ok report then 0 else 1)
+
 let k_arg =
   let doc = "Fat-tree arity (even, >= 2)." in
   Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc)
@@ -178,14 +280,45 @@ let dot_arg =
   let doc = "Write the topology as a Graphviz file." in
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
 
-let cmd =
-  let doc = "simulate a PortLand fabric" in
+let inject_arg =
+  let doc =
+    "Before verifying, fail one edge-agg link in each of the first $(docv) pods and let the \
+     fabric reconverge."
+  in
+  Arg.(value & opt int 0 & info [ "inject" ] ~docv:"N" ~doc)
+
+let corrupt_arg =
+  let doc =
+    "Seed a deliberate corruption before verifying (the report must then be non-empty): \
+     wrong-port, loop, or stale-fault."
+  in
+  Arg.(value & opt (some string) None & info [ "corrupt" ] ~docv:"KIND" ~doc)
+
+let scenario_term =
+  Term.(
+    const (fun k seed duration_ms scenario verbose pcap_file dot_file ->
+        run_scenario ~k ~seed ~duration_ms ~scenario ~verbose ~pcap_file ~dot_file)
+    $ k_arg $ seed_arg $ duration_arg $ scenario_arg $ verbose_arg $ pcap_arg $ dot_arg)
+
+let run_cmd =
+  let doc = "run a traffic scenario (idle | ping-all | failure | migrate | fm-restart)" in
+  Cmd.v (Cmd.info "run" ~doc) scenario_term
+
+let verify_cmd =
+  let doc =
+    "statically verify the installed forwarding state: loop freedom, blackhole freedom, \
+     PMAC rewrite correctness, ECMP group liveness and fault-matrix consistency. Exits 0 \
+     iff no violations."
+  in
   let term =
     Term.(
-      const (fun k seed duration_ms scenario verbose pcap_file dot_file ->
-          run_scenario ~k ~seed ~duration_ms ~scenario ~verbose ~pcap_file ~dot_file)
-      $ k_arg $ seed_arg $ duration_arg $ scenario_arg $ verbose_arg $ pcap_arg $ dot_arg)
+      const (fun k seed inject corrupt -> run_verify ~k ~seed ~inject ~corrupt)
+      $ k_arg $ seed_arg $ inject_arg $ corrupt_arg)
   in
-  Cmd.v (Cmd.info "portland_sim" ~doc) term
+  Cmd.v (Cmd.info "verify" ~doc) term
+
+let cmd =
+  let doc = "simulate a PortLand fabric" in
+  Cmd.group ~default:scenario_term (Cmd.info "portland_sim" ~doc) [ run_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval cmd)

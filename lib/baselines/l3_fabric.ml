@@ -4,7 +4,7 @@ module SNet = Switchfab.Net
 
 type route = { prefix : int; masklen : int; ports : int array }
 
-type router = { device : int; mutable routes : route list (* sorted longest-prefix first *) }
+type router = { routes : route list (* sorted longest-prefix first *) }
 
 module Host = struct
   type h = {
@@ -41,7 +41,7 @@ let route_matches r ip = ip land mask_of r.masklen = r.prefix land mask_of r.mas
 
 let install_router t device routes =
   let sorted = List.sort (fun a b -> compare b.masklen a.masklen) routes in
-  let router = { device; routes = sorted } in
+  let router = { routes = sorted } in
   let handle in_port (frame : Eth.t) =
     ignore in_port;
     match frame.Eth.payload with

@@ -6,7 +6,7 @@ module FT = Switchfab.Flow_table
 
 type host_slot = {
   agent : Host_agent.t;
-  mutable plugged : bool;
+  plugged : bool;
 }
 
 type t = {

@@ -22,9 +22,7 @@ type t = {
   engine : Engine.t;
   config : Config.t;
   ctrl : Ctrl.t;
-  net : Switchfab.Net.t;
   spec : Spec.spec;
-  device : Switchfab.Net.device;
   sw_id : int;
   table : FT.t;
   mutable dp : Switchfab.Dataplane.t option;
@@ -57,6 +55,7 @@ type t = {
 
 let switch_id t = t.sw_id
 let coords t = t.coords
+let faults t = Fault.Set.elements t.faults
 let table t = t.table
 let table_size t = FT.size t.table
 let is_operational t = t.operational
@@ -150,12 +149,17 @@ let recompute_edge_tables t ~pod ~position =
             else None)
           stripes
       in
-      FT.set_group t.table (gid_same e') (Array.of_list members);
-      FT.install t.table
-        { FT.name = Printf.sprintf "samepod:%d" e';
-          priority = 80;
-          mtch = { FT.match_any with FT.dst_mac = Some (Pmac.position_prefix ~pod ~position:e') };
-          actions = [ FT.Group (gid_same e') ] }
+      (* an entry whose group has no live members could only drop: leave it
+         uninstalled so the table honestly says "no route" *)
+      if members <> [] then begin
+        FT.set_group t.table (gid_same e') (Array.of_list members);
+        FT.install t.table
+          { FT.name = Printf.sprintf "samepod:%d" e';
+            priority = 80;
+            mtch =
+              { FT.match_any with FT.dst_mac = Some (Pmac.position_prefix ~pod ~position:e') };
+            actions = [ FT.Group (gid_same e') ] }
+      end
     end
   done;
   (* remote pods: default per-pod ECMP groups *)
@@ -172,12 +176,14 @@ let recompute_edge_tables t ~pod ~position =
             else None)
           stripes
       in
-      FT.set_group t.table (gid_pod p') (Array.of_list members);
-      FT.install t.table
-        { FT.name = Printf.sprintf "pod:%d" p';
-          priority = 70;
-          mtch = { FT.match_any with FT.dst_mac = Some (Pmac.pod_prefix ~pod:p') };
-          actions = [ FT.Group (gid_pod p') ] }
+      if members <> [] then begin
+        FT.set_group t.table (gid_pod p') (Array.of_list members);
+        FT.install t.table
+          { FT.name = Printf.sprintf "pod:%d" p';
+            priority = 70;
+            mtch = { FT.match_any with FT.dst_mac = Some (Pmac.pod_prefix ~pod:p') };
+            actions = [ FT.Group (gid_pod p') ] }
+      end
     end
   done;
   (* overrides for remote edge switches that lost an uplink: avoid the
@@ -198,14 +204,16 @@ let recompute_edge_tables t ~pod ~position =
               else None)
             stripes
         in
-        FT.set_group t.table (gid_ovr p' e') (Array.of_list members);
-        FT.install t.table
-          { FT.name = Printf.sprintf "ovr:%d:%d" p' e';
-            priority = 75;
-            mtch =
-              { FT.match_any with
-                FT.dst_mac = Some (Pmac.position_prefix ~pod:p' ~position:e') };
-            actions = [ FT.Group (gid_ovr p' e') ] }
+        if members <> [] then begin
+          FT.set_group t.table (gid_ovr p' e') (Array.of_list members);
+          FT.install t.table
+            { FT.name = Printf.sprintf "ovr:%d:%d" p' e';
+              priority = 75;
+              mtch =
+                { FT.match_any with
+                  FT.dst_mac = Some (Pmac.position_prefix ~pod:p' ~position:e') };
+              actions = [ FT.Group (gid_ovr p' e') ] }
+        end
       | Fault.Edge_agg _ | Fault.Agg_core _ | Fault.Host_edge _ -> ())
     (Fault.Set.elements t.faults);
   (* local hosts and traps *)
@@ -251,12 +259,14 @@ let recompute_agg_tables t ~pod ~stripe =
             else None)
           core_ports
       in
-      FT.set_group t.table (gid_pod p') (Array.of_list members);
-      FT.install t.table
-        { FT.name = Printf.sprintf "pod:%d" p';
-          priority = 70;
-          mtch = { FT.match_any with FT.dst_mac = Some (Pmac.pod_prefix ~pod:p') };
-          actions = [ FT.Group (gid_pod p') ] }
+      if members <> [] then begin
+        FT.set_group t.table (gid_pod p') (Array.of_list members);
+        FT.install t.table
+          { FT.name = Printf.sprintf "pod:%d" p';
+            priority = 70;
+            mtch = { FT.match_any with FT.dst_mac = Some (Pmac.pod_prefix ~pod:p') };
+            actions = [ FT.Group (gid_pod p') ] }
+      end
     end
   done
 
@@ -605,7 +615,7 @@ let create engine config ctrl net ~spec ~device ~seed =
   let dev = Switchfab.Net.device net device in
   let prng = Prng.create (seed lxor (device * 7919)) in
   let t =
-    { engine; config; ctrl; net; spec; device = dev; sw_id = device;
+    { engine; config; ctrl; spec; sw_id = device;
       table = FT.create ();
       dp = None; ldp = None; prng;
       coords = None; operational = false;

@@ -56,3 +56,8 @@ val dataplane : t -> Switchfab.Dataplane.t
 
 val is_operational : t -> bool
 (** Coordinates assigned and forwarding state installed. *)
+
+val faults : t -> Fault.t list
+(** The switch's local copy of the fault matrix — what its current tables
+    were computed from. Post-convergence this equals the fabric manager's
+    matrix; the static verifier ({!Portland_verify}) cross-checks both. *)

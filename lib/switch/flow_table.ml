@@ -153,6 +153,18 @@ let flow_hash (frame : Eth.t) =
   in
   abs h
 
+let entries t = t.entries
+let find_entry t name = List.find_opt (fun e -> e.name = name) t.entries
+let groups t = Hashtbl.fold (fun id members acc -> (id, Array.copy members) :: acc) t.groups []
+
+let lookup_dst t dst =
+  List.find_opt
+    (fun e ->
+      (match e.mtch.dst_mac with None -> true | Some mm -> mask_ok mm dst)
+      && e.mtch.src_mac = None && e.mtch.ethertype = None && e.mtch.ip_dst = None
+      && e.mtch.ip_proto = None)
+    t.entries
+
 let pp_mask_match fmt (mm : mask_match) =
   if mm.mask = 0xFFFFFFFFFFFF then Format.fprintf fmt "=%012x" mm.value
   else Format.fprintf fmt "%012x/%012x" mm.value mm.mask

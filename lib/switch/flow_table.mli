@@ -99,3 +99,26 @@ val flow_hash : Netcore.Eth.t -> int
 
 val matches : mtch -> Netcore.Eth.t -> bool
 (** Exposed for tests. *)
+
+(** {1 Static introspection}
+
+    Side-effect-free accessors for offline analysis of installed state
+    (the {!Portland_verify} dataplane verifier). None of these touch hit
+    counters. *)
+
+val entries : t -> entry list
+(** Installed entries in lookup order (highest priority first, ties by
+    later insertion). *)
+
+val find_entry : t -> string -> entry option
+
+val groups : t -> (int * int array) list
+(** Every select group as [(id, members)], in unspecified order. *)
+
+val lookup_dst : t -> int -> entry option
+(** The entry that decides the fate of the {e whole} destination class
+    [dst]: the highest-priority entry whose [dst_mac] match accepts the
+    value and whose other fields are fully wildcarded. Entries that also
+    constrain source/ethertype/IP fields match only a subset of the class
+    and are skipped (the PortLand layer installs none for unicast
+    forwarding). *)

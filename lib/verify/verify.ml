@@ -1,0 +1,440 @@
+open Netcore
+open Portland
+module FT = Switchfab.Flow_table
+module SNet = Switchfab.Net
+module Topo = Topology.Topo
+module MR = Topology.Multirooted
+
+type violation =
+  | Loop of { pmac : Pmac.t; cycle : int list }
+  | Blackhole of { pmac : Pmac.t; switch : int; entry : string option; reason : string }
+  | Wrong_delivery of {
+      pmac : Pmac.t;
+      switch : int;
+      entry : string;
+      port : int;
+      delivered_to : int;
+      expected : int;
+    }
+  | Bad_rewrite of { pmac : Pmac.t; switch : int; entry : string; reason : string }
+  | Dead_group_member of { switch : int; entry : string; group : int; port : int; why : string }
+  | Empty_group of { switch : int; entry : string; group : int }
+  | Unknown_fault_link of { fault : Fault.t; reason : string }
+  | Stale_fault of { fault : Fault.t }
+
+type report = {
+  violations : violation list;
+  classes_checked : int;
+  switches_checked : int;
+  groups_checked : int;
+  faults_checked : int;
+}
+
+(* ---------------- snapshot ---------------- *)
+
+(* Everything the checks need, captured once: the static topology, the
+   runtime wiring/liveness view, per-switch agents and coordinate reverse
+   maps. Tables are read through the agents (the snapshot is of the same
+   instant — nothing advances the engine while we walk). *)
+type snap = {
+  net : SNet.t;
+  topo : Topo.t;
+  spec : MR.spec;
+  agents : (int, Switch_agent.t) Hashtbl.t;
+  edge_at : (int * int, int) Hashtbl.t; (* (pod, position) -> device *)
+  agg_at : (int * int, int) Hashtbl.t;  (* (pod, stripe) -> device *)
+  core_at : (int * int, int) Hashtbl.t; (* (stripe, member) -> device *)
+  mutable out : violation list;         (* accumulated in reverse *)
+}
+
+let add s v = s.out <- v :: s.out
+
+let snapshot fab =
+  let net = Fabric.net fab in
+  let s =
+    { net;
+      topo = SNet.topo net;
+      spec = Fabric.spec fab;
+      agents = Hashtbl.create 64;
+      edge_at = Hashtbl.create 32;
+      agg_at = Hashtbl.create 32;
+      core_at = Hashtbl.create 32;
+      out = [] }
+  in
+  List.iter
+    (fun a ->
+      let id = Switch_agent.switch_id a in
+      Hashtbl.replace s.agents id a;
+      match Switch_agent.coords a with
+      | Some (Coords.Edge { pod; position }) -> Hashtbl.replace s.edge_at (pod, position) id
+      | Some (Coords.Agg { pod; stripe }) -> Hashtbl.replace s.agg_at (pod, stripe) id
+      | Some (Coords.Core { stripe; member }) -> Hashtbl.replace s.core_at (stripe, member) id
+      | None -> ())
+    (Fabric.agents fab);
+  s
+
+let device_up s id = SNet.is_up (SNet.device s.net id)
+let is_host s id = (Topo.node s.topo id).Topo.kind = Topo.Host
+
+let link_up s a b =
+  match SNet.link_between s.net a b with Some l -> SNet.link_is_up l | None -> false
+
+(* The coordinate fault a given out-port would cross, derived from both
+   endpoints' assigned coordinates (labels are the fabric manager's, not
+   physical indices — stripe/pod numbering may permute freely). *)
+let fault_coord_of s ~switch ~port =
+  let peer_coords dev =
+    match Hashtbl.find_opt s.agents dev with None -> None | Some a -> Switch_agent.coords a
+  in
+  match peer_coords switch with
+  | Some (Coords.Edge { pod; position }) ->
+    if port < s.spec.MR.hosts_per_edge then
+      Some (Fault.Host_edge { pod; edge_pos = position; port })
+    else begin
+      match SNet.peer_of s.net ~node:switch ~port with
+      | Some (agg, _) ->
+        (match peer_coords agg with
+         | Some (Coords.Agg { stripe; _ }) ->
+           Some (Fault.Edge_agg { pod; edge_pos = position; stripe })
+         | _ -> None)
+      | None -> None
+    end
+  | Some (Coords.Agg { pod; stripe }) ->
+    (match SNet.peer_of s.net ~node:switch ~port with
+     | Some (peer, _) ->
+       (match peer_coords peer with
+        | Some (Coords.Edge { position; _ }) ->
+          Some (Fault.Edge_agg { pod; edge_pos = position; stripe })
+        | Some (Coords.Core { stripe = cs; member }) when cs = stripe ->
+          Some (Fault.Agg_core { pod; stripe; member })
+        | _ -> None)
+     | None -> None)
+  | Some (Coords.Core { stripe; member }) ->
+    (match SNet.peer_of s.net ~node:switch ~port with
+     | Some (peer, _) ->
+       (match peer_coords peer with
+        | Some (Coords.Agg { pod; _ }) -> Some (Fault.Agg_core { pod; stripe; member })
+        | _ -> None)
+     | None -> None)
+  | None -> None
+
+(* ---------------- invariant 4: ECMP group liveness ---------------- *)
+
+let check_groups s fault_set =
+  let groups_checked = ref 0 in
+  let switches = ref 0 in
+  Hashtbl.iter
+    (fun id agent ->
+      if Switch_agent.is_operational agent && device_up s id then begin
+        incr switches;
+        let table = Switch_agent.table agent in
+        List.iter
+          (fun (e : FT.entry) ->
+            List.iter
+              (function
+                | FT.Group g ->
+                  incr groups_checked;
+                  (match FT.group_members table g with
+                   | None | Some [||] ->
+                     add s (Empty_group { switch = id; entry = e.FT.name; group = g })
+                   | Some members ->
+                     Array.iter
+                       (fun port ->
+                         let dead why =
+                           add s
+                             (Dead_group_member
+                                { switch = id; entry = e.FT.name; group = g; port; why })
+                         in
+                         match SNet.peer_of s.net ~node:id ~port with
+                         | None -> dead "port is unwired"
+                         | Some (peer, _) ->
+                           if not (link_up s id peer) then dead "link is down"
+                           else if not (SNet.is_up (SNet.device s.net peer)) then
+                             dead (Printf.sprintf "peer device %d is down" peer)
+                           else begin
+                             match fault_coord_of s ~switch:id ~port with
+                             | Some fc when Fault.Set.mem fault_set fc ->
+                               dead
+                                 (Format.asprintf "fault matrix marks %a down" Fault.pp fc)
+                             | Some _ | None -> ()
+                           end)
+                       members)
+                | FT.Output _ | FT.Multi _ | FT.Flood | FT.Set_dst_mac _ | FT.Set_src_mac _
+                | FT.Punt | FT.Drop -> ())
+              e.FT.actions)
+          (FT.entries table)
+      end)
+    s.agents;
+  (!switches, !groups_checked)
+
+(* ---------------- invariant 5: fault-matrix consistency ---------------- *)
+
+let check_faults s faults =
+  List.iter
+    (fun fault ->
+      let unknown reason = add s (Unknown_fault_link { fault; reason }) in
+      let find tbl key what =
+        match Hashtbl.find_opt tbl key with
+        | Some d -> Some d
+        | None ->
+          unknown (Printf.sprintf "no %s with those coordinates" what);
+          None
+      in
+      let check_pair a b =
+        (* the coordinate must name real wiring; it is stale when the link
+           and both endpoint devices are demonstrably alive *)
+        match SNet.link_between s.net a b with
+        | None -> unknown (Printf.sprintf "devices %d and %d share no link" a b)
+        | Some l ->
+          if SNet.link_is_up l && device_up s a && device_up s b then
+            add s (Stale_fault { fault })
+      in
+      match fault with
+      | Fault.Edge_agg { pod; edge_pos; stripe } ->
+        (match
+           (find s.edge_at (pod, edge_pos) "edge switch", find s.agg_at (pod, stripe)
+              "aggregation switch")
+         with
+         | Some e, Some a -> check_pair e a
+         | _ -> ())
+      | Fault.Agg_core { pod; stripe; member } ->
+        (match
+           (find s.agg_at (pod, stripe) "aggregation switch", find s.core_at (stripe, member)
+              "core switch")
+         with
+         | Some a, Some c -> check_pair a c
+         | _ -> ())
+      | Fault.Host_edge { pod; edge_pos; port } ->
+        (match find s.edge_at (pod, edge_pos) "edge switch" with
+         | None -> ()
+         | Some e ->
+           if port < 0 || port >= s.spec.MR.hosts_per_edge then
+             unknown (Printf.sprintf "port %d is not a host port" port)
+           else begin
+             (* an unplugged host port (e.g. mid-migration) is a live
+                fault, not a stale one *)
+             match SNet.peer_of s.net ~node:e ~port with
+             | Some (h, _) -> check_pair e h
+             | None -> ()
+           end))
+    faults;
+  List.length faults
+
+(* ---------------- invariants 1-3: the symbolic class walk ---------------- *)
+
+(* One destination class per registered binding, walked from every
+   operational edge switch. States are (device, current destination MAC);
+   rewrites move the state into the AMAC space, which must only happen on
+   the final hop. DFS colors detect cycles; a state is processed once per
+   class no matter how many ingresses reach it. *)
+let walk_class s (b : Msg.host_binding) =
+  let pmac = b.Msg.pmac in
+  let dst0 = Mac_addr.to_int (Pmac.to_mac pmac) in
+  let amac_int = Mac_addr.to_int b.Msg.amac in
+  let owner_edge = b.Msg.edge_switch in
+  let expected_host =
+    match SNet.peer_of s.net ~node:owner_edge ~port:pmac.Pmac.port with
+    | Some (h, _) when is_host s h -> Some h
+    | Some _ | None -> None
+  in
+  (match expected_host with
+   | None ->
+     add s
+       (Blackhole
+          { pmac; switch = owner_edge; entry = None;
+            reason =
+              Printf.sprintf "binding names edge port %d, but no host hangs there"
+                pmac.Pmac.port })
+   | Some _ -> ());
+  (* invariant 3, location side: the PMAC must encode the owning edge's
+     assigned coordinates *)
+  (match Hashtbl.find_opt s.agents owner_edge with
+   | Some a ->
+     (match Switch_agent.coords a with
+      | Some (Coords.Edge { pod; position })
+        when pod = pmac.Pmac.pod && position = pmac.Pmac.position -> ()
+      | Some c ->
+        add s
+          (Bad_rewrite
+             { pmac; switch = owner_edge; entry = "(binding)";
+               reason =
+                 Format.asprintf "PMAC location disagrees with edge coordinates %a" Coords.pp
+                   c })
+      | None -> ())
+   | None ->
+     add s
+       (Blackhole
+          { pmac; switch = owner_edge; entry = None;
+            reason = "binding names a device that is not a switch" }));
+  let colors : (int * int, [ `Active | `Done ]) Hashtbl.t = Hashtbl.create 64 in
+  let seen_cycles = Hashtbl.create 4 in
+  let record_cycle path_rev entered =
+    (* path_rev: current device first; the cycle is entered..current *)
+    let rec upto acc = function
+      | [] -> acc
+      | d :: rest -> if d = entered then d :: acc else upto (d :: acc) rest
+    in
+    let cycle = upto [] path_rev in
+    (* canonicalize (rotate to the smallest id) so one physical cycle
+       reached from several ingresses reports once *)
+    let n = List.length cycle in
+    let arr = Array.of_list cycle in
+    let min_i = ref 0 in
+    Array.iteri (fun i d -> if d < arr.(!min_i) then min_i := i) arr;
+    let canon = List.init n (fun i -> arr.((i + !min_i) mod n)) in
+    if not (Hashtbl.mem seen_cycles canon) then begin
+      Hashtbl.replace seen_cycles canon ();
+      add s (Loop { pmac; cycle = canon })
+    end
+  in
+  let rec visit dev dst path_rev =
+    let state = (dev, dst) in
+    match Hashtbl.find_opt colors state with
+    | Some `Done -> ()
+    | Some `Active -> record_cycle path_rev dev
+    | None ->
+      Hashtbl.replace colors state `Active;
+      let path_rev = dev :: path_rev in
+      let blackhole ?entry reason = add s (Blackhole { pmac; switch = dev; entry; reason }) in
+      (if not (device_up s dev) then blackhole "switch is down but still on a forwarding path"
+       else
+         match Hashtbl.find_opt s.agents dev with
+         | None -> blackhole "forwarding path reaches a non-switch device"
+         | Some agent ->
+           let table = Switch_agent.table agent in
+           (match FT.lookup_dst table dst with
+            | None -> blackhole "table miss"
+            | Some e ->
+              let entry = e.FT.name in
+              let cur_dst = ref dst in
+              let outs = ref [] in
+              List.iter
+                (function
+                  | FT.Output p -> outs := (p, !cur_dst) :: !outs
+                  | FT.Group g ->
+                    (match FT.group_members table g with
+                     | None | Some [||] ->
+                       blackhole ~entry
+                         (Printf.sprintf "ECMP group %d selects nothing; matches drop" g)
+                     | Some members ->
+                       Array.iter (fun p -> outs := (p, !cur_dst) :: !outs) members)
+                  | FT.Set_dst_mac m -> cur_dst := Mac_addr.to_int m
+                  | FT.Set_src_mac _ -> ()
+                  | FT.Punt ->
+                    blackhole ~entry "in-fabric unicast punted to the control agent"
+                  | FT.Drop -> blackhole ~entry "explicit drop"
+                  | FT.Flood | FT.Multi _ ->
+                    blackhole ~entry "non-unicast action on a unicast class")
+                e.FT.actions;
+              if e.FT.actions = [] then blackhole ~entry "entry has no actions";
+              List.iter
+                (fun (port, out_dst) ->
+                  match SNet.peer_of s.net ~node:dev ~port with
+                  | None ->
+                    blackhole ~entry (Printf.sprintf "output port %d is unwired" port)
+                  | Some (next, _) ->
+                    if not (link_up s dev next) then
+                      blackhole ~entry
+                        (Printf.sprintf "output port %d crosses a down link" port)
+                    else if is_host s next then begin
+                      match expected_host with
+                      | Some h when h = next ->
+                        if out_dst <> amac_int then
+                          add s
+                            (Bad_rewrite
+                               { pmac; switch = dev; entry;
+                                 reason =
+                                   Printf.sprintf
+                                     "delivered with destination %012x, expected the \
+                                      host's AMAC %012x"
+                                     out_dst amac_int })
+                      | Some h ->
+                        add s
+                          (Wrong_delivery
+                             { pmac; switch = dev; entry; port; delivered_to = next;
+                               expected = h })
+                      | None ->
+                        (* already reported: the binding itself is broken *)
+                        ()
+                    end
+                    else begin
+                      if out_dst <> dst0 then
+                        add s
+                          (Bad_rewrite
+                             { pmac; switch = dev; entry;
+                               reason =
+                                 Printf.sprintf
+                                   "destination rewritten to %012x before the egress edge"
+                                   out_dst });
+                      visit next out_dst path_rev
+                    end)
+                (List.rev !outs)));
+      Hashtbl.replace colors state `Done
+  in
+  Hashtbl.iter
+    (fun (_pod, _pos) dev ->
+      match Hashtbl.find_opt s.agents dev with
+      | Some a when Switch_agent.is_operational a && device_up s dev -> visit dev dst0 []
+      | Some _ | None -> ())
+    s.edge_at
+
+(* ---------------- entry point ---------------- *)
+
+let run ?faults fab =
+  let s = snapshot fab in
+  let fm = Fabric.fabric_manager fab in
+  let fault_list = match faults with Some f -> f | None -> Fabric_manager.fault_set fm in
+  let fault_set = Fault.Set.of_list fault_list in
+  let bindings =
+    List.concat_map
+      (fun h ->
+        List.filter_map
+          (fun ip -> Fabric_manager.lookup_binding fm ip)
+          (Host_agent.ip h :: Host_agent.vm_ips h))
+      (Fabric.hosts fab)
+  in
+  List.iter (walk_class s) bindings;
+  let switches_checked, groups_checked = check_groups s fault_set in
+  let faults_checked = check_faults s fault_list in
+  { violations = List.rev s.out;
+    classes_checked = List.length bindings;
+    switches_checked;
+    groups_checked;
+    faults_checked }
+
+let ok r = r.violations = []
+
+let pp_violation fmt = function
+  | Loop { pmac; cycle } ->
+    Format.fprintf fmt "loop: class %a cycles through devices [%s]" Pmac.pp pmac
+      (String.concat " -> " (List.map string_of_int cycle))
+  | Blackhole { pmac; switch; entry; reason } ->
+    Format.fprintf fmt "blackhole: class %a at switch %d%s: %s" Pmac.pp pmac switch
+      (match entry with Some e -> Printf.sprintf " (entry %s)" e | None -> "")
+      reason
+  | Wrong_delivery { pmac; switch; entry; port; delivered_to; expected } ->
+    Format.fprintf fmt
+      "wrong delivery: class %a at switch %d (entry %s) exits port %d to device %d, \
+       expected host device %d"
+      Pmac.pp pmac switch entry port delivered_to expected
+  | Bad_rewrite { pmac; switch; entry; reason } ->
+    Format.fprintf fmt "bad rewrite: class %a at switch %d (entry %s): %s" Pmac.pp pmac
+      switch entry reason
+  | Dead_group_member { switch; entry; group; port; why } ->
+    Format.fprintf fmt "dead group member: switch %d entry %s group %d port %d: %s" switch
+      entry group port why
+  | Empty_group { switch; entry; group } ->
+    Format.fprintf fmt "empty group: switch %d entry %s defers to group %d with no members"
+      switch entry group
+  | Unknown_fault_link { fault; reason } ->
+    Format.fprintf fmt "unknown fault link: %a: %s" Fault.pp fault reason
+  | Stale_fault { fault } ->
+    Format.fprintf fmt "stale fault: %a marks a live link down" Fault.pp fault
+
+let pp_report fmt r =
+  List.iter (fun v -> Format.fprintf fmt "%a@." pp_violation v) r.violations;
+  Format.fprintf fmt
+    "%s: %d violation(s); %d classes, %d switches, %d group refs, %d faults checked@."
+    (if ok r then "PASS" else "FAIL")
+    (List.length r.violations) r.classes_checked r.switches_checked r.groups_checked
+    r.faults_checked

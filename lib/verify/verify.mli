@@ -1,0 +1,90 @@
+(** Static dataplane verifier (Veriflow-style) for a PortLand deployment.
+
+    PortLand's fault-tolerance story rests on an invariant the runtime
+    never states explicitly: after every fabric-manager update, the union
+    of all switch flow tables must be loop-free and blackhole-free, and
+    must route every registered PMAC to exactly its host's edge port.
+    This module checks that {e statically} — it snapshots the topology,
+    every switch's installed {!Switchfab.Flow_table} (entries, masks,
+    priorities, ECMP select groups) and the fault matrix, then walks
+    destination equivalence classes symbolically. No packet is simulated
+    and no time advances; every ECMP branch is explored, not just the
+    member one hash would pick.
+
+    A destination {e class} is the set of frames sharing forwarding fate:
+    since PortLand's unicast entries match only masked destination-PMAC
+    prefixes, and every registered host contributes an exact-match leaf,
+    the finest class granularity is one class per registered PMAC. The
+    verifier walks each class from every operational edge switch (the
+    fabric ingress boundary) and checks five invariants:
+
+    + {b Loop freedom} — no class can revisit a switch on any branch.
+    + {b Blackhole freedom} — every branch of every class terminates at
+      the class's host: no table miss, no empty ECMP group, no unwired or
+      dead output port, no punt/drop of in-fabric unicast.
+    + {b Rewrite correctness} — the destination PMAC is rewritten to the
+      host's AMAC exactly at the egress edge (never inside the fabric),
+      the frame leaves on the edge port the PMAC encodes, and the PMAC's
+      pod/position agree with the owning edge switch's coordinates.
+      (The ingress AMAC→PMAC source rewrite is agent code, not table
+      state, and is exercised by the runtime tests instead.)
+    + {b ECMP group liveness} — no installed select-group member points
+      at a port that is unwired, crosses a down link, reaches a dead
+      switch, or crosses a link the fault matrix marks down.
+    + {b Fault-matrix consistency} — every fault coordinate names a real
+      fabric link, and no fault marks a link down that is demonstrably
+      alive (both endpoints up, link up): a {e stale} fault silently
+      shrinks the usable path set.
+
+    Violations carry switch/entry provenance so a report line points at
+    the exact installed entry that breaks the fabric. *)
+
+type violation =
+  | Loop of { pmac : Portland.Pmac.t; cycle : int list }
+      (** The class can traverse [cycle] (device ids, first repeated
+          implicitly) and never leave it. *)
+  | Blackhole of {
+      pmac : Portland.Pmac.t;
+      switch : int;
+      entry : string option;  (** deciding entry, [None] on a table miss *)
+      reason : string;
+    }
+  | Wrong_delivery of {
+      pmac : Portland.Pmac.t;
+      switch : int;
+      entry : string;
+      port : int;
+      delivered_to : int;  (** host device actually reached *)
+      expected : int;      (** host device the binding names *)
+    }
+  | Bad_rewrite of { pmac : Portland.Pmac.t; switch : int; entry : string; reason : string }
+  | Dead_group_member of { switch : int; entry : string; group : int; port : int; why : string }
+  | Empty_group of { switch : int; entry : string; group : int }
+      (** An installed entry defers to a select group that is undefined
+          or has no members: every matching frame is dropped. *)
+  | Unknown_fault_link of { fault : Portland.Fault.t; reason : string }
+  | Stale_fault of { fault : Portland.Fault.t }
+
+type report = {
+  violations : violation list;
+  classes_checked : int;   (** registered PMAC destination classes walked *)
+  switches_checked : int;  (** operational switches whose tables were audited *)
+  groups_checked : int;    (** select-group references audited *)
+  faults_checked : int;    (** fault-matrix entries audited *)
+}
+
+val run : ?faults:Portland.Fault.t list -> Portland.Fabric.t -> report
+(** Verify the deployment's installed forwarding state as of now.
+    [faults] substitutes an alternative fault matrix for the fabric
+    manager's (used by tests to check stale or fabricated entries);
+    by default the FM's current matrix is checked. Run it after
+    convergence — a fabric mid-update legitimately violates these
+    invariants for a few milliseconds. *)
+
+val ok : report -> bool
+(** No violations. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit
+(** Operator-style dump: one line per violation, then the coverage
+    counts. *)

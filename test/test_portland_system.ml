@@ -128,7 +128,8 @@ let test_host_bindings_registered () =
       | Some pmac ->
         Testutil.check_bool "pmac is valid unicast" true (Pmac.is_pmac (Pmac.to_mac pmac))
       | None -> Alcotest.fail "host missing from fabric manager")
-    (Fabric.hosts fab)
+    (Fabric.hosts fab);
+  Testutil.assert_verified ~msg:"after discovery" fab
 
 (* ---------------- forwarding ---------------- *)
 
@@ -248,11 +249,13 @@ let test_link_recovery_restores_paths () =
   Fabric.run_for fab (Time.ms 200);
   let path2 = Result.get_ok (Fabric.trace_route fab ~src ~dst_ip:(Host_agent.ip dst) (udp 0)) in
   Testutil.check_bool "rerouted" true (path2 <> path);
+  Testutil.assert_verified ~msg:"after injected failure" fab;
   ignore (Fabric.recover_link_between fab ~a:sw1 ~b:sw2);
   Fabric.run_for fab (Time.ms 200);
   (* after recovery the fault matrix is empty again *)
   Testutil.check_int "fault matrix empty" 0
     (List.length (Fabric_manager.fault_set (Fabric.fabric_manager fab)));
+  Testutil.assert_verified ~msg:"after recovery" fab;
   Host_agent.send_ip src ~dst:(Host_agent.ip dst) (udp 1);
   Fabric.run_for fab (Time.ms 50);
   Testutil.check_int "traffic flows" 2 !got
@@ -270,6 +273,7 @@ let test_agg_switch_failure () =
   (* kill a whole aggregation switch in the source pod *)
   Fabric.fail_switch fab mt.MR.aggs.(0).(0);
   Fabric.run_for fab (Time.ms 300);
+  Testutil.assert_verified ~msg:"after agg switch death" fab;
   Host_agent.send_ip src ~dst:(Host_agent.ip dst) (udp 1);
   Host_agent.send_ip src ~dst:(Host_agent.ip dst) (udp 2);
   Fabric.run_for fab (Time.ms 100);
@@ -304,6 +308,7 @@ let test_migration_end_to_end () =
   let new_pmac = Option.get (Fabric_manager.resolve (Fabric.fabric_manager fab) (Host_agent.ip vm)) in
   Testutil.check_bool "pmac changed" false (Pmac.equal old_pmac new_pmac);
   Testutil.check_int "new pod" 1 new_pmac.Pmac.pod;
+  Testutil.assert_verified ~msg:"after migration" fab;
   (* keep pinging until the corrective gratuitous ARP heals the client *)
   for i = 1 to 5 do
     Host_agent.send_ip client ~dst:(Host_agent.ip vm) (udp i);

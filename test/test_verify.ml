@@ -1,0 +1,188 @@
+(* Tests of the static dataplane verifier: a healthy fabric (before and
+   after a failure/recovery cycle, at k=4 and k=6) verifies clean, and
+   each seeded corruption — wrong-port blackhole, forwarding loop, stale
+   fault-matrix entry — is detected with switch/entry provenance. *)
+
+open Portland
+open Eventsim
+module Verify = Portland_verify.Verify
+module FT = Switchfab.Flow_table
+module MR = Topology.Multirooted
+
+let binding_of fab ~pod ~edge ~slot =
+  let h = Fabric.host fab ~pod ~edge ~slot in
+  match Fabric_manager.lookup_binding (Fabric.fabric_manager fab) (Host_agent.ip h) with
+  | Some b -> b
+  | None -> Alcotest.fail "host not registered at the fabric manager"
+
+let exact_match_of (b : Msg.host_binding) =
+  FT.match_dst_prefix
+    ~value:(Netcore.Mac_addr.to_int (Pmac.to_mac b.Msg.pmac))
+    ~mask:0xFFFFFFFFFFFF
+
+(* ---------------- clean fabrics ---------------- *)
+
+let lifecycle_stays_clean k () =
+  let fab = Testutil.converged_fabric ~k () in
+  let r = Verify.run fab in
+  Testutil.check_bool "healthy fabric verifies" true (Verify.ok r);
+  Testutil.check_int "one class per host" (Topology.Fattree.num_hosts ~k) r.Verify.classes_checked;
+  Testutil.check_int "every switch audited" (Topology.Fattree.num_switches ~k)
+    r.Verify.switches_checked;
+  (* a failure/recovery cycle on an edge-agg and an agg-core link *)
+  let mt = Fabric.tree fab in
+  let cycle a b =
+    Testutil.check_bool "link existed" true (Fabric.fail_link_between fab ~a ~b);
+    Fabric.run_for fab (Time.ms 300);
+    Testutil.assert_verified ~msg:"after failure" fab;
+    Testutil.check_bool "link recovered" true (Fabric.recover_link_between fab ~a ~b);
+    Fabric.run_for fab (Time.ms 300);
+    Testutil.assert_verified ~msg:"after recovery" fab
+  in
+  cycle mt.MR.edges.(0).(0) mt.MR.aggs.(0).(0);
+  cycle mt.MR.aggs.(1).(0) mt.MR.cores.(0)
+
+let test_clean_k4 () = lifecycle_stays_clean 4 ()
+let test_clean_k6 () = lifecycle_stays_clean 6 ()
+
+(* ---------------- seeded corruptions ---------------- *)
+
+let test_wrong_port_detected () =
+  let fab = Testutil.converged_fabric () in
+  let b = binding_of fab ~pod:0 ~edge:0 ~slot:0 in
+  let edge = b.Msg.edge_switch in
+  let table = Switch_agent.table (Fabric.agent fab edge) in
+  let name = Printf.sprintf "host:%d" (Netcore.Mac_addr.to_int (Pmac.to_mac b.Msg.pmac)) in
+  (* re-point the host's exact-match entry at the neighbouring host port *)
+  FT.install table
+    { FT.name; priority = 90; mtch = exact_match_of b;
+      actions = [ FT.Set_dst_mac b.Msg.amac; FT.Output ((b.Msg.pmac.Pmac.port + 1) mod 2) ] };
+  let r = Verify.run fab in
+  Testutil.check_bool "violations found" false (Verify.ok r);
+  Testutil.check_bool "wrong delivery with provenance" true
+    (List.exists
+       (function
+         | Verify.Wrong_delivery { switch; entry; _ } -> switch = edge && entry = name
+         | _ -> false)
+       r.Verify.violations)
+
+let test_unwired_port_is_blackhole () =
+  let fab = Testutil.converged_fabric ~spare_slots:[ (1, 0, 0) ] () in
+  let b = binding_of fab ~pod:0 ~edge:0 ~slot:0 in
+  let mt = Fabric.tree fab in
+  (* point a class at the spare (unwired) host port of edge (1,0) *)
+  let stray_edge = mt.MR.edges.(1).(0) in
+  let table = Switch_agent.table (Fabric.agent fab stray_edge) in
+  FT.install table
+    { FT.name = "corrupt"; priority = 200; mtch = exact_match_of b;
+      actions = [ FT.Output 0 ] };
+  let r = Verify.run fab in
+  Testutil.check_bool "detected" true
+    (List.exists
+       (function
+         | Verify.Wrong_delivery { switch; entry; _ }
+         | Verify.Blackhole { switch; entry = Some entry; _ } ->
+           switch = stray_edge && entry = "corrupt"
+         | _ -> false)
+       r.Verify.violations)
+
+let test_loop_detected () =
+  let fab = Testutil.converged_fabric () in
+  (* a class homed in pod 3, bounced between edge(0,0) and agg(0,0) *)
+  let b = binding_of fab ~pod:3 ~edge:0 ~slot:0 in
+  let mt = Fabric.tree fab in
+  let edge = mt.MR.edges.(0).(0) and agg = mt.MR.aggs.(0).(0) in
+  let up_port = 2 (* k=4: hosts_per_edge .. face aggs, in position order *)
+  and down_port = 0 (* agg ports 0.. face edges by position *) in
+  FT.install (Switch_agent.table (Fabric.agent fab edge))
+    { FT.name = "evil-up"; priority = 200; mtch = exact_match_of b;
+      actions = [ FT.Output up_port ] };
+  FT.install (Switch_agent.table (Fabric.agent fab agg))
+    { FT.name = "evil-down"; priority = 200; mtch = exact_match_of b;
+      actions = [ FT.Output down_port ] };
+  let r = Verify.run fab in
+  Testutil.check_bool "loop found" true
+    (List.exists
+       (function
+         | Verify.Loop { cycle; pmac } ->
+           Pmac.equal pmac b.Msg.pmac && List.mem edge cycle && List.mem agg cycle
+         | _ -> false)
+       r.Verify.violations)
+
+let test_stale_fault_detected () =
+  let fab = Testutil.converged_fabric () in
+  (* fabricate a fault for a link that is demonstrably alive *)
+  let mt = Fabric.tree fab in
+  let pod, edge_pos =
+    match Switch_agent.coords (Fabric.agent fab mt.MR.edges.(0).(0)) with
+    | Some (Coords.Edge { pod; position }) -> (pod, position)
+    | _ -> Alcotest.fail "edge has no coordinates"
+  in
+  let stripe =
+    match Switch_agent.coords (Fabric.agent fab mt.MR.aggs.(0).(0)) with
+    | Some (Coords.Agg { stripe; _ }) -> stripe
+    | _ -> Alcotest.fail "agg has no coordinates"
+  in
+  let stale = Fault.Edge_agg { pod; edge_pos; stripe } in
+  let r = Verify.run ~faults:[ stale ] fab in
+  Testutil.check_bool "stale fault flagged" true
+    (List.exists
+       (function Verify.Stale_fault { fault } -> Fault.equal fault stale | _ -> false)
+       r.Verify.violations);
+  Testutil.check_int "one fault audited" 1 r.Verify.faults_checked
+
+let test_unknown_fault_coordinate () =
+  let fab = Testutil.converged_fabric () in
+  let bogus = Fault.Agg_core { pod = 0; stripe = 7; member = 9 } in
+  let r = Verify.run ~faults:[ bogus ] fab in
+  Testutil.check_bool "unknown coordinate flagged" true
+    (List.exists
+       (function Verify.Unknown_fault_link { fault; _ } -> Fault.equal fault bogus | _ -> false)
+       r.Verify.violations)
+
+let test_empty_group_detected () =
+  let fab = Testutil.converged_fabric () in
+  let mt = Fabric.tree fab in
+  let edge = mt.MR.edges.(2).(1) in
+  let table = Switch_agent.table (Fabric.agent fab edge) in
+  let b = binding_of fab ~pod:0 ~edge:0 ~slot:0 in
+  FT.set_group table 999 [||];
+  FT.install table
+    { FT.name = "corrupt-group"; priority = 200; mtch = exact_match_of b;
+      actions = [ FT.Group 999 ] };
+  let r = Verify.run fab in
+  Testutil.check_bool "empty group flagged" true
+    (List.exists
+       (function
+         | Verify.Empty_group { switch; entry; group } ->
+           switch = edge && entry = "corrupt-group" && group = 999
+         | _ -> false)
+       r.Verify.violations)
+
+let test_report_renders () =
+  let fab = Testutil.converged_fabric () in
+  let clean = Format.asprintf "%a" Verify.pp_report (Verify.run fab) in
+  Testutil.check_bool "clean report says PASS" true
+    (String.length clean > 0 && String.sub clean 0 4 = "PASS");
+  let bogus = Fault.Agg_core { pod = 0; stripe = 7; member = 9 } in
+  let dirty = Format.asprintf "%a" Verify.pp_report (Verify.run ~faults:[ bogus ] fab) in
+  Testutil.check_bool "dirty report mentions FAIL" true
+    (let rec contains i =
+       i + 4 <= String.length dirty && (String.sub dirty i 4 = "FAIL" || contains (i + 1))
+     in
+     contains 0)
+
+let () =
+  Alcotest.run "portland-verify"
+    [ ( "clean fabrics",
+        [ Alcotest.test_case "k=4 healthy + failure/recovery cycle" `Quick test_clean_k4;
+          Alcotest.test_case "k=6 healthy + failure/recovery cycle" `Quick test_clean_k6 ] );
+      ( "seeded corruptions",
+        [ Alcotest.test_case "wrong output port" `Quick test_wrong_port_detected;
+          Alcotest.test_case "unwired output port" `Quick test_unwired_port_is_blackhole;
+          Alcotest.test_case "forwarding loop" `Quick test_loop_detected;
+          Alcotest.test_case "stale fault-matrix entry" `Quick test_stale_fault_detected;
+          Alcotest.test_case "unknown fault coordinate" `Quick test_unknown_fault_coordinate;
+          Alcotest.test_case "empty ECMP group" `Quick test_empty_group_detected ] );
+      ( "report",
+        [ Alcotest.test_case "pretty-printing" `Quick test_report_renders ] ) ]

@@ -11,6 +11,13 @@ let check_float_eps name ~eps expected actual =
   if abs_float (expected -. actual) > eps then
     Alcotest.failf "%s: expected %g, got %g (eps %g)" name expected actual eps
 
+(* the static dataplane verifier must be clean at every quiescent point;
+   failures dump the full report *)
+let assert_verified ?faults ?(msg = "static verification") fab =
+  let r = Portland_verify.Verify.run ?faults fab in
+  if not (Portland_verify.Verify.ok r) then
+    Alcotest.failf "%s:@.%a" msg Portland_verify.Verify.pp_report r
+
 (* a converged k=4 PortLand fabric, reused by several suites *)
 let converged_fabric ?(k = 4) ?(seed = 42) ?spare_slots () =
   let fab = Portland.Fabric.create_fattree ?spare_slots ~seed ~k () in
