@@ -10,7 +10,9 @@
 
    `dune exec bench/main.exe` runs both; `-- --quick` trims the
    experiments; `-- --micro-only` / `-- --experiments-only` select one
-   part. *)
+   part; `-- --json` additionally writes the micro rows and the
+   scalability sweep to BENCH_hotpath.json (or `--out FILE`), with
+   speedups against the seed constants recorded in EXPERIMENTS.md. *)
 
 open Bechamel
 open Toolkit
@@ -94,11 +96,16 @@ let tests =
       (Staged.stage (fun () ->
            let fm, ips = Lazy.force fm_fixture in
            ignore (Portland.Fabric_manager.resolve fm ips.(77777))));
-    (* per-hop forwarding decision on a realistic edge table *)
+    (* per-hop forwarding decision on a realistic edge table — the trie
+       fast path, and the linear reference scan it replaced *)
     Test.make ~name:"flow_table/lookup_edge_k48"
       (Staged.stage (fun () ->
            let table, frame = Lazy.force edge_table_fixture in
            ignore (Switchfab.Flow_table.lookup table frame)));
+    Test.make ~name:"flow_table/lookup_edge_k48_linear"
+      (Staged.stage (fun () ->
+           let table, frame = Lazy.force edge_table_fixture in
+           ignore (Switchfab.Flow_table.lookup_linear table frame)));
     Test.make ~name:"flow_table/flow_hash"
       (Staged.stage (fun () ->
            ignore (Switchfab.Flow_table.flow_hash (Lazy.force sample_frame))));
@@ -110,6 +117,13 @@ let tests =
     Test.make ~name:"codec/eth_encode_decode_tcp"
       (Staged.stage (fun () ->
            match Netcore.Codec.decode (Netcore.Codec.encode (Lazy.force sample_frame)) with
+           | Ok _ -> ()
+           | Error e -> failwith e));
+    Test.make ~name:"codec/eth_encode_decode_tcp_ref"
+      (Staged.stage (fun () ->
+           match
+             Netcore.Codec.decode_ref (Netcore.Codec.encode_ref (Lazy.force sample_frame))
+           with
            | Ok _ -> ()
            | Error e -> failwith e));
     Test.make ~name:"engine/schedule_and_run"
@@ -125,7 +139,7 @@ let tests =
          (let prng = Eventsim.Prng.create 1 in
           fun () -> ignore (Eventsim.Prng.int prng 1024))) ]
 
-let run_micro () =
+let run_micro ~quick =
   print_endline "=== Bechamel micro-benchmarks (ns/run, OLS on monotonic clock) ===";
   (* build fixtures outside the measured region *)
   ignore (Lazy.force fm_fixture);
@@ -133,27 +147,38 @@ let run_micro () =
   ignore (Lazy.force sample_frame);
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ~kde:(Some 1000) ()
-  in
+  (* the 2 s quota keeps the OLS estimates stable on noisy VMs; the smoke
+     run in bin/lint only checks plumbing, so --quick trims it *)
+  let quota = Time.second (if quick then 0.25 else 2.0) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~stabilize:false () in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"portland" ~fmt:"%s %s" tests) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
       let estimate =
-        match Analyze.OLS.estimates ols_result with
-        | Some [ v ] -> Printf.sprintf "%.1f" v
-        | Some vs ->
-          String.concat "," (List.map (Printf.sprintf "%.1f") vs)
-        | None -> "n/a"
+        match Analyze.OLS.estimates ols_result with Some [ v ] -> Some v | _ -> None
       in
       rows := (name, estimate) :: !rows)
     results;
+  let rows = List.sort compare !rows in
   List.iter
-    (fun (name, est) -> Printf.printf "  %-42s %12s ns/run\n" name est)
-    (List.sort compare !rows);
-  print_newline ()
+    (fun (name, est) ->
+      let est = match est with Some v -> Printf.sprintf "%.1f" v | None -> "n/a" in
+      Printf.printf "  %-42s %12s ns/run\n" name est)
+    rows;
+  print_newline ();
+  rows
+
+type scal_row = {
+  k : int;
+  hosts : int;
+  switches : int;
+  sim_ms : float;
+  wall_s : float;
+  events : int;
+  converged : bool;
+}
 
 (* meta-benchmark: how big a fabric this simulator itself handles — wall
    clock and engine events to full self-configuration *)
@@ -161,20 +186,101 @@ let run_scalability ~quick =
   print_endline "=== Simulator scalability: time to self-configure a fabric ===";
   Printf.printf "  %-4s %-7s %-9s %-14s %-13s %-12s\n" "k" "hosts" "switches" "sim time (ms)"
     "wall (s)" "events";
-  List.iter
-    (fun k ->
-      let t0 = Unix.gettimeofday () in
-      let fab = Portland.Fabric.create_fattree ~k () in
-      let ok = Portland.Fabric.await_convergence ~timeout:(Eventsim.Time.sec 10) fab in
-      let t1 = Unix.gettimeofday () in
-      Printf.printf "  %-4d %-7d %-9d %-14.1f %-13.2f %-12d%s\n" k
-        (Topology.Fattree.num_hosts ~k)
-        (Topology.Fattree.num_switches ~k)
-        (Eventsim.Time.to_ms_f (Portland.Fabric.now fab))
-        (t1 -. t0)
-        (Eventsim.Engine.events_processed (Portland.Fabric.engine fab))
-        (if ok then "" else "  (DID NOT CONVERGE)"))
-    (if quick then [ 4; 8 ] else [ 4; 8; 12; 16 ]);
+  let rows =
+    List.map
+      (fun k ->
+        let t0 = Unix.gettimeofday () in
+        let fab = Portland.Fabric.create_fattree ~k () in
+        let ok = Portland.Fabric.await_convergence ~timeout:(Eventsim.Time.sec 10) fab in
+        let t1 = Unix.gettimeofday () in
+        let row =
+          { k;
+            hosts = Topology.Fattree.num_hosts ~k;
+            switches = Topology.Fattree.num_switches ~k;
+            sim_ms = Eventsim.Time.to_ms_f (Portland.Fabric.now fab);
+            wall_s = t1 -. t0;
+            events = Eventsim.Engine.events_processed (Portland.Fabric.engine fab);
+            converged = ok }
+        in
+        Printf.printf "  %-4d %-7d %-9d %-14.1f %-13.2f %-12d%s\n" row.k row.hosts
+          row.switches row.sim_ms row.wall_s row.events
+          (if ok then "" else "  (DID NOT CONVERGE)");
+        row)
+      (if quick then [ 4; 8 ] else [ 4; 8; 12; 16; 20; 24 ])
+  in
+  print_newline ();
+  rows
+
+(* ---------------- JSON tracking (hand-rolled, no extra deps) ----------------
+
+   Seed-era constants from EXPERIMENTS.md, the denominators for the
+   speedup figures tracked in BENCH_hotpath.json. *)
+let seed_baseline_ns =
+  [ ("portland flow_table/lookup_edge_k48", 1800.0);
+    ("portland codec/eth_encode_decode_tcp", 15000.0) ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~out ~micro ~scal =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"generated_by\": \"dune exec bench/main.exe -- --json\",\n";
+  add "  \"micro_ns_per_run\": {\n";
+  let named = List.filter_map (fun (n, e) -> Option.map (fun v -> (n, v)) e) micro in
+  List.iteri
+    (fun i (name, v) ->
+      add "    \"%s\": %.1f%s\n" (json_escape name) v
+        (if i = List.length named - 1 then "" else ","))
+    named;
+  add "  },\n";
+  add "  \"seed_baseline_ns\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      add "    \"%s\": %.1f%s\n" (json_escape name) v
+        (if i = List.length seed_baseline_ns - 1 then "" else ","))
+    seed_baseline_ns;
+  add "  },\n";
+  add "  \"speedup_vs_seed\": {\n";
+  let speedups =
+    List.filter_map
+      (fun (name, base) ->
+        match List.assoc_opt name named with
+        | Some now when now > 0.0 -> Some (name, base /. now)
+        | _ -> None)
+      seed_baseline_ns
+  in
+  List.iteri
+    (fun i (name, s) ->
+      add "    \"%s\": %.2f%s\n" (json_escape name) s
+        (if i = List.length speedups - 1 then "" else ","))
+    speedups;
+  add "  },\n";
+  add "  \"scalability\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"k\": %d, \"hosts\": %d, \"switches\": %d, \"sim_ms\": %.1f, \"wall_s\": \
+         %.3f, \"events\": %d, \"converged\": %b}%s\n"
+        r.k r.hosts r.switches r.sim_ms r.wall_s r.events r.converged
+        (if i = List.length scal - 1 then "" else ","))
+    scal;
+  add "  ]\n";
+  add "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  List.iter (fun (name, s) -> Printf.printf "  %-42s %.2fx vs seed\n" name s) speedups;
   print_newline ()
 
 let () =
@@ -182,9 +288,19 @@ let () =
   let quick = List.mem "--quick" argv in
   let micro_only = List.mem "--micro-only" argv in
   let experiments_only = List.mem "--experiments-only" argv in
+  let json = List.mem "--json" argv in
+  let out =
+    let rec find = function
+      | "--out" :: f :: _ -> f
+      | _ :: rest -> find rest
+      | [] -> "BENCH_hotpath.json"
+    in
+    find argv
+  in
   if not experiments_only then begin
-    run_micro ();
-    run_scalability ~quick
+    let micro = run_micro ~quick in
+    let scal = run_scalability ~quick in
+    if json then write_json ~out ~micro ~scal
   end;
   if not micro_only then begin
     print_endline "=== Paper reproduction: every table and figure ===";

@@ -115,15 +115,6 @@ let port_to sw nbr_id =
 let edges_of t = Hashtbl.fold (fun _ sw acc ->
     match sw.coords with Some (Coords.Edge _) -> sw :: acc | _ -> acc) t.switches []
 
-let find_agg t ~pod ~stripe =
-  Hashtbl.fold
-    (fun _ sw acc ->
-      match (acc, sw.coords) with
-      | Some _, _ -> acc
-      | None, Some (Coords.Agg a) when a.pod = pod && a.stripe = stripe -> Some sw
-      | None, _ -> None)
-    t.switches None
-
 let sorted_cores t =
   let cores =
     Hashtbl.fold
@@ -338,13 +329,19 @@ let group_state t group =
     Hashtbl.replace t.groups group g;
     g
 
+let int_compare (a : int) b = compare a b
+
+(* switch ids are unique within a group, so ordering by id alone matches
+   the old tuple order without polymorphic comparisons on the port lists *)
+let by_switch_id (a, _) (b, _) = int_compare a b
+
 let receiver_list g =
   Hashtbl.fold
     (fun sw ports acc ->
       let ps = Hashtbl.fold (fun p () acc -> p :: acc) ports [] in
-      if ps = [] then acc else (sw, List.sort compare ps) :: acc)
+      if ps = [] then acc else (sw, List.sort int_compare ps) :: acc)
     g.receivers []
-  |> List.sort compare
+  |> List.sort by_switch_id
 
 let core_viable t ~stripe ~member ~receiver_coords =
   List.for_all
@@ -354,24 +351,42 @@ let core_viable t ~stripe ~member ~receiver_coords =
     receiver_coords
 
 let send_programs t group (targets : (int * int list) list) g =
-  (* clear switches no longer in the tree, then program current ones *)
+  (* clear switches no longer in the tree, then program current ones;
+     hashed lookups keep the diff linear in the tree size *)
+  let target_set = Hashtbl.create (List.length targets * 2) in
+  List.iter (fun (sw, ports) -> Hashtbl.replace target_set sw ports) targets;
+  let old_set = Hashtbl.create (List.length g.programmed * 2) in
+  List.iter (fun (sw, ports) -> Hashtbl.replace old_set sw ports) g.programmed;
   List.iter
     (fun (sw, _) ->
-      if not (List.mem_assoc sw targets) then
+      if not (Hashtbl.mem target_set sw) then
         Ctrl.send_to_switch t.ctrl sw (Msg.Mcast_program { group; out_ports = [] }))
     g.programmed;
   List.iter
     (fun (sw, ports) ->
-      match List.assoc_opt sw g.programmed with
+      match Hashtbl.find_opt old_set sw with
       | Some old when old = ports -> ()
       | Some _ | None -> Ctrl.send_to_switch t.ctrl sw (Msg.Mcast_program { group; out_ports = ports }))
     targets;
   g.programmed <- targets
 
+(* Broadcast receivers are derived from the reported host ports of the
+   edge switches, not from joins, so they can be read straight off the
+   switch table instead of materialising a receiver hash per edge. *)
+let broadcast_receivers t =
+  List.filter_map
+    (fun sw ->
+      if sw.host_ports = [] then None
+      else Some (sw.sw_id, List.sort_uniq int_compare sw.host_ports))
+    (edges_of t)
+  |> List.sort by_switch_id
+
 let recompute_group t group =
   t.c.m_mcast_recomputes <- t.c.m_mcast_recomputes + 1;
   let g = group_state t group in
-  let receivers = receiver_list g in
+  let receivers =
+    if Ipv4_addr.is_broadcast group then broadcast_receivers t else receiver_list g
+  in
   if receivers = [] then begin
     g.core_sw <- None;
     send_programs t group [] g
@@ -414,17 +429,40 @@ let recompute_group t group =
            group prev core_sw.sw_id
        | _ -> ());
       g.core_sw <- Some core_sw.sw_id;
-      let receiver_pods = List.sort_uniq compare (List.map fst receiver_coords) in
+      let receiver_pods = List.sort_uniq int_compare (List.map fst receiver_coords) in
+      (* one scan of the switch table replaces a [find_agg] fold per pod
+         and per edge; first match per pod wins, like [find_agg] *)
+      let agg_in_pod = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun _ sw ->
+          match sw.coords with
+          | Some (Coords.Agg a) when a.stripe = stripe && not (Hashtbl.mem agg_in_pod a.pod) ->
+            Hashtbl.replace agg_in_pod a.pod sw
+          | _ -> ())
+        t.switches;
+      (* receiver edges grouped by pod, and their host ports by switch, so
+         the per-agg and per-edge loops below stay linear in the tree *)
+      let recv_by_pod = Hashtbl.create 16 in
+      let recv_ports = Hashtbl.create (List.length receivers * 2) in
+      List.iter
+        (fun (rsw, ports) ->
+          Hashtbl.replace recv_ports rsw ports;
+          match switch_coords t rsw with
+          | Some (Coords.Edge e) ->
+            let prev = try Hashtbl.find recv_by_pod e.pod with Not_found -> [] in
+            Hashtbl.replace recv_by_pod e.pod (rsw :: prev)
+          | _ -> ())
+        receivers;
       let targets = ref [] in
       let add sw ports =
-        let ports = List.sort_uniq compare ports in
+        let ports = List.sort_uniq int_compare ports in
         if ports <> [] then targets := (sw, ports) :: !targets
       in
       (* core: one port per receiver pod *)
       let core_ports =
         List.filter_map
           (fun pod ->
-            match find_agg t ~pod ~stripe with
+            match Hashtbl.find_opt agg_in_pod pod with
             | Some agg -> port_to core_sw agg.sw_id
             | None -> None)
           receiver_pods
@@ -439,12 +477,8 @@ let recompute_group t group =
           | Some (Coords.Agg a) when a.stripe = stripe ->
             let up = match port_to sw core_sw.sw_id with Some p -> [ p ] | None -> [] in
             let down =
-              List.filter_map
-                (fun (rsw, _) ->
-                  match switch_coords t rsw with
-                  | Some (Coords.Edge e) when e.pod = a.pod -> port_to sw rsw
-                  | _ -> None)
-                receivers
+              List.filter_map (port_to sw)
+                (try Hashtbl.find recv_by_pod a.pod with Not_found -> [])
             in
             add sw.sw_id (up @ down)
           | _ -> ())
@@ -456,15 +490,15 @@ let recompute_group t group =
           match sw.coords with
           | Some (Coords.Edge e) ->
             let up =
-              match find_agg t ~pod:e.pod ~stripe with
+              match Hashtbl.find_opt agg_in_pod e.pod with
               | Some agg -> (match port_to sw agg.sw_id with Some p -> [ p ] | None -> [])
               | None -> []
             in
-            let local = match List.assoc_opt sw.sw_id receivers with Some ps -> ps | None -> [] in
+            let local = try Hashtbl.find recv_ports sw.sw_id with Not_found -> [] in
             add sw.sw_id (up @ local)
           | _ -> ())
         (edges_of t);
-      send_programs t group (List.sort compare !targets) g
+      send_programs t group (List.sort by_switch_id !targets) g
   end
 
 let recompute_all_groups t = Hashtbl.iter (fun group _ -> recompute_group t group) t.groups
@@ -473,18 +507,7 @@ let recompute_all_groups t = Hashtbl.iter (fun group _ -> recompute_group t grou
    §3.4): its receiver set is derived from the reported host ports of all
    edge switches rather than from joins, and it rides the same tree
    computation and installation machinery. *)
-let recompute_broadcast t =
-  let g = group_state t Ipv4_addr.broadcast in
-  Hashtbl.reset g.receivers;
-  List.iter
-    (fun sw ->
-      if sw.host_ports <> [] then begin
-        let ports = Hashtbl.create 4 in
-        List.iter (fun p -> Hashtbl.replace ports p ()) sw.host_ports;
-        Hashtbl.replace g.receivers sw.sw_id ports
-      end)
-    (edges_of t);
-  recompute_group t Ipv4_addr.broadcast
+let recompute_broadcast t = recompute_group t Ipv4_addr.broadcast
 
 (* ---------------- faults ---------------- *)
 

@@ -6,8 +6,8 @@ type neighbor = {
   nbr_level : Ldp_msg.level option;
   nbr_pod : int option;
   nbr_position : int option;
-  their_port : int;
-  last_heard : Time.t;
+  mutable their_port : int;
+  mutable last_heard : Time.t;
 }
 
 type port_state =
@@ -141,34 +141,46 @@ let infer_level t =
     else if !n_agg_neighbors = t.nports then set_level t Ldp_msg.Core
   end
 
+(* [level] has only constant constructors, so physical equality is
+   equality; the [int] annotations keep both comparisons unboxed *)
+let level_opt_eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some (x : Ldp_msg.level), Some y -> x == y
+  | _ -> false
+
+let int_opt_eq a b =
+  match (a, b) with None, None -> true | Some (x : int), Some y -> x = y | _ -> false
+
 let on_ldm t ~port (msg : Ldp_msg.t) =
   if port < 0 || port >= t.nports then invalid_arg "Ldp.on_ldm: port out of range";
   let now = Engine.now t.engine in
-  let fresh =
-    { switch_id = msg.Ldp_msg.switch_id;
-      nbr_level = msg.Ldp_msg.level;
-      nbr_pod = msg.Ldp_msg.pod;
-      nbr_position = msg.Ldp_msg.position;
-      their_port = msg.Ldp_msg.out_port;
-      last_heard = now }
-  in
-  let view_changed =
-    match t.ports.(port) with
-    | Switch_port old ->
-      old.switch_id <> fresh.switch_id
-      || old.nbr_level <> fresh.nbr_level
-      || old.nbr_pod <> fresh.nbr_pod
-      || old.nbr_position <> fresh.nbr_position
-    | Unknown | Host_port -> true
-    | Dead_port _ -> true
-  in
-  (match t.ports.(port) with
-   | Dead_port old ->
-     t.ports.(port) <- Switch_port fresh;
-     t.notify (Port_recovered { port; neighbor_id = old.switch_id })
-   | Unknown | Host_port | Switch_port _ -> t.ports.(port) <- Switch_port fresh);
-  infer_level t;
-  if view_changed then t.notify View_changed
+  match t.ports.(port) with
+  | Switch_port old
+    when old.switch_id = msg.Ldp_msg.switch_id
+         && level_opt_eq old.nbr_level msg.Ldp_msg.level
+         && int_opt_eq old.nbr_pod msg.Ldp_msg.pod
+         && int_opt_eq old.nbr_position msg.Ldp_msg.position ->
+    (* steady-state beacon from a known, unchanged neighbor: refresh
+       liveness in place, no allocation and no view-change fanout *)
+    old.their_port <- msg.Ldp_msg.out_port;
+    old.last_heard <- now;
+    infer_level t
+  | prev ->
+    let fresh =
+      { switch_id = msg.Ldp_msg.switch_id;
+        nbr_level = msg.Ldp_msg.level;
+        nbr_pod = msg.Ldp_msg.pod;
+        nbr_position = msg.Ldp_msg.position;
+        their_port = msg.Ldp_msg.out_port;
+        last_heard = now }
+    in
+    t.ports.(port) <- Switch_port fresh;
+    (match prev with
+     | Dead_port old -> t.notify (Port_recovered { port; neighbor_id = old.switch_id })
+     | Unknown | Host_port | Switch_port _ -> ());
+    infer_level t;
+    t.notify View_changed
 
 let on_host_frame t ~port =
   if port < 0 || port >= t.nports then invalid_arg "Ldp.on_host_frame: port out of range";

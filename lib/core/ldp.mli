@@ -24,8 +24,8 @@ type neighbor = {
   nbr_level : Netcore.Ldp_msg.level option;
   nbr_pod : int option;       (** stripe for cores — see {!Coords.to_ldm_fields} *)
   nbr_position : int option;  (** member for cores *)
-  their_port : int;
-  last_heard : Eventsim.Time.t;
+  mutable their_port : int;
+  mutable last_heard : Eventsim.Time.t;
 }
 
 type port_state =

@@ -1,11 +1,18 @@
-type t = { parent : (int, int) Hashtbl.t; rank : (int, int) Hashtbl.t }
+type t = {
+  parent : (int, int) Hashtbl.t;
+  rank : (int, int) Hashtbl.t;
+  (* root -> every key of its component; merged on union so [members] is
+     O(component size) rather than a scan of all keys ever seen *)
+  comp : (int, int list) Hashtbl.t;
+}
 
-let create () = { parent = Hashtbl.create 64; rank = Hashtbl.create 64 }
+let create () = { parent = Hashtbl.create 64; rank = Hashtbl.create 64; comp = Hashtbl.create 64 }
 
 let rec find t x =
   match Hashtbl.find_opt t.parent x with
   | None ->
     Hashtbl.replace t.parent x x;
+    Hashtbl.replace t.comp x [ x ];
     x
   | Some p when p = x -> x
   | Some p ->
@@ -13,21 +20,26 @@ let rec find t x =
     Hashtbl.replace t.parent x root;
     root
 
+let comp_of t root = try Hashtbl.find t.comp root with Not_found -> [ root ]
+
 let union t a b =
   let ra = find t a and rb = find t b in
   if ra <> rb then begin
     let rank x = try Hashtbl.find t.rank x with Not_found -> 0 in
     let ka = rank ra and kb = rank rb in
-    if ka < kb then Hashtbl.replace t.parent ra rb
-    else if ka > kb then Hashtbl.replace t.parent rb ra
-    else begin
-      Hashtbl.replace t.parent rb ra;
-      Hashtbl.replace t.rank ra (ka + 1)
-    end
+    let winner, loser =
+      if ka < kb then (rb, ra)
+      else if ka > kb then (ra, rb)
+      else begin
+        Hashtbl.replace t.rank ra (ka + 1);
+        (ra, rb)
+      end
+    in
+    Hashtbl.replace t.parent loser winner;
+    Hashtbl.replace t.comp winner (List.rev_append (comp_of t loser) (comp_of t winner));
+    Hashtbl.remove t.comp loser
   end
 
 let same t a b = find t a = find t b
 
-let members t x =
-  let root = find t x in
-  Hashtbl.fold (fun k _ acc -> if find t k = root then k :: acc else acc) t.parent []
+let members t x = comp_of t (find t x)

@@ -1,8 +1,10 @@
+type state = Pending | Fired | Cancelled
+
 type event = {
   time : Time.t;
   seq : int;
   thunk : unit -> unit;
-  mutable cancelled : bool;
+  mutable state : state;
 }
 
 type handle = event
@@ -11,6 +13,7 @@ type t = {
   mutable clock : Time.t;
   mutable next_seq : int;
   mutable fired : int;
+  mutable live : int; (* Pending events in [queue]; cancelled ones stay queued until popped *)
   queue : event Heap.t;
 }
 
@@ -18,7 +21,7 @@ let leq_event (a : event) (b : event) =
   a.time < b.time || (a.time = b.time && a.seq <= b.seq)
 
 let create ?(now = 0) () =
-  { clock = now; next_seq = 0; fired = 0; queue = Heap.create ~leq:leq_event () }
+  { clock = now; next_seq = 0; fired = 0; live = 0; queue = Heap.create ~leq:leq_event () }
 
 let now t = t.clock
 
@@ -26,8 +29,9 @@ let schedule_at t ~time thunk =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)" time t.clock);
-  let ev = { time; seq = t.next_seq; thunk; cancelled = false } in
+  let ev = { time; seq = t.next_seq; thunk; state = Pending } in
   t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
   Heap.push t.queue ev;
   ev
 
@@ -35,38 +39,51 @@ let schedule t ~delay thunk =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock + delay) thunk
 
-let cancel _t handle = handle.cancelled <- true
-let is_pending handle = not handle.cancelled
-let pending_count t = Heap.length t.queue
+let cancel t handle =
+  if handle.state = Pending then begin
+    handle.state <- Cancelled;
+    t.live <- t.live - 1
+  end
+
+let is_pending handle = handle.state = Pending
+let pending_count t = t.live
+
+let fire t ev =
+  ev.state <- Fired;
+  t.live <- t.live - 1;
+  t.clock <- ev.time;
+  t.fired <- t.fired + 1;
+  ev.thunk ()
 
 let rec step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-    if ev.cancelled then step t
+  if Heap.is_empty t.queue then false
+  else begin
+    let ev = Heap.pop_exn t.queue in
+    if ev.state = Cancelled then step t
     else begin
-      t.clock <- ev.time;
-      t.fired <- t.fired + 1;
-      ev.thunk ();
+      fire t ev;
       true
     end
+  end
 
 let run ?until ?max_events t =
   let budget = ref (match max_events with Some n -> n | None -> max_int) in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Heap.peek t.queue with
-    | None -> continue := false
-    | Some ev when ev.cancelled ->
-      ignore (Heap.pop t.queue)
-    | Some ev ->
-      (match until with
-       | Some bound when ev.time > bound ->
-         t.clock <- bound;
-         continue := false
-       | _ ->
-         ignore (step t);
-         decr budget)
+    if Heap.is_empty t.queue then continue := false
+    else begin
+      let ev = Heap.peek_exn t.queue in
+      if ev.state = Cancelled then ignore (Heap.pop_exn t.queue)
+      else
+        match until with
+        | Some bound when ev.time > bound ->
+          t.clock <- bound;
+          continue := false
+        | _ ->
+          ignore (Heap.pop_exn t.queue);
+          fire t ev;
+          decr budget
+    end
   done
 
 let events_processed t = t.fired

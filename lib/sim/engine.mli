@@ -33,8 +33,9 @@ val is_pending : handle -> bool
     cancelled. *)
 
 val pending_count : t -> int
-(** Number of events still queued (including cancelled-but-unpopped ones
-    only transiently; cancelled events are skipped when reached). *)
+(** Number of live (neither fired nor cancelled) events. Exact: cancelled
+    events may linger in the internal queue until reached, but are never
+    counted here. *)
 
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** [run t] processes events in time order until the queue is empty, or the

@@ -18,55 +18,65 @@ let grow h x =
     h.data <- data
   end
 
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if h.leq h.data.(i) h.data.(parent) && not (h.leq h.data.(parent) h.data.(i)) then begin
-      let tmp = h.data.(i) in
-      h.data.(i) <- h.data.(parent);
-      h.data.(parent) <- tmp;
-      sift_up h parent
+(* Hole-based sifts: carry the moving element in [x] and write it once at
+   its final slot, instead of swapping at every level. Halves the array
+   stores and does one [leq] call per level (the engine's event order is
+   total, so a non-strict move of equal elements is indistinguishable). *)
+let sift_up h i x =
+  let data = h.data in
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let p = data.(parent) in
+    if h.leq x p && not (h.leq p x) then begin
+      data.(!i) <- p;
+      i := parent
     end
-  end
+    else continue := false
+  done;
+  data.(!i) <- x
 
-let rec sift_down h i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < h.size && not (h.leq h.data.(!smallest) h.data.(l)) then smallest := l;
-  if r < h.size && not (h.leq h.data.(!smallest) h.data.(r)) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(!smallest);
-    h.data.(!smallest) <- tmp;
-    sift_down h !smallest
-  end
+let sift_down h x =
+  let data = h.data and size = h.size in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= size then continue := false
+    else begin
+      let r = l + 1 in
+      let c = if r < size && not (h.leq data.(l) data.(r)) then r else l in
+      if not (h.leq x data.(c)) then begin
+        data.(!i) <- data.(c);
+        i := c
+      end
+      else continue := false
+    end
+  done;
+  data.(!i) <- x
 
 let push h x =
   grow h x;
-  h.data.(h.size) <- x;
   h.size <- h.size + 1;
-  sift_up h (h.size - 1)
+  sift_up h (h.size - 1) x
 
 let peek h = if h.size = 0 then None else Some h.data.(0)
-
-let pop h =
-  if h.size = 0 then None
-  else begin
-    let top = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      h.data.(h.size) <- top;
-      (* keep slot initialized; value overwritten on next push *)
-      sift_down h 0
-    end;
-    Some top
-  end
+let peek_exn h = if h.size = 0 then invalid_arg "Heap.peek_exn: empty heap" else h.data.(0)
 
 let pop_exn h =
-  match pop h with
-  | Some x -> x
-  | None -> invalid_arg "Heap.pop_exn: empty heap"
+  if h.size = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    let last = h.data.(h.size) in
+    h.data.(h.size) <- top;
+    (* keep slot initialized; value overwritten on next push *)
+    sift_down h last
+  end;
+  top
+
+let pop h = if h.size = 0 then None else Some (pop_exn h)
 
 let clear h =
   h.data <- [||];

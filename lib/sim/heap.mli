@@ -22,6 +22,11 @@ val push : 'a t -> 'a -> unit
 val peek : 'a t -> 'a option
 (** [peek h] is the minimum element without removing it. *)
 
+val peek_exn : 'a t -> 'a
+(** Like {!peek} but raises [Invalid_argument] on an empty heap.
+    Allocation-free — the {!Engine} run loop uses it instead of {!peek}
+    so that draining a large queue does not churn [Some] cells. *)
+
 val pop : 'a t -> 'a option
 (** [pop h] removes and returns the minimum element. O(log n). *)
 

@@ -23,27 +23,38 @@ let punt t ~in_port frame =
   t.s_punts <- t.s_punts + 1;
   t.on_punt ~in_port frame
 
-let run_actions t ~in_port frame actions =
-  let frame = ref frame in
-  List.iter
-    (fun (action : Flow_table.action) ->
-      match action with
-      | Flow_table.Output port -> Net.transmit t.net ~node:t.device ~port !frame
-      | Flow_table.Group g ->
-        let hash = Flow_table.flow_hash !frame in
-        (match Flow_table.select_member t.table ~group:g ~hash with
-         | Some port -> Net.transmit t.net ~node:t.device ~port !frame
-         | None -> t.s_dropped <- t.s_dropped + 1)
-      | Flow_table.Multi ports ->
-        List.iter
-          (fun port -> if port <> in_port then Net.transmit t.net ~node:t.device ~port !frame)
-          ports
-      | Flow_table.Flood -> Net.flood t.net ~node:t.device ~except:in_port !frame
-      | Flow_table.Set_dst_mac mac -> frame := { !frame with Netcore.Eth.dst = mac }
-      | Flow_table.Set_src_mac mac -> frame := { !frame with Netcore.Eth.src = mac }
-      | Flow_table.Punt -> punt t ~in_port !frame
-      | Flow_table.Drop -> t.s_dropped <- t.s_dropped + 1)
-    actions
+let via_group t frame g =
+  let hash = Flow_table.flow_hash frame in
+  match Flow_table.select_member t.table ~group:g ~hash with
+  | Some port -> Net.transmit t.net ~node:t.device ~port frame
+  | None -> t.s_dropped <- t.s_dropped + 1
+
+let rec run_actions t ~in_port frame actions =
+  (* The per-hop loop: the forwarding shapes PortLand installs — plain
+     output, ECMP group, and rewrite-then-forward at the edges — are
+     dispatched directly, without the mutable-frame accumulator the
+     general tail needs. *)
+  match (actions : Flow_table.action list) with
+  | [] -> ()
+  | [ Flow_table.Output port ] -> Net.transmit t.net ~node:t.device ~port frame
+  | [ Flow_table.Group g ] -> via_group t frame g
+  | Flow_table.Set_dst_mac mac :: rest ->
+    run_actions t ~in_port { frame with Netcore.Eth.dst = mac } rest
+  | Flow_table.Set_src_mac mac :: rest ->
+    run_actions t ~in_port { frame with Netcore.Eth.src = mac } rest
+  | action :: rest ->
+    (match action with
+     | Flow_table.Output port -> Net.transmit t.net ~node:t.device ~port frame
+     | Flow_table.Group g -> via_group t frame g
+     | Flow_table.Multi ports ->
+       List.iter
+         (fun port -> if port <> in_port then Net.transmit t.net ~node:t.device ~port frame)
+         ports
+     | Flow_table.Flood -> Net.flood t.net ~node:t.device ~except:in_port frame
+     | Flow_table.Set_dst_mac _ | Flow_table.Set_src_mac _ -> assert false
+     | Flow_table.Punt -> punt t ~in_port frame
+     | Flow_table.Drop -> t.s_dropped <- t.s_dropped + 1);
+    run_actions t ~in_port frame rest
 
 let handle t in_port frame =
   match Flow_table.lookup t.table frame with

@@ -26,48 +26,205 @@ type action =
 
 type entry = { name : string; priority : int; mtch : mtch; actions : action list }
 
+(* ------------------------------------------------------------------ *)
+(* Destination-prefix trie (the fast path).
+
+   PortLand's unicast forwarding state is entirely destination-PMAC
+   prefix matches (pod /16, position /24, port /32, exact /48, plus the
+   odd fully-wildcarded or broadcast entry), so the hot lookup is
+   longest-prefix-match-with-priorities over the 48-bit destination. The
+   trie indexes every entry that matches {e only} on a dst-MAC prefix
+   (other fields wildcarded, mask a contiguous run of high bits), with
+   entries anchored at the node their prefix ends on — the
+   per-prefix-length priority tiers. The trie is path-compressed
+   (PATRICIA): an edge swallows whole runs of non-branching bits, so a
+   lookup visits one node per branch point — in a converged PortLand
+   table that is a handful of nodes, not 48 — verifying the skipped bits
+   with a single xor/shift per node and keeping the best
+   (priority, insertion-tie) candidate seen. Entries the trie cannot
+   express (non-prefix masks, src/ethertype/IP constraints) live in a
+   short residual list that is scanned linearly, so the union is
+   semantically identical to the reference linear scan over all
+   entries. *)
+
+type indexed = { e : entry; tie : int; mutable hits : int }
+
+(* Path-compressed (PATRICIA-style) binary trie over 48-bit keys. A node
+   stands for the prefix formed by the top [depth] bits of [key]; edges
+   may swallow whole runs of non-branching bits, so a lookup visits one
+   node per *branch point* rather than one per bit. Single-child chains
+   are only ever created explicitly by edge splits in [trie_insert];
+   removal leaves structure in place (see [trie_remove]). *)
+type node = {
+  depth : int; (* bits of [key] this node's prefix covers *)
+  key : int; (* a key whose top [depth] bits define the path *)
+  mutable zero : node option;
+  mutable one : node option;
+  mutable here : indexed list; (* entries whose prefix ends at this node *)
+}
+
+let new_node () = { depth = 0; key = 0; zero = None; one = None; here = [] }
+
+let mac_bits = 48
+let mac_mask = 0xFFFFFFFFFFFF
+
+(* length of the common prefix of two 48-bit keys *)
+let common_prefix_len a b =
+  let x = (a lxor b) land mac_mask in
+  if x = 0 then mac_bits
+  else begin
+    let l = ref 0 in
+    let v = ref x in
+    while !v <> 0 do
+      incr l;
+      v := !v lsr 1
+    done;
+    (* highest differing bit is !l - 1 (from the LSB) *)
+    mac_bits - !l
+  end
+
+(* [Some len] when [mask] restricted to 48 bits is a contiguous run of
+   [len] high bits (and has no bits above bit 47) *)
+let prefix_len_of_mask mask =
+  if mask land lnot mac_mask <> 0 then None
+  else begin
+    let inv = mask lxor mac_mask in
+    (* inv must be 2^k - 1 *)
+    if inv land (inv + 1) <> 0 then None
+    else begin
+      let len = ref mac_bits and v = ref inv in
+      while !v <> 0 do
+        decr len;
+        v := !v lsr 1
+      done;
+      Some !len
+    end
+  end
+
+(* trie-indexable iff only a dst prefix is constrained *)
+let indexable_prefix m =
+  if m.src_mac <> None || m.ethertype <> None || m.ip_dst <> None || m.ip_proto <> None then
+    None
+  else
+    match m.dst_mac with
+    | None -> Some (0, 0)
+    | Some { value; mask } ->
+      (match prefix_len_of_mask mask with
+       | Some len -> Some (value land mask, len)
+       | None -> None)
+
+let bit_at key depth = (key lsr (mac_bits - 1 - depth)) land 1
+let set_child n bit c = if bit = 0 then n.zero <- Some c else n.one <- Some c
+
+let trie_insert root ~key ~len ix =
+  let rec ins n =
+    (* invariant: the top [n.depth] bits of [key] equal [n.key]'s, and
+       [n.depth <= len] *)
+    if n.depth = len then n.here <- ix :: n.here
+    else begin
+      let bit = bit_at key n.depth in
+      match (if bit = 0 then n.zero else n.one) with
+      | None -> set_child n bit { depth = len; key; zero = None; one = None; here = [ ix ] }
+      | Some c ->
+        let com = min (common_prefix_len key c.key) c.depth in
+        if com = c.depth && c.depth <= len then ins c
+        else begin
+          (* split the compressed edge n->c at depth m *)
+          let m = min com len in
+          let s = { depth = m; key; zero = None; one = None; here = [] } in
+          set_child s (bit_at c.key m) c;
+          if m = len then s.here <- [ ix ]
+          else
+            set_child s (bit_at key m)
+              { depth = len; key; zero = None; one = None; here = [ ix ] };
+          set_child n bit s
+        end
+    end
+  in
+  ins root
+
+let trie_remove root ~key ~len name =
+  (* dead branches are left in place: tables are small and churn is
+     control-plane-rate, so reclaiming empty nodes is not worth the code *)
+  let rec rem n =
+    if n.depth = len then n.here <- List.filter (fun ix -> ix.e.name <> name) n.here
+    else
+      match (if bit_at key n.depth = 0 then n.zero else n.one) with
+      | Some c when c.depth <= len && (key lxor c.key) lsr (mac_bits - c.depth) land mac_mask = 0
+        ->
+        rem c
+      | _ -> () (* no node covers this exact prefix: nothing to remove *)
+  in
+  rem root
+
 type t = {
   mutable entries : entry list; (* kept sorted: priority desc, insertion order for ties *)
   mutable next_tie : int;
-  ties : (string, int) Hashtbl.t; (* name -> tie-break (later insertion wins) *)
   groups : (int, int array) Hashtbl.t;
-  hits : (string, int) Hashtbl.t;
+  by_name : (string, indexed) Hashtbl.t; (* name -> live indexed record (hit counters) *)
   mutable salt : int;
+  mutable root : node; (* dst-prefix index over the indexable entries *)
+  mutable residual : indexed list; (* non-indexable entries, lookup order *)
 }
 
 let create () =
-  { entries = []; next_tie = 0; ties = Hashtbl.create 16; groups = Hashtbl.create 8;
-    hits = Hashtbl.create 16; salt = 0 }
+  { entries = []; next_tie = 0; groups = Hashtbl.create 8;
+    by_name = Hashtbl.create 16; salt = 0; root = new_node (); residual = [] }
 
 let set_hash_salt t salt = t.salt <- salt
 
-let sort_entries t =
-  let tie name = try Hashtbl.find t.ties name with Not_found -> 0 in
-  t.entries <-
-    List.stable_sort
-      (fun a b ->
-        match compare b.priority a.priority with
-        | 0 -> compare (tie b.name) (tie a.name)
-        | c -> c)
-      t.entries
+let deindex t entry =
+  match indexable_prefix entry.mtch with
+  | Some (key, len) -> trie_remove t.root ~key ~len entry.name
+  | None -> t.residual <- List.filter (fun ix -> ix.e.name <> entry.name) t.residual
+
+(* a freshly installed entry always carries the largest tie, so keeping
+   the (priority desc, tie desc) order is a single sorted insertion —
+   the entry goes in front of its priority class *)
+let rec insert_entry_sorted entry entries =
+  match entries with
+  | x :: rest when x.priority > entry.priority -> x :: insert_entry_sorted entry rest
+  | rest -> entry :: rest
+
+let rec insert_ix_sorted ix residual =
+  match residual with
+  | x :: rest when x.e.priority > ix.e.priority -> x :: insert_ix_sorted ix rest
+  | rest -> ix :: rest
+
+let index t ix =
+  match indexable_prefix ix.e.mtch with
+  | Some (key, len) -> trie_insert t.root ~key ~len ix
+  | None -> t.residual <- insert_ix_sorted ix t.residual
 
 let install t entry =
+  (match List.find_opt (fun e -> e.name = entry.name) t.entries with
+   | Some old -> deindex t old
+   | None -> ());
   t.entries <- List.filter (fun e -> e.name <> entry.name) t.entries;
-  Hashtbl.replace t.ties entry.name t.next_tie;
+  let tie = t.next_tie in
   t.next_tie <- t.next_tie + 1;
-  t.entries <- entry :: t.entries;
-  sort_entries t
+  t.entries <- insert_entry_sorted entry t.entries;
+  (* hit counters survive a same-name reinstall, like real switch stats *)
+  let hits =
+    match Hashtbl.find_opt t.by_name entry.name with Some old -> old.hits | None -> 0
+  in
+  let ix = { e = entry; tie; hits } in
+  Hashtbl.replace t.by_name entry.name ix;
+  index t ix
 
 let remove t name =
+  (match List.find_opt (fun e -> e.name = name) t.entries with
+   | Some old -> deindex t old
+   | None -> ());
   t.entries <- List.filter (fun e -> e.name <> name) t.entries;
-  Hashtbl.remove t.ties name;
-  Hashtbl.remove t.hits name
+  Hashtbl.remove t.by_name name
 
 let clear t =
   t.entries <- [];
-  Hashtbl.reset t.ties;
   Hashtbl.reset t.groups;
-  Hashtbl.reset t.hits
+  Hashtbl.reset t.by_name;
+  t.root <- new_node ();
+  t.residual <- []
 
 let size t = List.length t.entries
 let entry_names t = List.map (fun e -> e.name) t.entries
@@ -103,14 +260,70 @@ let matches m (frame : Eth.t) =
   in
   dst_ok && src_ok && et_ok && ip_dst_ok && proto_ok
 
+(* best (priority, tie) of [best] and the entries anchored at one node *)
+let rec fold_here best here =
+  match here with
+  | [] -> best
+  | ix :: rest ->
+    let best =
+      match best with
+      | Some b
+        when b.e.priority > ix.e.priority
+             || (b.e.priority = ix.e.priority && b.tie > ix.tie) ->
+        best
+      | _ -> Some ix
+    in
+    fold_here best rest
+
+(* best (priority, tie) candidate along the trie path of [dst]. Skipped
+   edge bits are verified in one xor-shift per node: if they diverge,
+   nothing at or below the node matches (compressed chains hold no
+   entries), and everything shallower was already considered. The walk
+   costs one step per branch point, not one per bit. *)
+let trie_best t dst =
+  let rec go n best =
+    if (dst lxor n.key) lsr (mac_bits - n.depth) <> 0 then best
+    else begin
+      let best = match n.here with [] -> best | here -> fold_here best here in
+      if n.depth = mac_bits then best
+      else
+        match (if bit_at dst n.depth = 0 then n.zero else n.one) with
+        | None -> best
+        | Some c -> go c best
+    end
+  in
+  go t.root None
+
+(* first residual entry (residual is kept in lookup order) beating [cand];
+   specialized per match kind so the hot path allocates no closure *)
+let rec merge_residual_frame cand frame residual =
+  match residual with
+  | [] -> cand
+  | ix :: rest ->
+    (match cand with
+     | Some b
+       when b.e.priority > ix.e.priority || (b.e.priority = ix.e.priority && b.tie > ix.tie)
+       ->
+       (* residual is sorted, so nothing further can beat the candidate *)
+       cand
+     | _ ->
+       if matches ix.e.mtch frame then Some ix else merge_residual_frame cand frame rest)
+
 let lookup t frame =
-  match List.find_opt (fun e -> matches e.mtch frame) t.entries with
-  | Some e as hit ->
-    Hashtbl.replace t.hits e.name (1 + (try Hashtbl.find t.hits e.name with Not_found -> 0));
-    hit
+  let cand = trie_best t (Mac_addr.to_int frame.Eth.dst) in
+  let best =
+    match t.residual with [] -> cand | r -> merge_residual_frame cand frame r
+  in
+  match best with
+  | Some ix ->
+    ix.hits <- ix.hits + 1;
+    Some ix.e
   | None -> None
 
-let hit_count t name = try Hashtbl.find t.hits name with Not_found -> 0
+let lookup_linear t frame = List.find_opt (fun e -> matches e.mtch frame) t.entries
+
+let hit_count t name =
+  match Hashtbl.find_opt t.by_name name with Some ix -> ix.hits | None -> 0
 
 let select_member t ~group ~hash =
   match Hashtbl.find_opt t.groups group with
@@ -157,13 +370,28 @@ let entries t = t.entries
 let find_entry t name = List.find_opt (fun e -> e.name = name) t.entries
 let groups t = Hashtbl.fold (fun id members acc -> (id, Array.copy members) :: acc) t.groups []
 
+let dst_only_matches e dst =
+  (match e.mtch.dst_mac with None -> true | Some mm -> mask_ok mm dst)
+  && e.mtch.src_mac = None && e.mtch.ethertype = None && e.mtch.ip_dst = None
+  && e.mtch.ip_proto = None
+
+let rec merge_residual_dst cand dst residual =
+  match residual with
+  | [] -> cand
+  | ix :: rest ->
+    (match cand with
+     | Some b
+       when b.e.priority > ix.e.priority || (b.e.priority = ix.e.priority && b.tie > ix.tie)
+       ->
+       cand
+     | _ -> if dst_only_matches ix.e dst then Some ix else merge_residual_dst cand dst rest)
+
 let lookup_dst t dst =
-  List.find_opt
-    (fun e ->
-      (match e.mtch.dst_mac with None -> true | Some mm -> mask_ok mm dst)
-      && e.mtch.src_mac = None && e.mtch.ethertype = None && e.mtch.ip_dst = None
-      && e.mtch.ip_proto = None)
-    t.entries
+  let cand = trie_best t dst in
+  let best = match t.residual with [] -> cand | r -> merge_residual_dst cand dst r in
+  match best with Some ix -> Some ix.e | None -> None
+
+let lookup_dst_linear t dst = List.find_opt (fun e -> dst_only_matches e dst) t.entries
 
 let pp_mask_match fmt (mm : mask_match) =
   if mm.mask = 0xFFFFFFFFFFFF then Format.fprintf fmt "=%012x" mm.value

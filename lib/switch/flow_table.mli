@@ -6,7 +6,18 @@
     PMAC prefix forwarding is expressed), plus ECMP *select groups*: an
     action may defer the output-port choice to a group, which picks a live
     member by flow hash so that a flow sticks to one path but flows spread
-    across all members. *)
+    across all members.
+
+    Lookups run on a destination-prefix trie: entries that match only a
+    contiguous dst-MAC prefix (all of PortLand's unicast forwarding
+    state) are indexed by a path-compressed (PATRICIA) binary trie with
+    per-prefix-length priority tiers, so a lookup visits one node per
+    branch point of the installed prefixes — a handful of nodes in a
+    converged table — instead of scanning every entry; entries the trie
+    cannot express fall back to a residual linear list.
+    {!lookup_linear} and {!lookup_dst_linear} keep the plain scan as the
+    reference implementation — the differential test suite asserts the
+    two agree on arbitrary tables. *)
 
 type mask_match = { value : int; mask : int }
 (** Field matches when [field land mask = value land mask]. *)
@@ -78,8 +89,14 @@ val set_group : t -> int -> int array -> unit
 val group_members : t -> int -> int array option
 
 val lookup : t -> Netcore.Eth.t -> entry option
-(** Highest-priority matching entry. Increments the entry's hit
-    counter. *)
+(** Highest-priority matching entry (trie fast path). Increments the
+    entry's hit counter. *)
+
+val lookup_linear : t -> Netcore.Eth.t -> entry option
+(** Reference implementation of {!lookup}: first match in the sorted
+    entry list. Side-effect-free (no hit-counter update); exists so the
+    trie fast path can be differentially tested and benchmarked against
+    it. *)
 
 val hit_count : t -> string -> int
 (** Times the named entry matched (0 for unknown names; counters survive
@@ -121,4 +138,8 @@ val lookup_dst : t -> int -> entry option
     value and whose other fields are fully wildcarded. Entries that also
     constrain source/ethertype/IP fields match only a subset of the class
     and are skipped (the PortLand layer installs none for unicast
-    forwarding). *)
+    forwarding). Served by the trie fast path. *)
+
+val lookup_dst_linear : t -> int -> entry option
+(** Reference implementation of {!lookup_dst} (linear scan), for
+    differential testing. *)

@@ -78,6 +78,45 @@ let test_engine_cancel () =
   Engine.run e;
   Testutil.check_bool "never fired" false !fired
 
+(* pending_count is exact: cancelled events leave the count the moment
+   they are cancelled, not when the heap eventually pops them *)
+let test_engine_pending_count_exact () =
+  let e = Engine.create () in
+  let hs = Array.init 5 (fun _ -> Engine.schedule e ~delay:5 (fun () -> ())) in
+  Testutil.check_int "all live" 5 (Engine.pending_count e);
+  Engine.cancel e hs.(0);
+  Engine.cancel e hs.(3);
+  Testutil.check_int "cancelled leave immediately" 3 (Engine.pending_count e);
+  Engine.cancel e hs.(0);
+  Testutil.check_int "double cancel is a no-op" 3 (Engine.pending_count e);
+  Engine.run e;
+  Testutil.check_int "drained" 0 (Engine.pending_count e);
+  Testutil.check_bool "fired events are not pending" false (Engine.is_pending hs.(1));
+  Engine.cancel e hs.(1);
+  Testutil.check_int "cancelling a fired event is a no-op" 0 (Engine.pending_count e);
+  (* a large cancelled backlog never shows up, even before any run *)
+  let hs = Array.init 100 (fun _ -> Engine.schedule e ~delay:5 (fun () -> ())) in
+  Array.iter (fun h -> Engine.cancel e h) hs;
+  Testutil.check_int "fully cancelled backlog counts zero" 0 (Engine.pending_count e)
+
+(* same-instant FIFO order must survive interleaved cancellations: the
+   survivors fire in their original scheduling order *)
+let test_engine_fifo_with_cancels () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let hs =
+    Array.init 8 (fun i -> Engine.schedule e ~delay:10 (fun () -> log := i :: !log))
+  in
+  Engine.cancel e hs.(1);
+  Engine.cancel e hs.(4);
+  Engine.cancel e hs.(7);
+  (* late arrivals at the same instant still run after the survivors *)
+  for i = 8 to 9 do
+    ignore (Engine.schedule e ~delay:10 (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo with holes" [ 0; 2; 3; 5; 6; 8; 9 ] (List.rev !log)
+
 let test_engine_until () =
   let e = Engine.create () in
   let fired = ref 0 in
@@ -355,6 +394,8 @@ let () =
         [ Alcotest.test_case "time order" `Quick test_engine_order;
           Alcotest.test_case "FIFO at same instant" `Quick test_engine_fifo_same_time;
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "pending count exact" `Quick test_engine_pending_count_exact;
+          Alcotest.test_case "FIFO with cancellations" `Quick test_engine_fifo_with_cancels;
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "max events" `Quick test_engine_max_events;
           Alcotest.test_case "validation" `Quick test_engine_validation;

@@ -1,0 +1,398 @@
+(* The hot-path guard suite.
+
+   1. Differential flow-table properties: the destination-prefix trie
+      (Flow_table.lookup / lookup_dst) must agree with the linear
+      reference scan (lookup_linear / lookup_dst_linear) on arbitrary
+      tables — host exacts, pod/position/port prefixes, broadcast
+      entries, wildcards, non-prefix masks, other-field matches, ECMP
+      groups, colliding priorities — across install/remove/replace
+      sequences, probed with random and adversarial (prefix-boundary)
+      destinations.
+
+   2. Codec fuzz: the scratch-buffer fast encoder must emit bytes
+      identical to the Buffer-based reference, decode must invert encode,
+      the slicing-by-8 CRC must equal the bytewise CRC, and corrupted or
+      truncated frames must be rejected by both decode paths alike.
+
+   3. Engine determinism regression: a fixed-seed k=4 failure/recovery
+      scenario produces an identical event trace, event count, final
+      clock and switch tables across two runs — the heap/engine hot-loop
+      rework must not perturb same-instant FIFO semantics anywhere. *)
+
+open Eventsim
+module FT = Switchfab.Flow_table
+module MR = Topology.Multirooted
+
+let mac_mask = 0xFFFFFFFFFFFF
+
+(* ---------------- flow-table differential ---------------- *)
+
+let prefix_mask len = if len = 0 then 0 else mac_mask lsl (48 - len) land mac_mask
+
+(* a random entry; [i] feeds the name so the control flow below can
+   deliberately reuse names (replacement) or retire them (removal) *)
+let random_entry p ~name ~groups =
+  let v = Prng.int p (1 lsl 48) in
+  let priority = Prng.pick p [| 10; 50; 50; 70; 90; 90; 200 |] in
+  let kind = Prng.int p 10 in
+  let mtch =
+    if kind < 5 then begin
+      (* PortLand-shaped prefixes, including the adversarial boundary
+         lengths 47 and 1 *)
+      let len = Prng.pick p [| 0; 1; 8; 16; 16; 24; 32; 47; 48; 48 |] in
+      FT.match_dst_prefix ~value:v ~mask:(prefix_mask len)
+    end
+    else if kind = 5 then { FT.match_any with FT.dst_mac = None } (* full wildcard *)
+    else if kind = 6 then
+      (* broadcast-style exact match *)
+      FT.match_dst_prefix ~value:mac_mask ~mask:mac_mask
+    else if kind = 7 then
+      (* non-prefix mask: must fall back to the residual path *)
+      FT.match_dst_prefix ~value:v ~mask:(Prng.int p (1 lsl 48))
+    else if kind = 8 then
+      (* dst prefix plus another field: residual *)
+      { (FT.match_dst_prefix ~value:v ~mask:(prefix_mask 16)) with FT.ethertype = Some 0x0800 }
+    else { FT.match_any with FT.ip_proto = Some (Prng.pick p [| 6; 17 |]) }
+  in
+  let actions =
+    if Prng.int p 4 = 0 && groups <> [] then [ FT.Group (Prng.pick p (Array.of_list groups)) ]
+    else [ FT.Output (Prng.int p 48) ]
+  in
+  { FT.name; priority; mtch; actions }
+
+(* destinations that stress every prefix boundary of the installed state *)
+let adversarial_dsts table =
+  List.concat_map
+    (fun (e : FT.entry) ->
+      match e.FT.mtch.FT.dst_mac with
+      | None -> [ 0; mac_mask ]
+      | Some { FT.value; mask } ->
+        let base = value land mask in
+        let inv = lnot mask land mac_mask in
+        [ value; base; base lor inv; (* inside: lowest and highest of the class *)
+          value lxor 1; (* flip the last bit *)
+          (base lxor (inv + 1)) land mac_mask; (* flip the lowest masked bit: outside *)
+          (base + inv + 1) land mac_mask (* the next prefix over *) ])
+    (FT.entries table)
+
+let frame_for p dst =
+  let dst = Netcore.Mac_addr.of_int dst in
+  let src = Netcore.Mac_addr.of_int (Prng.int p (1 lsl 48)) in
+  match Prng.int p 3 with
+  | 0 -> Netcore.Eth.make ~dst ~src (Netcore.Eth.Raw { ethertype = 0x1234; len = 10 })
+  | 1 ->
+    Netcore.Eth.make ~dst ~src
+      (Netcore.Eth.Ipv4
+         (Netcore.Ipv4_pkt.udp
+            ~src:(Netcore.Ipv4_addr.of_int (Prng.int p 0xFFFFFF))
+            ~dst:(Netcore.Ipv4_addr.of_int (Prng.int p 0xFFFFFF))
+            (Netcore.Udp.make ~flow_id:(Prng.int p 100) ~app_seq:0 ~payload_len:50 ())))
+  | _ ->
+    Netcore.Eth.make ~dst ~src
+      (Netcore.Eth.Ipv4
+         (Netcore.Ipv4_pkt.tcp
+            ~src:(Netcore.Ipv4_addr.of_int 1) ~dst:(Netcore.Ipv4_addr.of_int 2)
+            (Netcore.Tcp_seg.make ~seq:0 ~ack_num:0 ~payload_len:0 ())))
+
+let name_of = function Some (e : FT.entry) -> e.FT.name | None -> "<miss>"
+
+let check_dst_agreement table dst =
+  let fast = FT.lookup_dst table dst in
+  let slow = FT.lookup_dst_linear table dst in
+  if name_of fast <> name_of slow then
+    Alcotest.failf "lookup_dst disagrees on %012x: trie=%s linear=%s" dst (name_of fast)
+      (name_of slow)
+
+let check_frame_agreement table frame =
+  let slow = FT.lookup_linear table frame in
+  let fast = FT.lookup table frame in
+  if name_of fast <> name_of slow then
+    Alcotest.failf "lookup disagrees on %a: trie=%s linear=%s" Netcore.Mac_addr.pp
+      frame.Netcore.Eth.dst (name_of fast) (name_of slow)
+
+(* one differential run: [ops] mutations, agreement re-checked after every
+   batch of mutations against random + adversarial destinations *)
+let differential_run ~seed ~ops ~probes_per_batch =
+  let p = Prng.create seed in
+  let table = FT.create () in
+  let groups = [ 1000; 1001; 1002 ] in
+  List.iter (fun g -> FT.set_group table g [| 24; 25; 26; 27 |]) groups;
+  let live_names = ref [] in
+  let fresh = ref 0 in
+  for op = 1 to ops do
+    (match Prng.int p 10 with
+     | 0 | 1 when !live_names <> [] ->
+       (* remove an existing entry (sometimes a name never installed) *)
+       let name =
+         if Prng.int p 8 = 0 then "ghost" else Prng.pick p (Array.of_list !live_names)
+       in
+       FT.remove table name;
+       live_names := List.filter (fun n -> n <> name) !live_names
+     | 2 when !live_names <> [] ->
+       (* replace under the same name: priority/match/action churn *)
+       let name = Prng.pick p (Array.of_list !live_names) in
+       FT.install table (random_entry p ~name ~groups)
+     | 3 ->
+       (* group edit: membership change, including emptying *)
+       let g = Prng.pick p (Array.of_list groups) in
+       let members = Array.init (Prng.int p 4) (fun i -> 24 + i) in
+       FT.set_group table g members
+     | _ ->
+       let name = Printf.sprintf "e%d" !fresh in
+       incr fresh;
+       FT.install table (random_entry p ~name ~groups);
+       live_names := name :: !live_names);
+    if op mod 8 = 0 || op = ops then begin
+      let adv = adversarial_dsts table in
+      List.iter (fun dst -> check_dst_agreement table dst) adv;
+      for _ = 1 to probes_per_batch do
+        let dst =
+          if Prng.int p 3 = 0 && adv <> [] then Prng.pick p (Array.of_list adv)
+          else Prng.int p (1 lsl 48)
+        in
+        check_dst_agreement table dst;
+        check_frame_agreement table (frame_for p dst)
+      done
+    end
+  done;
+  (* final sanity: introspection still serves the full sorted entry list *)
+  Testutil.check_int "size = |entries|" (FT.size table) (List.length (FT.entries table))
+
+let test_differential_deep () = differential_run ~seed:42 ~ops:400 ~probes_per_batch:40
+
+let prop_differential =
+  Testutil.prop "trie lookup = linear lookup (random tables)" ~count:60
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      differential_run ~seed ~ops:60 ~probes_per_batch:10;
+      true)
+
+let test_trie_tie_break () =
+  (* equal priorities, overlapping prefixes: later installation wins,
+     exactly like the sorted linear scan *)
+  let table = FT.create () in
+  let pmac = 0x001F07030001 in
+  FT.install table
+    { FT.name = "a"; priority = 70; mtch = FT.match_dst_prefix ~value:pmac ~mask:(prefix_mask 16);
+      actions = [ FT.Output 1 ] };
+  FT.install table
+    { FT.name = "b"; priority = 70; mtch = FT.match_dst_prefix ~value:pmac ~mask:(prefix_mask 16);
+      actions = [ FT.Output 2 ] };
+  Testutil.check_string "later insertion wins" "b" (name_of (FT.lookup_dst table pmac));
+  check_dst_agreement table pmac;
+  (* a longer prefix at lower priority must lose to a shorter one at
+     higher priority *)
+  FT.install table
+    { FT.name = "long-low"; priority = 10;
+      mtch = FT.match_dst_prefix ~value:pmac ~mask:mac_mask; actions = [ FT.Output 3 ] };
+  Testutil.check_string "priority beats prefix length" "b"
+    (name_of (FT.lookup_dst table pmac));
+  check_dst_agreement table pmac;
+  FT.install table
+    { FT.name = "long-high"; priority = 90;
+      mtch = FT.match_dst_prefix ~value:pmac ~mask:mac_mask; actions = [ FT.Output 4 ] };
+  Testutil.check_string "higher priority wins" "long-high"
+    (name_of (FT.lookup_dst table pmac));
+  check_dst_agreement table pmac
+
+let test_trie_hit_counters () =
+  let table = FT.create () in
+  let pmac = 0x002A00010001 in
+  FT.install table
+    { FT.name = "host"; priority = 90;
+      mtch = FT.match_dst_prefix ~value:pmac ~mask:mac_mask; actions = [ FT.Output 0 ] };
+  let p = Prng.create 1 in
+  let frame = frame_for p pmac in
+  ignore (FT.lookup table frame);
+  ignore (FT.lookup table frame);
+  Testutil.check_int "fast path maintains hit counters" 2 (FT.hit_count table "host");
+  ignore (FT.lookup_linear table frame);
+  Testutil.check_int "reference lookup is pure" 2 (FT.hit_count table "host")
+
+(* ---------------- codec differential fuzz ---------------- *)
+
+open Netcore
+
+let gen_frame : Eth.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let mac = map (fun v -> Mac_addr.of_int v) (int_bound ((1 lsl 48) - 1)) in
+  let ip = map (fun v -> Ipv4_addr.of_int v) (int_bound 0xFFFFFF) in
+  let arp =
+    let* sender_mac = mac in
+    let* sender_ip = ip in
+    let* target_ip = ip in
+    let* reply = bool in
+    if reply then
+      let* target_mac = mac in
+      return
+        (Eth.Arp
+           { Arp.op = Arp.Reply; sender_mac; sender_ip; target_mac; target_ip })
+    else return (Eth.Arp (Arp.request ~sender_mac ~sender_ip ~target_ip))
+  in
+  let udp =
+    let* s = ip in
+    let* d = ip in
+    let* fl = int_bound 0xFFFF in
+    let* seq = int_bound 1_000_000 in
+    let* len = int_range 12 1400 in
+    return
+      (Eth.Ipv4
+         (Ipv4_pkt.udp ~src:s ~dst:d (Udp.make ~flow_id:fl ~app_seq:seq ~payload_len:len ())))
+  in
+  let tcp =
+    let* s = ip in
+    let* d = ip in
+    let* seq = int_bound 0xFFFFFF in
+    let* ack = int_bound 0xFFFFFF in
+    let* len = int_bound 1400 in
+    let* syn = bool in
+    let* ackf = bool in
+    return
+      (Eth.Ipv4
+         (Ipv4_pkt.tcp ~src:s ~dst:d
+            (Tcp_seg.make
+               ~flags:{ Tcp_seg.syn; ack = ackf; fin = false; rst = false }
+               ~seq ~ack_num:ack ~payload_len:len ())))
+  in
+  let ldp =
+    let* swid = int_bound 0xFFFF in
+    let* port = int_bound 63 in
+    return (Eth.Ldp (Ldp_msg.initial ~switch_id:swid ~out_port:port))
+  in
+  let icmp =
+    let* ident = int_bound 0xFFFF in
+    let* seq = int_bound 0xFFFF in
+    let* len = int_bound 200 in
+    let* req = bool in
+    return
+      (Eth.Ipv4
+         (Ipv4_pkt.icmp ~src:(Ipv4_addr.of_int 1) ~dst:(Ipv4_addr.of_int 2)
+            (if req then Icmp.Echo_request { ident; seq; payload_len = len }
+             else Icmp.Echo_reply { ident; seq; payload_len = len })))
+  in
+  let raw =
+    (* len >= 46 so the payload reaches the Ethernet pad floor: below it
+       the decoder cannot tell payload from padding (pre-existing codec
+       property, same for fast and reference paths) *)
+    let* len = int_range 46 500 in
+    return (Eth.Raw { ethertype = 0x7777; len })
+  in
+  let* payload = oneof [ arp; udp; tcp; ldp; icmp; raw ] in
+  let* d = mac in
+  let* s = mac in
+  let* vlan = opt (int_range 1 4094) in
+  return (Eth.make ?vlan ~dst:d ~src:s payload)
+
+let prop_fast_encode_identical =
+  Testutil.prop "fast encode = reference encode (byte-identical)" ~count:400 gen_frame
+    (fun f -> Bytes.equal (Codec.encode f) (Codec.encode_ref f))
+
+let prop_fast_roundtrip =
+  Testutil.prop "decode (fast encode) = id" ~count:400 gen_frame (fun f ->
+      match Codec.decode (Codec.encode f) with
+      | Ok f' -> Eth.equal f f'
+      | Error _ -> false)
+
+let prop_crc_fast_equals_ref =
+  Testutil.prop "crc32_fast = crc32 (any slice)" ~count:300
+    QCheck2.Gen.(pair (list_size (int_bound 100) (int_bound 255)) (int_bound 7))
+    (fun (byte_list, off) ->
+      let b =
+        Bytes.init (List.length byte_list) (fun i -> Char.chr (List.nth byte_list i))
+      in
+      let off = min off (Bytes.length b) in
+      let len = Bytes.length b - off in
+      Codec.crc32_fast b off len = Codec.crc32 b off len)
+
+let prop_corrupted_fcs_rejected =
+  Testutil.prop "bit flips rejected identically by fast and ref decode" ~count:300
+    QCheck2.Gen.(pair gen_frame (pair (int_bound 10_000) (int_bound 7)))
+    (fun (f, (pos, bit)) ->
+      let b = Codec.encode f in
+      let pos = pos mod Bytes.length b in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      match (Codec.decode b, Codec.decode_ref b) with
+      | Error a, Error b -> a = b
+      | Ok a, Ok b -> Eth.equal a b (* flip landed in a don't-care bit? impossible with FCS *)
+      | _ -> false)
+
+let prop_truncation_rejected =
+  Testutil.prop "truncated frames rejected" ~count:200
+    QCheck2.Gen.(pair gen_frame (int_range 1 63))
+    (fun (f, cut) ->
+      let b = Codec.encode f in
+      let keep = Bytes.length b - cut in
+      let t = Bytes.sub b 0 keep in
+      Result.is_error (Codec.decode t) && Result.is_error (Codec.decode_ref t))
+
+let test_decode_agreement_on_garbage () =
+  let p = Prng.create 7 in
+  for _ = 1 to 500 do
+    let len = Prng.int p 150 in
+    let b = Bytes.init len (fun _ -> Char.chr (Prng.int p 256)) in
+    let fast = Codec.decode b and slow = Codec.decode_ref b in
+    match (fast, slow) with
+    | Ok a, Ok b when Eth.equal a b -> ()
+    | Error _, Error _ -> ()
+    | _ -> Alcotest.fail "fast and reference decode disagree on random bytes"
+  done
+
+(* ---------------- engine determinism regression ---------------- *)
+
+open Portland
+
+(* fingerprint of everything observable about a run: the full trace (times
+   + order + text), event count, final clock, and every switch's table
+   dump (including hit counters) *)
+let scenario_fingerprint () =
+  let fab = Testutil.converged_fabric ~k:4 ~seed:42 () in
+  let mt = Fabric.tree fab in
+  let cycle a b =
+    ignore (Fabric.fail_link_between fab ~a ~b);
+    Fabric.run_for fab (Time.ms 300);
+    ignore (Fabric.recover_link_between fab ~a ~b);
+    Fabric.run_for fab (Time.ms 300)
+  in
+  cycle mt.MR.edges.(0).(0) mt.MR.aggs.(0).(0);
+  cycle mt.MR.aggs.(1).(0) mt.MR.cores.(0);
+  let trace = Format.asprintf "%a" Trace.dump (Fabric.trace fab) in
+  let tables =
+    String.concat "\n---\n"
+      (List.map
+         (fun ag -> Format.asprintf "%a" Switchfab.Flow_table.pp (Switch_agent.table ag))
+         (Fabric.agents fab))
+  in
+  ( trace,
+    tables,
+    Engine.events_processed (Fabric.engine fab),
+    Engine.pending_count (Fabric.engine fab),
+    Fabric.now fab )
+
+let test_trace_determinism () =
+  let t1, tb1, ev1, pend1, now1 = scenario_fingerprint () in
+  let t2, tb2, ev2, pend2, now2 = scenario_fingerprint () in
+  Testutil.check_string "event trace byte-identical" t1 t2;
+  Testutil.check_string "switch tables byte-identical" tb1 tb2;
+  Testutil.check_int "events processed" ev1 ev2;
+  Testutil.check_int "pending events" pend1 pend2;
+  Testutil.check_int "final clock" now1 now2
+
+let () =
+  Alcotest.run "fastpath"
+    [ ( "flow-table differential",
+        [ Alcotest.test_case "deep install/remove/replace sequence" `Quick
+            test_differential_deep;
+          Alcotest.test_case "tie-breaking across tiers" `Quick test_trie_tie_break;
+          Alcotest.test_case "hit counters on the fast path" `Quick test_trie_hit_counters;
+          prop_differential ] );
+      ( "codec differential",
+        [ prop_fast_encode_identical;
+          prop_fast_roundtrip;
+          prop_crc_fast_equals_ref;
+          prop_corrupted_fcs_rejected;
+          prop_truncation_rejected;
+          Alcotest.test_case "garbage decode agreement" `Quick
+            test_decode_agreement_on_garbage ] );
+      ( "engine determinism",
+        [ Alcotest.test_case "k=4 failure/recovery trace is reproducible" `Quick
+            test_trace_determinism ] ) ]

@@ -45,6 +45,46 @@ let lifecycle_stays_clean k () =
 let test_clean_k4 () = lifecycle_stays_clean 4 ()
 let test_clean_k6 () = lifecycle_stays_clean 6 ()
 
+(* The verifier audits tables through [FT.entries]/[FT.groups]
+   introspection, which must describe exactly what the trie-backed fast
+   path serves: on a converged fabric, every switch must answer
+   [lookup_dst] identically to the linear reference for every host PMAC,
+   the broadcast address, and a spray of random MACs. *)
+let trie_matches_linear_on_fabric k () =
+  let fab = Testutil.converged_fabric ~k () in
+  let fm = Fabric.fabric_manager fab in
+  let pmacs =
+    List.filter_map
+      (fun h ->
+        Option.map
+          (fun (b : Msg.host_binding) -> Netcore.Mac_addr.to_int (Pmac.to_mac b.Msg.pmac))
+          (Fabric_manager.lookup_binding fm (Host_agent.ip h)))
+      (Fabric.hosts fab)
+  in
+  Testutil.check_int "all hosts bound" (Topology.Fattree.num_hosts ~k) (List.length pmacs);
+  let p = Prng.create 99 in
+  let probes =
+    (0xFFFFFFFFFFFF :: pmacs)
+    @ List.concat_map (fun m -> [ m lxor 1; m + 0x10000 ]) pmacs
+    @ List.init 200 (fun _ -> Prng.int p (1 lsl 48))
+  in
+  let name = function Some (e : FT.entry) -> e.FT.name | None -> "<miss>" in
+  List.iter
+    (fun ag ->
+      let table = Switch_agent.table ag in
+      List.iter
+        (fun dst ->
+          let fast = name (FT.lookup_dst table dst) in
+          let slow = name (FT.lookup_dst_linear table dst) in
+          if fast <> slow then
+            Alcotest.failf "switch %d: trie=%s linear=%s on %012x" (Switch_agent.switch_id ag)
+              fast slow dst)
+        probes)
+    (Fabric.agents fab)
+
+let test_trie_linear_agree_k4 () = trie_matches_linear_on_fabric 4 ()
+let test_trie_linear_agree_k6 () = trie_matches_linear_on_fabric 6 ()
+
 (* ---------------- seeded corruptions ---------------- *)
 
 let test_wrong_port_detected () =
@@ -176,7 +216,11 @@ let () =
   Alcotest.run "portland-verify"
     [ ( "clean fabrics",
         [ Alcotest.test_case "k=4 healthy + failure/recovery cycle" `Quick test_clean_k4;
-          Alcotest.test_case "k=6 healthy + failure/recovery cycle" `Quick test_clean_k6 ] );
+          Alcotest.test_case "k=6 healthy + failure/recovery cycle" `Quick test_clean_k6;
+          Alcotest.test_case "k=4 trie serves what the verifier audits" `Quick
+            test_trie_linear_agree_k4;
+          Alcotest.test_case "k=6 trie serves what the verifier audits" `Quick
+            test_trie_linear_agree_k6 ] );
       ( "seeded corruptions",
         [ Alcotest.test_case "wrong output port" `Quick test_wrong_port_detected;
           Alcotest.test_case "unwired output port" `Quick test_unwired_port_is_blackhole;
