@@ -1,9 +1,11 @@
 (* Runs the paper's experiments: all of them, or the ones named on the
    command line. `--quick` trims trial counts, `--seed N` changes the
-   deterministic seed, `--list` shows the index. *)
+   deterministic seed, `--list` shows the index, `--json` emits one
+   JSON object per experiment instead of rendered tables. *)
 
 let usage () =
-  print_endline "usage: experiments [--quick] [--seed N] [--list] [EXPERIMENT...]";
+  print_endline
+    "usage: experiments [--quick] [--seed N] [--json] [--list] [EXPERIMENT...]";
   print_endline "experiments:";
   List.iter
     (fun (id, descr) -> Printf.printf "  %-16s %s\n" id descr)
@@ -12,6 +14,7 @@ let usage () =
 let () =
   let quick = ref false in
   let seed = ref 42 in
+  let json = ref false in
   let list_only = ref false in
   let chosen = ref [] in
   let rec parse = function
@@ -21,6 +24,9 @@ let () =
       parse rest
     | "--seed" :: n :: rest ->
       seed := int_of_string n;
+      parse rest
+    | "--json" :: rest ->
+      json := true;
       parse rest
     | "--list" :: rest ->
       list_only := true;
@@ -35,16 +41,31 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   if !list_only then usage ()
   else begin
-    let fmt = Format.std_formatter in
-    match List.rev !chosen with
-    | [] -> Harness.Experiments.run_all ~quick:!quick ~seed:!seed fmt
-    | ids ->
-      List.iter
-        (fun id ->
-          if not (Harness.Experiments.run_one ~quick:!quick ~seed:!seed fmt id) then begin
-            Printf.eprintf "unknown experiment: %s\n" id;
-            usage ();
-            exit 1
-          end)
-        ids
+    let quick = !quick and seed = !seed in
+    let unknown id =
+      Printf.eprintf "unknown experiment: %s\n" id;
+      usage ();
+      exit 1
+    in
+    if !json then begin
+      let emit j = print_endline (Obs.Json.to_string j) in
+      match List.rev !chosen with
+      | [] -> List.iter emit (Harness.Experiments.run_all_json ~quick ~seed ())
+      | ids ->
+        List.iter
+          (fun id ->
+            match Harness.Experiments.run_one_json ~quick ~seed id with
+            | Some j -> emit j
+            | None -> unknown id)
+          ids
+    end
+    else begin
+      let fmt = Format.std_formatter in
+      match List.rev !chosen with
+      | [] -> Harness.Experiments.run_all ~quick ~seed fmt
+      | ids ->
+        List.iter
+          (fun id -> if not (Harness.Experiments.run_one ~quick ~seed fmt id) then unknown id)
+          ids
+    end
   end

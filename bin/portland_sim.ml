@@ -3,9 +3,76 @@
 
 open Cmdliner
 
-let run_scenario ~k ~seed ~duration_ms ~scenario ~verbose ~pcap_file ~dot_file =
+(* ---------------- options shared by every subcommand ---------------- *)
+
+type common = { k : int; seed : int; verbose : bool }
+
+let k_arg =
+  let doc = "Fat-tree arity (even, >= 2)." in
+  Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let verbose_arg =
+  let doc = "Dump per-switch state and counters at the end." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let common_term =
+  Term.(const (fun k seed verbose -> { k; seed; verbose }) $ k_arg $ seed_arg $ verbose_arg)
+
+let duration_arg =
+  let doc = "Scenario duration after convergence, in milliseconds." in
+  Arg.(value & opt int 1000 & info [ "duration-ms" ] ~docv:"MS" ~doc)
+
+let metrics_out_arg =
+  let doc = "Write the final metrics snapshot as JSON to this file." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let dump_switch_state fab =
+  List.iter
+    (fun a ->
+      Printf.printf "  switch %d: %s, %d table entries\n"
+        (Portland.Switch_agent.switch_id a)
+        (match Portland.Switch_agent.coords a with
+         | Some c -> Format.asprintf "%a" Portland.Coords.pp c
+         | None -> "unplaced")
+        (Portland.Switch_agent.table_size a))
+    (List.sort
+       (fun a b ->
+         compare (Portland.Switch_agent.switch_id a) (Portland.Switch_agent.switch_id b))
+       (Portland.Fabric.agents fab))
+
+(* one 64-byte UDP datagram from each host to the next, ring order *)
+let ping_all fab =
+  let hosts = Array.of_list (Portland.Fabric.hosts fab) in
+  let received = ref 0 in
+  Array.iter (fun h -> Portland.Host_agent.set_rx h (fun _ -> incr received)) hosts;
+  let sent = ref 0 in
+  Array.iteri
+    (fun i h ->
+      let peer = hosts.((i + 1) mod Array.length hosts) in
+      let u = Netcore.Udp.make ~flow_id:i ~app_seq:0 ~payload_len:64 () in
+      Portland.Host_agent.send_ip h ~dst:(Portland.Host_agent.ip peer)
+        (Netcore.Ipv4_pkt.Udp u);
+      incr sent)
+    hosts;
+  (!sent, received)
+
+let write_metrics obs = function
+  | None -> ()
+  | Some path ->
+    Obs.write_json obs ~path;
+    Printf.printf "wrote metrics snapshot to %s\n" path
+
+(* ---------------- scenarios ---------------- *)
+
+let run_scenario { k; seed; verbose } ~duration_ms ~scenario ~pcap_file ~dot_file ~metrics_out
+    =
   let open Eventsim in
-  let fab = Portland.Fabric.create_fattree ~seed ~k () in
+  let obs = Obs.create () in
+  let fab = Portland.Fabric.create_fattree ~seed ~obs ~k () in
   (match dot_file with
    | Some path ->
      let oc = open_out path in
@@ -39,26 +106,14 @@ let run_scenario ~k ~seed ~duration_ms ~scenario ~verbose ~pcap_file ~dot_file =
   (match scenario with
    | "idle" -> Portland.Fabric.run_for fab (Time.ms duration_ms)
    | "ping-all" ->
-     let hosts = Array.of_list (Portland.Fabric.hosts fab) in
-     let received = ref 0 in
-     Array.iter
-       (fun h -> Portland.Host_agent.set_rx h (fun _ -> incr received))
-       hosts;
-     let sent = ref 0 in
-     Array.iteri
-       (fun i h ->
-         let peer = hosts.((i + 1) mod Array.length hosts) in
-         let u = Netcore.Udp.make ~flow_id:i ~app_seq:0 ~payload_len:64 () in
-         Portland.Host_agent.send_ip h ~dst:(Portland.Host_agent.ip peer)
-           (Netcore.Ipv4_pkt.Udp u);
-         incr sent)
-       hosts;
+     let sent, received = ping_all fab in
      Portland.Fabric.run_for fab (Time.ms duration_ms);
-     Printf.printf "ping-all: %d sent, %d received\n" !sent !received
+     Printf.printf "ping-all: %d sent, %d received\n" sent !received
    | "migrate" ->
-     (* needs a spare slot: rebuild the fabric with one *)
+     (* needs a spare slot: rebuild the fabric with one; its probes
+        supersede the first fabric's under the same obs *)
      Printf.printf "(migrate scenario uses its own fabric with a spare slot in pod 1)\n";
-     let fab = Portland.Fabric.create_fattree ~seed ~k ~spare_slots:[ (1, 0, 0) ] () in
+     let fab = Portland.Fabric.create_fattree ~seed ~obs ~k ~spare_slots:[ (1, 0, 0) ] () in
      assert (Portland.Fabric.await_convergence fab);
      let client = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
      let vm = Portland.Fabric.host fab ~pod:(k - 1) ~edge:0 ~slot:1 in
@@ -118,6 +173,7 @@ let run_scenario ~k ~seed ~duration_ms ~scenario ~verbose ~pcap_file ~dot_file =
      Printf.printf "wrote %d frames (host-side, both directions) to %s\n"
        (Switchfab.Capture.frame_count cap) path
    | _ -> ());
+  write_metrics obs metrics_out;
   if verbose then begin
     let c = Switchfab.Net.total_counters (Portland.Fabric.net fab) in
     Printf.printf "frames: tx=%d rx=%d queue_drops=%d down_drops=%d\n"
@@ -136,23 +192,39 @@ let run_scenario ~k ~seed ~duration_ms ~scenario ~verbose ~pcap_file ~dot_file =
      List.iteri
        (fun i e -> if i >= n - 10 then Format.printf "  %a@." Eventsim.Trace.pp_entry e)
        es);
-    List.iter
-      (fun a ->
-        Printf.printf "  switch %d: %s, %d table entries\n"
-          (Portland.Switch_agent.switch_id a)
-          (match Portland.Switch_agent.coords a with
-           | Some c -> Format.asprintf "%a" Portland.Coords.pp c
-           | None -> "unplaced")
-          (Portland.Switch_agent.table_size a))
-      (List.sort
-         (fun a b ->
-           compare (Portland.Switch_agent.switch_id a) (Portland.Switch_agent.switch_id b))
-         (Portland.Fabric.agents fab))
+    dump_switch_state fab
   end
+
+(* ---------------- metrics snapshot ---------------- *)
+
+let run_stats { k; seed; verbose } ~duration_ms ~metrics_out ~csv_out =
+  let open Eventsim in
+  let obs = Obs.create () in
+  let fab = Portland.Fabric.create_fattree ~seed ~obs ~k () in
+  if not (Portland.Fabric.await_convergence fab) then begin
+    prerr_endline "fabric failed to converge";
+    exit 1
+  end;
+  let sent, received = ping_all fab in
+  Portland.Fabric.run_for fab (Time.ms duration_ms);
+  Printf.printf
+    "k=%d fat tree, converged at %s; ping-all warm-up: %d sent, %d received\n%!" k
+    (Time.to_string (Portland.Fabric.now fab))
+    sent !received;
+  Format.printf "%a" Obs.pp_snapshot obs;
+  write_metrics obs metrics_out;
+  (match csv_out with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Obs.to_csv obs);
+     close_out oc;
+     Printf.printf "wrote metrics CSV to %s\n" path);
+  if verbose then dump_switch_state fab
 
 (* ---------------- static verification ---------------- *)
 
-let run_verify ~k ~seed ~inject ~corrupt =
+let run_verify { k; seed; verbose } ~inject ~corrupt =
   let open Eventsim in
   let module MR = Topology.Multirooted in
   let module FT = Switchfab.Flow_table in
@@ -248,29 +320,16 @@ let run_verify ~k ~seed ~inject ~corrupt =
       Printf.eprintf "unknown corruption %s (wrong-port | loop | stale-fault)\n" other;
       exit 2
   in
+  if verbose then dump_switch_state fab;
   let report = Verify.run ?faults fab in
   Format.printf "%a@." Verify.pp_report report;
   exit (if Verify.ok report then 0 else 1)
 
-let k_arg =
-  let doc = "Fat-tree arity (even, >= 2)." in
-  Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc)
-
-let seed_arg =
-  let doc = "Deterministic random seed." in
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
-
-let duration_arg =
-  let doc = "Scenario duration after convergence, in milliseconds." in
-  Arg.(value & opt int 1000 & info [ "duration-ms" ] ~docv:"MS" ~doc)
+(* ---------------- command line ---------------- *)
 
 let scenario_arg =
   let doc = "Scenario: idle, ping-all, failure, migrate, or fm-restart." in
   Arg.(value & pos 0 string "ping-all" & info [] ~docv:"SCENARIO" ~doc)
-
-let verbose_arg =
-  let doc = "Dump per-switch state and counters at the end." in
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
 let pcap_arg =
   let doc = "Capture all host-side traffic to this pcap file (Wireshark-compatible)." in
@@ -294,15 +353,32 @@ let corrupt_arg =
   in
   Arg.(value & opt (some string) None & info [ "corrupt" ] ~docv:"KIND" ~doc)
 
+let csv_out_arg =
+  let doc = "Write the final metrics snapshot as CSV to this file." in
+  Arg.(value & opt (some string) None & info [ "csv-out" ] ~docv:"FILE" ~doc)
+
 let scenario_term =
   Term.(
-    const (fun k seed duration_ms scenario verbose pcap_file dot_file ->
-        run_scenario ~k ~seed ~duration_ms ~scenario ~verbose ~pcap_file ~dot_file)
-    $ k_arg $ seed_arg $ duration_arg $ scenario_arg $ verbose_arg $ pcap_arg $ dot_arg)
+    const (fun common duration_ms scenario pcap_file dot_file metrics_out ->
+        run_scenario common ~duration_ms ~scenario ~pcap_file ~dot_file ~metrics_out)
+    $ common_term $ duration_arg $ scenario_arg $ pcap_arg $ dot_arg $ metrics_out_arg)
 
 let run_cmd =
   let doc = "run a traffic scenario (idle | ping-all | failure | migrate | fm-restart)" in
   Cmd.v (Cmd.info "run" ~doc) scenario_term
+
+let stats_cmd =
+  let doc =
+    "build a fabric with a live metrics registry, converge, run a ping-all warm-up, and \
+     print the full metrics snapshot (optionally exporting JSON/CSV)"
+  in
+  let term =
+    Term.(
+      const (fun common duration_ms metrics_out csv_out ->
+          run_stats common ~duration_ms ~metrics_out ~csv_out)
+      $ common_term $ duration_arg $ metrics_out_arg $ csv_out_arg)
+  in
+  Cmd.v (Cmd.info "stats" ~doc) term
 
 let verify_cmd =
   let doc =
@@ -312,13 +388,14 @@ let verify_cmd =
   in
   let term =
     Term.(
-      const (fun k seed inject corrupt -> run_verify ~k ~seed ~inject ~corrupt)
-      $ k_arg $ seed_arg $ inject_arg $ corrupt_arg)
+      const (fun common inject corrupt -> run_verify common ~inject ~corrupt)
+      $ common_term $ inject_arg $ corrupt_arg)
   in
   Cmd.v (Cmd.info "verify" ~doc) term
 
 let cmd =
   let doc = "simulate a PortLand fabric" in
-  Cmd.group ~default:scenario_term (Cmd.info "portland_sim" ~doc) [ run_cmd; verify_cmd ]
+  Cmd.group ~default:scenario_term (Cmd.info "portland_sim" ~doc)
+    [ run_cmd; stats_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval cmd)

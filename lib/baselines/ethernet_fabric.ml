@@ -34,7 +34,7 @@ let create ?(config = Portland.Config.default) ?(stp = true) ?link_params spec =
       let slot = rem mod spec.MR.hosts_per_edge in
       let ip = Netcore.Ipv4_addr.of_octets 10 pod edge (slot + 2) in
       let amac = Netcore.Mac_addr.of_int (0x020000000000 lor device) in
-      let agent = Portland.Host_agent.create engine config net ~device ~amac ~ip in
+      let agent = Portland.Host_agent.create engine config net ~device ~amac ~ip () in
       Portland.Host_agent.start agent;
       Hashtbl.replace host_agents device agent)
     mt.MR.hosts;

@@ -12,7 +12,7 @@ type host_slot = {
 type t = {
   config : Config.t;
   engine : Engine.t;
-  trace : Eventsim.Trace.t;
+  obs : Obs.t;
   spec : MR.spec;
   mt : MR.t;
   net : SNet.t;
@@ -28,7 +28,8 @@ let host_ip ~pod ~edge ~slot = Ipv4_addr.of_octets 10 pod edge (slot + 2)
 let host_amac device = Mac_addr.of_int (0x020000000000 lor device)
 
 let engine t = t.engine
-let trace t = t.trace
+let obs t = t.obs
+let trace t = Obs.trace t.obs
 let net t = t.net
 let ctrl t = t.ctrl
 let fabric_manager t = t.fm
@@ -82,15 +83,24 @@ let converged t =
   all_ops && Fabric_manager.binding_count t.fm >= plugged_host_count t
 
 let await_convergence ?(timeout = Time.sec 5) t =
+  let sp = Obs.span t.obs ~time:(now t) ~subsystem:"fabric" ~name:"convergence" () in
   let deadline = now t + timeout in
   let rec go () =
     if converged t then begin
       (* settle: let one more LDM round refresh every neighbor claim so
          freshly assigned coordinates propagate into all tables *)
       run_for t (3 * t.config.Config.ldm_period);
+      Obs.finish sp ~time:(now t);
+      Obs.Gauge.set
+        (Obs.gauge t.obs ~subsystem:"fabric" ~name:"converged_at_ms" ())
+        (Time.to_ms_f (now t));
       true
     end
-    else if now t >= deadline then false
+    else if now t >= deadline then begin
+      Obs.eventf t.obs ~time:(now t) ~level:Eventsim.Trace.Warn ~subsystem:"fabric"
+        "convergence timed out after %s" (Time.to_string timeout);
+      false
+    end
     else begin
       run_until t (min deadline (now t + Time.ms 10));
       go ()
@@ -101,6 +111,8 @@ let await_convergence ?(timeout = Time.sec 5) t =
 let fail_link_between t ~a ~b =
   match SNet.link_between t.net a b with
   | Some l ->
+    Obs.eventf t.obs ~time:(now t) ~level:Eventsim.Trace.Warn ~subsystem:"fabric"
+      "link %d <-> %d failed" a b;
     SNet.fail_link t.net l;
     true
   | None -> false
@@ -115,12 +127,15 @@ let recover_link_between t ~a ~b =
 let restart_fabric_manager t =
   (* the old instance is simply abandoned: a fresh one registers itself on
      the control network (displacing the old handler) and asks every
-     switch to resync — reconstructing all soft state *)
-  Eventsim.Trace.record t.trace ~time:(Engine.now t.engine) Eventsim.Trace.Warn
-    ~subsystem:"fabric" "fabric manager restarted; resync requested";
-  t.fm <- Fabric_manager.create ~trace:t.trace t.engine t.config t.ctrl ~spec:t.spec
+     switch to resync — reconstructing all soft state. Its "fm" probe
+     replaces the abandoned instance's in the registry. *)
+  Obs.event t.obs ~time:(Engine.now t.engine) ~level:Eventsim.Trace.Warn ~subsystem:"fabric"
+    "fabric manager restarted; resync requested";
+  t.fm <- Fabric_manager.create ~obs:t.obs t.engine t.config t.ctrl ~spec:t.spec
 
 let fail_switch t device =
+  Obs.eventf t.obs ~time:(now t) ~level:Eventsim.Trace.Warn ~subsystem:"fabric"
+    "switch %d failed" device;
   (match Hashtbl.find_opt t.switch_agents device with
    | Some a -> Switch_agent.stop a
    | None -> ());
@@ -201,7 +216,7 @@ let trace_route t ~src ~dst_ip payload =
 (* ---------------- migration ---------------- *)
 
 let migrate t ~vm ~to_:(pod, edge, slot) ~downtime ?on_complete () =
-  Eventsim.Trace.recordf t.trace ~time:(now t) Eventsim.Trace.Info ~subsystem:"fabric"
+  Obs.eventf t.obs ~time:(now t) ~subsystem:"fabric"
     "migrating VM %s to (%d,%d,%d), downtime %s"
     (Netcore.Ipv4_addr.to_string (Host_agent.ip vm))
     pod edge slot (Time.to_string downtime);
@@ -234,12 +249,12 @@ let switch_table_sizes t =
 (* ---------------- construction ---------------- *)
 
 let create ?(config = Config.default) ?(seed = 42) ?link_params ?(spare_slots = [])
-    ?(boot_jitter = 0) ?trace spec =
+    ?(boot_jitter = 0) ?obs spec =
   (match MR.validate_spec spec with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Fabric.create: " ^ msg));
   let engine = Engine.create () in
-  let trace = match trace with Some tr -> tr | None -> Eventsim.Trace.create ~capacity:8192 () in
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   let boot_prng = Prng.create (seed lxor 0x5eed) in
   let boot f =
     if boot_jitter <= 0 then f ()
@@ -248,9 +263,9 @@ let create ?(config = Config.default) ?(seed = 42) ?link_params ?(spare_slots = 
   let mt = MR.build spec in
   let net = SNet.create ?params:link_params engine mt.MR.topo in
   let ctrl = Ctrl.create engine ~latency:config.Config.ctrl_latency in
-  let fm = Fabric_manager.create ~trace engine config ctrl ~spec in
+  let fm = Fabric_manager.create ~obs engine config ctrl ~spec in
   let t =
-    { config; engine; trace; spec; mt; net; ctrl; fm;
+    { config; engine; obs; spec; mt; net; ctrl; fm;
       switch_agents = Hashtbl.create 64;
       host_slots = Hashtbl.create 256;
       by_ip = Hashtbl.create 256 }
@@ -262,6 +277,7 @@ let create ?(config = Config.default) ?(seed = 42) ?link_params ?(spare_slots = 
       | Topology.Topo.Edge_switch | Topology.Topo.Agg_switch | Topology.Topo.Core_switch ->
         let a =
           Switch_agent.create engine config ctrl net ~spec ~device:n.Topology.Topo.id ~seed
+            ~obs ()
         in
         Hashtbl.replace t.switch_agents n.Topology.Topo.id a;
         boot (fun () -> Switch_agent.start a)
@@ -278,7 +294,9 @@ let create ?(config = Config.default) ?(seed = 42) ?link_params ?(spare_slots = 
       let edge = rem / spec.MR.hosts_per_edge in
       let slot = rem mod spec.MR.hosts_per_edge in
       let ip = host_ip ~pod ~edge ~slot in
-      let agent = Host_agent.create engine config net ~device ~amac:(host_amac device) ~ip in
+      let agent =
+        Host_agent.create engine config net ~device ~amac:(host_amac device) ~ip ~obs ()
+      in
       let is_spare = Hashtbl.mem spare (pod, edge, slot) in
       Hashtbl.replace t.host_slots device { agent; plugged = not is_spare };
       if is_spare then SNet.unplug t.net ~node:device ~port:0
@@ -287,7 +305,13 @@ let create ?(config = Config.default) ?(seed = 42) ?link_params ?(spare_slots = 
         Hashtbl.replace t.by_ip ip device
       end)
     mt.MR.hosts;
+  Obs.add_probe obs ~name:"fabric" (fun () ->
+      [ Obs.sample ~subsystem:"fabric" ~name:"switches"
+          (Obs.Value (float_of_int (Hashtbl.length t.switch_agents)));
+        Obs.sample ~subsystem:"fabric" ~name:"plugged_hosts"
+          (Obs.Value (float_of_int (plugged_host_count t)));
+        Obs.sample ~subsystem:"fabric" ~name:"now_ms" (Obs.Value (Time.to_ms_f (now t))) ]);
   t
 
-let create_fattree ?config ?seed ?link_params ?spare_slots ?boot_jitter ?trace ~k () =
-  create ?config ?seed ?link_params ?spare_slots ?boot_jitter ?trace (Topology.Fattree.spec ~k)
+let create_fattree ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs ~k () =
+  create ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs (Topology.Fattree.spec ~k)

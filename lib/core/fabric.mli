@@ -13,29 +13,41 @@ type t
 val create :
   ?config:Config.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
   ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
-  ?trace:Eventsim.Trace.t -> Topology.Multirooted.spec -> t
+  ?obs:Obs.t -> Topology.Multirooted.spec -> t
 (** [spare_slots] are [(pod, edge, slot)] host positions left unplugged at
     boot — free ports that VM migration can land on.
 
     [boot_jitter] (default 0) delays every switch agent and host by an
     independent, seed-deterministic offset in [\[0, boot_jitter)] — the
     plug-and-play scenario where racks power on at different times.
-    Discovery must (and does) converge regardless of arrival order. *)
+    Discovery must (and does) converge regardless of arrival order.
+
+    [obs] is the single observability capability threaded into the fabric
+    manager, every switch agent (and through it LDP and the dataplane)
+    and every host agent. Defaults to a fresh live {!Obs.create}[ ()];
+    pass {!Obs.null} to disable instrumentation entirely, or share one
+    registry between fabrics to aggregate (probes are replaced by name,
+    push counters accumulate). *)
 
 val create_fattree :
   ?config:Config.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
   ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
-  ?trace:Eventsim.Trace.t -> k:int -> unit -> t
+  ?obs:Obs.t -> k:int -> unit -> t
 
 (** {1 Accessors} *)
 
 val engine : t -> Eventsim.Engine.t
 
+val obs : t -> Obs.t
+(** The deployment's observability registry; snapshot/export with
+    {!Obs.snapshot}, {!Obs.to_json}, {!Obs.write_json}. *)
+
 val trace : t -> Eventsim.Trace.t
-(** The deployment's event trace: coordinate assignments, fault-matrix
-    changes, migrations, multicast re-rooting, FM restarts. A ring buffer
-    of the most recent 8192 entries unless a custom sink was passed at
-    creation; dump with [Eventsim.Trace.dump]. *)
+(** The deployment's event trace ([Obs.trace (obs t)]): coordinate
+    assignments, fault-matrix changes, migrations, multicast re-rooting,
+    FM restarts. A ring buffer of the most recent 8192 entries unless a
+    custom registry was passed at creation; dump with
+    [Eventsim.Trace.dump]. *)
 
 val net : t -> Switchfab.Net.t
 val ctrl : t -> Ctrl.t

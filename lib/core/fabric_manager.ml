@@ -44,7 +44,8 @@ type t = {
   engine : Eventsim.Engine.t;
   config : Config.t;
   ctrl : Ctrl.t;
-  trace : Eventsim.Trace.t;
+  obs : Obs.t;
+  m_ctrl_msgs : Obs.Counter.t;
   spec : Topology.Multirooted.spec;
   switches : (int, sw_info) Hashtbl.t;
   pod_uf : Uf.t;
@@ -63,7 +64,7 @@ type t = {
 }
 
 let tracef t level fmt =
-  Eventsim.Trace.recordf t.trace ~time:(Eventsim.Engine.now t.engine) level ~subsystem:"fm" fmt
+  Obs.eventf t.obs ~time:(Eventsim.Engine.now t.engine) ~level ~subsystem:"fm" fmt
 
 let counters t =
   { arp_queries = t.c.m_arp_queries;
@@ -604,6 +605,7 @@ let on_host_announce t (b : Msg.host_binding) =
 (* ---------------- dispatch ---------------- *)
 
 let handle t ~from:_ (msg : Msg.to_fm) =
+  Obs.Counter.incr t.m_ctrl_msgs;
   match msg with
   | Msg.Neighbor_report { switch_id; level; neighbors; host_ports } ->
     on_report t ~switch_id ~level ~neighbors ~host_ports;
@@ -639,9 +641,11 @@ let handle t ~from:_ (msg : Msg.to_fm) =
      | None -> ());
     recompute_group t group
 
-let create ?(trace = Eventsim.Trace.null) engine config ctrl ~spec =
+let create ?(obs = Obs.null) engine config ctrl ~spec =
   let t =
-    { engine; config; ctrl; trace; spec;
+    { engine; config; ctrl; obs;
+      m_ctrl_msgs = Obs.counter obs ~subsystem:"fm" ~name:"ctrl_msgs" ();
+      spec;
       switches = Hashtbl.create 128;
       pod_uf = Uf.create ();
       stripe_uf = Uf.create ();
@@ -660,6 +664,22 @@ let create ?(trace = Eventsim.Trace.null) engine config ctrl ~spec =
           m_migrations = 0; m_fault_notices = 0; m_fault_broadcasts = 0; m_mcast_recomputes = 0;
           m_reports = 0 } }
   in
+  Obs.add_probe obs ~name:"fm" (fun () ->
+      let c name v = Obs.sample ~subsystem:"fm" ~name (Obs.Count v) in
+      let g name v = Obs.sample ~subsystem:"fm" ~name (Obs.Value (float_of_int v)) in
+      [ c "arp_queries" t.c.m_arp_queries;
+        c "arp_hits" t.c.m_arp_hits;
+        c "arp_misses" t.c.m_arp_misses;
+        c "host_announces" t.c.m_host_announces;
+        c "migrations" t.c.m_migrations;
+        c "fault_notices" t.c.m_fault_notices;
+        c "fault_broadcasts" t.c.m_fault_broadcasts;
+        c "mcast_recomputes" t.c.m_mcast_recomputes;
+        c "reports" t.c.m_reports;
+        g "bindings" (Hashtbl.length t.ip_table);
+        g "known_switches" (Hashtbl.length t.switches);
+        g "faults" (Fault.Set.cardinal t.faults);
+        g "pending_arps" (Hashtbl.length t.pending) ]);
   Ctrl.register_fm ctrl (fun ~from msg -> handle t ~from msg);
   (* (re)built instance: ask every reachable switch to resync, which is a
      no-op at first boot (nothing registered yet) and reconstructs the

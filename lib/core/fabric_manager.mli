@@ -39,11 +39,16 @@ type counters = {
 }
 
 val create :
-  ?trace:Eventsim.Trace.t -> Eventsim.Engine.t -> Config.t -> Ctrl.t ->
+  ?obs:Obs.t -> Eventsim.Engine.t -> Config.t -> Ctrl.t ->
   spec:Topology.Multirooted.spec -> t
 (** Registers itself as the control network's fabric manager. Significant
     events (coordinate grants, fault-matrix changes, migrations,
-    multicast re-rooting) are recorded to [trace] when one is given. *)
+    multicast re-rooting) are traced through [obs] when a live registry is
+    given; the FM also counts [fm/ctrl_msgs] and exports its {!counters}
+    plus soft-state levels ([fm/bindings], [fm/known_switches],
+    [fm/faults], [fm/pending_arps]) under the probe name ["fm"] — a
+    restarted FM therefore supersedes its predecessor's readings instead
+    of double-reporting. *)
 
 val counters : t -> counters
 

@@ -171,10 +171,18 @@ let handle_frame t _in_port (frame : Eth.t) =
     end
   | Eth.Ldp _ | Eth.Bpdu _ | Eth.Raw _ -> ()
 
-let create engine config net ~device ~amac ~ip =
-  { engine; config; net; device; h_amac = amac; h_ip = ip; extra_ifaces = [];
-    cache = Hashtbl.create 16; resolving = Hashtbl.create 4; rx = None; started = false;
-    c_tx = 0; c_rx = 0; c_arps = 0; c_pending_drops = 0 }
+let create engine config net ~device ~amac ~ip ?(obs = Obs.null) () =
+  let t =
+    { engine; config; net; device; h_amac = amac; h_ip = ip; extra_ifaces = [];
+      cache = Hashtbl.create 16; resolving = Hashtbl.create 4; rx = None; started = false;
+      c_tx = 0; c_rx = 0; c_arps = 0; c_pending_drops = 0 }
+  in
+  Obs.add_probe obs ~name:(Printf.sprintf "host:%d" device) (fun () ->
+      let labels = [ Obs.Label.host (Ipv4_addr.to_string t.h_ip) ] in
+      let s name v = Obs.sample ~subsystem:"host" ~name ~labels (Obs.Count v) in
+      [ s "tx_packets" t.c_tx; s "rx_packets" t.c_rx;
+        s "arps_sent" t.c_arps; s "pending_drops" t.c_pending_drops ]);
+  t
 
 let start t =
   if not t.started then begin

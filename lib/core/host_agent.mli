@@ -19,7 +19,9 @@ type host_counters = {
 
 val create :
   Eventsim.Engine.t -> Config.t -> Switchfab.Net.t -> device:int ->
-  amac:Netcore.Mac_addr.t -> ip:Netcore.Ipv4_addr.t -> t
+  amac:Netcore.Mac_addr.t -> ip:Netcore.Ipv4_addr.t -> ?obs:Obs.t -> unit -> t
+(** [obs] (default {!Obs.null}) gets a pull-probe exporting the
+    {!host_counters} as [host/*] samples labelled with the primary IP. *)
 
 val start : t -> unit
 (** Schedule the boot gratuitous ARP ([host_announce_delay] plus a small

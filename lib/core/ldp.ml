@@ -30,15 +30,25 @@ type t = {
   send : port:int -> Ldp_msg.t -> unit;
   notify : event -> unit;
   ports : port_state array;
+  obs : Obs.t;
+  m_ldm_tx : Obs.Counter.t;
+  m_ldm_rx : Obs.Counter.t;
+  m_port_dead : Obs.Counter.t;
+  m_port_recovered : Obs.Counter.t;
   mutable self_level : Ldp_msg.level option;
   mutable self_coords : Coords.t option;
   mutable beacon : Timer.t option;
   mutable checker : Timer.t option;
 }
 
-let create engine config ~switch_id ~nports ~send ~notify =
+let create engine config ~switch_id ~nports ~send ~notify ?(obs = Obs.null) () =
+  let labels = [ Obs.Label.sw switch_id ] in
+  let c name = Obs.counter obs ~subsystem:"ldp" ~name ~labels () in
   { engine; config; switch_id; nports; send; notify;
     ports = Array.make nports Unknown;
+    obs;
+    m_ldm_tx = c "ldm_tx"; m_ldm_rx = c "ldm_rx";
+    m_port_dead = c "port_dead"; m_port_recovered = c "port_recovered";
     self_level = None; self_coords = None; beacon = None; checker = None }
 
 let level t = t.self_level
@@ -154,6 +164,7 @@ let int_opt_eq a b =
 
 let on_ldm t ~port (msg : Ldp_msg.t) =
   if port < 0 || port >= t.nports then invalid_arg "Ldp.on_ldm: port out of range";
+  Obs.Counter.incr t.m_ldm_rx;
   let now = Engine.now t.engine in
   match t.ports.(port) with
   | Switch_port old
@@ -177,7 +188,11 @@ let on_ldm t ~port (msg : Ldp_msg.t) =
     in
     t.ports.(port) <- Switch_port fresh;
     (match prev with
-     | Dead_port old -> t.notify (Port_recovered { port; neighbor_id = old.switch_id })
+     | Dead_port old ->
+       Obs.Counter.incr t.m_port_recovered;
+       Obs.eventf t.obs ~time:now ~subsystem:"ldp" "sw %d port %d: neighbor %d recovered"
+         t.switch_id port old.switch_id;
+       t.notify (Port_recovered { port; neighbor_id = old.switch_id })
      | Unknown | Host_port | Switch_port _ -> ());
     infer_level t;
     t.notify View_changed
@@ -193,6 +208,7 @@ let on_host_frame t ~port =
 
 let beacon_all t =
   for p = 0 to t.nports - 1 do
+    Obs.Counter.incr t.m_ldm_tx;
     t.send ~port:p (current_ldm t ~out_port:p)
   done
 
@@ -202,6 +218,9 @@ let check_liveness t =
     match t.ports.(p) with
     | Switch_port n when now - n.last_heard > t.config.Config.ldm_timeout ->
       t.ports.(p) <- Dead_port n;
+      Obs.Counter.incr t.m_port_dead;
+      Obs.eventf t.obs ~time:now ~level:Eventsim.Trace.Warn ~subsystem:"ldp"
+        "sw %d port %d: neighbor %d timed out" t.switch_id p n.switch_id;
       t.notify (Port_dead { port = p; neighbor_id = n.switch_id })
     | Switch_port _ | Unknown | Host_port | Dead_port _ -> ()
   done

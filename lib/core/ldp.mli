@@ -44,7 +44,12 @@ type t
 
 val create :
   Eventsim.Engine.t -> Config.t -> switch_id:int -> nports:int ->
-  send:(port:int -> Netcore.Ldp_msg.t -> unit) -> notify:(event -> unit) -> t
+  send:(port:int -> Netcore.Ldp_msg.t -> unit) -> notify:(event -> unit) ->
+  ?obs:Obs.t -> unit -> t
+(** [obs] (default {!Obs.null}) receives the protocol counters
+    [ldp/ldm_tx], [ldp/ldm_rx], [ldp/port_dead] and [ldp/port_recovered]
+    (labelled [sw=switch_id]) plus trace events on fault detection and
+    recovery. *)
 
 val start : t -> unit
 (** Arm the beacon and liveness timers. Beacons are phase-staggered

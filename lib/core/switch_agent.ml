@@ -24,6 +24,7 @@ type t = {
   ctrl : Ctrl.t;
   spec : Spec.spec;
   sw_id : int;
+  m_rewrites : Obs.Counter.t;
   table : FT.t;
   mutable dp : Switchfab.Dataplane.t option;
   mutable ldp : Ldp.t option;
@@ -598,7 +599,9 @@ let handle_frame t in_port (frame : Eth.t) =
       if is_host_port t in_port then begin
         ignore (learn_host t ~port:in_port ~amac:frame.Eth.src ~ip:(Some p.Ipv4_pkt.src));
         match Hashtbl.find_opt t.amac_to_host frame.Eth.src with
-        | Some h -> { frame with Eth.src = Pmac.to_mac h.h_pmac }
+        | Some h ->
+          Obs.Counter.incr t.m_rewrites;
+          { frame with Eth.src = Pmac.to_mac h.h_pmac }
         | None -> frame
       end
       else frame
@@ -611,11 +614,14 @@ let handle_frame t in_port (frame : Eth.t) =
 
 (* ---------------- lifecycle ---------------- *)
 
-let create engine config ctrl net ~spec ~device ~seed =
+let create engine config ctrl net ~spec ~device ~seed ?(obs = Obs.null) () =
   let dev = Switchfab.Net.device net device in
   let prng = Prng.create (seed lxor (device * 7919)) in
   let t =
     { engine; config; ctrl; spec; sw_id = device;
+      m_rewrites =
+        Obs.counter obs ~subsystem:"switch" ~name:"ingress_rewrites"
+          ~labels:[ Obs.Label.sw device ] ();
       table = FT.create ();
       dp = None; ldp = None; prng;
       coords = None; operational = false;
@@ -639,7 +645,7 @@ let create engine config ctrl net ~spec ~device ~seed =
   let dp =
     Switchfab.Dataplane.attach net ~device ~table:t.table ~miss:Switchfab.Dataplane.Miss_drop
       ~on_punt:(fun ~in_port frame -> on_punt t ~in_port frame)
-      ()
+      ~obs ()
   in
   t.dp <- Some dp;
   let send ~port msg =
@@ -649,8 +655,20 @@ let create engine config ctrl net ~spec ~device ~seed =
   let ldp_inst =
     Ldp.create engine config ~switch_id:device ~nports:(Switchfab.Net.nports dev) ~send
       ~notify:(fun ev -> on_ldp_event t ev)
+      ~obs ()
   in
   t.ldp <- Some ldp_inst;
+  Obs.add_probe obs ~name:(Printf.sprintf "sw:%d" device) (fun () ->
+      let labels = [ Obs.Label.sw device ] in
+      let s name v = Obs.sample ~subsystem:"switch" ~name ~labels (Obs.Count v) in
+      [ s "arps_proxied" t.c_arps_proxied;
+        s "arps_answered" t.c_arps_answered;
+        s "hosts_learned" t.c_hosts_learned;
+        s "trap_hits" t.c_trap_hits;
+        s "corrective_arps" t.c_corrective_arps;
+        s "table_recomputes" t.c_table_recomputes;
+        s "faults_reported" t.c_faults_reported;
+        s "recoveries_reported" t.c_recoveries_reported ]);
   (* the agent's own handler wraps the dataplane (multi-table semantics) *)
   Switchfab.Net.set_handler dev (fun in_port frame -> handle_frame t in_port frame);
   Ctrl.register_switch ctrl device (fun msg -> on_ctrl_msg t msg);

@@ -38,8 +38,12 @@ type agent_counters = {
 
 val create :
   Eventsim.Engine.t -> Config.t -> Ctrl.t -> Switchfab.Net.t ->
-  spec:Topology.Multirooted.spec -> device:int -> seed:int -> t
-(** Attach an agent to a switch device. Call {!start} to begin discovery. *)
+  spec:Topology.Multirooted.spec -> device:int -> seed:int -> ?obs:Obs.t -> unit -> t
+(** Attach an agent to a switch device. Call {!start} to begin discovery.
+    [obs] (default {!Obs.null}) is handed down to the agent's {!Ldp} and
+    {!Switchfab.Dataplane}; the agent itself counts
+    [switch/ingress_rewrites] and exports {!agent_counters} as
+    [switch/*] samples, all labelled [sw=device]. *)
 
 val start : t -> unit
 val stop : t -> unit

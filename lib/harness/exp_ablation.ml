@@ -97,7 +97,11 @@ let detector_under_loss ~seed ~loss_rate =
     (notices, recoveries, !ok)
   end
 
-let run ?(quick = false) ?(seed = 42) () =
+let name = "ablation"
+let descr = "design-choice ablations: detection timeout sweep; ECMP hash salting"
+
+(* several single-purpose fabrics; obs is unused *)
+let run ?(quick = false) ?(seed = 42) ?obs:_ () =
   let timeouts =
     if quick then [ Time.ms 20; Time.ms 50 ] else [ Time.ms 20; Time.ms 50; Time.ms 100; Time.ms 200 ]
   in
@@ -132,6 +136,29 @@ let run ?(quick = false) ?(seed = 42) () =
     cores_without_salt = without_salt;
     total_cores = 4;
     loss_sweep }
+
+let result_to_json r =
+  let open Obs.Json in
+  Obj
+    [ ( "timeout_sweep",
+        List
+          (List.map
+             (fun (t, c) -> Obj [ ("timeout_ms", Float t); ("convergence_ms", Float c) ])
+             r.timeout_sweep) );
+      ("flows_traced", Int r.flows_traced);
+      ("cores_with_salt", Int r.cores_with_salt);
+      ("cores_without_salt", Int r.cores_without_salt);
+      ("total_cores", Int r.total_cores);
+      ( "loss_sweep",
+        List
+          (List.map
+             (fun (rate, notices, recoveries, ok) ->
+               Obj
+                 [ ("loss_rate", Float rate);
+                   ("false_notices", Int notices);
+                   ("recoveries", Int recoveries);
+                   ("ping_intact", Bool ok) ])
+             r.loss_sweep) ) ]
 
 let print fmt r =
   Render.heading fmt "Ablations: detection timeout; per-switch ECMP hash salting";

@@ -32,5 +32,4 @@ type result = {
           the failure detector's robustness/latency trade-off *)
 }
 
-val run : ?quick:bool -> ?seed:int -> unit -> result
-val print : Format.formatter -> result -> unit
+include Experiment.S with type result := result

@@ -43,14 +43,17 @@ let run_workload ~engine ~net ~label ~hosts ~rate_pps ~payload_len ~duration ~se
     goodput_gbps = float_of_int bytes *. 8.0 /. Time.to_sec_f duration /. 1e9;
     queue_drops = drops }
 
-let run ?(quick = false) ?(seed = 42) () =
+let name = "ecmp"
+let descr = "multipath ablation: ECMP fat tree vs single spanning tree"
+
+let run ?(quick = false) ?(seed = 42) ?obs () =
   let k = 4 in
   let payload_len = 1000 in
   let rate_pps = if quick then 40_000 else 62_500 in
   let duration = if quick then Time.ms 200 else Time.ms 500 in
   (* PortLand side *)
   let pl =
-    let fab = Portland.Fabric.create_fattree ~seed ~k () in
+    let fab = Portland.Fabric.create_fattree ~seed ?obs ~k () in
     assert (Portland.Fabric.await_convergence fab);
     let hosts = Array.of_list (Portland.Fabric.hosts fab) in
     run_workload ~engine:(Portland.Fabric.engine fab) ~net:(Portland.Fabric.net fab)
@@ -75,6 +78,24 @@ let run ?(quick = false) ?(seed = 42) () =
     portland = pl;
     ethernet_stp = eth;
     speedup = (if eth.goodput_gbps > 0.0 then pl.goodput_gbps /. eth.goodput_gbps else 0.0) }
+
+let result_to_json r =
+  let open Obs.Json in
+  let side s =
+    Obj
+      [ ("label", Str s.label);
+        ("delivered_mb", Float s.delivered_mb);
+        ("goodput_gbps", Float s.goodput_gbps);
+        ("queue_drops", Int s.queue_drops) ]
+  in
+  Obj
+    [ ("k", Int r.k);
+      ("flows", Int r.flows);
+      ("per_flow_mbps", Float r.per_flow_mbps);
+      ("duration_ms", Float r.duration_ms);
+      ("portland", side r.portland);
+      ("ethernet_stp", side r.ethernet_stp);
+      ("speedup", Float r.speedup) ]
 
 let print fmt r =
   Render.heading fmt

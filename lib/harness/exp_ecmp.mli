@@ -19,5 +19,4 @@ type result = {
   speedup : float;
 }
 
-val run : ?quick:bool -> ?seed:int -> unit -> result
-val print : Format.formatter -> result -> unit
+include Experiment.S with type result := result

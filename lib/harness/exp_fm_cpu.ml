@@ -78,7 +78,11 @@ let measured_ns_per_arp_full ?(bindings = 100_000) () =
   assert (!answered = iters);
   (t1 -. t0) *. 1e9 /. float_of_int iters
 
-let run ?(quick = false) ?seed:_ () =
+let name = "fm-cpu"
+let descr = "fabric manager CPU requirements for ARP service"
+
+(* wall-clock microbenchmark against a bare FM; obs is unused *)
+let run ?(quick = false) ?seed:_ ?obs:_ () =
   let bindings = if quick then 10_000 else 100_000 in
   let ns = measured_ns_per_arp_full ~bindings () in
   let per_core = 1e9 /. ns in
@@ -87,6 +91,18 @@ let run ?(quick = false) ?seed:_ () =
     ns_per_arp = ns;
     arps_per_sec_per_core = per_core;
     projections = List.map (fun r -> (r, r /. per_core)) rates }
+
+let result_to_json r =
+  let open Obs.Json in
+  Obj
+    [ ("bindings", Int r.bindings);
+      ("ns_per_arp", Float r.ns_per_arp);
+      ("arps_per_sec_per_core", Float r.arps_per_sec_per_core);
+      ( "projections",
+        List
+          (List.map
+             (fun (rate, cores) -> Obj [ ("arps_per_sec", Float rate); ("cores", Float cores) ])
+             r.projections) ) ]
 
 let print fmt r =
   Render.heading fmt "Fabric manager CPU requirements for ARP service";

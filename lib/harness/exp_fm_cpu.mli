@@ -16,8 +16,7 @@ type result = {
   projections : (float * float) list;  (** (ARPs/s, cores needed) *)
 }
 
-val run : ?quick:bool -> ?seed:int -> unit -> result
-val print : Format.formatter -> result -> unit
+include Experiment.S with type result := result
 
 val measured_ns_per_arp : ?bindings:int -> unit -> float
 (** Cost of the bare IP→PMAC lookup, exposed for reuse. *)

@@ -53,10 +53,42 @@ let measure k seed =
     boot_bytes;
     steady_msgs_per_sec = float_of_int steady /. Time.to_sec_f window }
 
-let run ?(quick = false) ?(seed = 42) () =
+let name = "fm-load"
+let descr = "fabric manager control traffic: modelled ARP load + measured boot traffic"
+
+(* one fabric per measured k; obs is unused *)
+let run ?(quick = false) ?(seed = 42) ?obs:_ () =
   let model = List.map model_row (if quick then [ 8; 16 ] else [ 8; 16; 24; 32; 48 ]) in
   let measured = List.map (fun k -> measure k seed) (if quick then [ 4 ] else [ 4; 6; 8 ]) in
   { flows_per_host_per_sec; model; measured }
+
+let result_to_json r =
+  let open Obs.Json in
+  Obj
+    [ ("flows_per_host_per_sec", Int r.flows_per_host_per_sec);
+      ( "model",
+        List
+          (List.map
+             (fun m ->
+               Obj
+                 [ ("k", Int m.k);
+                   ("hosts", Int m.hosts);
+                   ("arps_per_sec_1pct", Float m.arps_per_sec_1pct);
+                   ("arps_per_sec_10pct", Float m.arps_per_sec_10pct);
+                   ("arps_per_sec_100pct", Float m.arps_per_sec_100pct) ])
+             r.model) );
+      ( "measured",
+        List
+          (List.map
+             (fun m ->
+               Obj
+                 [ ("k", Int m.mk);
+                   ("switches", Int m.switches);
+                   ("boot_msgs_to_fm", Int m.boot_msgs_to_fm);
+                   ("boot_msgs_to_switches", Int m.boot_msgs_to_switches);
+                   ("boot_bytes", Int m.boot_bytes);
+                   ("steady_msgs_per_sec", Float m.steady_msgs_per_sec) ])
+             r.measured) ) ]
 
 let print fmt r =
   Render.heading fmt "Fabric manager control traffic";

@@ -34,5 +34,4 @@ type result = {
   measured : measured_row list;
 }
 
-val run : ?quick:bool -> ?seed:int -> unit -> result
-val print : Format.formatter -> result -> unit
+include Experiment.S with type result := result

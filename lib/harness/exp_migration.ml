@@ -23,10 +23,12 @@ let longest_stall pts ~after =
   done;
   !best
 
-let one_mode ~seed ~quick ~forward_stale ~downtime =
+let one_mode ?obs ~seed ~quick ~forward_stale ~downtime () =
   let k = 4 in
   let config = { Portland.Config.default with Portland.Config.forward_stale } in
-  let fab = Portland.Fabric.create_fattree ~config ~seed ~k ~spare_slots:[ (2, 0, 0) ] () in
+  let fab =
+    Portland.Fabric.create_fattree ~config ~seed ?obs ~k ~spare_slots:[ (2, 0, 0) ] ()
+  in
   assert (Portland.Fabric.await_convergence fab);
   let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
   let vm = Portland.Fabric.host fab ~pod:3 ~edge:1 ~slot:1 in
@@ -54,14 +56,41 @@ let one_mode ~seed ~quick ~forward_stale ~downtime =
       delivered_after_mb = float_of_int (stats.Transport.Tcp.bytes_delivered - before) /. 1e6;
       trace } )
 
-let run ?(quick = false) ?(seed = 42) () =
+let name = "migration"
+let descr = "TCP flow during VM migration (plus forward-stale ablation)"
+
+let run ?(quick = false) ?(seed = 42) ?obs () =
   let downtime = Time.ms 200 in
-  let at1, m1 = one_mode ~seed ~quick ~forward_stale:false ~downtime in
-  let _, m2 = one_mode ~seed ~quick ~forward_stale:true ~downtime in
+  (* the paper-mode fabric is the primary one; the ablation re-registers
+     the same probe names, so only the last fabric's levels survive *)
+  let at1, m1 = one_mode ?obs ~seed ~quick ~forward_stale:false ~downtime () in
+  let _, m2 = one_mode ?obs ~seed ~quick ~forward_stale:true ~downtime () in
   { k = 4;
     downtime_ms = Time.to_ms_f downtime;
     migrate_at_ms = Time.to_ms_f at1;
     modes = [ m1; m2 ] }
+
+let result_to_json r =
+  let open Obs.Json in
+  Obj
+    [ ("k", Int r.k);
+      ("downtime_ms", Float r.downtime_ms);
+      ("migrate_at_ms", Float r.migrate_at_ms);
+      ( "modes",
+        List
+          (List.map
+             (fun m ->
+               Obj
+                 [ ("forward_stale", Bool m.forward_stale);
+                   ("outage_ms", Float m.outage_ms);
+                   ("timeouts", Int m.timeouts);
+                   ("delivered_after_mb", Float m.delivered_after_mb);
+                   ( "trace",
+                     List
+                       (List.map
+                          (fun (t, mb) -> Obj [ ("t_ms", Float t); ("mbytes", Float mb) ])
+                          m.trace) ) ])
+             r.modes) ) ]
 
 let print fmt r =
   Render.heading fmt

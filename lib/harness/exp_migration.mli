@@ -27,5 +27,4 @@ type result = {
   modes : mode_result list;
 }
 
-val run : ?quick:bool -> ?seed:int -> unit -> result
-val print : Format.formatter -> result -> unit
+include Experiment.S with type result := result

@@ -35,9 +35,12 @@ let fail_tree_link fab group ~pod =
         | None -> false)
      | _ -> false)
 
-let run ?(quick = false) ?(seed = 42) () =
+let name = "multicast"
+let descr = "multicast convergence across two tree failures"
+
+let run ?(quick = false) ?(seed = 42) ?obs () =
   let k = 4 in
-  let fab = Portland.Fabric.create_fattree ~seed ~k () in
+  let fab = Portland.Fabric.create_fattree ~seed ?obs ~k () in
   assert (Portland.Fabric.await_convergence fab);
   let group = Netcore.Ipv4_addr.of_string_exn "230.1.1.1" in
   let sender = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
@@ -90,6 +93,27 @@ let run ?(quick = false) ?(seed = 42) () =
     core_after_first;
     core_after_second;
     outages = List.rev !outages }
+
+let result_to_json r =
+  let open Obs.Json in
+  let core = function Some c -> Int c | None -> Null in
+  Obj
+    [ ("k", Int r.k);
+      ("group", Str r.group);
+      ("rate_pps", Int r.rate_pps);
+      ("initial_core", core r.initial_core);
+      ("core_after_first", core r.core_after_first);
+      ("core_after_second", core r.core_after_second);
+      ( "outages",
+        List
+          (List.map
+             (fun o ->
+               Obj
+                 [ ("receiver", Str o.receiver);
+                   ("failure", Int o.failure);
+                   ("gap_ms", Float o.gap_ms);
+                   ("lost", Int o.lost) ])
+             r.outages) ) ]
 
 let print fmt r =
   Render.heading fmt

@@ -64,9 +64,32 @@ let one_row ~k ~seed =
     ethernet_mac_mean = emean;
     flat_l2_worst_case = Topology.Fattree.num_hosts ~k }
 
-let run ?(quick = false) ?(seed = 42) () =
+let name = "state"
+let descr = "per-switch forwarding state: PortLand vs flat layer 2"
+
+(* two fabrics per k; obs is unused *)
+let run ?(quick = false) ?(seed = 42) ?obs:_ () =
   let ks = if quick then [ 4 ] else [ 4; 6; 8 ] in
   { warmup_peers; rows = List.map (fun k -> one_row ~k ~seed) ks }
+
+let result_to_json r =
+  let open Obs.Json in
+  Obj
+    [ ("warmup_peers", Int r.warmup_peers);
+      ( "rows",
+        List
+          (List.map
+             (fun row ->
+               Obj
+                 [ ("k", Int row.k);
+                   ("hosts", Int row.hosts);
+                   ("portland_edge_max", Int row.portland_edge_max);
+                   ("portland_agg_max", Int row.portland_agg_max);
+                   ("portland_core_max", Int row.portland_core_max);
+                   ("ethernet_mac_max", Int row.ethernet_mac_max);
+                   ("ethernet_mac_mean", Float row.ethernet_mac_mean);
+                   ("flat_l2_worst_case", Int row.flat_l2_worst_case) ])
+             r.rows) ) ]
 
 let print fmt r =
   Render.heading fmt "Per-switch forwarding state: PortLand vs. flat layer 2";

@@ -21,5 +21,4 @@ type row = {
 
 type result = { warmup_peers : int; rows : row list }
 
-val run : ?quick:bool -> ?seed:int -> unit -> result
-val print : Format.formatter -> result -> unit
+include Experiment.S with type result := result

@@ -373,7 +373,11 @@ let vlan_cells () =
     (r1, r2, r3, r4, r5)
   end
 
-let run ?quick:_ ?(seed = 42) () =
+let name = "table1"
+let descr = "requirements matrix: flat L2 vs static L3 vs PortLand (Table 1)"
+
+(* four fabrics per requirement probe, all short-lived: obs is unused *)
+let run ?quick:_ ?(seed = 42) ?obs:_ () =
   let r2_l2, r2_l3, r2_pl = r2 () in
   let r3_l2, r3_l3, r3_pl = r3 ~seed in
   let r4_l2, r4_l3, r4_pl, storm_events, storm_budget = r4 ~seed in
@@ -399,6 +403,24 @@ let run ?quick:_ ?(seed = 42) () =
   { rows; storm_events; storm_budget }
 
 let verdict_str = function Pass -> "yes" | Fail -> "NO" | Partial -> "partial"
+
+let result_to_json r =
+  let open Obs.Json in
+  let cell c = Obj [ ("verdict", Str (verdict_str c.verdict)); ("note", Str c.note) ] in
+  Obj
+    [ ( "rows",
+        List
+          (List.map
+             (fun row ->
+               Obj
+                 [ ("requirement", Str row.requirement);
+                   ("l2", cell row.l2);
+                   ("vlan", cell row.vlan);
+                   ("l3", cell row.l3);
+                   ("portland", cell row.portland) ])
+             r.rows) );
+      ("storm_events", Int r.storm_events);
+      ("storm_budget", Int r.storm_budget) ]
 
 let print fmt r =
   Render.heading fmt "Requirements matrix (Table 1): measured on identical k=4 fat trees";

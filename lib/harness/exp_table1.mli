@@ -24,5 +24,4 @@ type row = { requirement : string; l2 : cell; vlan : cell; l3 : cell; portland :
 
 type result = { rows : row list; storm_events : int; storm_budget : int }
 
-val run : ?quick:bool -> ?seed:int -> unit -> result
-val print : Format.formatter -> result -> unit
+include Experiment.S with type result := result

@@ -22,10 +22,13 @@ let longest_stall pts ~after =
   done;
   !best
 
-let run ?(quick = false) ?(seed = 42) () =
+let name = "tcp-convergence"
+let descr = "TCP sequence trace across a link failure"
+
+let run ?(quick = false) ?(seed = 42) ?obs () =
   let k = 4 in
   let config = Portland.Config.default in
-  let fab = Portland.Fabric.create_fattree ~config ~seed ~k () in
+  let fab = Portland.Fabric.create_fattree ~config ~seed ?obs ~k () in
   assert (Portland.Fabric.await_convergence fab);
   let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
   let dst = Portland.Fabric.host fab ~pod:3 ~edge:1 ~slot:1 in
@@ -67,6 +70,23 @@ let run ?(quick = false) ?(seed = 42) () =
     goodput_before_mbps = float_of_int before_bytes *. 8.0 /. Time.to_sec_f warm /. 1e6;
     goodput_after_mbps = float_of_int after_bytes *. 8.0 /. Time.to_sec_f post /. 1e6;
     trace }
+
+let result_to_json r =
+  let open Obs.Json in
+  Obj
+    [ ("k", Int r.k);
+      ("fail_at_ms", Float r.fail_at_ms);
+      ("stall_ms", Float r.stall_ms);
+      ("fabric_reconverge_ms", Float r.fabric_reconverge_ms);
+      ("rto_min_ms", Float r.rto_min_ms);
+      ("timeouts", Int r.timeouts);
+      ("fast_retransmits", Int r.fast_retransmits);
+      ("retransmits", Int r.retransmits);
+      ("goodput_before_mbps", Float r.goodput_before_mbps);
+      ("goodput_after_mbps", Float r.goodput_after_mbps);
+      ( "trace",
+        List (List.map (fun (t, mb) -> Obj [ ("t_ms", Float t); ("mbytes", Float mb) ]) r.trace)
+      ) ]
 
 let print fmt r =
   Render.heading fmt

@@ -22,5 +22,4 @@ type result = {
   trace : (float * float) list;  (** (time ms, MB delivered), around the failure *)
 }
 
-val run : ?quick:bool -> ?seed:int -> unit -> result
-val print : Format.formatter -> result -> unit
+include Experiment.S with type result := result

@@ -118,7 +118,11 @@ let trial ~k ~failures ~seed =
 let single_trial ~k ~failures ~seed =
   match trial ~k ~failures ~seed with Some (ms, _) -> Some ms | None -> None
 
-let run ?(quick = false) ?(seed = 42) () =
+let name = "udp-convergence"
+let descr = "UDP convergence vs number of simultaneous failures"
+
+(* every trial is its own fabric; obs is unused *)
+let run ?(quick = false) ?(seed = 42) ?obs:_ () =
   let k = if quick then 4 else 8 in
   let max_failures = if quick then 2 else 8 in
   let trials = if quick then 2 else 5 in
@@ -153,6 +157,27 @@ let run ?(quick = false) ?(seed = 42) () =
       (if quick then [ 4 ] else [ 4; 6; 8 ])
   in
   { k; rate_pps; points; size_sweep }
+
+let result_to_json (r : result) =
+  let open Obs.Json in
+  Obj
+    [ ("k", Int r.k);
+      ("rate_pps", Int r.rate_pps);
+      ( "points",
+        List
+          (List.map
+             (fun p ->
+               Obj
+                 [ ("failures", Int p.failures);
+                   ("trials", Int p.trials);
+                   ("mean_ms", Float p.mean_ms);
+                   ("min_ms", Float p.min_ms);
+                   ("max_ms", Float p.max_ms);
+                   ("packets_lost_mean", Float p.packets_lost_mean) ])
+             r.points) );
+      ( "size_sweep",
+        List (List.map (fun (k', ms) -> Obj [ ("k", Int k'); ("mean_ms", Float ms) ]) r.size_sweep)
+      ) ]
 
 let print fmt (r : result) =
   Render.heading fmt

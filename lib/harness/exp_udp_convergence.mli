@@ -28,10 +28,7 @@ type result = {
   size_sweep : (int * float) list;  (** (k, single-failure convergence ms) *)
 }
 
-val run : ?quick:bool -> ?seed:int -> unit -> result
-(** [quick] trims trial counts and the failure sweep (used by tests). *)
-
-val print : Format.formatter -> result -> unit
+include Experiment.S with type result := result
 
 val single_trial : k:int -> failures:int -> seed:int -> float option
 (** One trial's convergence time in ms ([None] when no survivable failure

@@ -1,0 +1,22 @@
+module type S = sig
+  type result
+
+  val name : string
+  val descr : string
+  val run : ?quick:bool -> ?seed:int -> ?obs:Obs.t -> unit -> result
+  val result_to_json : result -> Obs.Json.t
+  val print : Format.formatter -> result -> unit
+end
+
+type packed = Packed : (module S with type result = 'r) -> packed
+
+let name (Packed (module E)) = E.name
+let descr (Packed (module E)) = E.descr
+
+let run_print ?quick ?seed ?obs fmt (Packed (module E)) =
+  E.print fmt (E.run ?quick ?seed ?obs ())
+
+let run_json ?quick ?seed ?obs (Packed (module E)) =
+  Obs.Json.Obj
+    [ ("experiment", Obs.Json.Str E.name);
+      ("result", E.result_to_json (E.run ?quick ?seed ?obs ())) ]

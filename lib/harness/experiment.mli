@@ -1,0 +1,38 @@
+(** The shared shape of every reproduced experiment.
+
+    Each [Exp_*] module measures one table or figure from the paper; all
+    of them implement {!S}, so the index ({!Experiments.all}), the CLI
+    dispatch and the JSON export are generic instead of one hand-written
+    branch per experiment. {!packed} hides the heterogeneous [result]
+    types behind a first-class module. *)
+
+module type S = sig
+  type result
+
+  val name : string
+  (** The experiment id used by the CLI and docs, e.g. ["udp-convergence"]. *)
+
+  val descr : string
+  (** One-line description for the index listing. *)
+
+  val run : ?quick:bool -> ?seed:int -> ?obs:Obs.t -> unit -> result
+  (** [quick] trims sweep ranges and trial counts (used by tests). [obs]
+      (default {!Obs.null}) is threaded into the experiment's primary
+      PortLand fabric where it has one; experiments that build many
+      short-lived fabrics may ignore it. *)
+
+  val result_to_json : result -> Obs.Json.t
+
+  val print : Format.formatter -> result -> unit
+end
+
+type packed = Packed : (module S with type result = 'r) -> packed
+
+val name : packed -> string
+val descr : packed -> string
+
+val run_print : ?quick:bool -> ?seed:int -> ?obs:Obs.t -> Format.formatter -> packed -> unit
+(** Run and render the paper-style tables/series. *)
+
+val run_json : ?quick:bool -> ?seed:int -> ?obs:Obs.t -> packed -> Obs.Json.t
+(** Run and return [{"experiment": name, "result": ...}]. *)

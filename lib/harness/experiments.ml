@@ -1,48 +1,32 @@
-let all =
-  [ ("table1", "requirements matrix: flat L2 vs static L3 vs PortLand (Table 1)");
-    ("udp-convergence", "UDP convergence vs number of simultaneous failures");
-    ("tcp-convergence", "TCP sequence trace across a link failure");
-    ("multicast", "multicast convergence across two tree failures");
-    ("migration", "TCP flow during VM migration (plus forward-stale ablation)");
-    ("fm-load", "fabric manager control traffic: modelled ARP load + measured boot traffic");
-    ("fm-cpu", "fabric manager CPU requirements for ARP service");
-    ("state", "per-switch forwarding state: PortLand vs flat layer 2");
-    ("ecmp", "multipath ablation: ECMP fat tree vs single spanning tree");
-    ("ablation", "design-choice ablations: detection timeout sweep; ECMP hash salting") ]
+(* the registry, in the order the tables/figures appear in the paper *)
+let registry : Experiment.packed list =
+  [ Experiment.Packed (module Exp_table1);
+    Experiment.Packed (module Exp_udp_convergence);
+    Experiment.Packed (module Exp_tcp_convergence);
+    Experiment.Packed (module Exp_multicast);
+    Experiment.Packed (module Exp_migration);
+    Experiment.Packed (module Exp_fm_load);
+    Experiment.Packed (module Exp_fm_cpu);
+    Experiment.Packed (module Exp_state);
+    Experiment.Packed (module Exp_ecmp);
+    Experiment.Packed (module Exp_ablation) ]
 
-let run_one ?quick ?seed fmt id =
-  match id with
-  | "table1" ->
-    Exp_table1.print fmt (Exp_table1.run ?quick ?seed ());
-    true
-  | "udp-convergence" ->
-    Exp_udp_convergence.print fmt (Exp_udp_convergence.run ?quick ?seed ());
-    true
-  | "tcp-convergence" ->
-    Exp_tcp_convergence.print fmt (Exp_tcp_convergence.run ?quick ?seed ());
-    true
-  | "multicast" ->
-    Exp_multicast.print fmt (Exp_multicast.run ?quick ?seed ());
-    true
-  | "migration" ->
-    Exp_migration.print fmt (Exp_migration.run ?quick ?seed ());
-    true
-  | "fm-load" ->
-    Exp_fm_load.print fmt (Exp_fm_load.run ?quick ?seed ());
-    true
-  | "fm-cpu" ->
-    Exp_fm_cpu.print fmt (Exp_fm_cpu.run ?quick ?seed ());
-    true
-  | "state" ->
-    Exp_state.print fmt (Exp_state.run ?quick ?seed ());
-    true
-  | "ecmp" ->
-    Exp_ecmp.print fmt (Exp_ecmp.run ?quick ?seed ());
-    true
-  | "ablation" ->
-    Exp_ablation.print fmt (Exp_ablation.run ?quick ?seed ());
-    true
-  | _ -> false
+let all = List.map (fun p -> (Experiment.name p, Experiment.descr p)) registry
 
-let run_all ?quick ?seed fmt =
-  List.iter (fun (id, _) -> ignore (run_one ?quick ?seed fmt id)) all
+let find id = List.find_opt (fun p -> Experiment.name p = id) registry
+
+let run_one ?quick ?seed ?obs fmt id =
+  match find id with
+  | Some p ->
+    Experiment.run_print ?quick ?seed ?obs fmt p;
+    true
+  | None -> false
+
+let run_one_json ?quick ?seed ?obs id =
+  Option.map (Experiment.run_json ?quick ?seed ?obs) (find id)
+
+let run_all ?quick ?seed ?obs fmt =
+  List.iter (fun p -> Experiment.run_print ?quick ?seed ?obs fmt p) registry
+
+let run_all_json ?quick ?seed ?obs () =
+  List.map (fun p -> Experiment.run_json ?quick ?seed ?obs p) registry

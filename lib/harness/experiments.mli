@@ -1,13 +1,25 @@
 (** Index of every reproduced table and figure.
 
-    Each entry maps an experiment id (the names used in DESIGN.md and
-    EXPERIMENTS.md) to a runner that executes the scenario and prints the
-    paper-style rows or series. *)
+    Every [Exp_*] module implements {!Experiment.S}; this is the ordered
+    registry that drives the CLI listing, text rendering and JSON export
+    generically — there is no per-experiment dispatch anywhere else. *)
+
+val registry : Experiment.packed list
+(** In the order the tables/figures appear in the paper. *)
 
 val all : (string * string) list
-(** [(id, one-line description)], in the order they appear in the paper. *)
+(** [(id, one-line description)], same order as {!registry}. *)
 
-val run_one : ?quick:bool -> ?seed:int -> Format.formatter -> string -> bool
-(** Run one experiment by id; [false] for an unknown id. *)
+val find : string -> Experiment.packed option
 
-val run_all : ?quick:bool -> ?seed:int -> Format.formatter -> unit
+val run_one : ?quick:bool -> ?seed:int -> ?obs:Obs.t -> Format.formatter -> string -> bool
+(** Run one experiment by id and print its tables; [false] for an unknown
+    id. *)
+
+val run_one_json : ?quick:bool -> ?seed:int -> ?obs:Obs.t -> string -> Obs.Json.t option
+(** Run one experiment by id; [None] for an unknown id. *)
+
+val run_all : ?quick:bool -> ?seed:int -> ?obs:Obs.t -> Format.formatter -> unit
+
+val run_all_json : ?quick:bool -> ?seed:int -> ?obs:Obs.t -> unit -> Obs.Json.t list
+(** One [{"experiment": ..., "result": ...}] object per experiment. *)

@@ -1,0 +1,316 @@
+open Eventsim
+
+type labels = (string * string) list
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let add_escaped buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      (* JSON has no lexeme for non-finite numbers *)
+      if Float.is_nan f || f = infinity || f = neg_infinity then Buffer.add_string buf "null"
+      else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    | Str s ->
+      Buffer.add_char buf '"';
+      add_escaped buf s;
+      Buffer.add_char buf '"'
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          add_escaped buf k;
+          Buffer.add_string buf "\":";
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    write buf t;
+    Buffer.contents buf
+
+  let pp fmt t = Format.pp_print_string fmt (to_string t)
+end
+
+module Label = struct
+  let sw id = ("sw", string_of_int id)
+  let pod n = ("pod", string_of_int n)
+  let port p = ("port", string_of_int p)
+  let host ip = ("host", ip)
+  let level l = ("level", l)
+  let k n = ("k", string_of_int n)
+end
+
+module Counter = struct
+  type t = Stats.Counter.t
+
+  let incr = Stats.Counter.incr
+  let add = Stats.Counter.add
+  let value = Stats.Counter.value
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let set t v = t.v <- v
+  let value t = t.v
+end
+
+module Histogram = struct
+  type t = Stats.Distribution.t
+
+  let observe = Stats.Distribution.add
+  let count = Stats.Distribution.count
+end
+
+type value = Count of int | Value of float | Summary of summary
+and summary = { n : int; mean : float; vmin : float; vmax : float; p50 : float; p99 : float }
+
+type sample = { subsystem : string; name : string; labels : labels; value : value }
+
+type instrument =
+  | I_counter of Stats.Counter.t
+  | I_gauge of Gauge.t
+  | I_histogram of Stats.Distribution.t
+
+type meta = { m_subsystem : string; m_name : string; m_labels : labels; m_inst : instrument }
+
+type t = {
+  enabled : bool;
+  tr : Trace.t;
+  metrics : (string, meta) Hashtbl.t;
+  mutable probes : (string * (unit -> sample list)) list; (* newest first, unique names *)
+}
+
+let canon_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare (a : string) b) labels
+
+let key_of ~subsystem ~name labels =
+  match labels with
+  | [] -> subsystem ^ "/" ^ name
+  | _ ->
+    subsystem ^ "/" ^ name ^ "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+    ^ "}"
+
+let create ?trace () =
+  let tr = match trace with Some tr -> tr | None -> Trace.create ~capacity:8192 () in
+  { enabled = true; tr; metrics = Hashtbl.create 256; probes = [] }
+
+let null = { enabled = false; tr = Trace.null; metrics = Hashtbl.create 1; probes = [] }
+
+let enabled t = t.enabled
+let trace t = t.tr
+
+let kind_name = function
+  | I_counter _ -> "counter"
+  | I_gauge _ -> "gauge"
+  | I_histogram _ -> "histogram"
+
+let register t ~subsystem ~name ~labels make =
+  let labels = canon_labels labels in
+  let key = key_of ~subsystem ~name labels in
+  match Hashtbl.find_opt t.metrics key with
+  | Some m -> m.m_inst
+  | None ->
+    let inst = make () in
+    Hashtbl.replace t.metrics key
+      { m_subsystem = subsystem; m_name = name; m_labels = labels; m_inst = inst };
+    inst
+
+let mismatch key inst want =
+  invalid_arg
+    (Printf.sprintf "Obs: metric %s already registered as a %s, requested as a %s" key
+       (kind_name inst) want)
+
+let counter t ~subsystem ~name ?(labels = []) () =
+  if not t.enabled then Stats.Counter.create ()
+  else begin
+    match register t ~subsystem ~name ~labels (fun () -> I_counter (Stats.Counter.create ())) with
+    | I_counter c -> c
+    | inst -> mismatch (key_of ~subsystem ~name (canon_labels labels)) inst "counter"
+  end
+
+let gauge t ~subsystem ~name ?(labels = []) () =
+  if not t.enabled then { Gauge.v = 0.0 }
+  else begin
+    match register t ~subsystem ~name ~labels (fun () -> I_gauge { Gauge.v = 0.0 }) with
+    | I_gauge g -> g
+    | inst -> mismatch (key_of ~subsystem ~name (canon_labels labels)) inst "gauge"
+  end
+
+let histogram t ~subsystem ~name ?(labels = []) () =
+  if not t.enabled then Stats.Distribution.create ()
+  else begin
+    match
+      register t ~subsystem ~name ~labels (fun () -> I_histogram (Stats.Distribution.create ()))
+    with
+    | I_histogram h -> h
+    | inst -> mismatch (key_of ~subsystem ~name (canon_labels labels)) inst "histogram"
+  end
+
+(* ---------------- events & spans ---------------- *)
+
+let event t ~time ?(level = Trace.Info) ~subsystem msg =
+  Trace.record t.tr ~time level ~subsystem msg
+
+let eventf t ~time ?(level = Trace.Info) ~subsystem fmt =
+  Trace.recordf t.tr ~time level ~subsystem fmt
+
+type span = {
+  sp_t : t;
+  sp_subsystem : string;
+  sp_name : string;
+  sp_labels : labels;
+  sp_start : Time.t;
+}
+
+let span t ~time ~subsystem ~name ?(labels = []) () =
+  event t ~time ~level:Trace.Debug ~subsystem (name ^ ": begin");
+  { sp_t = t; sp_subsystem = subsystem; sp_name = name; sp_labels = labels; sp_start = time }
+
+let finish sp ~time =
+  let dur_ms = Time.to_ms_f (time - sp.sp_start) in
+  let h =
+    histogram sp.sp_t ~subsystem:sp.sp_subsystem ~name:(sp.sp_name ^ "_ms")
+      ~labels:sp.sp_labels ()
+  in
+  Histogram.observe h dur_ms;
+  eventf sp.sp_t ~time ~level:Trace.Debug ~subsystem:sp.sp_subsystem "%s: end (%.3f ms)"
+    sp.sp_name dur_ms
+
+(* ---------------- probes ---------------- *)
+
+let sample ~subsystem ~name ?(labels = []) value =
+  { subsystem; name; labels = canon_labels labels; value }
+
+let add_probe t ~name f =
+  if t.enabled then t.probes <- (name, f) :: List.remove_assoc name t.probes
+
+(* ---------------- snapshot & export ---------------- *)
+
+let summary_of_dist d =
+  let n = Stats.Distribution.count d in
+  if n = 0 then Summary { n = 0; mean = 0.0; vmin = 0.0; vmax = 0.0; p50 = 0.0; p99 = 0.0 }
+  else
+    Summary
+      { n;
+        mean = Stats.Distribution.mean d;
+        vmin = Stats.Distribution.min d;
+        vmax = Stats.Distribution.max d;
+        p50 = Stats.Distribution.percentile d 50.0;
+        p99 = Stats.Distribution.percentile d 99.0 }
+
+let value_of_inst = function
+  | I_counter c -> Count (Stats.Counter.value c)
+  | I_gauge g -> Value g.Gauge.v
+  | I_histogram d -> summary_of_dist d
+
+let sample_key s = key_of ~subsystem:s.subsystem ~name:s.name s.labels
+
+let snapshot t =
+  let from_instruments =
+    Hashtbl.fold
+      (fun _ m acc ->
+        { subsystem = m.m_subsystem;
+          name = m.m_name;
+          labels = m.m_labels;
+          value = value_of_inst m.m_inst }
+        :: acc)
+      t.metrics []
+  in
+  let from_probes = List.concat_map (fun (_, f) -> f ()) (List.rev t.probes) in
+  List.sort
+    (fun a b -> compare (sample_key a) (sample_key b))
+    (from_instruments @ from_probes)
+
+let find t ~subsystem ~name ?(labels = []) () =
+  let key = key_of ~subsystem ~name (canon_labels labels) in
+  List.find_opt (fun s -> sample_key s = key) (snapshot t) |> Option.map (fun s -> s.value)
+
+let json_fields_of_value = function
+  | Count n -> [ ("type", Json.Str "counter"); ("value", Json.Int n) ]
+  | Value v -> [ ("type", Json.Str "gauge"); ("value", Json.Float v) ]
+  | Summary s ->
+    [ ("type", Json.Str "histogram");
+      ("count", Json.Int s.n);
+      ("mean", Json.Float s.mean);
+      ("min", Json.Float s.vmin);
+      ("max", Json.Float s.vmax);
+      ("p50", Json.Float s.p50);
+      ("p99", Json.Float s.p99) ]
+
+let json_of_sample s =
+  Json.Obj
+    (("key", Json.Str (sample_key s))
+     :: ("subsystem", Json.Str s.subsystem)
+     :: ("name", Json.Str s.name)
+     :: ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.labels))
+     :: json_fields_of_value s.value)
+
+let to_json t = Json.Obj [ ("metrics", Json.List (List.map json_of_sample (snapshot t))) ]
+
+let csv_row s =
+  let key = sample_key s in
+  match s.value with
+  | Count n -> Printf.sprintf "%s,counter,%d,,,,,," key n
+  | Value v -> Printf.sprintf "%s,gauge,%.12g,,,,,," key v
+  | Summary x ->
+    Printf.sprintf "%s,histogram,,%d,%.12g,%.12g,%.12g,%.12g,%.12g" key x.n x.mean x.vmin
+      x.vmax x.p50 x.p99
+
+let to_csv t =
+  String.concat "\n" ("key,type,value,count,mean,min,max,p50,p99" :: List.map csv_row (snapshot t))
+  ^ "\n"
+
+let write_json t ~path =
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json t));
+  output_char oc '\n';
+  close_out oc
+
+let value_string = function
+  | Count n -> string_of_int n
+  | Value v -> Printf.sprintf "%.6g" v
+  | Summary s ->
+    Printf.sprintf "n=%d mean=%.4g min=%.4g p50=%.4g p99=%.4g max=%.4g" s.n s.mean s.vmin s.p50
+      s.p99 s.vmax
+
+let pp_snapshot fmt t =
+  List.iter
+    (fun s -> Format.fprintf fmt "%-44s %s@." (sample_key s) (value_string s.value))
+    (snapshot t)

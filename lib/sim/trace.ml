@@ -24,7 +24,7 @@ let create ?(capacity = 4096) ?(min_level = Info) () =
 
 let null = create ~capacity:1 ~min_level:Error ()
 
-let set_min_level t l = t.min_level <- l
+let set_min_level t l = if t != null then t.min_level <- l
 
 let keeps t level = level_rank level >= level_rank t.min_level
 
@@ -54,9 +54,11 @@ let entries t =
 let count t = t.stored
 
 let clear t =
-  Array.fill t.buffer 0 t.capacity None;
-  t.next <- 0;
-  t.stored <- 0
+  if t != null then begin
+    Array.fill t.buffer 0 t.capacity None;
+    t.next <- 0;
+    t.stored <- 0
+  end
 
 let pp_entry fmt e =
   Format.fprintf fmt "[%a] %-5s %s: %s" Time.pp e.time (level_to_string e.level) e.subsystem

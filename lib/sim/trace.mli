@@ -15,9 +15,15 @@ val create : ?capacity:int -> ?min_level:level -> unit -> t
     only entries at or above [min_level] (default [Info]). *)
 
 val null : t
-(** A shared sink that stores nothing; useful as a default. *)
+(** A shared sink that stores nothing; useful as a default.
+
+    [null] is one value shared by every module that defaults to it, so it
+    is contractually immutable: {!set_min_level}, {!record}, {!recordf}
+    and {!clear} on [null] are guaranteed no-ops. [count null] is always
+    [0] and [entries null] is always [[]]. *)
 
 val set_min_level : t -> level -> unit
+(** No-op on {!null}. *)
 
 val record : t -> time:Time.t -> level -> subsystem:string -> string -> unit
 

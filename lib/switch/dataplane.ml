@@ -68,10 +68,25 @@ let handle t in_port frame =
      | Miss_punt -> punt t ~in_port frame
      | Miss_flood -> Net.flood t.net ~node:t.device ~except:in_port frame)
 
-let attach net ~device ~table ~miss ?(on_punt = fun ~in_port:_ _ -> ()) () =
+let attach net ~device ~table ~miss ?(on_punt = fun ~in_port:_ _ -> ()) ?(obs = Obs.null) () =
   let t =
     { net; device; table; miss; on_punt; s_matched = 0; s_missed = 0; s_punts = 0; s_dropped = 0 }
   in
+  (* pull-style export: the hot path keeps its plain mutable counters and
+     the registry reads them (plus table occupancy) only at snapshot time *)
+  Obs.add_probe obs ~name:(Printf.sprintf "dp:%d" device) (fun () ->
+      let labels = [ Obs.Label.sw device ] in
+      let total = t.s_matched + t.s_missed in
+      let hit_rate =
+        if total = 0 then 0.0 else float_of_int t.s_matched /. float_of_int total
+      in
+      [ Obs.sample ~subsystem:"dataplane" ~name:"matched" ~labels (Obs.Count t.s_matched);
+        Obs.sample ~subsystem:"dataplane" ~name:"missed" ~labels (Obs.Count t.s_missed);
+        Obs.sample ~subsystem:"dataplane" ~name:"punts" ~labels (Obs.Count t.s_punts);
+        Obs.sample ~subsystem:"dataplane" ~name:"dropped" ~labels (Obs.Count t.s_dropped);
+        Obs.sample ~subsystem:"dataplane" ~name:"hit_rate" ~labels (Obs.Value hit_rate);
+        Obs.sample ~subsystem:"flow_table" ~name:"size" ~labels
+          (Obs.Count (Flow_table.size table)) ]);
   Net.set_handler (Net.device net device) (fun in_port frame -> handle t in_port frame);
   t
 

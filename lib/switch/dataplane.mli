@@ -14,9 +14,12 @@ type t
 
 val attach :
   Net.t -> device:int -> table:Flow_table.t -> miss:miss_policy ->
-  ?on_punt:(in_port:int -> Netcore.Eth.t -> unit) -> unit -> t
+  ?on_punt:(in_port:int -> Netcore.Eth.t -> unit) -> ?obs:Obs.t -> unit -> t
 (** Install the pipeline as the device's receive handler. The punt
-    callback defaults to dropping. *)
+    callback defaults to dropping. When a live [obs] registry is given, a
+    pull-probe exports the pipeline counters, hit rate and flow-table
+    occupancy (keys [dataplane/*] and [flow_table/size], labelled
+    [sw=device]) — the per-frame fast path itself is never instrumented. *)
 
 val table : t -> Flow_table.t
 val stats : t -> stats

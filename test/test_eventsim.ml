@@ -325,6 +325,24 @@ let test_distribution_empty () =
   Testutil.check_float_eps "mean 0" ~eps:1e-9 0.0 (Stats.Distribution.mean d);
   Testutil.check_float_eps "p99 0" ~eps:1e-9 0.0 (Stats.Distribution.percentile d 99.0)
 
+let test_distribution_percentile_edges () =
+  (* single sample: every percentile is that sample *)
+  let d = Stats.Distribution.create () in
+  Stats.Distribution.add d 7.5;
+  Testutil.check_float_eps "single p0" ~eps:1e-9 7.5 (Stats.Distribution.percentile d 0.0);
+  Testutil.check_float_eps "single p50" ~eps:1e-9 7.5 (Stats.Distribution.percentile d 50.0);
+  Testutil.check_float_eps "single p100" ~eps:1e-9 7.5 (Stats.Distribution.percentile d 100.0);
+  (* unsorted insertion: p0 is the min, p100 the max *)
+  let d = Stats.Distribution.create () in
+  List.iter (Stats.Distribution.add d) [ 5.0; 1.0; 3.0 ];
+  Testutil.check_float_eps "p0 is min" ~eps:1e-9 1.0 (Stats.Distribution.percentile d 0.0);
+  Testutil.check_float_eps "p100 is max" ~eps:1e-9 5.0 (Stats.Distribution.percentile d 100.0);
+  Testutil.check_float_eps "p50 mid" ~eps:1e-9 3.0 (Stats.Distribution.percentile d 50.0);
+  (* empty: everything is 0, including the endpoints *)
+  let d = Stats.Distribution.create () in
+  Testutil.check_float_eps "empty p0" ~eps:1e-9 0.0 (Stats.Distribution.percentile d 0.0);
+  Testutil.check_float_eps "empty p100" ~eps:1e-9 0.0 (Stats.Distribution.percentile d 100.0)
+
 let test_series () =
   let s = Stats.Series.create ~name:"s" () in
   Stats.Series.add s ~time:10 1.0;
@@ -383,6 +401,18 @@ let test_trace_level_filter () =
   Trace.record t ~time:1 Trace.Error ~subsystem:"f" "yes";
   Testutil.check_int "filtered" 1 (Trace.count t)
 
+let test_trace_null () =
+  let t = Trace.null in
+  Trace.record t ~time:1 Trace.Error ~subsystem:"n" "dropped";
+  Testutil.check_int "record dropped" 0 (Trace.count t);
+  (* the null sink is contractually immutable: level changes are no-ops *)
+  Trace.set_min_level t Trace.Debug;
+  Trace.record t ~time:2 Trace.Debug ~subsystem:"n" "still dropped";
+  Testutil.check_int "still empty" 0 (Trace.count t);
+  Testutil.check_int "no entries" 0 (List.length (Trace.entries t));
+  Trace.clear t;
+  Testutil.check_int "clear is a no-op" 0 (Trace.count t)
+
 let () =
   Alcotest.run "eventsim"
     [ ( "heap",
@@ -424,9 +454,11 @@ let () =
         [ Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "distribution" `Quick test_distribution;
           Alcotest.test_case "empty distribution" `Quick test_distribution_empty;
+          Alcotest.test_case "percentile edge cases" `Quick test_distribution_percentile_edges;
           Alcotest.test_case "series" `Quick test_series;
           Alcotest.test_case "series rate buckets" `Quick test_series_rate ] );
       ( "trace",
         [ Alcotest.test_case "record & entries" `Quick test_trace_basic;
           Alcotest.test_case "ring buffer wraps" `Quick test_trace_ring;
-          Alcotest.test_case "level filter" `Quick test_trace_level_filter ] ) ]
+          Alcotest.test_case "level filter" `Quick test_trace_level_filter;
+          Alcotest.test_case "null sink contract" `Quick test_trace_null ] ) ]

@@ -152,7 +152,7 @@ let make_ldp ?(nports = 4) engine =
   let ldp =
     Ldp.create engine Config.default ~switch_id:1 ~nports
       ~send:(fun ~port msg -> sent := (port, msg) :: !sent)
-      ~notify:(fun ev -> events := ev :: !events)
+      ~notify:(fun ev -> events := ev :: !events) ()
   in
   (ldp, sent, events)
 

@@ -198,7 +198,7 @@ let test_tcp_exactly_once_over_lossy_link () =
     let h =
       Portland.Host_agent.create engine Portland.Config.default net ~device:i
         ~amac:(Mac_addr.of_int (0x020000000000 lor i))
-        ~ip:(Ipv4_addr.of_octets 10 0 0 ip_last)
+        ~ip:(Ipv4_addr.of_octets 10 0 0 ip_last) ()
     in
     Portland.Host_agent.start h;
     h

@@ -52,7 +52,7 @@ let tiny_lan ?(n = 2) () =
         let amac = Netcore.Mac_addr.of_int (0x020000000000 lor (i + 1)) in
         let h =
           Portland.Host_agent.create engine Portland.Config.default net ~device:(i + 1) ~amac
-            ~ip
+            ~ip ()
         in
         Portland.Host_agent.start h;
         h)
