@@ -325,6 +325,64 @@ let run_verify { k; seed; verbose } ~inject ~corrupt =
   Format.printf "%a@." Verify.pp_report report;
   exit (if Verify.ok report then 0 else 1)
 
+(* ---------------- chaos campaigns ---------------- *)
+
+let run_chaos { k; seed; verbose } ~duration_ms ~campaign ~json_out =
+  let open Eventsim in
+  let profile =
+    match Chaos.profile_of_string campaign with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "unknown campaign %s (mixed | link-flaps | switch-churn | loss-ramps)\n"
+        campaign;
+      exit 2
+  in
+  let obs = Obs.create () in
+  let fab = Portland.Fabric.create_fattree ~seed ~obs ~k () in
+  if not (Portland.Fabric.await_convergence fab) then begin
+    prerr_endline "fabric failed to converge";
+    exit 2
+  end;
+  Printf.printf "k=%d fat tree converged at %s; campaign=%s duration=%dms seed=%d\n%!" k
+    (Time.to_string (Portland.Fabric.now fab))
+    campaign duration_ms seed;
+  let plan =
+    Chaos.generate ~profile ~seed ~duration:(Time.ms duration_ms) (Portland.Fabric.tree fab)
+  in
+  let report = Chaos.run_campaign ~label:campaign ~seed fab plan in
+  if verbose then Format.printf "%a" Chaos.pp_report report
+  else begin
+    let bad =
+      List.filter
+        (fun c ->
+          (not c.Chaos.chk_converged)
+          || c.Chaos.chk_violations <> []
+          || c.Chaos.chk_probes_ok <> c.Chaos.chk_probes)
+        report.Chaos.rep_checks
+    in
+    Printf.printf "%d events, %d quiescent checks (%d bad), peak faults %d\n"
+      (List.length report.Chaos.rep_events)
+      (List.length report.Chaos.rep_checks)
+      (List.length bad) report.Chaos.rep_faults_peak;
+    List.iter
+      (fun c ->
+        Format.printf "  check @%.1fms: converged=%b probes=%d/%d@." c.Chaos.chk_ms
+          c.Chaos.chk_converged c.Chaos.chk_probes_ok c.Chaos.chk_probes;
+        List.iter (fun v -> Format.printf "    violation: %s@." v) c.Chaos.chk_violations)
+      bad
+  end;
+  (match json_out with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Obs.Json.to_string (Chaos.report_to_json report));
+     output_char oc '\n';
+     close_out oc;
+     Printf.printf "wrote campaign report to %s\n" path);
+  if Chaos.report_ok report then print_endline "campaign OK"
+  else print_endline "campaign FAILED";
+  exit (if Chaos.report_ok report then 0 else 1)
+
 (* ---------------- command line ---------------- *)
 
 let scenario_arg =
@@ -393,9 +451,39 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc) term
 
+let campaign_arg =
+  let doc = "Campaign profile: mixed, link-flaps, switch-churn, or loss-ramps." in
+  Arg.(value & opt string "mixed" & info [ "campaign" ] ~docv:"PROFILE" ~doc)
+
+let chaos_duration_arg =
+  let doc =
+    "Campaign length in simulated milliseconds. The mixed profile needs roughly 6000 ms to \
+     fit its mandatory switch-crash and fabric-manager-restart episodes."
+  in
+  Arg.(value & opt int 6000 & info [ "duration-ms" ] ~docv:"MS" ~doc)
+
+let json_out_arg =
+  let doc = "Write the campaign report as JSON to this file (byte-stable for a given seed)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let chaos_cmd =
+  let doc =
+    "generate a seed-deterministic fault campaign (link flaps, switch crash/reboot cycles, \
+     fabric-manager restarts, loss ramps, stripe outages), execute it against a live \
+     fabric, and verify the dataplane at every quiescent point. Exits 0 iff every check \
+     converged with zero violations and full probe reachability."
+  in
+  let term =
+    Term.(
+      const (fun common duration_ms campaign json_out ->
+          run_chaos common ~duration_ms ~campaign ~json_out)
+      $ common_term $ chaos_duration_arg $ campaign_arg $ json_out_arg)
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) term
+
 let cmd =
   let doc = "simulate a PortLand fabric" in
   Cmd.group ~default:scenario_term (Cmd.info "portland_sim" ~doc)
-    [ run_cmd; stats_cmd; verify_cmd ]
+    [ run_cmd; stats_cmd; verify_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval cmd)

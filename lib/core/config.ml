@@ -6,6 +6,8 @@ type t = {
   ctrl_latency : Time.t;
   arp_cache_timeout : Time.t;
   arp_retry : Time.t;
+  arp_retry_limit : int;
+  arp_backoff : float;
   host_announce_delay : Time.t;
   fm_arp_service_time : Time.t;
   forward_stale : bool;
@@ -18,6 +20,8 @@ let default =
     ctrl_latency = Time.us 50;
     arp_cache_timeout = Time.sec 60;
     arp_retry = Time.ms 100;
+    arp_retry_limit = 8;
+    arp_backoff = 2.0;
     host_announce_delay = Time.ms 100;
     fm_arp_service_time = Time.us 30;
     forward_stale = false;
@@ -25,8 +29,8 @@ let default =
 
 let pp fmt t =
   Format.fprintf fmt
-    "ldm_period=%a ldm_timeout=%a ctrl_latency=%a arp_cache=%a arp_retry=%a announce=%a \
-     fm_arp_service=%a forward_stale=%b pending_limit=%d"
+    "ldm_period=%a ldm_timeout=%a ctrl_latency=%a arp_cache=%a arp_retry=%a(x%d,b%.1f) \
+     announce=%a fm_arp_service=%a forward_stale=%b pending_limit=%d"
     Time.pp t.ldm_period Time.pp t.ldm_timeout Time.pp t.ctrl_latency Time.pp t.arp_cache_timeout
-    Time.pp t.arp_retry Time.pp t.host_announce_delay Time.pp t.fm_arp_service_time
-    t.forward_stale t.host_pending_limit
+    Time.pp t.arp_retry t.arp_retry_limit t.arp_backoff Time.pp t.host_announce_delay
+    Time.pp t.fm_arp_service_time t.forward_stale t.host_pending_limit

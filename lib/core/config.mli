@@ -17,7 +17,16 @@ type t = {
   arp_cache_timeout : Eventsim.Time.t;
       (** host ARP cache entry lifetime *)
   arp_retry : Eventsim.Time.t;
-      (** host re-sends an unanswered ARP request after this long *)
+      (** host re-sends an unanswered ARP request after this long (the
+          first retry; later ones stretch by {!field-arp_backoff}) *)
+  arp_retry_limit : int;
+      (** retransmissions after which an unanswered resolution is
+          abandoned (queued packets dropped, counted in
+          [host/arp_abandoned]) — no more infinite fixed-period retry *)
+  arp_backoff : float;
+      (** exponential backoff multiplier applied to the retry interval
+          after every retransmission; [1.0] reproduces the historical
+          fixed-period behaviour *)
   host_announce_delay : Eventsim.Time.t;
       (** hosts send their boot-time gratuitous ARP this long after the
           simulation starts (small per-host jitter is added on top) *)

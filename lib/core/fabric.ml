@@ -141,6 +141,31 @@ let fail_switch t device =
    | None -> ());
   SNet.fail_device t.net device
 
+let recover_switch t device =
+  Obs.eventf t.obs ~time:(now t) ~subsystem:"fabric" "switch %d recovered (cold reboot)" device;
+  (match Hashtbl.find_opt t.switch_agents device with
+   | Some a ->
+     SNet.recover_device t.net device;
+     Switch_agent.restart a
+   | None -> invalid_arg (Printf.sprintf "Fabric.recover_switch: device %d is not a switch" device))
+
+let set_link_loss_between t ~a ~b rate =
+  match SNet.link_between t.net a b with
+  | Some l ->
+    if rate > 0.0 then
+      Obs.eventf t.obs ~time:(now t) ~subsystem:"fabric" "link %d <-> %d loss set to %.3f" a b
+        rate;
+    SNet.set_link_loss t.net l rate;
+    true
+  | None -> false
+
+let clear_link_loss_between t ~a ~b =
+  match SNet.link_between t.net a b with
+  | Some l ->
+    SNet.clear_link_loss t.net l;
+    true
+  | None -> false
+
 (* ---------------- routing inspection ---------------- *)
 
 let trace_route t ~src ~dst_ip payload =

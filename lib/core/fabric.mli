@@ -93,6 +93,22 @@ val fail_switch : t -> int -> unit
 (** Stop the agent and silence the device (all its links appear dead to
     neighbours). *)
 
+val recover_switch : t -> int -> unit
+(** Cold reboot after {!fail_switch}: un-silence the device and restart
+    its agent with all RAM state wiped ({!Switch_agent.restart}). The
+    agent re-runs LDP discovery and asks the fabric manager to re-grant
+    its coordinates and replay fault matrix, host bindings and multicast
+    programming — the switch-recovery half of the paper's fail-over story.
+    Raises [Invalid_argument] for non-switch devices. *)
+
+val set_link_loss_between : t -> a:int -> b:int -> float -> bool
+(** Override the loss probability of the link directly connecting two
+    device ids (both directions); [false] when no such link exists. Used
+    by failure campaigns to model degrading (not dead) links. *)
+
+val clear_link_loss_between : t -> a:int -> b:int -> bool
+(** Drop the loss override, restoring the construction-time rate. *)
+
 val restart_fabric_manager : t -> unit
 (** Simulate a fabric-manager crash + cold restart: a fresh instance with
     empty state takes over the control network and broadcasts a resync

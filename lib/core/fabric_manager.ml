@@ -542,11 +542,53 @@ let on_fault_notice t ~switch_id ~neighbor =
 
 let on_recovery_notice t ~switch_id ~neighbor =
   match translate_fault t switch_id neighbor with
-  | Some f when Fault.Set.mem t.faults f ->
-    Fault.Set.remove t.faults f;
+  | Some f ->
+    (* broadcast the matrix even when the fault was never recorded here: a
+       notice for an unknown fault means some switch's local copy has
+       drifted (e.g. the recovery raced a fabric-manager or switch
+       restart), and switches replace — not merge — their sets on
+       Fault_update, so a broadcast heals the drift. Recoveries are rare
+       enough that the extra traffic is negligible. *)
+    if Fault.Set.mem t.faults f then Fault.Set.remove t.faults f;
     broadcast_faults t;
     recompute_all_groups t
-  | Some _ | None -> ()
+  | None -> ()
+
+(* A rebooted switch lost its RAM but kept its place in the wiring:
+   re-grant the coordinates this instance still holds and replay every
+   piece of dependent soft state — fault matrix, host bindings (edges
+   only), multicast programming — so the switch converges without full
+   rediscovery. Unknown switch, or none granted yet: stay silent; the
+   ordinary discovery path places it from scratch. *)
+let on_coords_request t ~switch_id =
+  match Hashtbl.find_opt t.switches switch_id with
+  | Some { coords = Some c; _ } ->
+    tracef t Eventsim.Trace.Info "switch %d rebooted; replaying state for %a" switch_id Coords.pp
+      c;
+    Ctrl.send_to_switch t.ctrl switch_id (Msg.Assign_coords c);
+    Ctrl.send_to_switch t.ctrl switch_id
+      (Msg.Fault_update { faults = Fault.Set.elements t.faults });
+    (match c with
+     | Coords.Edge _ ->
+       let bindings =
+         Hashtbl.fold
+           (fun _ (b : Msg.host_binding) acc ->
+             if b.Msg.edge_switch = switch_id then b :: acc else acc)
+           t.ip_table []
+         |> List.sort (fun (a : Msg.host_binding) b ->
+                int_compare (Ipv4_addr.to_int a.Msg.ip) (Ipv4_addr.to_int b.Msg.ip))
+       in
+       if bindings <> [] then
+         Ctrl.send_to_switch t.ctrl switch_id (Msg.Host_restore { bindings })
+     | Coords.Agg _ | Coords.Core _ -> ());
+    Hashtbl.iter
+      (fun group g ->
+        match List.assoc_opt switch_id g.programmed with
+        | Some ports when ports <> [] ->
+          Ctrl.send_to_switch t.ctrl switch_id (Msg.Mcast_program { group; out_ports = ports })
+        | Some _ | None -> ())
+      t.groups
+  | Some { coords = None; _ } | None -> ()
 
 (* ---------------- ARP & host mappings ---------------- *)
 
@@ -632,6 +674,7 @@ let handle t ~from:_ (msg : Msg.to_fm) =
     Hashtbl.replace ports port ();
     recompute_group t group
   | Msg.Reclaim_coords { switch_id; coords } -> on_reclaim t ~switch_id coords
+  | Msg.Coords_request { switch_id } -> on_coords_request t ~switch_id
   | Msg.Mcast_leave { switch_id; group; port } ->
     let g = group_state t group in
     (match Hashtbl.find_opt g.receivers switch_id with

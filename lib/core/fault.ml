@@ -23,7 +23,10 @@ module Set = struct
   let remove t f = Hashtbl.remove t f
   let mem t f = Hashtbl.mem t f
   let cardinal t = Hashtbl.length t
-  let elements t = Hashtbl.fold (fun f () acc -> f :: acc) t []
+
+  (* sorted, NOT hash order: the list feeds [Msg.Fault_update] broadcasts
+     and JSON reports, which must be byte-identical across runs *)
+  let elements t = List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) t [])
 
   let of_list fs =
     let t = create () in

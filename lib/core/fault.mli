@@ -33,7 +33,11 @@ module Set : sig
   val remove : t -> fault -> unit
   val mem : t -> fault -> bool
   val cardinal : t -> int
+
+  (** Sorted by [compare] — never hash order — so fault dissemination
+      ([Msg.Fault_update]) and reports are deterministic byte-for-byte. *)
   val elements : t -> fault list
+
   val of_list : fault list -> t
   val clear : t -> unit
 

@@ -8,6 +8,7 @@ type iface = { if_amac : Mac_addr.t; if_ip : Ipv4_addr.t }
 type resolving = {
   mutable queue : (iface * Ipv4_pkt.payload) list;
   mutable timer : Timer.t option;
+  mutable attempts : int; (* retransmissions sent so far *)
 }
 
 type host_counters = {
@@ -15,6 +16,7 @@ type host_counters = {
   rx_packets : int;
   arps_sent : int;
   pending_drops : int;
+  arp_abandoned : int;
 }
 
 type t = {
@@ -33,6 +35,7 @@ type t = {
   mutable c_rx : int;
   mutable c_arps : int;
   mutable c_pending_drops : int;
+  mutable c_arp_abandoned : int;
 }
 
 let ip t = t.h_ip
@@ -48,7 +51,7 @@ let iface_owning_ip t ip =
 
 let counters t =
   { tx_packets = t.c_tx; rx_packets = t.c_rx; arps_sent = t.c_arps;
-    pending_drops = t.c_pending_drops }
+    pending_drops = t.c_pending_drops; arp_abandoned = t.c_arp_abandoned }
 
 let set_rx t f = t.rx <- Some f
 
@@ -80,17 +83,42 @@ let send_arp_request t (i : iface) ~target_ip =
   let a = Arp.request ~sender_mac:i.if_amac ~sender_ip:i.if_ip ~target_ip in
   transmit t (Eth.make ~dst:Mac_addr.broadcast ~src:i.if_amac (Eth.Arp a))
 
+(* Capped exponential backoff replaces the historical retry-forever
+   [Timer.every]: attempt [n] waits [arp_retry * arp_backoff^n], and after
+   [arp_retry_limit] retransmissions the resolution is abandoned — queued
+   packets are dropped (counted in [pending_drops]) and the abandonment
+   itself shows up in [arp_abandoned]. *)
+let abandon_resolution t dst (r : resolving) =
+  Option.iter Timer.stop r.timer;
+  r.timer <- None;
+  Hashtbl.remove t.resolving dst;
+  t.c_arp_abandoned <- t.c_arp_abandoned + 1;
+  t.c_pending_drops <- t.c_pending_drops + List.length r.queue;
+  r.queue <- []
+
+let rec schedule_arp_retry t (i : iface) dst (r : resolving) =
+  let delay =
+    let scale = t.config.Config.arp_backoff ** float_of_int r.attempts in
+    max 1 (int_of_float (float_of_int t.config.Config.arp_retry *. scale))
+  in
+  r.timer <-
+    Some
+      (Timer.after t.engine ~delay (fun () ->
+           if r.attempts >= t.config.Config.arp_retry_limit then abandon_resolution t dst r
+           else begin
+             r.attempts <- r.attempts + 1;
+             send_arp_request t i ~target_ip:dst;
+             schedule_arp_retry t i dst r
+           end))
+
 let start_resolution t (i : iface) dst =
   match Hashtbl.find_opt t.resolving dst with
   | Some r -> r
   | None ->
-    let r = { queue = []; timer = None } in
+    let r = { queue = []; timer = None; attempts = 0 } in
     Hashtbl.replace t.resolving dst r;
     send_arp_request t i ~target_ip:dst;
-    r.timer <-
-      Some
-        (Timer.every t.engine ~period:t.config.Config.arp_retry (fun () ->
-             send_arp_request t i ~target_ip:dst));
+    schedule_arp_retry t i dst r;
     r
 
 let send_ip_from t (i : iface) ~dst payload =
@@ -175,13 +203,14 @@ let create engine config net ~device ~amac ~ip ?(obs = Obs.null) () =
   let t =
     { engine; config; net; device; h_amac = amac; h_ip = ip; extra_ifaces = [];
       cache = Hashtbl.create 16; resolving = Hashtbl.create 4; rx = None; started = false;
-      c_tx = 0; c_rx = 0; c_arps = 0; c_pending_drops = 0 }
+      c_tx = 0; c_rx = 0; c_arps = 0; c_pending_drops = 0; c_arp_abandoned = 0 }
   in
   Obs.add_probe obs ~name:(Printf.sprintf "host:%d" device) (fun () ->
       let labels = [ Obs.Label.host (Ipv4_addr.to_string t.h_ip) ] in
       let s name v = Obs.sample ~subsystem:"host" ~name ~labels (Obs.Count v) in
       [ s "tx_packets" t.c_tx; s "rx_packets" t.c_rx;
-        s "arps_sent" t.c_arps; s "pending_drops" t.c_pending_drops ]);
+        s "arps_sent" t.c_arps; s "pending_drops" t.c_pending_drops;
+        s "arp_abandoned" t.c_arp_abandoned ]);
   t
 
 let start t =

@@ -14,7 +14,12 @@ type host_counters = {
   tx_packets : int;
   rx_packets : int;
   arps_sent : int;
-  pending_drops : int;  (** packets dropped because the ARP queue overflowed *)
+  pending_drops : int;
+      (** packets dropped because the ARP queue overflowed, or because the
+          resolution they were queued on was abandoned *)
+  arp_abandoned : int;
+      (** resolutions given up after [arp_retry_limit] retransmissions
+          with exponential ([arp_backoff]) spacing *)
 }
 
 val create :

@@ -243,3 +243,13 @@ let stop t =
   Option.iter Timer.stop t.checker;
   t.beacon <- None;
   t.checker <- None
+
+(* Cold restart: a rebooted switch has no port view, no inferred level and
+   no coordinates — everything must be re-discovered from live LDMs (and
+   re-granted by the fabric manager). Timers are stopped; the owner calls
+   [start] again once its handlers are back in place. *)
+let reset t =
+  stop t;
+  Array.fill t.ports 0 t.nports Unknown;
+  t.self_level <- None;
+  t.self_coords <- None

@@ -57,6 +57,11 @@ val start : t -> unit
 
 val stop : t -> unit
 
+val reset : t -> unit
+(** Cold restart (switch crash + reboot): stop timers and wipe the entire
+    port view, inferred level and coordinates, as a power-cycled switch
+    would. Call {!start} afterwards to resume discovery from scratch. *)
+
 val on_ldm : t -> port:int -> Netcore.Ldp_msg.t -> unit
 val on_host_frame : t -> port:int -> unit
 (** Tell LDP a non-LDP frame arrived, for host-port inference. Only

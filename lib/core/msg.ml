@@ -26,6 +26,7 @@ type to_fm =
   | Mcast_join of { switch_id : int; group : Netcore.Ipv4_addr.t; port : int }
   | Mcast_leave of { switch_id : int; group : Netcore.Ipv4_addr.t; port : int }
   | Reclaim_coords of { switch_id : int; coords : Coords.t }
+  | Coords_request of { switch_id : int }
 
 type to_switch =
   | Assign_coords of Coords.t
@@ -45,6 +46,7 @@ type to_switch =
   | Invalidate_pmac of { ip : Netcore.Ipv4_addr.t; old_pmac : Pmac.t; new_pmac : Pmac.t }
   | Mcast_program of { group : Netcore.Ipv4_addr.t; out_ports : int list }
   | Resync_request
+  | Host_restore of { bindings : host_binding list }
 
 let pp_to_fm fmt = function
   | Neighbor_report { switch_id; neighbors; host_ports; _ } ->
@@ -68,6 +70,7 @@ let pp_to_fm fmt = function
       port
   | Reclaim_coords { switch_id; coords } ->
     Format.fprintf fmt "Reclaim_coords{sw=%d %a}" switch_id Coords.pp coords
+  | Coords_request { switch_id } -> Format.fprintf fmt "Coords_request{sw=%d}" switch_id
 
 let pp_to_switch fmt = function
   | Assign_coords c -> Format.fprintf fmt "Assign_coords{%a}" Coords.pp c
@@ -85,3 +88,5 @@ let pp_to_switch fmt = function
     Format.fprintf fmt "Mcast_program{group=%a ports=[%s]}" Netcore.Ipv4_addr.pp group
       (String.concat ";" (List.map string_of_int out_ports))
   | Resync_request -> Format.pp_print_string fmt "Resync_request"
+  | Host_restore { bindings } ->
+    Format.fprintf fmt "Host_restore{%d bindings}" (List.length bindings)

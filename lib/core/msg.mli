@@ -41,6 +41,12 @@ type to_fm =
       (** resync after a fabric-manager restart: a switch that already
           holds granted coordinates re-registers them so the new instance
           adopts (rather than re-derives) the labelling *)
+  | Coords_request of { switch_id : int }
+      (** a rebooted switch (RAM lost, position not) asks whether the FM
+          still holds coordinates for it. Known: the FM re-grants them
+          and replays the switch's dependent state (fault matrix,
+          multicast programming, host bindings). Unknown: silence — the
+          ordinary discovery path places the switch from scratch. *)
 
 (** Fabric manager → switch. *)
 type to_switch =
@@ -72,6 +78,10 @@ type to_switch =
       (** a (re)started fabric manager asks the switch to re-report its
           neighbor view, re-register its coordinates and re-announce its
           hosts — how the paper's soft state survives FM failure *)
+  | Host_restore of { bindings : host_binding list }
+      (** replay of the IP↔PMAC↔AMAC bindings the FM holds for a rebooted
+          edge switch (sorted by IP), letting it repopulate its host
+          tables and vmid counters without waiting for host traffic *)
 
 val pp_to_fm : Format.formatter -> to_fm -> unit
 val pp_to_switch : Format.formatter -> to_switch -> unit

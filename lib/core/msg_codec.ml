@@ -147,7 +147,10 @@ let encode_to_fm (msg : Msg.to_fm) =
    | Msg.Reclaim_coords { switch_id; coords } ->
      W.u8 w 9;
      W.u32 w switch_id;
-     w_coords w coords);
+     w_coords w coords
+   | Msg.Coords_request { switch_id } ->
+     W.u8 w 10;
+     W.u32 w switch_id);
   W.contents w
 
 let decode_to_fm bytes_ =
@@ -203,6 +206,9 @@ let decode_to_fm bytes_ =
         let switch_id = R.u32 r in
         let coords = r_coords r in
         Msg.Reclaim_coords { switch_id; coords }
+      | 10 ->
+        let switch_id = R.u32 r in
+        Msg.Coords_request { switch_id }
       | n -> failwith (Printf.sprintf "to_fm tag: %d" n)
     in
     if R.remaining r <> 0 then failwith "to_fm: trailing bytes";
@@ -250,7 +256,10 @@ let encode_to_switch (msg : Msg.to_switch) =
      W.u8 w 7;
      W.ip w group;
      w_list w (fun w p -> W.u16 w p) out_ports
-   | Msg.Resync_request -> W.u8 w 8);
+   | Msg.Resync_request -> W.u8 w 8
+   | Msg.Host_restore { bindings } ->
+     W.u8 w 9;
+     w_list w w_binding bindings);
   W.contents w
 
 let decode_to_switch bytes_ =
@@ -284,6 +293,7 @@ let decode_to_switch bytes_ =
         let out_ports = r_list r (fun r -> R.u16 r) in
         Msg.Mcast_program { group; out_ports }
       | 8 -> Msg.Resync_request
+      | 9 -> Msg.Host_restore { bindings = r_list r r_binding }
       | n -> failwith (Printf.sprintf "to_switch tag: %d" n)
     in
     if R.remaining r <> 0 then failwith "to_switch: trailing bytes";

@@ -506,6 +506,24 @@ let on_invalidate t ~ip ~old_pmac ~new_pmac =
          Hashtbl.remove t.traps old_int;
          FT.remove t.table (Printf.sprintf "trap:%d" old_int)))
 
+(* Replay of a host binding from the fabric manager after a reboot:
+   rebuild the AMAC/PMAC/IP tables and the per-port vmid counter without
+   waiting for host traffic, so PMACs survive the reboot unchanged. *)
+let restore_host_binding t (b : Msg.host_binding) =
+  if b.Msg.edge_switch = t.sw_id then begin
+    let port = b.Msg.pmac.Pmac.port in
+    let vmid = b.Msg.pmac.Pmac.vmid in
+    let h = { h_amac = b.Msg.amac; h_port = port; h_pmac = b.Msg.pmac } in
+    Hashtbl.replace t.amac_to_host b.Msg.amac h;
+    Hashtbl.replace t.pmac_to_host (Mac_addr.to_int (Pmac.to_mac b.Msg.pmac)) h;
+    Hashtbl.replace t.ip_to_pmac b.Msg.ip b.Msg.pmac;
+    (match Hashtbl.find_opt t.next_vmid port with
+     | Some v when v > vmid -> ()
+     | Some _ | None -> Hashtbl.replace t.next_vmid port (vmid + 1));
+    Ldp.on_host_frame (get_ldp t) ~port;
+    install_host_entry t h
+  end
+
 let on_ctrl_msg t (msg : Msg.to_switch) =
   match msg with
   | Msg.Assign_coords c ->
@@ -541,7 +559,18 @@ let on_ctrl_msg t (msg : Msg.to_switch) =
            match Hashtbl.find_opt t.pmac_to_host (Mac_addr.to_int (Pmac.to_mac pmac)) with
            | Some h -> announce_host t h ip
            | None -> ())
-         t.ip_to_pmac
+         t.ip_to_pmac;
+       (* ports our failure detector already declared dead produce no
+          further timeouts the new instance could observe, so replay them.
+          Delayed a beat so both endpoints' Reclaim_coords land first —
+          fault translation needs coordinates for both ends. *)
+       ignore
+         (Engine.schedule t.engine ~delay:(Time.ms 1) (fun () ->
+              List.iter
+                (fun (port, (n : Ldp.neighbor)) ->
+                  Ctrl.send_to_fm t.ctrl ~from:t.sw_id
+                    (Msg.Fault_notice { switch_id = t.sw_id; port; neighbor = n.Ldp.switch_id }))
+                (Ldp.dead_ports (get_ldp t))))
      | None ->
        (* any proposal in flight died with the old instance *)
        t.proposal_outstanding <- false;
@@ -556,6 +585,7 @@ let on_ctrl_msg t (msg : Msg.to_switch) =
       Hashtbl.replace t.mcast group out_ports;
       install_mcast_entry t group out_ports
     end
+  | Msg.Host_restore { bindings } -> List.iter (restore_host_binding t) bindings
 
 (* ---------------- LDP events ---------------- *)
 
@@ -679,3 +709,26 @@ let start t = Ldp.start (get_ldp t)
 let stop t =
   Ldp.stop (get_ldp t);
   Ctrl.unregister_switch t.ctrl t.sw_id
+
+(* Cold reboot: RAM state — flow table, host tables, traps, fault matrix,
+   pending work, granted coordinates — is lost; the chassis and its cabling
+   survive. Discovery restarts from scratch, and a Coords_request asks the
+   fabric manager to short-circuit re-labelling by replaying what its soft
+   state still holds for this switch. *)
+let restart t =
+  FT.clear t.table;
+  Hashtbl.reset t.amac_to_host;
+  Hashtbl.reset t.pmac_to_host;
+  Hashtbl.reset t.ip_to_pmac;
+  Hashtbl.reset t.next_vmid;
+  Hashtbl.reset t.traps;
+  Hashtbl.reset t.mcast;
+  Fault.Set.clear t.faults;
+  t.pending_learn <- [];
+  t.coords <- None;
+  t.operational <- false;
+  t.proposal_outstanding <- false;
+  Ldp.reset (get_ldp t);
+  Ctrl.register_switch t.ctrl t.sw_id (fun msg -> on_ctrl_msg t msg);
+  Ldp.start (get_ldp t);
+  Ctrl.send_to_fm t.ctrl ~from:t.sw_id (Msg.Coords_request { switch_id = t.sw_id })

@@ -49,6 +49,15 @@ val start : t -> unit
 val stop : t -> unit
 (** Stop timers and detach (used when simulating a switch crash). *)
 
+val restart : t -> unit
+(** Cold reboot after {!stop}: wipe all RAM state (flow table, host
+    tables, traps, local fault matrix, coordinates), reset LDP, re-attach
+    to the control network and restart discovery. Sends
+    [Msg.Coords_request] so the fabric manager can re-grant the old
+    coordinates and replay fault matrix, host bindings and multicast
+    programming from its soft state. Pair with
+    {!Switchfab.Net.recover_device} — see {!Fabric.recover_switch}. *)
+
 val switch_id : t -> int
 val coords : t -> Coords.t option
 val level : t -> Netcore.Ldp_msg.level option

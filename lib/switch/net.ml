@@ -61,6 +61,7 @@ and port = {
 and link = {
   mutable link_up : bool;
   params : link_params;
+  mutable loss_override : float option; (* runtime loss ramp, None = params.loss_rate *)
   end_a : int * int; (* device id, port *)
   end_b : int * int;
 }
@@ -95,6 +96,7 @@ let create ?(params = default_link_params) ?(loss_seed = 7) engine topo =
         let link =
           { link_up = true;
             params;
+            loss_override = None;
             end_a = (l.Topology.Topo.a.Topology.Topo.node, l.Topology.Topo.a.Topology.Topo.port);
             end_b = (l.Topology.Topo.b.Topology.Topo.node, l.Topology.Topo.b.Topology.Topo.port) }
         in
@@ -163,6 +165,14 @@ let fail_link _t l = l.link_up <- false
 let recover_link _t l = l.link_up <- true
 let link_ends l = (l.end_a, l.end_b)
 
+let link_loss l = match l.loss_override with Some r -> r | None -> l.params.loss_rate
+
+let set_link_loss _t l rate =
+  if not (rate >= 0.0 && rate <= 1.0) then invalid_arg "Net.set_link_loss: rate not in [0,1]";
+  l.loss_override <- Some rate
+
+let clear_link_loss _t l = l.loss_override <- None
+
 let unplug t ~node ~port =
   let d = device t node in
   if port < 0 || port >= nports d then invalid_arg "Net.unplug: port out of range";
@@ -185,7 +195,7 @@ let plug ?(params = default_link_params) t ~a ~b =
   in
   check a;
   check b;
-  let link = { link_up = true; params; end_a = a; end_b = b } in
+  let link = { link_up = true; params; loss_override = None; end_a = a; end_b = b } in
   let da, pa = a and db, pb = b in
   t.devices.(da).ports.(pa).attached <- Some link;
   t.devices.(db).ports.(pb).attached <- Some link;
@@ -223,7 +233,8 @@ let transmit t ~node ~port frame =
       if backlog_bytes + bytes > link.params.queue_cap_bytes then
         d.counters.c_queue_drops <- d.counters.c_queue_drops + 1
       else if
-        link.params.loss_rate > 0.0 && Prng.float t.loss_prng 1.0 < link.params.loss_rate
+        (let rate = link_loss link in
+         rate > 0.0 && Prng.float t.loss_prng 1.0 < rate)
       then d.counters.c_loss_drops <- d.counters.c_loss_drops + 1
       else begin
         let depart = max now_t p.busy_until in

@@ -68,6 +68,18 @@ val recover_link : t -> link -> unit
 val link_ends : link -> (int * int) * (int * int)
 (** [((dev_a, port_a), (dev_b, port_b))]. *)
 
+val link_loss : link -> float
+(** Effective per-frame loss probability: the runtime override when one is
+    set, else the link's construction-time [loss_rate]. *)
+
+val set_link_loss : t -> link -> float -> unit
+(** Override the link's loss probability at runtime (both directions) —
+    failure campaigns ramp loss up and back down with this. Raises
+    [Invalid_argument] outside [0, 1]. *)
+
+val clear_link_loss : t -> link -> unit
+(** Drop the override, restoring the construction-time rate. *)
+
 val unplug : t -> node:int -> port:int -> unit
 (** Remove the cable at a port (both ends become unwired). No-op when the
     port is already empty. *)

@@ -28,25 +28,50 @@ let flow_relevant_links (mt : MR.t) ~src_host ~dst_host =
   in
   List.filter relevant (switch_links mt)
 
+(* first match wins (historically this scanned on and returned the LAST
+   matching link — silently wrong for parallel links), and the scan
+   early-exits instead of walking every link *)
 let link_index_between (mt : MR.t) a b =
   let links = T.links mt.MR.topo in
-  let found = ref None in
+  let n = Array.length links in
+  let rec go i =
+    if i >= n then None
+    else
+      let l = links.(i) in
+      let la = l.T.a.T.node and lb = l.T.b.T.node in
+      if (la = a && lb = b) || (la = b && lb = a) then Some i else go (i + 1)
+  in
+  go 0
+
+(* campaign-sized fan-out resolves thousands of endpoint pairs: precompute
+   the (min endpoint, max endpoint) -> first link index map once *)
+type link_index = (int * int, int) Hashtbl.t
+
+let pair_key a b = if a <= b then (a, b) else (b, a)
+
+let link_index (mt : MR.t) : link_index =
+  let links = T.links mt.MR.topo in
+  let idx = Hashtbl.create (2 * Array.length links) in
   Array.iteri
     (fun i (l : T.link) ->
-      let la = l.T.a.T.node and lb = l.T.b.T.node in
-      if (la = a && lb = b) || (la = b && lb = a) then found := Some i)
+      let key = pair_key l.T.a.T.node l.T.b.T.node in
+      (* keep the FIRST topology index per pair, matching link_index_between *)
+      if not (Hashtbl.mem idx key) then Hashtbl.replace idx key i)
     links;
-  !found
+  idx
+
+let indexed_link_between idx a b = Hashtbl.find_opt idx (pair_key a b)
 
 let pick_survivable prng mt ~candidates ~src_host ~dst_host ~n =
   let arr = Array.of_list candidates in
   if Array.length arr < n then None
   else begin
+    let idx = link_index mt in
     let attempt () =
       let copy = Array.copy arr in
       Eventsim.Prng.shuffle prng copy;
       let chosen = Array.to_list (Array.sub copy 0 n) in
-      let excluded = List.filter_map (fun (a, b) -> link_index_between mt a b) chosen in
+      let excluded = List.filter_map (fun (a, b) -> indexed_link_between idx a b) chosen in
       if Topology.Paths.reachable ~excluded_links:excluded mt.MR.topo ~src:src_host ~dst:dst_host
       then Some chosen
       else None

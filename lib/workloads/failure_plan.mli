@@ -12,6 +12,18 @@ val flow_relevant_links :
     pod, and the destination edge's uplinks. Failing subsets of these is
     how the increasing-failures experiment stresses re-convergence. *)
 
+val link_index_between : Topology.Multirooted.t -> int -> int -> int option
+(** Topology index of the {e first} link directly connecting two device
+    ids (early-exit scan). [None] when the devices are not adjacent. *)
+
+type link_index
+(** Precomputed endpoint-pair → first-link-index map, for resolving many
+    pairs (failure campaigns) without an O(links) scan per call. *)
+
+val link_index : Topology.Multirooted.t -> link_index
+val indexed_link_between : link_index -> int -> int -> int option
+(** Agrees with {!link_index_between} on every pair. *)
+
 val pick_survivable :
   Eventsim.Prng.t -> Topology.Multirooted.t -> candidates:(int * int) list ->
   src_host:int -> dst_host:int -> n:int -> (int * int) list option

@@ -1,0 +1,196 @@
+(* Tests of the chaos campaign engine and the switch cold-reboot recovery
+   path it depends on: seeded plans are deterministic and routable-safe,
+   a full mixed campaign leaves zero verifier violations at every
+   quiescent point, crash/reboot cycles reconverge with PMAC bindings
+   intact, and the JSON report is byte-stable for a given seed. *)
+
+open Portland
+open Eventsim
+module MR = Topology.Multirooted
+
+let plan_string plan = String.concat "\n" (List.map (Format.asprintf "%a" Chaos.pp_event) plan)
+
+(* ---------------- plan generation ---------------- *)
+
+let test_profiles () =
+  List.iter
+    (fun (s, p) ->
+      Testutil.check_bool ("parse " ^ s) true (Chaos.profile_of_string s = Some p);
+      Testutil.check_string "roundtrip" s (Chaos.profile_to_string p))
+    [ ("mixed", Chaos.Mixed);
+      ("link-flaps", Chaos.Link_flaps);
+      ("switch-churn", Chaos.Switch_churn);
+      ("loss-ramps", Chaos.Loss_ramps) ];
+  Testutil.check_bool "unknown" true (Chaos.profile_of_string "anarchy" = None)
+
+let test_generate_deterministic () =
+  let mt = Topology.Fattree.build ~k:4 in
+  let gen () = Chaos.generate ~seed:42 ~duration:(Time.ms 6000) mt in
+  Testutil.check_string "same seed, same plan" (plan_string (gen ())) (plan_string (gen ()));
+  let other = Chaos.generate ~seed:43 ~duration:(Time.ms 6000) mt in
+  Testutil.check_bool "different seed, different plan" false
+    (plan_string (gen ()) = plan_string other)
+
+let test_generate_mixed_quota () =
+  let mt = Topology.Fattree.build ~k:4 in
+  let plan = Chaos.generate ~seed:42 ~duration:(Time.ms 6000) mt in
+  let count p = List.length (List.filter (fun e -> p e.Chaos.action) plan) in
+  Testutil.check_bool "30+ events" true (List.length plan >= 30);
+  Testutil.check_bool "sorted by time" true
+    (List.for_all2
+       (fun a b -> a.Chaos.at <= b.Chaos.at)
+       (List.filteri (fun i _ -> i < List.length plan - 1) plan)
+       (List.tl plan));
+  Testutil.check_bool "two crashes" true
+    (count (function Chaos.Crash_switch _ -> true | _ -> false) >= 2);
+  Testutil.check_int "every crash reboots"
+    (count (function Chaos.Crash_switch _ -> true | _ -> false))
+    (count (function Chaos.Restart_switch _ -> true | _ -> false));
+  Testutil.check_int "one fm restart" 1
+    (count (function Chaos.Restart_fm -> true | _ -> false));
+  Testutil.check_bool "lossy links" true
+    (count (function Chaos.Set_link_loss _ -> true | _ -> false) >= 2);
+  Testutil.check_bool "link flaps" true
+    (count (function Chaos.Fail_link _ -> true | _ -> false) >= 2);
+  Testutil.check_int "every failure recovers"
+    (count (function Chaos.Fail_link _ -> true | _ -> false))
+    (count (function Chaos.Recover_link _ -> true | _ -> false))
+
+(* Every plan must leave the fabric fully healed: net link failures and
+   crashes are zero, and loss overrides end at rate 0. *)
+let test_generate_self_contained () =
+  let mt = Topology.Fattree.build ~k:4 in
+  List.iter
+    (fun profile ->
+      let plan = Chaos.generate ~profile ~seed:9 ~duration:(Time.ms 4000) mt in
+      let down = Hashtbl.create 16 in
+      let crashed = Hashtbl.create 4 in
+      let lossy = Hashtbl.create 4 in
+      List.iter
+        (fun e ->
+          match e.Chaos.action with
+          | Chaos.Fail_link { a; b } -> Hashtbl.replace down (a, b) ()
+          | Chaos.Recover_link { a; b } -> Hashtbl.remove down (a, b)
+          | Chaos.Crash_switch s -> Hashtbl.replace crashed s ()
+          | Chaos.Restart_switch s -> Hashtbl.remove crashed s
+          | Chaos.Restart_fm -> ()
+          | Chaos.Set_link_loss { a; b; rate } ->
+            if rate > 0.0 then Hashtbl.replace lossy (a, b) () else Hashtbl.remove lossy (a, b))
+        plan;
+      let name = Chaos.profile_to_string profile in
+      Testutil.check_int (name ^ ": no link left down") 0 (Hashtbl.length down);
+      Testutil.check_int (name ^ ": no switch left crashed") 0 (Hashtbl.length crashed);
+      Testutil.check_int (name ^ ": no loss left set") 0 (Hashtbl.length lossy))
+    [ Chaos.Mixed; Chaos.Link_flaps; Chaos.Switch_churn; Chaos.Loss_ramps ]
+
+(* ---------------- switch cold-reboot recovery ---------------- *)
+
+let bindings_of fab =
+  List.filter_map
+    (fun h -> Fabric_manager.lookup_binding (Fabric.fabric_manager fab) (Host_agent.ip h))
+    (Fabric.hosts fab)
+
+let test_recover_agg_switch () =
+  let fab = Testutil.converged_fabric () in
+  let mt = Fabric.tree fab in
+  let before = bindings_of fab in
+  let agg = mt.MR.aggs.(1).(0) in
+  Fabric.fail_switch fab agg;
+  Fabric.run_for fab (Time.ms 300);
+  Testutil.assert_verified ~msg:"mid-crash" fab;
+  Fabric.recover_switch fab agg;
+  Testutil.check_bool "reconverged after reboot" true (Fabric.await_convergence fab);
+  Fabric.run_for fab (Time.ms 200);
+  Testutil.assert_verified ~msg:"after reboot" fab;
+  Testutil.check_bool "PMAC bindings preserved" true (bindings_of fab = before);
+  (* the rebooted switch is forwarding again: routed probe crossing pod 1 *)
+  let src = Fabric.host fab ~pod:1 ~edge:0 ~slot:0 in
+  let dst = Fabric.host fab ~pod:1 ~edge:1 ~slot:0 in
+  let payload = Netcore.Ipv4_pkt.Udp (Netcore.Udp.make ~flow_id:1 ~app_seq:0 ~payload_len:64 ()) in
+  (match Fabric.trace_route fab ~src ~dst_ip:(Host_agent.ip dst) payload with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "probe after reboot failed: %s" e)
+
+let test_recover_edge_switch_restores_hosts () =
+  let fab = Testutil.converged_fabric () in
+  let mt = Fabric.tree fab in
+  let before = bindings_of fab in
+  let edge = mt.MR.edges.(0).(0) in
+  Fabric.fail_switch fab edge;
+  Fabric.run_for fab (Time.ms 200);
+  Fabric.recover_switch fab edge;
+  Testutil.check_bool "reconverged after edge reboot" true (Fabric.await_convergence fab);
+  Fabric.run_for fab (Time.ms 200);
+  Testutil.assert_verified ~msg:"after edge reboot" fab;
+  (* Host_restore replayed the bindings: same PMACs (and vmids), no
+     re-learning needed before proxy ARP works again *)
+  Testutil.check_bool "host bindings identical" true (bindings_of fab = before);
+  let src = Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let dst = Fabric.host fab ~pod:2 ~edge:0 ~slot:1 in
+  let payload = Netcore.Ipv4_pkt.Udp (Netcore.Udp.make ~flow_id:2 ~app_seq:0 ~payload_len:64 ()) in
+  (match Fabric.trace_route fab ~src ~dst_ip:(Host_agent.ip dst) payload with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "probe from rebooted edge failed: %s" e)
+
+let test_recover_during_fm_restart () =
+  (* the hardest ordering: switch crashes, FM restarts (losing its view),
+     then the switch reboots and asks the *new* FM for its coordinates *)
+  let fab = Testutil.converged_fabric () in
+  let mt = Fabric.tree fab in
+  let agg = mt.MR.aggs.(0).(1) in
+  Fabric.fail_switch fab agg;
+  Fabric.run_for fab (Time.ms 200);
+  Fabric.restart_fabric_manager fab;
+  Fabric.run_for fab (Time.ms 200);
+  Fabric.recover_switch fab agg;
+  Testutil.check_bool "reconverged" true (Fabric.await_convergence fab);
+  Fabric.run_for fab (Time.ms 200);
+  Testutil.assert_verified ~msg:"after fm restart + switch reboot" fab
+
+(* ---------------- full campaigns ---------------- *)
+
+let run_mixed seed =
+  let fab = Testutil.converged_fabric () in
+  let plan = Chaos.generate ~seed ~duration:(Time.ms 6000) (Fabric.tree fab) in
+  Chaos.run_campaign ~label:"mixed" ~seed fab plan
+
+let test_mixed_campaign_clean () =
+  let r = run_mixed 42 in
+  Testutil.check_bool "campaign ok" true (Chaos.report_ok r);
+  Testutil.check_bool "several quiescent checks" true (List.length r.Chaos.rep_checks >= 5);
+  List.iter
+    (fun c ->
+      Testutil.check_bool "converged at quiescent point" true c.Chaos.chk_converged;
+      Testutil.check_int "no verifier violations" 0 (List.length c.Chaos.chk_violations);
+      Testutil.check_int "all probes delivered" c.Chaos.chk_probes c.Chaos.chk_probes_ok)
+    r.Chaos.rep_checks;
+  Testutil.check_bool "every event applied" true
+    (List.for_all (fun e -> e.Chaos.ev_applied) r.Chaos.rep_events);
+  Testutil.check_bool "faults actually happened" true (r.Chaos.rep_faults_peak > 0);
+  (* the final check runs after the last recovery: the fabric ends healed *)
+  (match List.rev r.Chaos.rep_checks with
+   | last :: _ -> Testutil.check_bool "healed at end" true (last.Chaos.chk_converged)
+   | [] -> Alcotest.fail "no checks ran");
+  match r.Chaos.rep_convergence with
+  | Some s -> Testutil.check_bool "convergence observed" true (s.Obs.n > 0)
+  | None -> Alcotest.fail "no convergence_ms summary"
+
+let test_campaign_json_deterministic () =
+  let j seed = Obs.Json.to_string (Chaos.report_to_json (run_mixed seed)) in
+  Testutil.check_string "same seed, byte-identical JSON" (j 42) (j 42)
+
+let () =
+  Alcotest.run "chaos"
+    [ ( "plans",
+        [ Alcotest.test_case "profiles" `Quick test_profiles;
+          Alcotest.test_case "deterministic generation" `Quick test_generate_deterministic;
+          Alcotest.test_case "mixed quota" `Quick test_generate_mixed_quota;
+          Alcotest.test_case "self-contained episodes" `Quick test_generate_self_contained ] );
+      ( "switch recovery",
+        [ Alcotest.test_case "agg crash + reboot" `Quick test_recover_agg_switch;
+          Alcotest.test_case "edge reboot restores hosts" `Quick
+            test_recover_edge_switch_restores_hosts;
+          Alcotest.test_case "reboot across fm restart" `Quick test_recover_during_fm_restart ] );
+      ( "campaigns",
+        [ Alcotest.test_case "mixed campaign clean" `Slow test_mixed_campaign_clean;
+          Alcotest.test_case "json deterministic" `Slow test_campaign_json_deterministic ] ) ]

@@ -435,7 +435,9 @@ let gen_to_fm : Msg.to_fm QCheck2.Gen.t =
             { Msg.ip; amac = Mac_addr.of_int 0x020000000042; pmac; edge_switch }));
       (let* switch_id = int_bound 100_000 in
        let* coords = gen_coords in
-       return (Msg.Reclaim_coords { switch_id; coords })) ]
+       return (Msg.Reclaim_coords { switch_id; coords }));
+      (let* switch_id = int_bound 100_000 in
+       return (Msg.Coords_request { switch_id })) ]
 
 let gen_to_switch : Msg.to_switch QCheck2.Gen.t =
   let open QCheck2.Gen in
@@ -451,7 +453,15 @@ let gen_to_switch : Msg.to_switch QCheck2.Gen.t =
       (let* group = gen_ip in
        let* out_ports = list_size (int_bound 10) (int_bound 64) in
        return (Msg.Mcast_program { group; out_ports }));
-      return Msg.Resync_request ]
+      return Msg.Resync_request;
+      (let* bindings =
+         list_size (int_bound 6)
+           (let* ip = gen_ip in
+            let* pmac = gen_pmac in
+            let* edge_switch = int_bound 100_000 in
+            return { Msg.ip; amac = Mac_addr.of_int 0x020000000017; pmac; edge_switch })
+       in
+       return (Msg.Host_restore { bindings })) ]
 
 let prop_msg_to_fm_roundtrip =
   Testutil.prop "control codec roundtrip (to fm)" ~count:300 gen_to_fm (fun m ->

@@ -69,6 +69,68 @@ let test_pick_survivable () =
   Testutil.check_bool "too many" true
     (Failure_plan.pick_survivable prng mt ~candidates ~src_host:src ~dst_host:dst ~n:100 = None)
 
+let test_pick_survivable_deterministic () =
+  let mt = Topology.Fattree.build ~k:4 in
+  let src = Topology.Fattree.host mt ~pod:0 ~edge:0 ~slot:0 in
+  let dst = Topology.Fattree.host mt ~pod:3 ~edge:1 ~slot:1 in
+  let candidates = Failure_plan.flow_relevant_links mt ~src_host:src ~dst_host:dst in
+  let pick seed =
+    let prng = Eventsim.Prng.create seed in
+    Failure_plan.pick_survivable prng mt ~candidates ~src_host:src ~dst_host:dst ~n:2
+  in
+  Testutil.check_bool "same seed, same set" true (pick 11 = pick 11);
+  (* survivability: the chosen links never include a full cut of the
+     source edge's uplinks (which would strand the flow) *)
+  (match pick 11 with
+   | None -> Alcotest.fail "no survivable set"
+   | Some chosen ->
+     let src_edge = mt.Topology.Multirooted.edges.(0).(0) in
+     let uplinks_cut =
+       List.length (List.filter (fun (a, b) -> a = src_edge || b = src_edge) chosen)
+     in
+     Testutil.check_bool "source edge keeps an uplink" true
+       (uplinks_cut < mt.Topology.Multirooted.spec.Topology.Multirooted.aggs_per_pod))
+
+let test_link_index_agreement () =
+  let mt = Topology.Fattree.build ~k:4 in
+  let idx = Failure_plan.link_index mt in
+  let devices =
+    List.init (Array.length (Topology.Topo.nodes mt.Topology.Multirooted.topo)) Fun.id
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let fast = Failure_plan.indexed_link_between idx a b in
+          let slow = Failure_plan.link_index_between mt a b in
+          if fast <> slow then
+            Alcotest.failf "link_index disagrees at (%d,%d): %s vs %s" a b
+              (match fast with Some i -> string_of_int i | None -> "none")
+              (match slow with Some i -> string_of_int i | None -> "none"))
+        devices)
+    devices
+
+let test_fault_set_semantics () =
+  let open Portland in
+  let f1 = Fault.Edge_agg { pod = 2; edge_pos = 1; stripe = 0 } in
+  let f2 = Fault.Agg_core { pod = 0; stripe = 1; member = 1 } in
+  let f3 = Fault.Host_edge { pod = 1; edge_pos = 0; port = 3 } in
+  let s = Fault.Set.create () in
+  List.iter (Fault.Set.add s) [ f3; f1; f2; f1 ];
+  Testutil.check_int "duplicates collapse" 3 (Fault.Set.cardinal s);
+  (* elements are sorted by Fault.compare — dissemination determinism *)
+  let els = Fault.Set.elements s in
+  Testutil.check_bool "sorted" true (List.sort Fault.compare els = els);
+  Testutil.check_bool "insertion order irrelevant" true
+    (Fault.Set.elements (Fault.Set.of_list [ f1; f2; f3 ]) = els);
+  Fault.Set.remove s f2;
+  Testutil.check_bool "removed" false (Fault.Set.mem s f2);
+  Fault.Set.remove s f2;
+  Testutil.check_int "remove is idempotent" 2 (Fault.Set.cardinal s);
+  Fault.Set.clear s;
+  Testutil.check_int "clear" 0 (Fault.Set.cardinal s);
+  Testutil.check_bool "empty elements" true (Fault.Set.elements s = [])
+
 let () =
   Alcotest.run "workloads"
     [ ( "traffic",
@@ -80,4 +142,8 @@ let () =
       ( "failure plans",
         [ Alcotest.test_case "switch links" `Quick test_switch_links_count;
           Alcotest.test_case "flow-relevant links" `Quick test_flow_relevant_links;
-          Alcotest.test_case "survivable sets" `Quick test_pick_survivable ] ) ]
+          Alcotest.test_case "survivable sets" `Quick test_pick_survivable;
+          Alcotest.test_case "survivable determinism" `Quick test_pick_survivable_deterministic;
+          Alcotest.test_case "link index agreement" `Quick test_link_index_agreement ] );
+      ( "fault set",
+        [ Alcotest.test_case "sorted set semantics" `Quick test_fault_set_semantics ] ) ]
