@@ -383,6 +383,86 @@ let run_chaos { k; seed; verbose } ~duration_ms ~campaign ~json_out =
   else print_endline "campaign FAILED";
   exit (if Chaos.report_ok report then 0 else 1)
 
+(* ---------------- model checking ---------------- *)
+
+let run_mc { k; seed; verbose } ~depth ~max_step ~delay_budget ~quantum_us ~scenario ~corrupt
+    ~no_prune ~replay ~json_out =
+  let open Eventsim in
+  match replay with
+  | Some token ->
+    (* the token is self-contained: every parameter comes from it, so the
+       reproduction is byte-exact no matter what else is on the command
+       line *)
+    (match Mc.parse_token token with
+     | Error e ->
+       Printf.eprintf "bad --replay token: %s\n" e;
+       exit 2
+     | Ok (p, sched) ->
+       let r = Mc.run_schedule p sched in
+       Format.printf "%a@." Mc.pp_run r;
+       exit 0)
+  | None ->
+    let scenario =
+      match Mc.scenario_of_string scenario with
+      | Some s -> s
+      | None ->
+        Printf.eprintf "unknown scenario %s (boot | fault | reboot)\n" scenario;
+        exit 2
+    in
+    let corrupt =
+      match corrupt with
+      | None -> None
+      | Some c ->
+        (match Mc.corruption_of_string c with
+         | Some _ as c -> c
+         | None ->
+           Printf.eprintf "unknown corruption %s (binding | wrong-port)\n" c;
+           exit 2)
+    in
+    let p =
+      { Mc.k;
+        seed;
+        scenario;
+        depth;
+        max_step;
+        delay_budget;
+        quantum = Time.us quantum_us;
+        prune = not no_prune;
+        corrupt }
+    in
+    Printf.printf
+      "mc: k=%d seed=%d scenario=%s depth=%d max_step=%d budget=%d quantum=%dus prune=%b \
+       corrupt=%s\n%!"
+      p.Mc.k p.Mc.seed
+      (Mc.scenario_to_string p.Mc.scenario)
+      p.Mc.depth p.Mc.max_step p.Mc.delay_budget (p.Mc.quantum / 1000) p.Mc.prune
+      (Mc.corruption_to_string p.Mc.corrupt);
+    let rep = Mc.explore p in
+    Printf.printf "schedules run: %d\n" rep.Mc.rep_schedules_run;
+    Printf.printf "distinct interleavings: %d (first %d deliveries)\n" rep.Mc.rep_interleavings
+      rep.Mc.rep_window_cap;
+    Printf.printf "pruned delay choices: %d\n" rep.Mc.rep_pruned;
+    Printf.printf "decision slots offered: %d of %d\n" rep.Mc.rep_decisions_seen p.Mc.depth;
+    Printf.printf "violating schedules: %d\n" rep.Mc.rep_violating;
+    (match rep.Mc.rep_counterexample with
+     | None -> ()
+     | Some cx ->
+       Printf.printf "counterexample (shrunk): %s\n" cx.Mc.cx_token;
+       List.iter (fun v -> Printf.printf "  violation: %s\n" v) cx.Mc.cx_violations;
+       if verbose then
+         Format.printf "--- replay of shrunk schedule ---@.%a@." Mc.pp_run
+           (Mc.run_schedule p cx.Mc.cx_schedule));
+    (match json_out with
+     | None -> ()
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (Obs.Json.to_string (Mc.report_to_json rep));
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "wrote mc report to %s\n" path);
+    if Mc.report_ok rep then print_endline "mc OK" else print_endline "mc FAILED";
+    exit (if Mc.report_ok rep then 0 else 1)
+
 (* ---------------- command line ---------------- *)
 
 let scenario_arg =
@@ -481,9 +561,76 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc) term
 
+let mc_depth_arg =
+  let doc = "Number of reorderable control-plane actions given a delay decision." in
+  Arg.(value & opt int 6 & info [ "depth" ] ~docv:"N" ~doc)
+
+let mc_max_step_arg =
+  let doc = "Maximum extra delay per action, in quanta." in
+  Arg.(value & opt int 3 & info [ "max-step" ] ~docv:"N" ~doc)
+
+let mc_budget_arg =
+  let doc = "Bound on the sum of extra-delay steps over one schedule." in
+  Arg.(value & opt int 10 & info [ "delay-budget" ] ~docv:"N" ~doc)
+
+let mc_quantum_arg =
+  let doc =
+    "Delay quantum in microseconds. Keep it of the same order as the window's \
+     inter-delivery spacing, or every step hops past the whole burst and the pruner \
+     collapses the search."
+  in
+  Arg.(value & opt int 2 & info [ "quantum-us" ] ~docv:"US" ~doc)
+
+let mc_scenario_arg =
+  let doc = "Race to explore: boot (self-configuration storm), fault (link fail/recover), or \
+             reboot (switch cold reboot)." in
+  Arg.(value & opt string "boot" & info [ "scenario" ] ~docv:"KIND" ~doc)
+
+let mc_corrupt_arg =
+  let doc =
+    "Seed a state corruption after each schedule quiesces (the invariant pack must then \
+     flag every schedule): binding, or wrong-port."
+  in
+  Arg.(value & opt (some string) None & info [ "corrupt" ] ~docv:"KIND" ~doc)
+
+let mc_no_prune_arg =
+  let doc = "Disable the sleep-set-style pruning and run the full bounded product." in
+  Arg.(value & flag & info [ "no-prune" ] ~doc)
+
+let mc_replay_arg =
+  let doc =
+    "Replay one schedule token (as printed for counterexamples) instead of exploring; the \
+     output is byte-identical on every invocation of the same token."
+  in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"TOKEN" ~doc)
+
+let mc_json_arg =
+  let doc = "Write the exploration report as JSON to this file (byte-stable for a given \
+             parameter set)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let mc_cmd =
+  let doc =
+    "systematically explore control-plane message interleavings on a small fabric: tag \
+     every control delivery as a reorderable action, enumerate bounded delay schedules \
+     (DFS with delay-bounding pruning), assert the invariant pack at every quiescent \
+     schedule, and shrink any violation to a minimal replayable schedule token. Exits 0 \
+     iff every explored schedule satisfied every invariant."
+  in
+  let term =
+    Term.(
+      const (fun common depth max_step delay_budget quantum_us scenario corrupt no_prune
+                 replay json_out ->
+          run_mc common ~depth ~max_step ~delay_budget ~quantum_us ~scenario ~corrupt
+            ~no_prune ~replay ~json_out)
+      $ common_term $ mc_depth_arg $ mc_max_step_arg $ mc_budget_arg $ mc_quantum_arg
+      $ mc_scenario_arg $ mc_corrupt_arg $ mc_no_prune_arg $ mc_replay_arg $ mc_json_arg)
+  in
+  Cmd.v (Cmd.info "mc" ~doc) term
+
 let cmd =
   let doc = "simulate a PortLand fabric" in
   Cmd.group ~default:scenario_term (Cmd.info "portland_sim" ~doc)
-    [ run_cmd; stats_cmd; verify_cmd; chaos_cmd ]
+    [ run_cmd; stats_cmd; verify_cmd; chaos_cmd; mc_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -20,25 +20,35 @@ let register_fm t f = t.fm_handler <- Some f
 let register_switch t id f = Hashtbl.replace t.switch_handlers id f
 let unregister_switch t id = Hashtbl.remove t.switch_handlers id
 
+(* Deliveries are tagged as reorderable actions whenever an engine
+   interceptor (the model checker's controlled scheduler) is installed;
+   on the normal path no descriptor string is ever built. *)
+let deliver t ~tag thunk =
+  if Engine.intercepting t.engine then
+    ignore (Engine.schedule_tagged t.engine ~delay:t.latency ~tag:(tag ()) thunk)
+  else ignore (Engine.schedule t.engine ~delay:t.latency thunk)
+
 let send_to_fm t ~from msg =
-  ignore
-    (Engine.schedule t.engine ~delay:t.latency (fun () ->
-         match t.fm_handler with
-         | Some f ->
-           t.to_fm <- t.to_fm + 1;
-           t.to_fm_bytes <- t.to_fm_bytes + Msg_codec.to_fm_wire_len msg;
-           f ~from msg
-         | None -> t.dropped <- t.dropped + 1))
+  deliver t
+    ~tag:(fun () -> Printf.sprintf "ctrl:fm<-%d:%s" from (Msg.describe_to_fm msg))
+    (fun () ->
+      match t.fm_handler with
+      | Some f ->
+        t.to_fm <- t.to_fm + 1;
+        t.to_fm_bytes <- t.to_fm_bytes + Msg_codec.to_fm_wire_len msg;
+        f ~from msg
+      | None -> t.dropped <- t.dropped + 1)
 
 let send_to_switch t id msg =
-  ignore
-    (Engine.schedule t.engine ~delay:t.latency (fun () ->
-         match Hashtbl.find_opt t.switch_handlers id with
-         | Some f ->
-           t.to_switch <- t.to_switch + 1;
-           t.to_switch_bytes <- t.to_switch_bytes + Msg_codec.to_switch_wire_len msg;
-           f msg
-         | None -> t.dropped <- t.dropped + 1))
+  deliver t
+    ~tag:(fun () -> Printf.sprintf "ctrl:sw%d<-fm:%s" id (Msg.describe_to_switch msg))
+    (fun () ->
+      match Hashtbl.find_opt t.switch_handlers id with
+      | Some f ->
+        t.to_switch <- t.to_switch + 1;
+        t.to_switch_bytes <- t.to_switch_bytes + Msg_codec.to_switch_wire_len msg;
+        f msg
+      | None -> t.dropped <- t.dropped + 1)
 
 let broadcast_to_switches t msg =
   (* snapshot ids now; deliver individually so late registrations during

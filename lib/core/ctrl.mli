@@ -5,7 +5,14 @@
     latency (see {!Config.t.ctrl_latency}), matching the paper's
     assumption of a separate control network. Delivery preserves per-pair
     FIFO order (the engine is FIFO for equal timestamps and latency is
-    constant). Message counters feed the fabric-manager-load experiment. *)
+    constant). Message counters feed the fabric-manager-load experiment.
+
+    Every delivery is scheduled as a {e reorderable action} (tagged with
+    a {!Msg.describe_to_fm} / {!Msg.describe_to_switch} descriptor via
+    {!Eventsim.Engine.schedule_tagged}) whenever an engine interceptor is
+    installed, letting the model checker ([lib/mc]) perturb delivery
+    order systematically; without an interceptor the tagging — including
+    descriptor construction — costs nothing. *)
 
 type t
 

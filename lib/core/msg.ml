@@ -72,6 +72,11 @@ let pp_to_fm fmt = function
     Format.fprintf fmt "Reclaim_coords{sw=%d %a}" switch_id Coords.pp coords
   | Coords_request { switch_id } -> Format.fprintf fmt "Coords_request{sw=%d}" switch_id
 
+(* Reorderable-action descriptors for the model checker: stable,
+   human-readable, and cheap enough to build per message (only built
+   while an Engine interceptor is installed). *)
+let describe_to_fm m = Format.asprintf "%a" pp_to_fm m
+
 let pp_to_switch fmt = function
   | Assign_coords c -> Format.fprintf fmt "Assign_coords{%a}" Coords.pp c
   | Position_denied { position } -> Format.fprintf fmt "Position_denied{pos=%d}" position
@@ -90,3 +95,5 @@ let pp_to_switch fmt = function
   | Resync_request -> Format.pp_print_string fmt "Resync_request"
   | Host_restore { bindings } ->
     Format.fprintf fmt "Host_restore{%d bindings}" (List.length bindings)
+
+let describe_to_switch m = Format.asprintf "%a" pp_to_switch m

@@ -85,3 +85,11 @@ type to_switch =
 
 val pp_to_fm : Format.formatter -> to_fm -> unit
 val pp_to_switch : Format.formatter -> to_switch -> unit
+
+val describe_to_fm : to_fm -> string
+val describe_to_switch : to_switch -> string
+(** Reorderable-action descriptors (the rendered {!pp_to_fm} /
+    {!pp_to_switch} forms): stable strings tagged onto control-plane
+    deliveries via {!Eventsim.Engine.schedule_tagged} so the model
+    checker can identify, perturb and replay them. Only built while an
+    engine interceptor is installed. *)

@@ -2,6 +2,45 @@ open Netcore
 module W = Wire.Writer
 module R = Wire.Reader
 
+(* ---------------- typed decode errors ---------------- *)
+
+type error =
+  | Truncated of { tag : int option }
+  | Unknown_tag of int
+  | Trailing_bytes of int
+  | Bad_field of { tag : int option; what : string }
+
+let pp_error fmt = function
+  | Truncated { tag = None } -> Format.pp_print_string fmt "truncated frame (no tag byte)"
+  | Truncated { tag = Some t } -> Format.fprintf fmt "truncated frame (tag %d)" t
+  | Unknown_tag t -> Format.fprintf fmt "unknown message tag %d" t
+  | Trailing_bytes n -> Format.fprintf fmt "%d trailing byte(s) after message" n
+  | Bad_field { tag; what } ->
+    Format.fprintf fmt "malformed field%s: %s"
+      (match tag with Some t -> Printf.sprintf " (tag %d)" t | None -> "")
+      what
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Unknown of int
+
+(* Decode bodies signal malformed-but-complete fields via [failwith] and
+   unrecognized tags via [Unknown]; [decode_with] maps every escape
+   hatch — including reader exhaustion — to a typed error so no
+   control-plane frame, however truncated or corrupted, can raise out of
+   a decoder. *)
+let decode_with r body =
+  match R.u8 r with
+  | exception R.Short -> Error (Truncated { tag = None })
+  | tag ->
+    (match body tag with
+     | msg ->
+       if R.remaining r <> 0 then Error (Trailing_bytes (R.remaining r)) else Ok msg
+     | exception R.Short -> Error (Truncated { tag = Some tag })
+     | exception Unknown t -> Error (Unknown_tag t)
+     | exception Failure what -> Error (Bad_field { tag = Some tag; what })
+     | exception Invalid_argument what -> Error (Bad_field { tag = Some tag; what }))
+
 (* ---------------- shared field codecs ---------------- *)
 
 let w_level w = function
@@ -154,10 +193,9 @@ let encode_to_fm (msg : Msg.to_fm) =
   W.contents w
 
 let decode_to_fm bytes_ =
-  try
-    let r = R.create bytes_ in
-    let msg =
-      match R.u8 r with
+  let r = R.create bytes_ in
+  decode_with r (fun tag ->
+      match tag with
       | 1 ->
         let switch_id = R.u32 r in
         let level = r_level r in
@@ -209,14 +247,7 @@ let decode_to_fm bytes_ =
       | 10 ->
         let switch_id = R.u32 r in
         Msg.Coords_request { switch_id }
-      | n -> failwith (Printf.sprintf "to_fm tag: %d" n)
-    in
-    if R.remaining r <> 0 then failwith "to_fm: trailing bytes";
-    Ok msg
-  with
-  | Failure m -> Error m
-  | R.Short -> Error "truncated control message"
-  | Invalid_argument m -> Error m
+      | n -> raise (Unknown n))
 
 (* ---------------- fabric manager -> switch ---------------- *)
 
@@ -263,10 +294,9 @@ let encode_to_switch (msg : Msg.to_switch) =
   W.contents w
 
 let decode_to_switch bytes_ =
-  try
-    let r = R.create bytes_ in
-    let msg =
-      match R.u8 r with
+  let r = R.create bytes_ in
+  decode_with r (fun tag ->
+      match tag with
       | 1 -> Msg.Assign_coords (r_coords r)
       | 2 ->
         let position = R.u16 r in
@@ -294,14 +324,7 @@ let decode_to_switch bytes_ =
         Msg.Mcast_program { group; out_ports }
       | 8 -> Msg.Resync_request
       | 9 -> Msg.Host_restore { bindings = r_list r r_binding }
-      | n -> failwith (Printf.sprintf "to_switch tag: %d" n)
-    in
-    if R.remaining r <> 0 then failwith "to_switch: trailing bytes";
-    Ok msg
-  with
-  | Failure m -> Error m
-  | R.Short -> Error "truncated control message"
-  | Invalid_argument m -> Error m
+      | n -> raise (Unknown n))
 
 let to_fm_wire_len msg = Bytes.length (encode_to_fm msg)
 let to_switch_wire_len msg = Bytes.length (encode_to_switch msg)

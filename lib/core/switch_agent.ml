@@ -57,6 +57,17 @@ type t = {
 let switch_id t = t.sw_id
 let coords t = t.coords
 let faults t = Fault.Set.elements t.faults
+
+(* the edge's local view of its hosts, as bindings comparable against the
+   fabric manager's table (sorted by IP for deterministic iteration) *)
+let host_bindings t =
+  Hashtbl.fold
+    (fun ip pmac acc ->
+      match Hashtbl.find_opt t.pmac_to_host (Mac_addr.to_int (Pmac.to_mac pmac)) with
+      | Some h -> { Msg.ip; amac = h.h_amac; pmac = h.h_pmac; edge_switch = t.sw_id } :: acc
+      | None -> acc)
+    t.ip_to_pmac []
+  |> List.sort (fun (a : Msg.host_binding) b -> Ipv4_addr.compare a.Msg.ip b.Msg.ip)
 let table t = t.table
 let table_size t = FT.size t.table
 let is_operational t = t.operational

@@ -74,3 +74,9 @@ val faults : t -> Fault.t list
 (** The switch's local copy of the fault matrix — what its current tables
     were computed from. Post-convergence this equals the fabric manager's
     matrix; the static verifier ({!Portland_verify}) cross-checks both. *)
+
+val host_bindings : t -> Msg.host_binding list
+(** The edge switch's local IP↔PMAC↔AMAC view, sorted by IP — empty for
+    non-edge switches. Post-convergence every entry must agree with the
+    fabric manager's binding table; the model checker ([lib/mc]) asserts
+    that agreement at every quiescent schedule. *)

@@ -3,17 +3,24 @@ type state = Pending | Fired | Cancelled
 type event = {
   time : Time.t;
   seq : int;
+  tag : string option; (* reorderable-action descriptor, None for ordinary events *)
   thunk : unit -> unit;
   mutable state : state;
 }
 
 type handle = event
 
+type interceptor = {
+  on_schedule : tag:string -> now:Time.t -> due:Time.t -> Time.t;
+  on_fire : tag:string -> time:Time.t -> unit;
+}
+
 type t = {
   mutable clock : Time.t;
   mutable next_seq : int;
   mutable fired : int;
   mutable live : int; (* Pending events in [queue]; cancelled ones stay queued until popped *)
+  mutable interceptor : interceptor option;
   queue : event Heap.t;
 }
 
@@ -21,23 +28,45 @@ let leq_event (a : event) (b : event) =
   a.time < b.time || (a.time = b.time && a.seq <= b.seq)
 
 let create ?(now = 0) () =
-  { clock = now; next_seq = 0; fired = 0; live = 0; queue = Heap.create ~leq:leq_event () }
+  { clock = now; next_seq = 0; fired = 0; live = 0; interceptor = None;
+    queue = Heap.create ~leq:leq_event () }
 
 let now t = t.clock
 
-let schedule_at t ~time thunk =
+let set_interceptor t i = t.interceptor <- i
+let intercepting t = t.interceptor <> None
+
+let enqueue t ~time ~tag thunk =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)" time t.clock);
-  let ev = { time; seq = t.next_seq; thunk; state = Pending } in
+  let ev = { time; seq = t.next_seq; tag; thunk; state = Pending } in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
   Heap.push t.queue ev;
   ev
 
+let schedule_at t ~time thunk = enqueue t ~time ~tag:None thunk
+
 let schedule t ~delay thunk =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock + delay) thunk
+
+let schedule_tagged t ~delay ~tag thunk =
+  if delay < 0 then invalid_arg "Engine.schedule_tagged: negative delay";
+  let due = t.clock + delay in
+  let time =
+    match t.interceptor with
+    | None -> due
+    | Some i ->
+      let chosen = i.on_schedule ~tag ~now:t.clock ~due in
+      if chosen < t.clock then
+        invalid_arg
+          (Printf.sprintf "Engine.schedule_tagged: interceptor chose time %d before now %d"
+             chosen t.clock)
+      else chosen
+  in
+  enqueue t ~time ~tag:(Some tag) thunk
 
 let cancel t handle =
   if handle.state = Pending then begin
@@ -53,6 +82,9 @@ let fire t ev =
   t.live <- t.live - 1;
   t.clock <- ev.time;
   t.fired <- t.fired + 1;
+  (match (ev.tag, t.interceptor) with
+   | Some tag, Some i -> i.on_fire ~tag ~time:ev.time
+   | _ -> ());
   ev.thunk ()
 
 let rec step t =

@@ -8,7 +8,27 @@
 type t
 
 type handle
-(** Identifies a scheduled event so it can be cancelled. *)
+(** Identifies a scheduled event so it can be cancelled. Handles are the
+    events themselves, never recycled slot indices: a handle stays valid
+    (and inert) forever after its event fires or is cancelled, so a
+    late {!cancel} can never hit an unrelated reused slot. *)
+
+type interceptor = {
+  on_schedule : tag:string -> now:Time.t -> due:Time.t -> Time.t;
+      (** Called when a tagged event is scheduled; returns the actual
+          delivery time (must be [>= now]; [due] is the natural time the
+          caller asked for). Returning [due] leaves the schedule
+          untouched. *)
+  on_fire : tag:string -> time:Time.t -> unit;
+      (** Called just before a tagged event's thunk runs — the realized
+          delivery order, in order. *)
+}
+(** A controlled scheduler's view of {e reorderable actions}: events
+    scheduled via {!schedule_tagged} (control-plane deliveries, tagged by
+    their senders) are routed through the installed interceptor, which
+    may perturb their delivery time and observes the order they actually
+    fire in. Untagged events are never intercepted. Used by the
+    model checker ([lib/mc]) to explore delivery interleavings. *)
 
 val create : ?now:Time.t -> unit -> t
 (** A fresh engine whose clock starts at [now] (default 0). *)
@@ -23,6 +43,21 @@ val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
 
 val schedule_at : t -> time:Time.t -> (unit -> unit) -> handle
 (** [schedule_at t ~time f] runs [f] at absolute [time] (>= [now t]). *)
+
+val schedule_tagged : t -> delay:Time.t -> tag:string -> (unit -> unit) -> handle
+(** Like {!schedule}, but marks the event as a reorderable action
+    described by [tag]. With no interceptor installed this is exactly
+    [schedule]; with one, the interceptor chooses the delivery time and
+    is notified when the event fires. *)
+
+val set_interceptor : t -> interceptor option -> unit
+(** Install (or remove) the controlled scheduler. Affects only events
+    scheduled through {!schedule_tagged} from this point on; already
+    queued events keep their times. *)
+
+val intercepting : t -> bool
+(** True iff an interceptor is installed. Senders use this to skip
+    building descriptor strings on the hot path when nobody listens. *)
 
 val cancel : t -> handle -> unit
 (** Cancel a pending event; cancelling an already-fired or already-cancelled

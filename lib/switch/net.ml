@@ -72,6 +72,7 @@ type t = {
   devices : device array;
   topo_links : link option array;
   loss_prng : Prng.t;
+  mutable tagger : (src:int -> dst:int -> Netcore.Eth.t -> string option) option;
 }
 
 let null_handler _ _ = ()
@@ -106,7 +107,9 @@ let create ?(params = default_link_params) ?(loss_seed = 7) engine topo =
         Some link)
       (Topology.Topo.links topo)
   in
-  { engine; topo; devices; topo_links; loss_prng = Prng.create loss_seed }
+  { engine; topo; devices; topo_links; loss_prng = Prng.create loss_seed; tagger = None }
+
+let set_delivery_tagger t f = t.tagger <- f
 
 let engine t = t.engine
 let topo t = t.topo
@@ -245,15 +248,27 @@ let transmit t ~node ~port frame =
         List.iter (fun tap -> tap Tx ~port frame) d.taps;
         let arrival = done_tx + link.params.delay in
         let dst_dev, dst_port = peer_endpoint link (node, port) in
-        ignore
-          (Engine.schedule_at t.engine ~time:arrival (fun () ->
-               let dd = t.devices.(dst_dev) in
-               if link.link_up && dd.up then begin
-                 dd.counters.c_rx_frames <- dd.counters.c_rx_frames + 1;
-                 dd.counters.c_rx_bytes <- dd.counters.c_rx_bytes + bytes;
-                 List.iter (fun tap -> tap Rx ~port:dst_port frame) dd.taps;
-                 dd.handler dst_port frame
-               end))
+        let deliver () =
+          let dd = t.devices.(dst_dev) in
+          if link.link_up && dd.up then begin
+            dd.counters.c_rx_frames <- dd.counters.c_rx_frames + 1;
+            dd.counters.c_rx_bytes <- dd.counters.c_rx_bytes + bytes;
+            List.iter (fun tap -> tap Rx ~port:dst_port frame) dd.taps;
+            dd.handler dst_port frame
+          end
+        in
+        (* frame deliveries become reorderable actions when a tagger is
+           installed (the model checker tags LDP frames, see lib/mc) *)
+        let tag =
+          match t.tagger with
+          | Some f when Engine.intercepting t.engine -> f ~src:node ~dst:dst_dev frame
+          | _ -> None
+        in
+        (match tag with
+         | Some tag ->
+           ignore
+             (Engine.schedule_tagged t.engine ~delay:(arrival - now_t) ~tag deliver)
+         | None -> ignore (Engine.schedule_at t.engine ~time:arrival deliver))
       end
   end
 

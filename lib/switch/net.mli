@@ -48,6 +48,17 @@ val is_up : device -> bool
 val set_handler : device -> (int -> Netcore.Eth.t -> unit) -> unit
 (** [set_handler d f] makes [f in_port frame] the receive callback. *)
 
+val set_delivery_tagger :
+  t -> (src:int -> dst:int -> Netcore.Eth.t -> string option) option -> unit
+(** Install a classifier that marks selected frame deliveries as
+    reorderable actions: when it returns [Some tag] the delivery is
+    scheduled through {!Eventsim.Engine.schedule_tagged} so an installed
+    engine interceptor can perturb its arrival. Consulted only while an
+    interceptor is installed; [None] (the default) never tags. The model
+    checker ([lib/mc]) uses this to reorder LDM deliveries alongside
+    control-network traffic. Queueing/backlog accounting is unaffected —
+    only the receive callback's invocation time moves. *)
+
 val fail_device : t -> int -> unit
 (** A failed device silently drops everything it would receive or send. *)
 

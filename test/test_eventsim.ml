@@ -117,6 +117,41 @@ let test_engine_fifo_with_cancels () =
   Engine.run e;
   Alcotest.(check (list int)) "fifo with holes" [ 0; 2; 3; 5; 6; 8; 9 ] (List.rev !log)
 
+(* Handle-generation safety: a handle for an event that already fired
+   must stay inert forever. In an engine that recycled slot indices, a
+   late cancel through a stale handle could alias — and kill — an
+   unrelated event scheduled into the reused slot; here handles are the
+   event records themselves, so the cancel must be a pure no-op. The
+   property interleaves rounds of scheduling with cancels of every
+   previously-fired handle, issued *after* fresh events are queued (when
+   a slot-reusing engine would have re-allocated the freed slots). *)
+let prop_cancel_fired_handle_generation_safe =
+  Testutil.prop "cancel on fired handles never hits later events" ~count:100
+    QCheck2.Gen.(pair (int_bound 1000) (int_range 1 5))
+    (fun (seed, rounds) ->
+      let p = Prng.create seed in
+      let e = Engine.create () in
+      let fired = ref 0 and scheduled = ref 0 in
+      let stale = ref [] in
+      let ok = ref true in
+      for _ = 1 to rounds do
+        let n = 1 + Prng.int p 8 in
+        let fresh =
+          List.init n (fun _ ->
+              incr scheduled;
+              Engine.schedule e ~delay:(Prng.int p 50) (fun () -> incr fired))
+        in
+        List.iter
+          (fun h ->
+            Engine.cancel e h;
+            if Engine.is_pending h then ok := false)
+          !stale;
+        Engine.run e;
+        List.iter (fun h -> if Engine.is_pending h then ok := false) fresh;
+        stale := fresh @ !stale
+      done;
+      !ok && !fired = !scheduled)
+
 let test_engine_until () =
   let e = Engine.create () in
   let fired = ref 0 in
@@ -426,6 +461,7 @@ let () =
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
           Alcotest.test_case "pending count exact" `Quick test_engine_pending_count_exact;
           Alcotest.test_case "FIFO with cancellations" `Quick test_engine_fifo_with_cancels;
+          prop_cancel_fired_handle_generation_safe;
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "max events" `Quick test_engine_max_events;
           Alcotest.test_case "validation" `Quick test_engine_validation;

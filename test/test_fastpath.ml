@@ -377,6 +377,83 @@ let test_trace_determinism () =
   Testutil.check_int "pending events" pend1 pend2;
   Testutil.check_int "final clock" now1 now2
 
+(* ---------------- control codec truncation robustness ---------------- *)
+
+(* The control-plane codec must match the dataplane codec's contract: no
+   frame, however mangled, may raise out of a decoder. These target the
+   length-bearing late-tag messages — Coords_request (to-fm tag 10) and
+   Host_restore (to-switch tag 9, with a u16-count binding list whose
+   count can outlive a truncation cut). *)
+
+let gen_restore_bindings =
+  let open QCheck2.Gen in
+  list_size (int_bound 4)
+    (let* ip = map Netcore.Ipv4_addr.of_int (int_bound 0xFFFFFF) in
+     let* pod = int_bound 15 in
+     let* position = int_bound 15 in
+     let* port = int_bound 15 in
+     let* vmid = int_range 1 255 in
+     let* edge_switch = int_bound 100_000 in
+     return
+       { Msg.ip;
+         amac = Netcore.Mac_addr.of_int 0x020000000031;
+         pmac = Pmac.make ~pod ~position ~port ~vmid;
+         edge_switch })
+
+let prop_truncated_coords_request_typed_error =
+  Testutil.prop "truncated Coords_request is a typed error, not a raise" ~count:200
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 1000))
+    (fun (switch_id, cut) ->
+      let b = Msg_codec.encode_to_fm (Msg.Coords_request { switch_id }) in
+      let keep = 1 + (cut mod (Bytes.length b - 1)) in
+      match Msg_codec.decode_to_fm (Bytes.sub b 0 keep) with
+      | Error (Msg_codec.Truncated { tag = Some 10 }) -> true
+      | _ -> false)
+
+let prop_truncated_host_restore_typed_error =
+  Testutil.prop "truncated Host_restore is a typed error, not a raise" ~count:200
+    QCheck2.Gen.(pair gen_restore_bindings (int_bound 1000))
+    (fun (bindings, cut) ->
+      let b = Msg_codec.encode_to_switch (Msg.Host_restore { bindings }) in
+      let keep = 1 + (cut mod (Bytes.length b - 1)) in
+      match Msg_codec.decode_to_switch (Bytes.sub b 0 keep) with
+      | Error (Msg_codec.Truncated { tag = Some 9 }) -> true
+      | _ -> false)
+
+let prop_padded_host_restore_typed_error =
+  Testutil.prop "trailing bytes after Host_restore are a typed error" ~count:100
+    QCheck2.Gen.(pair gen_restore_bindings (int_range 1 16))
+    (fun (bindings, pad) ->
+      let b = Msg_codec.encode_to_switch (Msg.Host_restore { bindings }) in
+      match Msg_codec.decode_to_switch (Bytes.cat b (Bytes.make pad '\xAA')) with
+      | Error (Msg_codec.Trailing_bytes n) -> n = pad
+      | _ -> false)
+
+let test_ctrl_decode_never_raises () =
+  let p = Prng.create 11 in
+  (* headless frames: the empty frame and every unknown tag byte *)
+  (match Msg_codec.decode_to_fm Bytes.empty with
+   | Error (Msg_codec.Truncated { tag = None }) -> ()
+   | _ -> Alcotest.fail "empty frame should be Truncated{tag=None}");
+  for tag = 11 to 255 do
+    match Msg_codec.decode_to_fm (Bytes.make 1 (Char.chr tag)) with
+    | Error (Msg_codec.Unknown_tag t) when t = tag -> ()
+    | _ -> Alcotest.fail "unknown to-fm tag should be Unknown_tag"
+  done;
+  for tag = 10 to 255 do
+    match Msg_codec.decode_to_switch (Bytes.make 1 (Char.chr tag)) with
+    | Error (Msg_codec.Unknown_tag t) when t = tag -> ()
+    | _ -> Alcotest.fail "unknown to-switch tag should be Unknown_tag"
+  done;
+  (* random garbage through both decoders: any result is fine, raising
+     is not *)
+  for _ = 1 to 2000 do
+    let len = Prng.int p 200 in
+    let b = Bytes.init len (fun _ -> Char.chr (Prng.int p 256)) in
+    ignore (Msg_codec.decode_to_fm b);
+    ignore (Msg_codec.decode_to_switch b)
+  done
+
 let () =
   Alcotest.run "fastpath"
     [ ( "flow-table differential",
@@ -393,6 +470,12 @@ let () =
           prop_truncation_rejected;
           Alcotest.test_case "garbage decode agreement" `Quick
             test_decode_agreement_on_garbage ] );
+      ( "control codec robustness",
+        [ prop_truncated_coords_request_typed_error;
+          prop_truncated_host_restore_typed_error;
+          prop_padded_host_restore_typed_error;
+          Alcotest.test_case "garbage never raises, errors are typed" `Quick
+            test_ctrl_decode_never_raises ] );
       ( "engine determinism",
         [ Alcotest.test_case "k=4 failure/recovery trace is reproducible" `Quick
             test_trace_determinism ] ) ]

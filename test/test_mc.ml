@@ -1,0 +1,188 @@
+(* Model-checker suite: controlled-scheduler correctness, exploration
+   accounting, token round-trips, corruption -> shrink -> replay. Runs on
+   k=2 fabrics, where one schedule is a sub-millisecond simulation. *)
+
+open Eventsim
+
+let tiny =
+  { Mc.default_params with Mc.depth = 2; delay_budget = 4 }
+
+(* ---------------- one controlled run ---------------- *)
+
+let test_zero_schedule_is_baseline () =
+  let r = Mc.run_schedule tiny [||] in
+  Testutil.check_bool "converged" true r.Mc.run_converged;
+  Testutil.check_bool "no violations" true (r.Mc.run_violations = []);
+  Testutil.check_int "decision slots consumed" tiny.Mc.depth
+    (List.length r.Mc.run_decisions);
+  Testutil.check_bool "window recorded" true (List.length r.Mc.run_window >= tiny.Mc.depth);
+  (* with no extra delays, decisions fire at their natural times in
+     schedule order *)
+  List.iteri
+    (fun i (tag, due) ->
+      let tag', t = List.nth r.Mc.run_window i in
+      Testutil.check_string "window head is the undelayed decision" tag tag';
+      Testutil.check_int "fired at natural time" due t)
+    r.Mc.run_decisions
+
+let test_delays_reorder_deliveries () =
+  let p = { tiny with Mc.depth = 6; delay_budget = 10 } in
+  let base = Mc.run_schedule p [||] in
+  let perturbed = Mc.run_schedule p [| 0; 2; 1; 0; 3; 0 |] in
+  Testutil.check_bool "same actions got decisions" true
+    (List.map fst base.Mc.run_decisions = List.map fst perturbed.Mc.run_decisions);
+  Testutil.check_bool "realized order differs" true
+    (List.map fst base.Mc.run_window <> List.map fst perturbed.Mc.run_window);
+  Testutil.check_bool "perturbed run still converges clean" true
+    (perturbed.Mc.run_converged && perturbed.Mc.run_violations = [])
+
+let test_run_is_deterministic () =
+  let sched = [| 1; 2 |] in
+  let a = Format.asprintf "%a" Mc.pp_run (Mc.run_schedule tiny sched) in
+  let b = Format.asprintf "%a" Mc.pp_run (Mc.run_schedule tiny sched) in
+  Testutil.check_string "byte-identical renderings" a b
+
+let test_scenarios_hold_invariants () =
+  List.iter
+    (fun scenario ->
+      let p = { tiny with Mc.scenario; depth = 1; delay_budget = 2 } in
+      let r = Mc.run_schedule p [| 2 |] in
+      if r.Mc.run_violations <> [] then
+        Alcotest.failf "scenario %s violated: %s"
+          (Mc.scenario_to_string scenario)
+          (String.concat "; " r.Mc.run_violations))
+    [ Mc.Boot; Mc.Fault; Mc.Reboot ]
+
+let test_check_invariants_clean_fabric () =
+  let fab = Testutil.converged_fabric ~k:4 () in
+  Testutil.check_bool "invariant pack holds on a converged k=4 fabric" true
+    (Mc.check_invariants fab = [])
+
+(* ---------------- exploration ---------------- *)
+
+let test_explore_counts () =
+  let rep = Mc.explore tiny in
+  Testutil.check_bool "ok" true (Mc.report_ok rep);
+  Testutil.check_int "all decision slots offered" tiny.Mc.depth rep.Mc.rep_decisions_seen;
+  Testutil.check_int "no violations" 0 rep.Mc.rep_violating;
+  Testutil.check_bool "explored beyond the baseline" true (rep.Mc.rep_schedules_run > 1);
+  Testutil.check_bool "distinct <= runs" true
+    (rep.Mc.rep_interleavings <= rep.Mc.rep_schedules_run);
+  Testutil.check_bool "found several distinct interleavings" true
+    (rep.Mc.rep_interleavings >= 4)
+
+let test_explore_deterministic () =
+  let a = Obs.Json.to_string (Mc.report_to_json (Mc.explore tiny)) in
+  let b = Obs.Json.to_string (Mc.report_to_json (Mc.explore tiny)) in
+  Testutil.check_string "reports byte-identical" a b
+
+let test_noprune_superset () =
+  let pruned = Mc.explore tiny in
+  let full = Mc.explore { tiny with Mc.prune = false } in
+  Testutil.check_int "no pruning reported when disabled" 0 full.Mc.rep_pruned;
+  (* with a quantum far coarser than the boot burst's spacing, most delay
+     steps land in empty space and must be reported as pruned *)
+  let coarse = Mc.explore { tiny with Mc.quantum = Time.us 50 } in
+  Testutil.check_bool "pruning reported when it happens" true (coarse.Mc.rep_pruned > 0);
+  Testutil.check_bool "full product runs at least as many schedules" true
+    (full.Mc.rep_schedules_run >= pruned.Mc.rep_schedules_run);
+  Testutil.check_bool "full product realizes at least as many interleavings" true
+    (full.Mc.rep_interleavings >= pruned.Mc.rep_interleavings);
+  Testutil.check_bool "both clean" true (Mc.report_ok pruned && Mc.report_ok full)
+
+(* ---------------- corruption -> shrink -> replay ---------------- *)
+
+let test_corruption_caught_and_shrunk () =
+  List.iter
+    (fun corrupt ->
+      let p = { tiny with Mc.corrupt = Some corrupt } in
+      let rep = Mc.explore p in
+      Testutil.check_bool "reported as failing" false (Mc.report_ok rep);
+      Testutil.check_int "every schedule violates" rep.Mc.rep_schedules_run
+        rep.Mc.rep_violating;
+      match rep.Mc.rep_counterexample with
+      | None -> Alcotest.fail "corruption produced no counterexample"
+      | Some cx ->
+        Testutil.check_bool "violations survive the shrunk schedule" true
+          (cx.Mc.cx_violations <> []);
+        (* state corruption is schedule-independent, so ddmin must reach
+           the all-zero schedule *)
+        Testutil.check_bool "shrunk to the minimal (all-zero) schedule" true
+          (Array.for_all (fun s -> s = 0) cx.Mc.cx_schedule);
+        (* the token replays the violation byte-for-byte *)
+        (match Mc.parse_token cx.Mc.cx_token with
+         | Error e -> Alcotest.failf "counterexample token does not parse: %s" e
+         | Ok (p', sched') ->
+           let a = Format.asprintf "%a" Mc.pp_run (Mc.run_schedule p' sched') in
+           let b = Format.asprintf "%a" Mc.pp_run (Mc.run_schedule p' sched') in
+           Testutil.check_string "replay byte-identical" a b;
+           let r = Mc.run_schedule p' sched' in
+           Testutil.check_bool "replayed violations match" true
+             (r.Mc.run_violations = cx.Mc.cx_violations)))
+    [ Mc.Wrong_binding; Mc.Wrong_port ]
+
+(* ---------------- tokens ---------------- *)
+
+let prop_token_roundtrip =
+  Testutil.prop "schedule token round-trips" ~count:100
+    QCheck2.Gen.(
+      let* depth = int_range 0 8 in
+      let* sched = array_size (int_bound depth) (int_bound 5) in
+      let* seed = int_bound 10_000 in
+      let* scenario = oneofl [ Mc.Boot; Mc.Fault; Mc.Reboot ] in
+      let* corrupt = oneofl [ None; Some Mc.Wrong_binding; Some Mc.Wrong_port ] in
+      let* quantum_us = int_range 1 100 in
+      return
+        ( { Mc.default_params with
+            Mc.seed;
+            scenario;
+            depth;
+            corrupt;
+            quantum = Time.us quantum_us },
+          sched ))
+    (fun (p, sched) ->
+      match Mc.parse_token (Mc.token_of p sched) with
+      | Ok (p', sched') -> p' = p && sched' = sched
+      | Error _ -> false)
+
+let test_token_rejects_malformed () =
+  let bad =
+    [ "";
+      "mc2:k=2";
+      "mc1:k=2";
+      "mc1:k=3:seed=1:scn=boot:depth=2:step=3:budget=8:q=2000:corrupt=none:d=-";
+      "mc1:k=2:seed=1:scn=warp:depth=2:step=3:budget=8:q=2000:corrupt=none:d=-";
+      "mc1:k=2:seed=1:scn=boot:depth=2:step=3:budget=8:q=2000:corrupt=none:d=1.2.3";
+      "mc1:k=2:seed=1:scn=boot:depth=2:step=3:budget=8:q=2000:corrupt=none:d=1.x";
+      "mc1:k=2:seed=x:scn=boot:depth=2:step=3:budget=8:q=2000:corrupt=none:d=-";
+      "mc1:k=2:seed=1:scn=boot:depth=2:step=3:budget=8:q=2000:corrupt=evil:d=-" ]
+  in
+  List.iter
+    (fun t ->
+      if not (Result.is_error (Mc.parse_token t)) then
+        Alcotest.failf "token %S should be rejected" t)
+    bad
+
+let () =
+  Alcotest.run "mc"
+    [ ( "controlled runs",
+        [ Alcotest.test_case "zero schedule is the baseline" `Quick
+            test_zero_schedule_is_baseline;
+          Alcotest.test_case "delays genuinely reorder deliveries" `Quick
+            test_delays_reorder_deliveries;
+          Alcotest.test_case "runs render deterministically" `Quick test_run_is_deterministic;
+          Alcotest.test_case "boot/fault/reboot scenarios hold the pack" `Quick
+            test_scenarios_hold_invariants;
+          Alcotest.test_case "invariant pack alone on a clean k=4 fabric" `Quick
+            test_check_invariants_clean_fabric ] );
+      ( "exploration",
+        [ Alcotest.test_case "honest counts, no violations" `Quick test_explore_counts;
+          Alcotest.test_case "exploration is deterministic" `Quick test_explore_deterministic;
+          Alcotest.test_case "pruning is a pure subset, and reported" `Quick
+            test_noprune_superset ] );
+      ( "counterexamples",
+        [ Alcotest.test_case "corruptions caught, shrunk, replayed" `Quick
+            test_corruption_caught_and_shrunk ] );
+      ( "tokens",
+        [ prop_token_roundtrip;
+          Alcotest.test_case "malformed tokens rejected" `Quick test_token_rejects_malformed ] ) ]
