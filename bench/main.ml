@@ -87,6 +87,35 @@ let sample_frame =
              ~dst:(Netcore.Ipv4_addr.of_octets 10 3 1 2)
              (Netcore.Tcp_seg.make ~seq:123456 ~ack_num:789 ~payload_len:1460 ()))))
 
+(* a converged k=16 fabric (1024 classes, 320 switches) with an attached
+   incremental verifier session, plus one edge host entry to churn: the
+   full-vs-incremental verification pair measured below *)
+let verify_fixture =
+  lazy
+    (let fab = Portland.Fabric.create_fattree ~obs:Obs.null ~k:16 () in
+     if not (Portland.Fabric.await_convergence ~timeout:(Eventsim.Time.sec 10) fab) then
+       failwith "bench: k=16 fabric failed to converge";
+     let inc = Portland_verify.Verify.Incremental.attach ~obs:Obs.null fab in
+     let ip = Portland.Host_agent.ip (List.hd (Portland.Fabric.hosts fab)) in
+     let b =
+       match Portland.Fabric_manager.lookup_binding (Portland.Fabric.fabric_manager fab) ip with
+       | Some b -> b
+       | None -> failwith "bench: converged fabric has no binding for its first host"
+     in
+     let table =
+       Portland.Switch_agent.table (Portland.Fabric.agent fab b.Portland.Msg.edge_switch)
+     in
+     let name =
+       Printf.sprintf "host:%d"
+         (Netcore.Mac_addr.to_int (Portland.Pmac.to_mac b.Portland.Msg.pmac))
+     in
+     let entry =
+       match Switchfab.Flow_table.find_entry table name with
+       | Some e -> e
+       | None -> failwith ("bench: edge table is missing " ^ name)
+     in
+     (fab, inc, table, entry))
+
 (* ---------------- micro-benchmarks (one per measured table/figure
    constant, plus substrate hot paths) ---------------- *)
 
@@ -126,6 +155,19 @@ let tests =
            with
            | Ok _ -> ()
            | Error e -> failwith e));
+    (* incremental dataplane verification: one flow-table update (remove +
+       reinstall of one host entry) re-verified through the delta engine,
+       against a from-scratch full verification of the same fabric *)
+    Test.make ~name:"verify/incremental_update_k16"
+      (Staged.stage (fun () ->
+           let _, inc, table, entry = Lazy.force verify_fixture in
+           Switchfab.Flow_table.remove table entry.Switchfab.Flow_table.name;
+           Switchfab.Flow_table.install table entry;
+           ignore (Portland_verify.Verify.Incremental.refresh inc)));
+    Test.make ~name:"verify/full_run_k16"
+      (Staged.stage (fun () ->
+           let fab, _, _, _ = Lazy.force verify_fixture in
+           ignore (Portland_verify.Verify.run fab)));
     Test.make ~name:"engine/schedule_and_run"
       (Staged.stage
          (let engine = Eventsim.Engine.create () in
@@ -145,6 +187,7 @@ let run_micro ~quick =
   ignore (Lazy.force fm_fixture);
   ignore (Lazy.force edge_table_fixture);
   ignore (Lazy.force sample_frame);
+  ignore (Lazy.force verify_fixture);
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
   (* the 2 s quota keeps the OLS estimates stable on noisy VMs; the smoke
@@ -264,6 +307,17 @@ let write_json ~out ~micro ~scal =
       add "    \"%s\": %.2f%s\n" (json_escape name) s
         (if i = List.length speedups - 1 then "" else ","))
     speedups;
+  add "  },\n";
+  add "  \"verify_incremental\": {\n";
+  (match
+     ( List.assoc_opt "portland verify/full_run_k16" named,
+       List.assoc_opt "portland verify/incremental_update_k16" named )
+   with
+   | Some full, Some inc when inc > 0.0 ->
+     add "    \"full_ns\": %.1f,\n" full;
+     add "    \"incremental_ns\": %.1f,\n" inc;
+     add "    \"speedup\": %.1f\n" (full /. inc)
+   | _ -> ());
   add "  },\n";
   add "  \"scalability\": [\n";
   List.iteri

@@ -224,7 +224,7 @@ let run_stats { k; seed; verbose } ~duration_ms ~metrics_out ~csv_out =
 
 (* ---------------- static verification ---------------- *)
 
-let run_verify { k; seed; verbose } ~inject ~corrupt =
+let run_verify { k; seed; verbose } ~inject ~corrupt ~json_out =
   let open Eventsim in
   let module MR = Topology.Multirooted in
   let module FT = Switchfab.Flow_table in
@@ -323,11 +323,19 @@ let run_verify { k; seed; verbose } ~inject ~corrupt =
   if verbose then dump_switch_state fab;
   let report = Verify.run ?faults fab in
   Format.printf "%a@." Verify.pp_report report;
+  (match json_out with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Obs.Json.to_string (Verify.report_to_json report));
+     output_char oc '\n';
+     close_out oc;
+     Printf.printf "wrote verification report to %s\n" path);
   exit (if Verify.ok report then 0 else 1)
 
 (* ---------------- chaos campaigns ---------------- *)
 
-let run_chaos { k; seed; verbose } ~duration_ms ~campaign ~json_out =
+let run_chaos { k; seed; verbose } ~duration_ms ~campaign ~verify_every_update ~json_out =
   let open Eventsim in
   let profile =
     match Chaos.profile_of_string campaign with
@@ -349,7 +357,10 @@ let run_chaos { k; seed; verbose } ~duration_ms ~campaign ~json_out =
   let plan =
     Chaos.generate ~profile ~seed ~duration:(Time.ms duration_ms) (Portland.Fabric.tree fab)
   in
-  let report = Chaos.run_campaign ~label:campaign ~seed fab plan in
+  let report = Chaos.run_campaign ~label:campaign ~verify_every_update ~seed fab plan in
+  if verify_every_update then
+    Printf.printf "incremental verifier: %d updates verified, %d divergences\n"
+      report.Chaos.rep_updates_verified report.Chaos.rep_incremental_divergences;
   if verbose then Format.printf "%a" Chaos.pp_report report
   else begin
     let bad =
@@ -518,6 +529,14 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc) term
 
+let verify_json_arg =
+  let doc =
+    "Write the verification report as JSON to this file: kind-tagged violations and notes, \
+     coverage counts and the canonical verdict digest (byte-stable for a given fabric \
+     state)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
 let verify_cmd =
   let doc =
     "statically verify the installed forwarding state: loop freedom, blackhole freedom, \
@@ -526,8 +545,9 @@ let verify_cmd =
   in
   let term =
     Term.(
-      const (fun common inject corrupt -> run_verify common ~inject ~corrupt)
-      $ common_term $ inject_arg $ corrupt_arg)
+      const (fun common inject corrupt json_out ->
+          run_verify common ~inject ~corrupt ~json_out)
+      $ common_term $ inject_arg $ corrupt_arg $ verify_json_arg)
   in
   Cmd.v (Cmd.info "verify" ~doc) term
 
@@ -546,6 +566,15 @@ let json_out_arg =
   let doc = "Write the campaign report as JSON to this file (byte-stable for a given seed)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
+let verify_every_update_arg =
+  let doc =
+    "Attach a persistent incremental verifier for the whole campaign: re-verify the \
+     affected destination classes after every applied action, and at every quiescent check \
+     compare its verdict digest against a fresh full verification (any divergence fails \
+     the campaign)."
+  in
+  Arg.(value & flag & info [ "verify-every-update" ] ~doc)
+
 let chaos_cmd =
   let doc =
     "generate a seed-deterministic fault campaign (link flaps, switch crash/reboot cycles, \
@@ -555,9 +584,10 @@ let chaos_cmd =
   in
   let term =
     Term.(
-      const (fun common duration_ms campaign json_out ->
-          run_chaos common ~duration_ms ~campaign ~json_out)
-      $ common_term $ chaos_duration_arg $ campaign_arg $ json_out_arg)
+      const (fun common duration_ms campaign verify_every_update json_out ->
+          run_chaos common ~duration_ms ~campaign ~verify_every_update ~json_out)
+      $ common_term $ chaos_duration_arg $ campaign_arg $ verify_every_update_arg
+      $ json_out_arg)
   in
   Cmd.v (Cmd.info "chaos" ~doc) term
 

@@ -338,6 +338,8 @@ type report = {
   rep_faults_peak : int;
   rep_convergence : Obs.summary option;
   rep_end_ms : float;
+  rep_updates_verified : int;
+  rep_incremental_divergences : int;
 }
 
 (* Long enough past an event for LDM timeouts (5 periods), fault
@@ -363,7 +365,8 @@ let apply fab = function
     if rate <= 0.0 then F.clear_link_loss_between fab ~a ~b
     else F.set_link_loss_between fab ~a ~b rate
 
-let run_campaign ?(probes_per_check = 4) ?(label = "custom") ~seed fab plan =
+let run_campaign ?(probes_per_check = 4) ?(label = "custom") ?(verify_every_update = false)
+    ~seed fab plan =
   let mt = F.tree fab in
   let spec = mt.MR.spec in
   let nh = Array.length mt.MR.hosts in
@@ -397,6 +400,14 @@ let run_campaign ?(probes_per_check = 4) ?(label = "custom") ~seed fab plan =
     let n = List.length (Portland.Fabric_manager.fault_set (F.fabric_manager fab)) in
     if n > !faults_peak then faults_peak := n
   in
+  (* --verify-every-update: a persistent incremental verifier session
+     tracks the fabric for the whole campaign, refreshed after every
+     applied action (transient violations are expected mid-episode and
+     not gated on); at every quiescent check its digest must equal a
+     fresh full run's — the differential guarantee. *)
+  let inc = if verify_every_update then Some (V.Incremental.attach fab) else None in
+  let updates_verified = ref 0 in
+  let divergences = ref 0 in
   let checks = ref [] in
   let do_check () =
     let t0 = F.now fab in
@@ -405,6 +416,19 @@ let run_campaign ?(probes_per_check = 4) ?(label = "custom") ~seed fab plan =
     note_faults ();
     let vrep = V.run fab in
     let violations = List.map (Format.asprintf "%a" V.pp_violation) vrep.V.violations in
+    let violations =
+      match inc with
+      | None -> violations
+      | Some s ->
+        let di = V.digest_of_report (V.Incremental.refresh s) in
+        let df = V.digest_of_report vrep in
+        if di = df then violations
+        else begin
+          incr divergences;
+          violations
+          @ [ Printf.sprintf "incremental/full divergence: incremental %s vs full %s" di df ]
+        end
+    in
     let probes_ok, probes = run_probes () in
     checks :=
       { chk_ms = Time.to_ms_f (F.now fab);
@@ -425,6 +449,11 @@ let run_campaign ?(probes_per_check = 4) ?(label = "custom") ~seed fab plan =
         { ev_ms = Time.to_ms_f ev.at; ev_desc = action_to_string ev.action;
           ev_applied = applied }
         :: !events;
+      (match inc with
+       | Some s when applied ->
+         ignore (V.Incremental.refresh s);
+         incr updates_verified
+       | Some _ | None -> ());
       note_faults ();
       let quiescent =
         if i + 1 < Array.length arr then arr.(i + 1).at - ev.at >= check_gap else true
@@ -439,13 +468,16 @@ let run_campaign ?(probes_per_check = 4) ?(label = "custom") ~seed fab plan =
     | Some (Obs.Summary s) -> Some s
     | Some (Obs.Count _ | Obs.Value _) | None -> None
   in
+  (match inc with Some s -> V.Incremental.detach s | None -> ());
   { rep_seed = seed;
     rep_profile = label;
     rep_events = List.rev !events;
     rep_checks = List.rev !checks;
     rep_faults_peak = !faults_peak;
     rep_convergence = convergence;
-    rep_end_ms = Time.to_ms_f (F.now fab) }
+    rep_end_ms = Time.to_ms_f (F.now fab);
+    rep_updates_verified = !updates_verified;
+    rep_incremental_divergences = !divergences }
 
 let report_ok r =
   r.rep_checks <> []
@@ -494,6 +526,8 @@ let report_to_json r =
       ( "convergence_ms",
         match r.rep_convergence with Some s -> json_of_summary s | None -> J.Null );
       ("end_ms", J.Float r.rep_end_ms);
+      ("updates_verified", J.Int r.rep_updates_verified);
+      ("incremental_divergences", J.Int r.rep_incremental_divergences);
       ("ok", J.Bool (report_ok r)) ]
 
 let pp_report fmt r =
@@ -511,5 +545,8 @@ let pp_report fmt r =
         c.chk_wait_ms c.chk_probes_ok c.chk_probes (List.length c.chk_violations);
       List.iter (fun v -> Format.fprintf fmt "    violation: %s@." v) c.chk_violations)
     r.rep_checks;
+  if r.rep_updates_verified > 0 then
+    Format.fprintf fmt "  incremental: %d updates verified, %d divergences@."
+      r.rep_updates_verified r.rep_incremental_divergences;
   Format.fprintf fmt "  faults peak=%d end=%.1fms %s@." r.rep_faults_peak r.rep_end_ms
     (if report_ok r then "OK" else "FAILED")

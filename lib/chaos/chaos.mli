@@ -96,10 +96,18 @@ type report = {
       (** digest of the [fabric/convergence_ms] histogram — one
           observation per convergence wait, including every check *)
   rep_end_ms : float;
+  rep_updates_verified : int;
+      (** incremental-verifier refreshes run after applied actions
+          (0 unless [verify_every_update]) *)
+  rep_incremental_divergences : int;
+      (** quiescent checks where the incremental digest disagreed with a
+          fresh full run — always 0 unless the incremental engine is
+          broken; each divergence also appears as a check violation *)
 }
 
 val run_campaign :
-  ?probes_per_check:int -> ?label:string -> seed:int -> Portland.Fabric.t -> plan -> report
+  ?probes_per_check:int -> ?label:string -> ?verify_every_update:bool -> seed:int ->
+  Portland.Fabric.t -> plan -> report
 (** Execute the plan against a fabric that has already converged once.
     Each event runs the sim to its timestamp and applies it; whenever the
     gap to the next event exceeds the quiescence threshold (250 ms) — and
@@ -108,7 +116,15 @@ val run_campaign :
     checks: convergence, the full static verifier, and [probes_per_check]
     (default 4) seed-deterministic host-pair {!Portland.Fabric.trace_route}
     probes. [seed] drives only probe-pair sampling; [label] (default
-    ["custom"]) is recorded as [rep_profile]. *)
+    ["custom"]) is recorded as [rep_profile].
+
+    [verify_every_update] (default false) attaches a persistent
+    {!Portland_verify.Verify.Incremental} session for the campaign's
+    lifetime, refreshes it after {e every} applied action (mid-episode,
+    before any settling — transient violations are tolerated there), and
+    at every quiescent check compares its digest against the fresh full
+    run's: any disagreement is recorded as a check violation and counted
+    in [rep_incremental_divergences]. *)
 
 val report_ok : report -> bool
 (** Every check converged with zero violations and all probes delivered,

@@ -21,7 +21,15 @@ type t = {
   switch_agents : (int, Switch_agent.t) Hashtbl.t;
   host_slots : (int, host_slot) Hashtbl.t; (* device id -> slot *)
   by_ip : (Ipv4_addr.t, int) Hashtbl.t; (* current IP -> host device id *)
+  mutable journal : Journal.hook option;
 }
+
+let jemit t u = match t.journal with None -> () | Some f -> f u
+
+let set_journal t hook =
+  t.journal <- hook;
+  Fabric_manager.set_journal t.fm hook;
+  Hashtbl.iter (fun _ a -> Switch_agent.set_journal a hook) t.switch_agents
 
 let host_ip ~pod ~edge ~slot = Ipv4_addr.of_octets 10 pod edge (slot + 2)
 
@@ -114,6 +122,7 @@ let fail_link_between t ~a ~b =
     Obs.eventf t.obs ~time:(now t) ~level:Eventsim.Trace.Warn ~subsystem:"fabric"
       "link %d <-> %d failed" a b;
     SNet.fail_link t.net l;
+    jemit t (Journal.Link_state { a; b; up = false });
     true
   | None -> false
 
@@ -121,6 +130,7 @@ let recover_link_between t ~a ~b =
   match SNet.link_between t.net a b with
   | Some l ->
     SNet.recover_link t.net l;
+    jemit t (Journal.Link_state { a; b; up = true });
     true
   | None -> false
 
@@ -131,7 +141,11 @@ let restart_fabric_manager t =
      replaces the abandoned instance's in the registry. *)
   Obs.event t.obs ~time:(Engine.now t.engine) ~level:Eventsim.Trace.Warn ~subsystem:"fabric"
     "fabric manager restarted; resync requested";
-  t.fm <- Fabric_manager.create ~obs:t.obs t.engine t.config t.ctrl ~spec:t.spec
+  t.fm <- Fabric_manager.create ~obs:t.obs t.engine t.config t.ctrl ~spec:t.spec;
+  (* the fresh instance must inherit the journal subscription, and the
+     subscriber must know every piece of soft state it cached is stale *)
+  Fabric_manager.set_journal t.fm t.journal;
+  jemit t Journal.Fm_restarted
 
 let fail_switch t device =
   Obs.eventf t.obs ~time:(now t) ~level:Eventsim.Trace.Warn ~subsystem:"fabric"
@@ -139,13 +153,15 @@ let fail_switch t device =
   (match Hashtbl.find_opt t.switch_agents device with
    | Some a -> Switch_agent.stop a
    | None -> ());
-  SNet.fail_device t.net device
+  SNet.fail_device t.net device;
+  jemit t (Journal.Device_state { device; up = false })
 
 let recover_switch t device =
   Obs.eventf t.obs ~time:(now t) ~subsystem:"fabric" "switch %d recovered (cold reboot)" device;
   (match Hashtbl.find_opt t.switch_agents device with
    | Some a ->
      SNet.recover_device t.net device;
+     jemit t (Journal.Device_state { device; up = true });
      Switch_agent.restart a
    | None -> invalid_arg (Printf.sprintf "Fabric.recover_switch: device %d is not a switch" device))
 
@@ -254,10 +270,15 @@ let migrate t ~vm ~to_:(pod, edge, slot) ~downtime ?on_complete () =
   (match SNet.peer_of t.net ~node:target_edge ~port:slot with
    | Some _ -> invalid_arg "Fabric.migrate: target port is occupied"
    | None -> ());
+  let old_edge = SNet.peer_of t.net ~node:device ~port:0 in
   SNet.unplug t.net ~node:device ~port:0;
+  (match old_edge with
+   | Some (e, _) -> jemit t (Journal.Wiring { device = e })
+   | None -> ());
   ignore
     (Engine.schedule t.engine ~delay:downtime (fun () ->
          ignore (SNet.plug t.net ~a:(device, 0) ~b:(target_edge, slot));
+         jemit t (Journal.Wiring { device = target_edge });
          Host_agent.announce vm;
          match on_complete with Some f -> f () | None -> ()))
 
@@ -293,7 +314,8 @@ let create ?(config = Config.default) ?(seed = 42) ?link_params ?(spare_slots = 
     { config; engine; obs; spec; mt; net; ctrl; fm;
       switch_agents = Hashtbl.create 64;
       host_slots = Hashtbl.create 256;
-      by_ip = Hashtbl.create 256 }
+      by_ip = Hashtbl.create 256;
+      journal = None }
   in
   (* switches *)
   Array.iter

@@ -141,3 +141,16 @@ val migrate :
 
 val switch_table_sizes : t -> (Netcore.Ldp_msg.level * int) list
 (** [(level, flow-table entries)] for every operational switch. *)
+
+(** {1 Update journal} *)
+
+val set_journal : t -> Journal.hook option -> unit
+(** Subscribe one observer to the deployment's complete control-plane
+    update stream ({!Journal.update}): flow-table deltas from every
+    switch agent, fault-matrix and binding deltas from the fabric
+    manager, plus the link/device/wiring/FM-restart events injected
+    through this module's failure API. The subscription survives
+    {!restart_fabric_manager} (the fresh instance is re-hooked and an
+    {!Journal.update.Fm_restarted} marker is emitted). [None]
+    unsubscribes everywhere. At most one subscriber at a time — the
+    incremental dataplane verifier ({!Portland_verify}). *)

@@ -61,7 +61,19 @@ type t = {
   faults : Fault.Set.t;
   groups : (Ipv4_addr.t, group_state) Hashtbl.t;
   c : counters_mut;
+  mutable journal : Journal.hook option;
 }
+
+let jemit t u = match t.journal with None -> () | Some f -> f u
+
+let set_journal t hook =
+  t.journal <- hook;
+  (* fault-matrix deltas flow out of the set itself, so translate_fault /
+     recovery handling stays oblivious to journalling *)
+  Fault.Set.set_hook t.faults
+    (match hook with
+     | None -> None
+     | Some f -> Some (fun fault active -> f (Journal.Fault_delta { fault; active })))
 
 let tracef t level fmt =
   Obs.eventf t.obs ~time:(Eventsim.Engine.now t.engine) ~level ~subsystem:"fm" fmt
@@ -93,7 +105,9 @@ let resolve t ip =
 
 let lookup_binding t ip = Hashtbl.find_opt t.ip_table ip
 
-let insert_binding_for_test t (b : Msg.host_binding) = Hashtbl.replace t.ip_table b.Msg.ip b
+let insert_binding_for_test t (b : Msg.host_binding) =
+  Hashtbl.replace t.ip_table b.Msg.ip b;
+  jemit t (Journal.Binding { ip = b.Msg.ip })
 
 let group_core t group =
   match Hashtbl.find_opt t.groups group with
@@ -633,6 +647,7 @@ let on_host_announce t (b : Msg.host_binding) =
        (Msg.Invalidate_pmac { ip = b.Msg.ip; old_pmac = old.Msg.pmac; new_pmac = b.Msg.pmac })
    | Some _ | None -> ());
   Hashtbl.replace t.ip_table b.Msg.ip b;
+  jemit t (Journal.Binding { ip = b.Msg.ip });
   (* answer anyone who was waiting on this mapping *)
   match Hashtbl.find_opt t.pending b.Msg.ip with
   | None -> ()
@@ -702,6 +717,7 @@ let create ?(obs = Obs.null) engine config ctrl ~spec =
       pending = Hashtbl.create 16;
       faults = Fault.Set.create ();
       groups = Hashtbl.create 16;
+      journal = None;
       c =
         { m_arp_queries = 0; m_arp_hits = 0; m_arp_misses = 0; m_host_announces = 0;
           m_migrations = 0; m_fault_notices = 0; m_fault_broadcasts = 0; m_mcast_recomputes = 0;

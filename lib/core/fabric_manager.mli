@@ -74,3 +74,10 @@ val insert_binding_for_test : t -> Msg.host_binding -> unit
 
 val group_core : t -> Netcore.Ipv4_addr.t -> int option
 (** Core switch currently serving a multicast group, if programmed. *)
+
+val set_journal : t -> Journal.hook option -> unit
+(** Subscribe to the fabric manager's state deltas: host-binding writes
+    ({!Journal.update.Binding}) and fault-matrix changes
+    ({!Journal.update.Fault_delta}, via the fault set's change hook).
+    Normally installed through {!Fabric.set_journal}, which re-hooks a
+    fresh instance after {!Fabric.restart_fabric_manager}. *)

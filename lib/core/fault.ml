@@ -16,24 +16,43 @@ let pp fmt = function
 
 module Set = struct
   type fault = t
-  type nonrec t = (fault, unit) Hashtbl.t
 
-  let create () = Hashtbl.create 16
-  let add t f = Hashtbl.replace t f ()
-  let remove t f = Hashtbl.remove t f
-  let mem t f = Hashtbl.mem t f
-  let cardinal t = Hashtbl.length t
+  type nonrec t = {
+    tbl : (t, unit) Hashtbl.t;
+    mutable hook : (fault -> bool -> unit) option;
+  }
+
+  let create () = { tbl = Hashtbl.create 16; hook = None }
+  let set_hook t h = t.hook <- h
+  let fire t f present = match t.hook with None -> () | Some h -> h f present
+  let mem t f = Hashtbl.mem t.tbl f
+
+  let add t f =
+    if not (mem t f) then begin
+      Hashtbl.replace t.tbl f ();
+      fire t f true
+    end
+
+  let remove t f =
+    if mem t f then begin
+      Hashtbl.remove t.tbl f;
+      fire t f false
+    end
+
+  let cardinal t = Hashtbl.length t.tbl
 
   (* sorted, NOT hash order: the list feeds [Msg.Fault_update] broadcasts
      and JSON reports, which must be byte-identical across runs *)
-  let elements t = List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) t [])
+  let elements t = List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) t.tbl [])
 
   let of_list fs =
     let t = create () in
     List.iter (add t) fs;
     t
 
-  let clear t = Hashtbl.reset t
+  (* wholesale replacement, not an observed delta stream: the hook is not
+     fired (subscribers treat the enclosing operation as a full reset) *)
+  let clear t = Hashtbl.reset t.tbl
 
   let edge_agg_down t ~pod ~edge_pos ~stripe = mem t (Edge_agg { pod; edge_pos; stripe })
   let agg_core_down t ~pod ~stripe ~member = mem t (Agg_core { pod; stripe; member })

@@ -40,6 +40,16 @@ module Set : sig
 
   val of_list : fault list -> t
   val clear : t -> unit
+  (** Wholesale reset. Unlike {!add}/{!remove} it does {e not} fire the
+      change hook — callers that clear are replacing the set outright and
+      journal that as a full reset themselves. *)
+
+  val set_hook : t -> (fault -> bool -> unit) option -> unit
+  (** Observe membership changes: the hook fires as [hook fault present]
+      whenever {!add} inserts a fault that was absent ([present = true])
+      or {!remove} deletes one that was present ([false]). No-op
+      adds/removes do not fire. At most one subscriber; used by the
+      incremental dataplane verifier to journal fault-matrix deltas. *)
 
   val edge_agg_down : t -> pod:int -> edge_pos:int -> stripe:int -> bool
   val agg_core_down : t -> pod:int -> stripe:int -> member:int -> bool

@@ -52,7 +52,19 @@ type t = {
   mutable c_table_recomputes : int;
   mutable c_faults_reported : int;
   mutable c_recoveries_reported : int;
+  mutable journal : Journal.hook option;
 }
+
+let jemit t u = match t.journal with None -> () | Some f -> f u
+
+let set_journal t hook =
+  t.journal <- hook;
+  (* the flow table outlives stop/restart cycles, so wiring its journal
+     once here covers the whole agent lifetime *)
+  FT.set_journal t.table
+    (match hook with
+     | None -> None
+     | Some f -> Some (fun change -> f (Journal.Flow { switch = t.sw_id; change })))
 
 let switch_id t = t.sw_id
 let coords t = t.coords
@@ -540,6 +552,7 @@ let on_ctrl_msg t (msg : Msg.to_switch) =
   | Msg.Assign_coords c ->
     t.proposal_outstanding <- false;
     t.coords <- Some c;
+    jemit t (Journal.Coords_assigned { switch = t.sw_id });
     Ldp.set_coords (get_ldp t) c;
     flush_pending_learn t;
     recompute_tables t
@@ -679,7 +692,7 @@ let create engine config ctrl net ~spec ~device ~seed ?(obs = Obs.null) () =
       report_scheduled = false;
       c_arps_proxied = 0; c_arps_answered = 0; c_hosts_learned = 0; c_trap_hits = 0;
       c_corrective_arps = 0; c_table_recomputes = 0; c_faults_reported = 0;
-      c_recoveries_reported = 0 }
+      c_recoveries_reported = 0; journal = None }
   in
   t.position_candidate <- Prng.int t.prng spec.Spec.edges_per_pod;
   FT.set_hash_salt t.table (device * 0x85EBCA6B);

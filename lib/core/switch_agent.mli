@@ -80,3 +80,10 @@ val host_bindings : t -> Msg.host_binding list
     non-edge switches. Post-convergence every entry must agree with the
     fabric manager's binding table; the model checker ([lib/mc]) asserts
     that agreement at every quiescent schedule. *)
+
+val set_journal : t -> Journal.hook option -> unit
+(** Subscribe to this agent's control-plane updates: every flow-table
+    mutation (forwarded from the agent's {!Switchfab.Flow_table} with
+    prefix provenance) and every coordinate grant. The subscription is
+    wired to the table once and survives {!stop}/{!restart} cycles.
+    Normally installed fleet-wide through {!Fabric.set_journal}. *)

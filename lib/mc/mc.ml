@@ -61,7 +61,19 @@ type run_result = {
   run_window : (string * Time.t) list;
   run_converged : bool;
   run_violations : string list;
+  run_digest : string;
 }
+
+(* verdict work sharing across schedules: many interleavings converge to
+   the same quiescent control state, so the invariant pack's result is
+   cached under (control-state digest, incremental verdict digest) *)
+type cache = {
+  c_tbl : (string, string list) Hashtbl.t;
+  mutable c_hits : int;
+  mutable c_equiv_checks : int;
+}
+
+let create_cache () = { c_tbl = Hashtbl.create 256; c_hits = 0; c_equiv_checks = 0 }
 
 (* How many realized deliveries identify an interleaving. Deliveries past
    the cap cannot distinguish two runs — the cap is reported, never
@@ -236,7 +248,7 @@ let apply_corruption fab = function
 
 (* ---------------- one controlled run ---------------- *)
 
-let run_schedule p sched =
+let run_schedule ?cache p sched =
   let fab =
     (* boot_jitter = 1 ns routes every agent start through the engine, so
        the boot burst is scheduled after the interceptor is installed
@@ -250,6 +262,9 @@ let run_schedule p sched =
          match frame.Netcore.Eth.payload with
          | Netcore.Eth.Ldp _ -> Some (Printf.sprintf "ldm:%d>%d" src dst)
          | _ -> None));
+  (* a persistent incremental verifier tracks the run end to end; each
+     recorded delivery re-verifies only its delta classes *)
+  let inc = Verify.Incremental.attach ~obs:Obs.null fab in
   let window_open = ref false in
   let cap = window_cap_of p in
   let decisions = ref [] and n_decisions = ref 0 in
@@ -272,7 +287,8 @@ let run_schedule p sched =
         (fun ~tag ~time ->
           if !window_open && !n_window < cap then begin
             incr n_window;
-            window := (tag, time) :: !window
+            window := (tag, time) :: !window;
+            ignore (Verify.Incremental.refresh inc)
           end) }
   in
   Engine.set_interceptor eng (Some interceptor);
@@ -309,15 +325,48 @@ let run_schedule p sched =
   let converged = F.await_convergence fab in
   Engine.set_interceptor eng None;
   (match p.corrupt with None -> () | Some c -> if converged then apply_corruption fab c);
-  let violations =
-    if converged then check_invariants fab
-    else [ "fabric did not converge under this schedule" ]
+  (* verdict digest at the quiescent point (corruption included: the
+     seeded damage journals like any other update, so the digest of a
+     corrupted state differs from the clean one's) *)
+  let inc_digest = Verify.digest_of_report (Verify.Incremental.refresh inc) in
+  let state_key () =
+    let coords, bindings, faults, tables = control_state_digest fab in
+    String.concat "|"
+      (coords @ bindings @ faults
+       @ List.map (fun (i, n) -> Printf.sprintf "%d:%d" i n) tables)
+    ^ "#" ^ inc_digest
   in
+  let violations =
+    if not converged then [ "fabric did not converge under this schedule" ]
+    else begin
+      match cache with
+      | None -> check_invariants fab
+      | Some c ->
+        let key = state_key () in
+        (match Hashtbl.find_opt c.c_tbl key with
+         | Some vs ->
+           c.c_hits <- c.c_hits + 1;
+           vs
+         | None ->
+           let vs = check_invariants fab in
+           (* on every cache miss, prove the differential guarantee at
+              this quiescent point before trusting the digest as a key *)
+           c.c_equiv_checks <- c.c_equiv_checks + 1;
+           let vs =
+             if Verify.Incremental.check_against_full inc then vs
+             else vs @ [ "incremental/full verifier divergence at quiescence" ]
+           in
+           Hashtbl.replace c.c_tbl key vs;
+           vs)
+    end
+  in
+  Verify.Incremental.detach inc;
   { run_schedule = Array.copy sched;
     run_decisions = List.rev !decisions;
     run_window = List.rev !window;
     run_converged = converged;
-    run_violations = violations }
+    run_violations = violations;
+    run_digest = inc_digest }
 
 (* ---------------- replay tokens ---------------- *)
 
@@ -467,17 +516,20 @@ type report = {
   rep_window_cap : int;
   rep_decisions_seen : int;
   rep_violating : int;
+  rep_digest_hits : int;
+  rep_equiv_checks : int;
   rep_counterexample : counterexample option;
 }
 
 let explore p =
   let distinct = Hashtbl.create 1024 in
+  let cache = create_cache () in
   let runs = ref 0 and pruned = ref 0 and violating = ref 0 in
   let decisions_seen = ref 0 in
   let first_cx = ref None in
   let key_of r = String.concat "|" (List.map fst r.run_window) in
   let do_run sched =
-    let r = run_schedule p sched in
+    let r = run_schedule ~cache p sched in
     incr runs;
     Hashtbl.replace distinct (key_of r) ();
     decisions_seen := max !decisions_seen (List.length r.run_decisions);
@@ -541,6 +593,8 @@ let explore p =
     rep_window_cap = window_cap_of p;
     rep_decisions_seen = !decisions_seen;
     rep_violating = !violating;
+    rep_digest_hits = cache.c_hits;
+    rep_equiv_checks = cache.c_equiv_checks;
     rep_counterexample = cx }
 
 let report_ok r = r.rep_schedules_run > 0 && r.rep_violating = 0
@@ -566,6 +620,8 @@ let report_to_json r =
             ("window_cap", Int r.rep_window_cap);
             ("decisions_seen", Int r.rep_decisions_seen);
             ("violating_schedules", Int r.rep_violating);
+            ("digest_hits", Int r.rep_digest_hits);
+            ("equiv_checks", Int r.rep_equiv_checks);
             ( "counterexample",
               match r.rep_counterexample with
               | None -> Null

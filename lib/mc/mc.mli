@@ -101,9 +101,24 @@ type run_result = {
           order — the interleaving identity *)
   run_converged : bool;
   run_violations : string list;  (** empty iff the invariant pack held *)
+  run_digest : string;
+      (** {!Portland_verify.Verify} verdict digest at the quiescent
+          point (post-corruption), maintained incrementally across the
+          run — every recorded delivery re-verified only its delta
+          classes *)
 }
 
-val run_schedule : params -> schedule -> run_result
+type cache
+(** Invariant-pack verdict cache shared across schedules, keyed by
+    (control-state digest, incremental verdict digest): interleavings
+    that converge to the same quiescent state skip the pack. On every
+    miss the incremental verdict is differentially checked against a
+    fresh full {!Portland_verify.Verify.run} before the digest is
+    trusted as a key. *)
+
+val create_cache : unit -> cache
+
+val run_schedule : ?cache:cache -> params -> schedule -> run_result
 
 val check_invariants : ?settle:Eventsim.Time.t -> Portland.Fabric.t -> string list
 (** The invariant pack alone, against an already-quiescent fabric:
@@ -126,6 +141,10 @@ type report = {
   rep_window_cap : int;        (** deliveries recorded per run for identity *)
   rep_decisions_seen : int;    (** decision slots the scenario actually offered *)
   rep_violating : int;         (** schedules whose invariant pack failed *)
+  rep_digest_hits : int;       (** schedules served from the verdict cache *)
+  rep_equiv_checks : int;
+      (** incremental-vs-full differential checks run (one per cache
+          miss); a disagreement is itself reported as a violation *)
   rep_counterexample : counterexample option;  (** first violation, shrunk *)
 }
 

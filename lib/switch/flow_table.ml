@@ -157,6 +157,12 @@ let trie_remove root ~key ~len name =
   in
   rem root
 
+type update =
+  | Installed of { name : string; prefix : (int * int) option }
+  | Removed of { name : string; prefix : (int * int) option }
+  | Group_changed of { group : int }
+  | Cleared
+
 type t = {
   mutable entries : entry list; (* kept sorted: priority desc, insertion order for ties *)
   mutable next_tie : int;
@@ -165,11 +171,16 @@ type t = {
   mutable salt : int;
   mutable root : node; (* dst-prefix index over the indexable entries *)
   mutable residual : indexed list; (* non-indexable entries, lookup order *)
+  mutable journal : (update -> unit) option;
 }
 
 let create () =
   { entries = []; next_tie = 0; groups = Hashtbl.create 8;
-    by_name = Hashtbl.create 16; salt = 0; root = new_node (); residual = [] }
+    by_name = Hashtbl.create 16; salt = 0; root = new_node (); residual = [];
+    journal = None }
+
+let set_journal t j = t.journal <- j
+let emit t u = match t.journal with None -> () | Some f -> f u
 
 let set_hash_salt t salt = t.salt <- salt
 
@@ -197,9 +208,8 @@ let index t ix =
   | None -> t.residual <- insert_ix_sorted ix t.residual
 
 let install t entry =
-  (match List.find_opt (fun e -> e.name = entry.name) t.entries with
-   | Some old -> deindex t old
-   | None -> ());
+  let old = List.find_opt (fun e -> e.name = entry.name) t.entries in
+  (match old with Some o -> deindex t o | None -> ());
   t.entries <- List.filter (fun e -> e.name <> entry.name) t.entries;
   let tie = t.next_tie in
   t.next_tie <- t.next_tie + 1;
@@ -210,26 +220,37 @@ let install t entry =
   in
   let ix = { e = entry; tie; hits } in
   Hashtbl.replace t.by_name entry.name ix;
-  index t ix
+  index t ix;
+  (* a replacement that moved to a new prefix vacates the old one too *)
+  (match old with
+   | Some o when indexable_prefix o.mtch <> indexable_prefix entry.mtch ->
+     emit t (Removed { name = entry.name; prefix = indexable_prefix o.mtch })
+   | Some _ | None -> ());
+  emit t (Installed { name = entry.name; prefix = indexable_prefix entry.mtch })
 
 let remove t name =
-  (match List.find_opt (fun e -> e.name = name) t.entries with
-   | Some old -> deindex t old
-   | None -> ());
-  t.entries <- List.filter (fun e -> e.name <> name) t.entries;
-  Hashtbl.remove t.by_name name
+  match List.find_opt (fun e -> e.name = name) t.entries with
+  | None -> ()
+  | Some old ->
+    deindex t old;
+    t.entries <- List.filter (fun e -> e.name <> name) t.entries;
+    Hashtbl.remove t.by_name name;
+    emit t (Removed { name; prefix = indexable_prefix old.mtch })
 
 let clear t =
   t.entries <- [];
   Hashtbl.reset t.groups;
   Hashtbl.reset t.by_name;
   t.root <- new_node ();
-  t.residual <- []
+  t.residual <- [];
+  emit t Cleared
 
 let size t = List.length t.entries
 let entry_names t = List.map (fun e -> e.name) t.entries
 
-let set_group t id members = Hashtbl.replace t.groups id (Array.copy members)
+let set_group t id members =
+  Hashtbl.replace t.groups id (Array.copy members);
+  emit t (Group_changed { group = id })
 let group_members t id = Option.map Array.copy (Hashtbl.find_opt t.groups id)
 
 let mask_ok mm field = field land mm.mask = mm.value land mm.mask
@@ -440,6 +461,17 @@ let pp_action fmt = function
   | Set_src_mac m -> Format.fprintf fmt "set_src:%a" Mac_addr.pp m
   | Punt -> Format.pp_print_string fmt "punt"
   | Drop -> Format.pp_print_string fmt "drop"
+
+let pp_update fmt u =
+  let pp_prefix fmt = function
+    | None -> Format.pp_print_string fmt "residual"
+    | Some (v, len) -> Format.fprintf fmt "%012x/%d" v len
+  in
+  match u with
+  | Installed { name; prefix } -> Format.fprintf fmt "install %s @ %a" name pp_prefix prefix
+  | Removed { name; prefix } -> Format.fprintf fmt "remove %s @ %a" name pp_prefix prefix
+  | Group_changed { group } -> Format.fprintf fmt "group %d changed" group
+  | Cleared -> Format.pp_print_string fmt "cleared"
 
 let pp fmt t =
   List.iter

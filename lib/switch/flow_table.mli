@@ -143,3 +143,39 @@ val lookup_dst : t -> int -> entry option
 val lookup_dst_linear : t -> int -> entry option
 (** Reference implementation of {!lookup_dst} (linear scan), for
     differential testing. *)
+
+(** {1 Update journal}
+
+    Every mutation of the table can be observed as a typed update carrying
+    trie-prefix provenance, feeding the incremental dataplane verifier
+    ({!Portland_verify}): an update names the destination-prefix
+    equivalence classes it can affect. *)
+
+type update =
+  | Installed of { name : string; prefix : (int * int) option }
+      (** Entry inserted or replaced. [prefix] is the
+          [(value, prefix_len)] the trie indexes it under, [None] for
+          residual (non-prefix) entries. A replacement whose match moved
+          to a different prefix is journalled as [Removed] (old prefix)
+          followed by [Installed] (new prefix). *)
+  | Removed of { name : string; prefix : (int * int) option }
+      (** Entry removed. Never emitted for names that were not
+          installed. *)
+  | Group_changed of { group : int }
+      (** Select-group member list defined or replaced. *)
+  | Cleared
+      (** The whole table (entries and groups) was wiped. *)
+
+val indexable_prefix : mtch -> (int * int) option
+(** The [(value, prefix_len)] destination prefix the trie would index
+    this match under: [Some] iff only a contiguous dst-MAC prefix is
+    constrained ([Some (0, 0)] for a full wildcard), [None] for matches
+    that fall to the residual list. This is the prefix provenance the
+    update journal reports. *)
+
+val set_journal : t -> (update -> unit) option -> unit
+(** Subscribe to (or with [None], unsubscribe from) the table's update
+    stream. At most one subscriber; the hook runs synchronously inside
+    the mutating call, after the table already reflects the change. *)
+
+val pp_update : Format.formatter -> update -> unit

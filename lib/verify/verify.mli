@@ -65,8 +65,16 @@ type violation =
   | Unknown_fault_link of { fault : Portland.Fault.t; reason : string }
   | Stale_fault of { fault : Portland.Fault.t }
 
+type note = Unreachable_class of { pmac : Portland.Pmac.t; switch : int }
+    (** The class's owning edge switch is dead (device down or agent
+        stopped), so the class has no forwarding state to verify: the
+        walk is skipped entirely rather than reporting the surviving
+        switches' entries toward it as spurious blackholes. Notes are
+        informational — they never fail a report ({!ok} ignores them). *)
+
 type report = {
   violations : violation list;
+  notes : note list;
   classes_checked : int;   (** registered PMAC destination classes walked *)
   switches_checked : int;  (** operational switches whose tables were audited *)
   groups_checked : int;    (** select-group references audited *)
@@ -85,6 +93,91 @@ val ok : report -> bool
 (** No violations. *)
 
 val pp_violation : Format.formatter -> violation -> unit
+val pp_note : Format.formatter -> note -> unit
+
 val pp_report : Format.formatter -> report -> unit
-(** Operator-style dump: one line per violation, then the coverage
-    counts. *)
+(** Operator-style dump: one line per violation, then one per note, then
+    the coverage counts. *)
+
+(** {1 Stable serialization & digests} *)
+
+val violation_kind : violation -> string
+(** Stable machine-readable tag: ["loop"], ["blackhole"],
+    ["wrong_delivery"], ["bad_rewrite"], ["dead_group_member"],
+    ["empty_group"], ["unknown_fault_link"], ["stale_fault"]. *)
+
+val violation_to_json : violation -> Obs.Json.t
+(** [{"kind", ("class")?, ("switch")?, "detail"}] — the JSON-stable
+    violation shape consumed by [portland_sim verify --json]. *)
+
+val note_to_json : note -> Obs.Json.t
+
+val report_to_json : report -> Obs.Json.t
+(** [{"ok", "violations", "notes", "classes_checked",
+    "switches_checked", "groups_checked", "faults_checked", "digest"}],
+    byte-deterministic for a given fabric state. *)
+
+val canonical_lines : report -> string list
+(** The report's violations and notes rendered and sorted — an
+    order-insensitive canonical form. Two reports describing the same
+    fabric state have equal canonical lines regardless of how (full run
+    or incremental session) they were produced. *)
+
+val digest_of_report : report -> string
+(** 16-hex-digit FNV-1a digest over {!canonical_lines} and the coverage
+    counts — the per-state verdict fingerprint the chaos engine and the
+    model checker compare. *)
+
+(** {1 Incremental verification}
+
+    A persistent verifier session (Veriflow-style). Where {!run} re-walks
+    every destination class on every call, an attached session subscribes
+    to the fabric's update journal ({!Portland.Fabric.set_journal}) and
+    maintains per-class verdicts plus their device dependency sets. A
+    {!Incremental.refresh} maps the queued updates to the delta —
+    flow-table changes to the classes whose PMAC falls under a changed
+    trie prefix (on switches the class's last walk visited), link/device/
+    fault/wiring changes to the classes whose dependency set contains an
+    incident device — and re-walks only those, typically a handful out of
+    hundreds. The refreshed report is {e equivalent} to a fresh {!run}:
+    same {!canonical_lines}, same {!digest_of_report} (the differential
+    test suite and {!Incremental.check_against_full} enforce this). *)
+
+module Incremental : sig
+  type t
+
+  val attach : ?obs:Obs.t -> Portland.Fabric.t -> t
+  (** Subscribe to the fabric's journal (displacing any other subscriber)
+      and run one full baseline pass. [obs] (default the fabric's own
+      registry) receives [verify/delta_classes] and
+      [verify/incremental_ns] histograms per refresh and the
+      [verify/full_equiv_checks] counter. *)
+
+  val detach : t -> unit
+  (** Unsubscribe. The session's caches stay readable but no longer
+      track the fabric. *)
+
+  val refresh : t -> report
+  (** Drain queued updates, re-verify the affected classes/audits only,
+      and return the up-to-date report (canonically ordered). With no
+      queued updates this is cache assembly only — no walking. *)
+
+  val check : t -> Portland.Journal.update -> violation list
+  (** Feed one update by hand (it joins whatever the journal already
+      queued) and refresh: the µs-scale per-update entry point. Returns
+      the post-update violation list. *)
+
+  val report : t -> report
+  (** Assemble the current cached verdict without draining updates. *)
+
+  val digest : t -> string
+  (** [digest_of_report (report t)] — the verdict fingerprint used for
+      model-checker work sharing. *)
+
+  val delta_classes : t -> int
+  (** Classes re-walked by the most recent refresh. *)
+
+  val check_against_full : t -> bool
+  (** Refresh, run a fresh full {!run}, and compare digests — the
+      differential guarantee, counted on [verify/full_equiv_checks]. *)
+end

@@ -175,6 +175,18 @@ let test_mixed_campaign_clean () =
   | Some s -> Testutil.check_bool "convergence observed" true (s.Obs.n > 0)
   | None -> Alcotest.fail "no convergence_ms summary"
 
+(* a campaign with the incremental verifier riding along: every applied
+   action triggers a delta re-verification, and at every quiescent check
+   the incremental digest must equal the full run's *)
+let test_verify_every_update () =
+  let fab = Testutil.converged_fabric () in
+  let plan = Chaos.generate ~seed:7 ~duration:(Time.ms 4000) (Fabric.tree fab) in
+  let r = Chaos.run_campaign ~label:"inc" ~seed:7 ~verify_every_update:true fab plan in
+  Testutil.check_bool "campaign ok" true (Chaos.report_ok r);
+  Testutil.check_bool "updates were verified" true (r.Chaos.rep_updates_verified > 0);
+  Testutil.check_int "incremental never diverged from full" 0
+    r.Chaos.rep_incremental_divergences
+
 let test_campaign_json_deterministic () =
   let j seed = Obs.Json.to_string (Chaos.report_to_json (run_mixed seed)) in
   Testutil.check_string "same seed, byte-identical JSON" (j 42) (j 42)
@@ -193,4 +205,6 @@ let () =
           Alcotest.test_case "reboot across fm restart" `Quick test_recover_during_fm_restart ] );
       ( "campaigns",
         [ Alcotest.test_case "mixed campaign clean" `Slow test_mixed_campaign_clean;
+          Alcotest.test_case "incremental verify on every update" `Slow
+            test_verify_every_update;
           Alcotest.test_case "json deterministic" `Slow test_campaign_json_deterministic ] ) ]

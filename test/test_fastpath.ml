@@ -209,6 +209,74 @@ let test_trie_hit_counters () =
   ignore (FT.lookup_linear table frame);
   Testutil.check_int "reference lookup is pure" 2 (FT.hit_count table "host")
 
+(* ---------------- update journal ---------------- *)
+
+(* run [f] with the table's journal captured; returns the updates in
+   emission order, with the subscription torn down again *)
+let with_journal table f =
+  let log = ref [] in
+  FT.set_journal table (Some (fun u -> log := u :: !log));
+  f ();
+  FT.set_journal table None;
+  List.rev !log
+
+let show_updates us = String.concat "; " (List.map (Format.asprintf "%a" FT.pp_update) us)
+
+let prefix_entry ?(name = "host") ?(priority = 90) ?(out = 0) ~len v =
+  { FT.name; priority; mtch = FT.match_dst_prefix ~value:v ~mask:(prefix_mask len);
+    actions = [ FT.Output out ] }
+
+(* every mutation journals exactly the updates the incremental verifier
+   keys its class invalidation on, with masked-prefix provenance *)
+let test_journal_hooks () =
+  let table = FT.create () in
+  let v = 0x001F07030001 in
+  let expect what got want =
+    if got <> want then
+      Alcotest.failf "%s: journalled [%s], expected [%s]" what (show_updates got)
+        (show_updates want)
+  in
+  expect "fresh install carries its exact prefix"
+    (with_journal table (fun () -> FT.install table (prefix_entry ~len:48 v)))
+    [ FT.Installed { name = "host"; prefix = Some (v, 48) } ];
+  expect "same-prefix replacement is one install, no remove"
+    (with_journal table (fun () -> FT.install table (prefix_entry ~len:48 ~out:1 v)))
+    [ FT.Installed { name = "host"; prefix = Some (v, 48) } ];
+  expect "replacement that moved prefixes vacates the old one first"
+    (with_journal table (fun () -> FT.install table (prefix_entry ~len:16 v)))
+    [ FT.Removed { name = "host"; prefix = Some (v, 48) };
+      FT.Installed { name = "host"; prefix = Some (v land prefix_mask 16, 16) } ];
+  expect "removal reports the vacated prefix"
+    (with_journal table (fun () -> FT.remove table "host"))
+    [ FT.Removed { name = "host"; prefix = Some (v land prefix_mask 16, 16) } ];
+  expect "removing an absent name is silent"
+    (with_journal table (fun () -> FT.remove table "ghost"))
+    [];
+  expect "non-prefix matches are journalled as residual"
+    (with_journal table (fun () ->
+         FT.install table
+           { FT.name = "resid"; priority = 50;
+             mtch =
+               { (FT.match_dst_prefix ~value:v ~mask:(prefix_mask 16)) with
+                 FT.ethertype = Some 0x0800 };
+             actions = [ FT.Output 2 ] }))
+    [ FT.Installed { name = "resid"; prefix = None } ];
+  expect "a full wildcard indexes at the trie root"
+    (with_journal table (fun () ->
+         FT.install table
+           { FT.name = "default"; priority = 1; mtch = FT.match_any; actions = [ FT.Drop ] }))
+    [ FT.Installed { name = "default"; prefix = Some (0, 0) } ];
+  expect "group edits journal the group id"
+    (with_journal table (fun () -> FT.set_group table 7 [| 1; 2 |]))
+    [ FT.Group_changed { group = 7 } ];
+  expect "clear journals one wholesale wipe"
+    (with_journal table (fun () -> FT.clear table))
+    [ FT.Cleared ];
+  (* unsubscribing really silences the stream *)
+  FT.set_journal table (Some (fun u -> Alcotest.failf "fired after unsubscribe: %s" (show_updates [ u ])));
+  FT.set_journal table None;
+  FT.install table (prefix_entry ~len:48 v)
+
 (* ---------------- codec differential fuzz ---------------- *)
 
 open Netcore
@@ -462,6 +530,9 @@ let () =
           Alcotest.test_case "tie-breaking across tiers" `Quick test_trie_tie_break;
           Alcotest.test_case "hit counters on the fast path" `Quick test_trie_hit_counters;
           prop_differential ] );
+      ( "update journal",
+        [ Alcotest.test_case "mutations journal with prefix provenance" `Quick
+            test_journal_hooks ] );
       ( "codec differential",
         [ prop_fast_encode_identical;
           prop_fast_roundtrip;

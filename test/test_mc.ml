@@ -53,6 +53,16 @@ let test_scenarios_hold_invariants () =
           (String.concat "; " r.Mc.run_violations))
     [ Mc.Boot; Mc.Fault; Mc.Reboot ]
 
+let test_run_digest_deterministic () =
+  let a = Mc.run_schedule tiny [||] and b = Mc.run_schedule tiny [||] in
+  Testutil.check_string "same schedule, same verdict digest" a.Mc.run_digest b.Mc.run_digest;
+  Testutil.check_int "digest is 16 hex chars" 16 (String.length a.Mc.run_digest);
+  (* the digest keys the verdict cache, so it must be sensitive to the
+     dataplane verdict itself *)
+  let c = Mc.run_schedule { tiny with Mc.corrupt = Some Mc.Wrong_port } [||] in
+  Testutil.check_bool "corruption changes the verdict digest" true
+    (c.Mc.run_digest <> a.Mc.run_digest)
+
 let test_check_invariants_clean_fabric () =
   let fab = Testutil.converged_fabric ~k:4 () in
   Testutil.check_bool "invariant pack holds on a converged k=4 fabric" true
@@ -70,6 +80,17 @@ let test_explore_counts () =
     (rep.Mc.rep_interleavings <= rep.Mc.rep_schedules_run);
   Testutil.check_bool "found several distinct interleavings" true
     (rep.Mc.rep_interleavings >= 4)
+
+let test_verdict_cache_accounting () =
+  let rep = Mc.explore tiny in
+  (* every converged schedule either hit the verdict cache or paid one
+     incremental-vs-full differential check on the miss *)
+  Testutil.check_int "hits + equiv checks = schedules run" rep.Mc.rep_schedules_run
+    (rep.Mc.rep_digest_hits + rep.Mc.rep_equiv_checks);
+  Testutil.check_bool "verdict work was shared across interleavings" true
+    (rep.Mc.rep_digest_hits > 0);
+  Testutil.check_bool "at least one differential check ran" true (rep.Mc.rep_equiv_checks > 0);
+  Testutil.check_bool "no divergence reported" true (Mc.report_ok rep)
 
 let test_explore_deterministic () =
   let a = Obs.Json.to_string (Mc.report_to_json (Mc.explore tiny)) in
@@ -171,12 +192,15 @@ let () =
           Alcotest.test_case "delays genuinely reorder deliveries" `Quick
             test_delays_reorder_deliveries;
           Alcotest.test_case "runs render deterministically" `Quick test_run_is_deterministic;
+          Alcotest.test_case "verdict digests are stable and sensitive" `Quick
+            test_run_digest_deterministic;
           Alcotest.test_case "boot/fault/reboot scenarios hold the pack" `Quick
             test_scenarios_hold_invariants;
           Alcotest.test_case "invariant pack alone on a clean k=4 fabric" `Quick
             test_check_invariants_clean_fabric ] );
       ( "exploration",
         [ Alcotest.test_case "honest counts, no violations" `Quick test_explore_counts;
+          Alcotest.test_case "verdict cache accounting" `Quick test_verdict_cache_accounting;
           Alcotest.test_case "exploration is deterministic" `Quick test_explore_deterministic;
           Alcotest.test_case "pruning is a pure subset, and reported" `Quick
             test_noprune_superset ] );

@@ -223,6 +223,172 @@ let test_empty_group_detected () =
          | _ -> false)
        r.Verify.violations)
 
+(* ---------------- incremental verification ---------------- *)
+
+module VI = Verify.Incremental
+
+(* the differential guarantee: the session's cached verdict must render to
+   exactly the full run's canonical lines (and digest, which also covers
+   the coverage counts) at any instant *)
+let check_agrees ?(msg = "incremental = full") inc fab =
+  let ir = VI.refresh inc in
+  let fr = Verify.run fab in
+  if Verify.canonical_lines ir <> Verify.canonical_lines fr then
+    Alcotest.failf "%s:@.--- incremental ---@.%a--- full ---@.%a" msg Verify.pp_report ir
+      Verify.pp_report fr;
+  Testutil.check_string (msg ^ " (digest)") (Verify.digest_of_report fr)
+    (Verify.digest_of_report ir)
+
+let test_incremental_matches_full_when_clean () =
+  let fab = Testutil.converged_fabric () in
+  let inc = VI.attach fab in
+  check_agrees inc fab;
+  Testutil.check_bool "differential self-check" true (VI.check_against_full inc);
+  ignore (VI.refresh inc);
+  Testutil.check_int "a no-op refresh re-walks zero classes" 0 (VI.delta_classes inc);
+  VI.detach inc
+
+let test_incremental_localized_invalidation () =
+  let fab = Testutil.converged_fabric () in
+  let inc = VI.attach fab in
+  ignore (VI.refresh inc);
+  let b = binding_of fab ~pod:0 ~edge:0 ~slot:0 in
+  let table = Switch_agent.table (Fabric.agent fab b.Msg.edge_switch) in
+  let name = Printf.sprintf "host:%d" (Netcore.Mac_addr.to_int (Pmac.to_mac b.Msg.pmac)) in
+  let orig =
+    match FT.find_entry table name with
+    | Some e -> e
+    | None -> Alcotest.fail "host entry missing from its edge table"
+  in
+  (* corrupt one host's exact-match entry: only the matching class may
+     re-walk, and the wrong port must be caught *)
+  FT.install table
+    { orig with
+      FT.actions = [ FT.Set_dst_mac b.Msg.amac; FT.Output ((b.Msg.pmac.Pmac.port + 1) mod 2) ] };
+  let r = VI.refresh inc in
+  Testutil.check_bool "incremental catches the wrong port" false (Verify.ok r);
+  Testutil.check_int "exactly the corrupted class re-walked" 1 (VI.delta_classes inc);
+  check_agrees ~msg:"corrupted state" inc fab;
+  FT.install table orig;
+  let r = VI.refresh inc in
+  Testutil.check_bool "clean again after the repair" true (Verify.ok r);
+  Testutil.check_int "the repair re-walked one class" 1 (VI.delta_classes inc);
+  check_agrees ~msg:"after repair" inc fab;
+  VI.detach inc
+
+let test_dead_edge_is_note_not_blackhole () =
+  let fab = Testutil.converged_fabric () in
+  let inc = VI.attach fab in
+  let mt = Fabric.tree fab in
+  let edge = mt.MR.edges.(0).(0) in
+  Fabric.fail_switch fab edge;
+  Fabric.run_for fab (Time.ms 400);
+  let full = Verify.run fab in
+  (* the stranded classes are legitimately gone: informational notes, not
+     spurious "switch is down" blackholes *)
+  if not (Verify.ok full) then
+    Alcotest.failf "dead edge produced violations:@.%a" Verify.pp_report full;
+  Testutil.check_int "one note per stranded host"
+    (Fabric.spec fab).MR.hosts_per_edge (List.length full.Verify.notes);
+  List.iter
+    (fun (Verify.Unreachable_class { switch; _ }) ->
+      Testutil.check_int "note names the dead edge" edge switch)
+    full.Verify.notes;
+  check_agrees ~msg:"mid-crash" inc fab;
+  Fabric.recover_switch fab edge;
+  Testutil.check_bool "reconverged after reboot" true (Fabric.await_convergence fab);
+  let healed = VI.refresh inc in
+  Testutil.check_bool "healed, notes drained" true
+    (Verify.ok healed && healed.Verify.notes = []);
+  check_agrees ~msg:"after reboot" inc fab;
+  VI.detach inc
+
+(* drive a seeded failure/recovery/corruption script, re-asserting the
+   differential guarantee after every step — including non-quiescent
+   points mid-recomputation *)
+let differential_script ~k ~seed ~ops () =
+  let fab = Testutil.converged_fabric ~k ~seed () in
+  let inc = VI.attach fab in
+  let mt = Fabric.tree fab in
+  let pods = Array.length mt.MR.edges in
+  let epp = Array.length mt.MR.edges.(0) in
+  let app = Array.length mt.MR.aggs.(0) in
+  let ncores = Array.length mt.MR.cores in
+  let hpe = (Fabric.spec fab).MR.hosts_per_edge in
+  let p = Prng.create ((seed * 7) + 1) in
+  let settle ms = Fabric.run_for fab (Time.ms ms) in
+  for op = 1 to ops do
+    let agree what = check_agrees ~msg:(Printf.sprintf "op %d: %s" op what) inc fab in
+    match Prng.int p 6 with
+    | 0 ->
+      let a = mt.MR.edges.(Prng.int p pods).(Prng.int p epp)
+      and b = mt.MR.aggs.(Prng.int p pods).(Prng.int p app) in
+      if Fabric.fail_link_between fab ~a ~b then begin
+        settle 300;
+        agree "edge-agg link down";
+        ignore (Fabric.recover_link_between fab ~a ~b);
+        settle 300;
+        agree "edge-agg link recovered"
+      end
+    | 1 ->
+      let a = mt.MR.aggs.(Prng.int p pods).(Prng.int p app)
+      and b = mt.MR.cores.(Prng.int p ncores) in
+      if Fabric.fail_link_between fab ~a ~b then begin
+        settle 300;
+        agree "agg-core link down";
+        ignore (Fabric.recover_link_between fab ~a ~b);
+        settle 300;
+        agree "agg-core link recovered"
+      end
+    | 2 ->
+      let sw = mt.MR.aggs.(Prng.int p pods).(Prng.int p app) in
+      Fabric.fail_switch fab sw;
+      settle 300;
+      agree "agg crashed";
+      Fabric.recover_switch fab sw;
+      Testutil.check_bool "reconverged after agg reboot" true (Fabric.await_convergence fab);
+      agree "agg rebooted"
+    | 3 ->
+      let sw = mt.MR.edges.(Prng.int p pods).(Prng.int p epp) in
+      Fabric.fail_switch fab sw;
+      settle 300;
+      agree "edge crashed";
+      Fabric.recover_switch fab sw;
+      Testutil.check_bool "reconverged after edge reboot" true (Fabric.await_convergence fab);
+      agree "edge rebooted"
+    | 4 ->
+      let b =
+        binding_of fab ~pod:(Prng.int p pods) ~edge:(Prng.int p epp) ~slot:(Prng.int p hpe)
+      in
+      let table = Switch_agent.table (Fabric.agent fab b.Msg.edge_switch) in
+      let name = Printf.sprintf "host:%d" (Netcore.Mac_addr.to_int (Pmac.to_mac b.Msg.pmac)) in
+      (match FT.find_entry table name with
+       | None -> Alcotest.fail "host entry missing from its edge table"
+       | Some orig ->
+         FT.install table
+           { orig with
+             FT.actions =
+               [ FT.Set_dst_mac b.Msg.amac; FT.Output ((b.Msg.pmac.Pmac.port + 1) mod hpe) ] };
+         agree "host entry corrupted";
+         FT.install table orig;
+         agree "host entry repaired")
+    | _ ->
+      Fabric.restart_fabric_manager fab;
+      settle 400;
+      Testutil.check_bool "reconverged after fm restart" true (Fabric.await_convergence fab);
+      agree "fm restarted"
+  done;
+  Testutil.check_bool "final differential self-check" true (VI.check_against_full inc);
+  VI.detach inc
+
+let prop_incremental_differential =
+  Testutil.prop "incremental = full over random op scripts (k in {4,8})" ~count:4
+    QCheck2.Gen.(int_bound 10_000)
+    (fun seed ->
+      let k = if seed mod 4 = 0 then 8 else 4 in
+      differential_script ~k ~seed:(seed + 1) ~ops:4 ();
+      true)
+
 let test_report_renders () =
   let fab = Testutil.converged_fabric () in
   let clean = Format.asprintf "%a" Verify.pp_report (Verify.run fab) in
@@ -256,5 +422,15 @@ let () =
           Alcotest.test_case "stale fault-matrix entry" `Quick test_stale_fault_detected;
           Alcotest.test_case "unknown fault coordinate" `Quick test_unknown_fault_coordinate;
           Alcotest.test_case "empty ECMP group" `Quick test_empty_group_detected ] );
+      ( "incremental",
+        [ Alcotest.test_case "matches full on a clean fabric" `Quick
+            test_incremental_matches_full_when_clean;
+          Alcotest.test_case "localized invalidation catches corruption" `Quick
+            test_incremental_localized_invalidation;
+          Alcotest.test_case "dead edge is a note, not a blackhole" `Quick
+            test_dead_edge_is_note_not_blackhole;
+          Alcotest.test_case "scripted failure/recovery differential" `Slow
+            (differential_script ~k:4 ~seed:7 ~ops:8);
+          prop_incremental_differential ] );
       ( "report",
         [ Alcotest.test_case "pretty-printing" `Quick test_report_renders ] ) ]
