@@ -214,6 +214,7 @@ let run_micro ~quick =
   rows
 
 type scal_row = {
+  family : string;
   k : int;
   hosts : int;
   switches : int;
@@ -224,33 +225,51 @@ type scal_row = {
 }
 
 (* meta-benchmark: how big a fabric this simulator itself handles — wall
-   clock and engine events to full self-configuration *)
+   clock and engine events to full self-configuration, for every member
+   of the topology family (plain/AB fat trees and the oversubscribed
+   two-layer leaf–spine) *)
 let run_scalability ~quick =
   print_endline "=== Simulator scalability: time to self-configure a fabric ===";
-  Printf.printf "  %-4s %-7s %-9s %-14s %-13s %-12s\n" "k" "hosts" "switches" "sim time (ms)"
-    "wall (s)" "events";
-  let rows =
-    List.map
-      (fun k ->
-        let t0 = Unix.gettimeofday () in
-        let fab = Portland.Fabric.create_fattree ~k () in
-        let ok = Portland.Fabric.await_convergence ~timeout:(Eventsim.Time.sec 10) fab in
-        let t1 = Unix.gettimeofday () in
-        let row =
-          { k;
-            hosts = Topology.Fattree.num_hosts ~k;
-            switches = Topology.Fattree.num_switches ~k;
-            sim_ms = Eventsim.Time.to_ms_f (Portland.Fabric.now fab);
-            wall_s = t1 -. t0;
-            events = Eventsim.Engine.events_processed (Portland.Fabric.engine fab);
-            converged = ok }
-        in
-        Printf.printf "  %-4d %-7d %-9d %-14.1f %-13.2f %-12d%s\n" row.k row.hosts
-          row.switches row.sim_ms row.wall_s row.events
-          (if ok then "" else "  (DID NOT CONVERGE)");
-        row)
-      (if quick then [ 4; 8 ] else [ 4; 8; 12; 16; 20; 24 ])
+  Printf.printf "  %-10s %-4s %-7s %-9s %-14s %-13s %-12s\n" "family" "k" "hosts" "switches"
+    "sim time (ms)" "wall (s)" "events";
+  let one family k =
+    let fam =
+      match Topology.Topo.Family.of_string ~k family with
+      | Ok f -> f
+      | Error e -> failwith ("bench: " ^ e)
+    in
+    let spec = Topology.Multirooted.spec_of_family fam in
+    let t0 = Unix.gettimeofday () in
+    let fab = Portland.Fabric.create_family fam in
+    let ok = Portland.Fabric.await_convergence ~timeout:(Eventsim.Time.sec 10) fab in
+    let t1 = Unix.gettimeofday () in
+    let row =
+      { family;
+        k;
+        hosts =
+          spec.Topology.Multirooted.num_pods * spec.Topology.Multirooted.edges_per_pod
+          * spec.Topology.Multirooted.hosts_per_edge;
+        switches =
+          (spec.Topology.Multirooted.num_pods
+          * (spec.Topology.Multirooted.edges_per_pod + spec.Topology.Multirooted.aggs_per_pod)
+          )
+          + spec.Topology.Multirooted.num_cores;
+        sim_ms = Eventsim.Time.to_ms_f (Portland.Fabric.now fab);
+        wall_s = t1 -. t0;
+        events = Eventsim.Engine.events_processed (Portland.Fabric.engine fab);
+        converged = ok }
+    in
+    Printf.printf "  %-10s %-4d %-7d %-9d %-14.1f %-13.2f %-12d%s\n" row.family row.k
+      row.hosts row.switches row.sim_ms row.wall_s row.events
+      (if ok then "" else "  (DID NOT CONVERGE)");
+    row
   in
+  let plain_ks = if quick then [ 4; 8 ] else [ 4; 8; 12; 16; 20; 24 ] in
+  let alt_ks = if quick then [ 4 ] else [ 4; 8; 16 ] in
+  let plain_rows = List.map (one "plain") plain_ks in
+  let ab_rows = List.map (one "ab") alt_ks in
+  let flat_rows = List.map (one "two-layer") alt_ks in
+  let rows = plain_rows @ ab_rows @ flat_rows in
   print_newline ();
   rows
 
@@ -323,9 +342,9 @@ let write_json ~out ~micro ~scal =
   List.iteri
     (fun i r ->
       add
-        "    {\"k\": %d, \"hosts\": %d, \"switches\": %d, \"sim_ms\": %.1f, \"wall_s\": \
-         %.3f, \"events\": %d, \"converged\": %b}%s\n"
-        r.k r.hosts r.switches r.sim_ms r.wall_s r.events r.converged
+        "    {\"family\": \"%s\", \"k\": %d, \"hosts\": %d, \"switches\": %d, \"sim_ms\": \
+         %.1f, \"wall_s\": %.3f, \"events\": %d, \"converged\": %b}%s\n"
+        (json_escape r.family) r.k r.hosts r.switches r.sim_ms r.wall_s r.events r.converged
         (if i = List.length scal - 1 then "" else ","))
     scal;
   add "  ]\n";

@@ -5,11 +5,19 @@ open Cmdliner
 
 (* ---------------- options shared by every subcommand ---------------- *)
 
-type common = { k : int; seed : int; verbose : bool }
+type common = { k : int; topo : string; seed : int; verbose : bool }
 
 let k_arg =
   let doc = "Fat-tree arity (even, >= 2)." in
   Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc)
+
+let topology_arg =
+  let doc =
+    "Topology family member: plain (three-tier fat tree), ab (F10-style AB fat tree with \
+     type-A/type-B pod striping), or two-layer (oversubscribed leaf-spine with K leaves and \
+     K/2 spines)."
+  in
+  Arg.(value & opt string "plain" & info [ "topology" ] ~docv:"FAMILY" ~doc)
 
 let seed_arg =
   let doc = "Deterministic random seed." in
@@ -20,7 +28,27 @@ let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
 let common_term =
-  Term.(const (fun k seed verbose -> { k; seed; verbose }) $ k_arg $ seed_arg $ verbose_arg)
+  Term.(
+    const (fun k topo seed verbose -> { k; topo; seed; verbose })
+    $ k_arg $ topology_arg $ seed_arg $ verbose_arg)
+
+let family_of { k; topo; _ } =
+  match Topology.Topo.Family.of_string ~k topo with
+  | Ok f -> f
+  | Error e ->
+    prerr_endline e;
+    exit 2
+
+let create_fabric ?obs ?spare_slots c =
+  Portland.Fabric.create_family ?obs ?spare_slots ~seed:c.seed (family_of c)
+
+let describe_fabric c fab =
+  let spec = Portland.Fabric.spec fab in
+  let module MR = Topology.Multirooted in
+  Printf.sprintf "k=%d %s (%d hosts, %d switches)" c.k
+    (Topology.Topo.Family.to_string (family_of c))
+    (spec.MR.num_pods * spec.MR.edges_per_pod * spec.MR.hosts_per_edge)
+    ((spec.MR.num_pods * (spec.MR.edges_per_pod + spec.MR.aggs_per_pod)) + spec.MR.num_cores)
 
 let duration_arg =
   let doc = "Scenario duration after convergence, in milliseconds." in
@@ -68,23 +96,22 @@ let write_metrics obs = function
 
 (* ---------------- scenarios ---------------- *)
 
-let run_scenario { k; seed; verbose } ~duration_ms ~scenario ~pcap_file ~dot_file ~metrics_out
-    =
+let run_scenario ({ k; verbose; _ } as c) ~duration_ms ~scenario ~pcap_file ~dot_file
+    ~metrics_out =
   let open Eventsim in
   let obs = Obs.create () in
-  let fab = Portland.Fabric.create_fattree ~seed ~obs ~k () in
+  let fab = create_fabric ~obs c in
   (match dot_file with
    | Some path ->
      let oc = open_out path in
      output_string oc
-       (Topology.Topo.to_dot ~name:(Printf.sprintf "fattree-k%d" k)
-          (Topology.Multirooted.build (Topology.Fattree.spec ~k)).Topology.Multirooted.topo);
+       (Topology.Topo.to_dot
+          ~name:(Printf.sprintf "%s-k%d" (Topology.Topo.Family.to_string (family_of c)) k)
+          (Portland.Fabric.tree fab).Topology.Multirooted.topo);
      close_out oc;
      Printf.printf "wrote topology graph to %s (render with: dot -Tsvg %s)\n" path path
    | None -> ());
-  Printf.printf "built k=%d fat tree: %d hosts, %d switches\n%!" k
-    (Topology.Fattree.num_hosts ~k)
-    (Topology.Fattree.num_switches ~k);
+  Printf.printf "built %s\n%!" (describe_fabric c fab);
   let capture =
     match pcap_file with
     | None -> None
@@ -113,7 +140,7 @@ let run_scenario { k; seed; verbose } ~duration_ms ~scenario ~pcap_file ~dot_fil
      (* needs a spare slot: rebuild the fabric with one; its probes
         supersede the first fabric's under the same obs *)
      Printf.printf "(migrate scenario uses its own fabric with a spare slot in pod 1)\n";
-     let fab = Portland.Fabric.create_fattree ~seed ~obs ~k ~spare_slots:[ (1, 0, 0) ] () in
+     let fab = create_fabric ~obs ~spare_slots:[ (1, 0, 0) ] c in
      assert (Portland.Fabric.await_convergence fab);
      let client = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
      let vm = Portland.Fabric.host fab ~pod:(k - 1) ~edge:0 ~slot:1 in
@@ -197,18 +224,18 @@ let run_scenario { k; seed; verbose } ~duration_ms ~scenario ~pcap_file ~dot_fil
 
 (* ---------------- metrics snapshot ---------------- *)
 
-let run_stats { k; seed; verbose } ~duration_ms ~metrics_out ~csv_out =
+let run_stats ({ verbose; _ } as c) ~duration_ms ~metrics_out ~csv_out =
   let open Eventsim in
   let obs = Obs.create () in
-  let fab = Portland.Fabric.create_fattree ~seed ~obs ~k () in
+  let fab = create_fabric ~obs c in
   if not (Portland.Fabric.await_convergence fab) then begin
     prerr_endline "fabric failed to converge";
     exit 1
   end;
   let sent, received = ping_all fab in
   Portland.Fabric.run_for fab (Time.ms duration_ms);
-  Printf.printf
-    "k=%d fat tree, converged at %s; ping-all warm-up: %d sent, %d received\n%!" k
+  Printf.printf "%s, converged at %s; ping-all warm-up: %d sent, %d received\n%!"
+    (describe_fabric c fab)
     (Time.to_string (Portland.Fabric.now fab))
     sent !received;
   Format.printf "%a" Obs.pp_snapshot obs;
@@ -224,28 +251,33 @@ let run_stats { k; seed; verbose } ~duration_ms ~metrics_out ~csv_out =
 
 (* ---------------- static verification ---------------- *)
 
-let run_verify { k; seed; verbose } ~inject ~corrupt ~json_out =
+let run_verify ({ k; verbose; _ } as c) ~inject ~corrupt ~json_out =
   let open Eventsim in
   let module MR = Topology.Multirooted in
   let module FT = Switchfab.Flow_table in
   let module Verify = Portland_verify.Verify in
-  let fab = Portland.Fabric.create_fattree ~seed ~k () in
+  let fab = create_fabric c in
   if not (Portland.Fabric.await_convergence fab) then begin
     prerr_endline "fabric failed to converge";
     exit 2
   end;
-  Printf.printf "k=%d fat tree converged at %s\n%!" k
+  Printf.printf "%s converged at %s\n%!" (describe_fabric c fab)
     (Time.to_string (Portland.Fabric.now fab));
   let mt = Portland.Fabric.tree fab in
+  let spec = Portland.Fabric.spec fab in
+  (* the first uplink peer of edge (p, 0): an agg, or a spine under flat *)
+  let first_up p =
+    if spec.MR.wiring = MR.Flat then mt.MR.cores.(0) else mt.MR.aggs.(p).(0)
+  in
   if inject > 0 then begin
-    (* deterministic, non-partitioning failures: one edge-agg link in each
-       of the first [inject] pods, then let the fabric reconverge *)
+    (* deterministic, non-partitioning failures: one uplink of edge (p, 0)
+       in each of the first [inject] pods, then let the fabric reconverge *)
     let n = min inject (Array.length mt.MR.edges) in
     for p = 0 to n - 1 do
-      ignore (Portland.Fabric.fail_link_between fab ~a:mt.MR.edges.(p).(0) ~b:mt.MR.aggs.(p).(0))
+      ignore (Portland.Fabric.fail_link_between fab ~a:mt.MR.edges.(p).(0) ~b:(first_up p))
     done;
     Portland.Fabric.run_for fab (Time.ms 300);
-    Printf.printf "injected %d edge-agg link failure(s) and reconverged\n%!" n
+    Printf.printf "injected %d uplink failure(s) and reconverged\n%!" n
   end;
   let binding_of ~pod =
     let h = Portland.Fabric.host fab ~pod ~edge:0 ~slot:0 in
@@ -280,34 +312,39 @@ let run_verify { k; seed; verbose } ~inject ~corrupt ~json_out =
           mtch = exact_match b;
           actions =
             [ FT.Set_dst_mac b.Portland.Msg.amac;
-              FT.Output ((b.Portland.Msg.pmac.Portland.Pmac.port + 1) mod (k / 2)) ] };
+              FT.Output
+                ((b.Portland.Msg.pmac.Portland.Pmac.port + 1) mod spec.MR.hosts_per_edge) ] };
       Printf.printf "corrupted: host entry on switch %d points at the wrong port\n%!"
         b.Portland.Msg.edge_switch;
       None
     | Some "loop" ->
-      (* bounce a remote pod's class between edge(0,0) and agg(0,0) *)
+      (* bounce a remote pod's class between edge(0,0) and its first
+         uplink peer (agg(0,0), or spine 0 under flat wiring) *)
       let b = binding_of ~pod:(k - 1) in
-      let up_port = k / 2 (* first uplink: host ports come first *) in
+      let up_port = spec.MR.hosts_per_edge (* first uplink: host ports come first *) in
       FT.install
         (Portland.Switch_agent.table (Portland.Fabric.agent fab mt.MR.edges.(0).(0)))
         { FT.name = "evil-up"; priority = 200; mtch = exact_match b;
           actions = [ FT.Output up_port ] };
       FT.install
-        (Portland.Switch_agent.table (Portland.Fabric.agent fab mt.MR.aggs.(0).(0)))
+        (Portland.Switch_agent.table (Portland.Fabric.agent fab (first_up 0)))
         { FT.name = "evil-down"; priority = 200; mtch = exact_match b;
           actions = [ FT.Output 0 ] };
-      Printf.printf "corrupted: looping entry pair installed on edge(0,0)/agg(0,0)\n%!";
+      Printf.printf "corrupted: looping entry pair installed on edge(0,0) and its uplink\n%!";
       None
     | Some "stale-fault" ->
       (* verify against a fault matrix naming a demonstrably alive link *)
       let stale =
         match
           ( Portland.Switch_agent.coords (Portland.Fabric.agent fab mt.MR.edges.(0).(0)),
-            Portland.Switch_agent.coords (Portland.Fabric.agent fab mt.MR.aggs.(0).(0)) )
+            Portland.Switch_agent.coords (Portland.Fabric.agent fab (first_up 0)) )
         with
         | Some (Portland.Coords.Edge { pod; position }), Some (Portland.Coords.Agg { stripe; _ })
           ->
           Portland.Fault.Edge_agg { pod; edge_pos = position; stripe }
+        | Some (Portland.Coords.Edge { pod; _ }), Some (Portland.Coords.Core { stripe; member })
+          ->
+          Portland.Fault.Agg_core { pod; stripe; member }
         | _ ->
           prerr_endline "switches have no coordinates";
           exit 2
@@ -335,7 +372,8 @@ let run_verify { k; seed; verbose } ~inject ~corrupt ~json_out =
 
 (* ---------------- chaos campaigns ---------------- *)
 
-let run_chaos { k; seed; verbose } ~duration_ms ~campaign ~verify_every_update ~json_out =
+let run_chaos ({ seed; verbose; _ } as c) ~duration_ms ~campaign ~verify_every_update
+    ~json_out =
   let open Eventsim in
   let profile =
     match Chaos.profile_of_string campaign with
@@ -346,12 +384,13 @@ let run_chaos { k; seed; verbose } ~duration_ms ~campaign ~verify_every_update ~
       exit 2
   in
   let obs = Obs.create () in
-  let fab = Portland.Fabric.create_fattree ~seed ~obs ~k () in
+  let fab = create_fabric ~obs c in
   if not (Portland.Fabric.await_convergence fab) then begin
     prerr_endline "fabric failed to converge";
     exit 2
   end;
-  Printf.printf "k=%d fat tree converged at %s; campaign=%s duration=%dms seed=%d\n%!" k
+  Printf.printf "%s converged at %s; campaign=%s duration=%dms seed=%d\n%!"
+    (describe_fabric c fab)
     (Time.to_string (Portland.Fabric.now fab))
     campaign duration_ms seed;
   let plan =
@@ -396,8 +435,8 @@ let run_chaos { k; seed; verbose } ~duration_ms ~campaign ~verify_every_update ~
 
 (* ---------------- model checking ---------------- *)
 
-let run_mc { k; seed; verbose } ~depth ~max_step ~delay_budget ~quantum_us ~scenario ~corrupt
-    ~no_prune ~replay ~json_out =
+let run_mc { k; topo; seed; verbose } ~depth ~max_step ~delay_budget ~quantum_us ~scenario
+    ~corrupt ~no_prune ~replay ~json_out =
   let open Eventsim in
   match replay with
   | Some token ->
@@ -432,6 +471,7 @@ let run_mc { k; seed; verbose } ~depth ~max_step ~delay_budget ~quantum_us ~scen
     in
     let p =
       { Mc.k;
+        topo;
         seed;
         scenario;
         depth;
@@ -442,9 +482,9 @@ let run_mc { k; seed; verbose } ~depth ~max_step ~delay_budget ~quantum_us ~scen
         corrupt }
     in
     Printf.printf
-      "mc: k=%d seed=%d scenario=%s depth=%d max_step=%d budget=%d quantum=%dus prune=%b \
-       corrupt=%s\n%!"
-      p.Mc.k p.Mc.seed
+      "mc: k=%d topo=%s seed=%d scenario=%s depth=%d max_step=%d budget=%d quantum=%dus \
+       prune=%b corrupt=%s\n%!"
+      p.Mc.k p.Mc.topo p.Mc.seed
       (Mc.scenario_to_string p.Mc.scenario)
       p.Mc.depth p.Mc.max_step p.Mc.delay_budget (p.Mc.quantum / 1000) p.Mc.prune
       (Mc.corruption_to_string p.Mc.corrupt);

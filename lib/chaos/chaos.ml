@@ -53,31 +53,53 @@ let profile_to_string = function
    matrix agree at quiescent points). *)
 type flink = { la : int; lb : int; lfault : Portland.Fault.t }
 
-let edge_agg_link (mt : MR.t) ~pod ~edge_pos ~stripe =
+(* Fault keys come from the builder's ground-truth labels
+   ([agg_stripe_label], [core_label], [agg_uplink_core_index]), which the
+   fabric manager's deterministic inference reproduces — so the
+   generator's shadow set and the FM's matrix agree at quiescent points
+   under every wiring discipline. *)
+let edge_agg_link (mt : MR.t) ~pod ~edge_pos ~agg_pos =
+  let stripe = MR.agg_stripe_label mt.MR.spec ~pod ~agg_pos in
   { la = mt.MR.edges.(pod).(edge_pos);
-    lb = mt.MR.aggs.(pod).(stripe);
+    lb = mt.MR.aggs.(pod).(agg_pos);
     lfault = Portland.Fault.Edge_agg { pod; edge_pos; stripe } }
 
-let agg_core_link (mt : MR.t) ~pod ~stripe ~member =
-  let u = MR.uplinks_per_agg mt.MR.spec in
-  { la = mt.MR.aggs.(pod).(stripe);
-    lb = mt.MR.cores.((stripe * u) + member);
-    lfault = Portland.Fault.Agg_core { pod; stripe; member } }
+let agg_core_link (mt : MR.t) ~pod ~agg_pos ~j =
+  let s = mt.MR.spec in
+  let idx = MR.agg_uplink_core_index s ~pod ~agg_pos ~j in
+  let row, member = MR.core_label s ~index:idx in
+  { la = mt.MR.aggs.(pod).(agg_pos);
+    lb = mt.MR.cores.(idx);
+    lfault = Portland.Fault.Agg_core { pod; stripe = row; member } }
+
+(* flat wiring: a leaf's uplink [m] lands on spine [m] directly *)
+let edge_core_link (mt : MR.t) ~pod ~m =
+  let row, member = MR.core_label mt.MR.spec ~index:m in
+  { la = mt.MR.edges.(pod).(0);
+    lb = mt.MR.cores.(m);
+    lfault = Portland.Fault.Agg_core { pod; stripe = row; member } }
 
 let all_flinks (mt : MR.t) =
   let s = mt.MR.spec in
   let u = MR.uplinks_per_agg s in
   let acc = ref [] in
-  for pod = s.MR.num_pods - 1 downto 0 do
-    for stripe = s.MR.aggs_per_pod - 1 downto 0 do
-      for member = u - 1 downto 0 do
-        acc := agg_core_link mt ~pod ~stripe ~member :: !acc
-      done;
-      for edge_pos = s.MR.edges_per_pod - 1 downto 0 do
-        acc := edge_agg_link mt ~pod ~edge_pos ~stripe :: !acc
+  if s.MR.wiring = MR.Flat then
+    for pod = s.MR.num_pods - 1 downto 0 do
+      for m = s.MR.num_cores - 1 downto 0 do
+        acc := edge_core_link mt ~pod ~m :: !acc
       done
     done
-  done;
+  else
+    for pod = s.MR.num_pods - 1 downto 0 do
+      for agg_pos = s.MR.aggs_per_pod - 1 downto 0 do
+        for j = u - 1 downto 0 do
+          acc := agg_core_link mt ~pod ~agg_pos ~j :: !acc
+        done;
+        for edge_pos = s.MR.edges_per_pod - 1 downto 0 do
+          acc := edge_agg_link mt ~pod ~edge_pos ~agg_pos :: !acc
+        done
+      done
+    done;
   !acc
 
 (* Crashing a switch downs all its fabric links at once. Only aggregation
@@ -87,22 +109,22 @@ let crash_candidates (mt : MR.t) =
   let s = mt.MR.spec in
   let u = MR.uplinks_per_agg s in
   let acc = ref [] in
-  for stripe = s.MR.aggs_per_pod - 1 downto 0 do
-    for member = u - 1 downto 0 do
-      let faults =
-        List.init s.MR.num_pods (fun pod -> Portland.Fault.Agg_core { pod; stripe; member })
-      in
-      acc := (mt.MR.cores.((stripe * u) + member), faults) :: !acc
-    done
+  for idx = s.MR.num_cores - 1 downto 0 do
+    let row, member = MR.core_label s ~index:idx in
+    let faults =
+      List.init s.MR.num_pods (fun pod ->
+          Portland.Fault.Agg_core { pod; stripe = row; member })
+    in
+    acc := (mt.MR.cores.(idx), faults) :: !acc
   done;
   for pod = s.MR.num_pods - 1 downto 0 do
-    for stripe = s.MR.aggs_per_pod - 1 downto 0 do
+    for agg_pos = s.MR.aggs_per_pod - 1 downto 0 do
       let faults =
         List.init s.MR.edges_per_pod (fun edge_pos ->
-            Portland.Fault.Edge_agg { pod; edge_pos; stripe })
-        @ List.init u (fun member -> Portland.Fault.Agg_core { pod; stripe; member })
+            (edge_agg_link mt ~pod ~edge_pos ~agg_pos).lfault)
+        @ List.init u (fun j -> (agg_core_link mt ~pod ~agg_pos ~j).lfault)
       in
-      acc := (mt.MR.aggs.(pod).(stripe), faults) :: !acc
+      acc := (mt.MR.aggs.(pod).(agg_pos), faults) :: !acc
     done
   done;
   !acc
@@ -129,21 +151,33 @@ let generate ?(profile = Mixed) ~seed ~duration (mt : MR.t) =
   let jit lo hi = Time.ms (Prng.int_in prng lo hi) in
   (* PortLand up/down routability of every edge pair under the shadow
      fault set — NOT mere physical connectivity (valley paths don't
-     count). Same-pod pairs need a stripe carrying both edges; cross-pod
-     pairs need that stripe to also reach the remote pod. *)
+     count). Same-pod pairs need an agg carrying both edges; cross-pod
+     pairs need a core whose pod-side links and fronting edge–agg links
+     are all up on both sides. *)
   let edge_ok pod e s = not (FS.edge_agg_down shadow ~pod ~edge_pos:e ~stripe:s) in
-  let exists_stripe f =
-    let rec go s = s < spec.MR.aggs_per_pod && (f s || go (s + 1)) in
+  let exists_agg pod f =
+    let rec go a =
+      a < spec.MR.aggs_per_pod && (f (MR.agg_stripe_label spec ~pod ~agg_pos:a) || go (a + 1))
+    in
+    go 0
+  in
+  (* can (pod, e) use core [idx]? its pod-side core link must be up and —
+     under striped wirings — so must the edge–agg hop to the agg
+     physically fronting that core in this pod *)
+  let core_ok pod e idx =
+    let row, member = MR.core_label spec ~index:idx in
+    (not (FS.agg_core_down shadow ~pod ~stripe:row ~member))
+    && (spec.MR.wiring = MR.Flat
+        || edge_ok pod e (MR.pod_stripe_for_core spec ~pod ~row ~member))
+  in
+  let exists_core f =
+    let rec go i = i < spec.MR.num_cores && (f i || go (i + 1)) in
     go 0
   in
   let pair_routable (p1, e1) (p2, e2) =
     if p1 = p2 then
-      e1 = e2 || exists_stripe (fun s -> edge_ok p1 e1 s && edge_ok p1 e2 s)
-    else
-      exists_stripe (fun s ->
-          edge_ok p1 e1 s
-          && FS.stripe_reaches_pod shadow ~members:u ~src_pod:p1 ~stripe:s ~dst_pod:p2
-          && edge_ok p2 e2 s)
+      e1 = e2 || exists_agg p1 (fun s -> edge_ok p1 e1 s && edge_ok p1 e2 s)
+    else exists_core (fun idx -> core_ok p1 e1 idx && core_ok p2 e2 idx)
   in
   let all_routable () =
     let ok = ref true in
@@ -238,28 +272,27 @@ let generate ?(profile = Mixed) ~seed ~duration (mt : MR.t) =
       heal [ l.lfault ]
   in
   let ep_stripe t0 =
-    (* correlated outage: one pod loses its whole uplink bundle through
-       one stripe (all u agg-core links at once) *)
+    (* correlated outage: one pod loses one agg's whole uplink bundle
+       (all u agg-core links at once); no candidates under flat wiring *)
     let cands = ref [] in
     for pod = spec.MR.num_pods - 1 downto 0 do
-      for stripe = spec.MR.aggs_per_pod - 1 downto 0 do
-        cands := (pod, stripe) :: !cands
+      for agg_pos = spec.MR.aggs_per_pod - 1 downto 0 do
+        cands := (pod, agg_pos) :: !cands
       done
     done;
-    let faults_of (pod, stripe) =
-      List.init u (fun member -> Portland.Fault.Agg_core { pod; stripe; member })
-    in
+    let links_of (pod, agg_pos) = List.init u (fun j -> agg_core_link mt ~pod ~agg_pos ~j) in
+    let faults_of c = List.map (fun l -> l.lfault) (links_of c) in
     match pick_admissible 4 !cands faults_of with
     | None -> ()
-    | Some (pod, stripe) ->
+    | Some c ->
       let t1 = t0 + jit 0 30 in
       let hold = jit 200 280 in
-      let ls = List.init u (fun member -> agg_core_link mt ~pod ~stripe ~member) in
+      let ls = links_of c in
       List.iteri (fun i l -> emit (t1 + Time.ms i) (Fail_link { a = l.la; b = l.lb })) ls;
       List.iteri
         (fun i l -> emit (t1 + hold + Time.ms i) (Recover_link { a = l.la; b = l.lb }))
         ls;
-      heal (faults_of (pod, stripe))
+      heal (faults_of c)
   in
   let ep_loss t0 =
     (* degradation, not death: ramp one link's loss up and back to zero.

@@ -362,3 +362,7 @@ let create ?(config = Config.default) ?(seed = 42) ?link_params ?(spare_slots = 
 
 let create_fattree ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs ~k () =
   create ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs (Topology.Fattree.spec ~k)
+
+let create_family ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs family =
+  create ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs
+    (Topology.Multirooted.spec_of_family family)

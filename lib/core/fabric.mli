@@ -34,6 +34,14 @@ val create_fattree :
   ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
   ?obs:Obs.t -> k:int -> unit -> t
 
+val create_family :
+  ?config:Config.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
+  ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
+  ?obs:Obs.t -> Topology.Topo.Family.t -> t
+(** [create_family f] is {!create} on {!Topology.Multirooted.spec_of_family}[ f]
+    — one entry point for every member of the topology family (plain fat
+    tree, AB fat tree, two-layer leaf–spine). *)
+
 (** {1 Accessors} *)
 
 val engine : t -> Eventsim.Engine.t

@@ -1,4 +1,5 @@
 open Netcore
+module MR = Topology.Multirooted
 
 type sw_info = {
   sw_id : int;
@@ -234,7 +235,130 @@ let try_assign t sw =
     | Some Ldp_msg.Edge | None -> () (* edges are assigned through position proposals *)
   end
 
-let try_assign_all t = Hashtbl.iter (fun _ sw -> try_assign t sw) t.switches
+let by_sw_id = List.sort (fun (a : sw_info) b -> compare a.sw_id b.sw_id)
+
+let register_member t ~stripe ~member sw_id =
+  let tbl =
+    match Hashtbl.find_opt t.members stripe with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace t.members stripe tbl;
+      tbl
+  in
+  Hashtbl.replace tbl member sw_id
+
+let core_neighbor_ids sw =
+  List.filter_map
+    (fun (_, nbr, nl) -> if nl = Some Ldp_msg.Core then Some nbr else None)
+    sw.neighbors
+  |> List.sort_uniq (fun (a : int) b -> compare a b)
+
+(* AB wiring: stripe components are useless here — every agg and core
+   shares one agg–core adjacency component — so labels are inferred
+   globally instead. The first-labelled pod (pod 0) is the reference: its
+   aggregation switches in switch-id order define the core grid's rows,
+   and each row agg's core neighbors in switch-id order get that row's
+   member indexes. Every other aggregation switch is then classified by
+   its core-neighbor label set — all in one row makes it a row agg with
+   that row's label, all sharing one member index makes it a column agg
+   labelled [u + member]. The whole scheme is a pure function of pod
+   labels and switch ids, so a restarted fabric manager re-derives
+   exactly the labels switches reclaim (and it stays internally
+   consistent even if the physical reference pod is a type-B pod — the
+   grid just comes out transposed). *)
+let try_assign_ab t =
+  let u = MR.uplinks_per_agg t.spec in
+  let ref_aggs =
+    Hashtbl.fold
+      (fun _ sw acc ->
+        if
+          sw.level = Some Ldp_msg.Aggregation
+          && pod_of_component t (Uf.find t.pod_uf sw.sw_id) = Some 0
+        then sw :: acc
+        else acc)
+      t.switches []
+    |> by_sw_id
+  in
+  if
+    List.length ref_aggs = t.spec.MR.aggs_per_pod
+    && List.for_all (fun a -> List.length (core_neighbor_ids a) = u) ref_aggs
+  then begin
+    List.iteri
+      (fun row agg ->
+        List.iteri
+          (fun member cid ->
+            let csw = get_sw t cid in
+            if csw.coords = None then begin
+              register_member t ~stripe:row ~member cid;
+              assign_coords t csw (Coords.Core { stripe = row; member })
+            end)
+          (core_neighbor_ids agg))
+      ref_aggs;
+    let classify sw =
+      let labels =
+        List.filter_map
+          (fun cid ->
+            match Hashtbl.find_opt t.switches cid with
+            | Some { coords = Some (Coords.Core c); _ } -> Some (c.stripe, c.member)
+            | _ -> None)
+          (core_neighbor_ids sw)
+      in
+      if List.length labels <> u then None
+      else begin
+        match
+          (List.sort_uniq compare (List.map fst labels),
+           List.sort_uniq compare (List.map snd labels))
+        with
+        | [ row ], _ -> Some row
+        | _, [ member ] -> Some (u + member)
+        | _, _ -> None
+      end
+    in
+    let unlabelled =
+      Hashtbl.fold
+        (fun _ sw acc ->
+          if sw.level = Some Ldp_msg.Aggregation && sw.coords = None then sw :: acc else acc)
+        t.switches []
+      |> by_sw_id
+    in
+    List.iter
+      (fun sw ->
+        match classify sw with
+        | Some stripe ->
+          (match pod_of_component t (Uf.find t.pod_uf sw.sw_id) with
+           | Some pod -> assign_coords t sw (Coords.Agg { pod; stripe })
+           | None -> ())
+        | None -> ())
+      unlabelled
+  end
+
+(* Flat wiring: spines have no aggregation adjacency at all, so they are
+   labelled in one global pass — member = rank among spine switch ids,
+   under the single pseudo-stripe 0 — once every spine has reported a
+   level. Rank over the full spine set is deterministic in switch ids,
+   so reclaimed labels always agree with re-derived ones. *)
+let try_assign_flat t =
+  let cores =
+    Hashtbl.fold
+      (fun _ sw acc -> if sw.level = Some Ldp_msg.Core then sw :: acc else acc)
+      t.switches []
+    |> by_sw_id
+  in
+  if List.length cores = t.spec.MR.num_cores then
+    List.iteri
+      (fun member sw ->
+        if sw.coords = None then begin
+          register_member t ~stripe:0 ~member sw.sw_id;
+          assign_coords t sw (Coords.Core { stripe = 0; member })
+        end)
+      cores
+
+let try_assign_all t =
+  match t.spec.MR.wiring with
+  | MR.Stripes -> Hashtbl.iter (fun _ sw -> try_assign t sw) t.switches
+  | MR.Ab_stripes -> try_assign_ab t
+  | MR.Flat -> try_assign_flat t
 
 let on_report t ~switch_id ~level ~neighbors ~host_ports =
   t.c.m_reports <- t.c.m_reports + 1;
@@ -358,11 +482,48 @@ let receiver_list g =
     g.receivers []
   |> List.sort by_switch_id
 
-let core_viable t ~stripe ~member ~receiver_coords =
+(* Transit map for tree construction: (core switch id, pod) -> the
+   aggregation switch carrying that pod's traffic through that core.
+   Physically unique under every striped wiring, and derivable from
+   either endpoint's neighbor report, so fills from both sides agree. *)
+let build_transit t =
+  let transit = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ sw ->
+      match sw.coords with
+      | Some (Coords.Agg a) ->
+        List.iter
+          (fun (_, nbr, nl) ->
+            if nl = Some Ldp_msg.Core && not (Hashtbl.mem transit (nbr, a.pod)) then
+              Hashtbl.replace transit (nbr, a.pod) sw)
+          sw.neighbors
+      | Some (Coords.Core _) ->
+        List.iter
+          (fun (_, nbr, nl) ->
+            if nl = Some Ldp_msg.Aggregation then
+              match Hashtbl.find_opt t.switches nbr with
+              | Some ({ coords = Some (Coords.Agg a); _ } as agg)
+                when not (Hashtbl.mem transit (sw.sw_id, a.pod)) ->
+                Hashtbl.replace transit (sw.sw_id, a.pod) agg
+              | _ -> ())
+          sw.neighbors
+      | _ -> ())
+    t.switches;
+  transit
+
+let core_viable t transit ~core_sw_id ~stripe ~member ~receiver_coords =
   List.for_all
     (fun (pod, edge_pos) ->
       (not (Fault.Set.agg_core_down t.faults ~pod ~stripe ~member))
-      && not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos ~stripe))
+      && (t.spec.MR.wiring = MR.Flat
+          ||
+          match Hashtbl.find_opt transit (core_sw_id, pod) with
+          | Some (agg : sw_info) ->
+            (match agg.coords with
+             | Some (Coords.Agg a) ->
+               not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos ~stripe:a.stripe)
+             | _ -> false)
+          | None -> false))
     receiver_coords
 
 let send_programs t group (targets : (int * int list) list) g =
@@ -415,6 +576,7 @@ let recompute_group t group =
           | _ -> None)
         receivers
     in
+    let transit = build_transit t in
     let cores = sorted_cores t in
     let n = List.length cores in
     let chosen =
@@ -426,7 +588,8 @@ let recompute_group t group =
           if i >= n then None
           else begin
             let stripe, member, sw = arr.((start + i) mod n) in
-            if core_viable t ~stripe ~member ~receiver_coords then Some (stripe, member, sw)
+            if core_viable t transit ~core_sw_id:sw.sw_id ~stripe ~member ~receiver_coords then
+              Some (stripe, member, sw)
             else probe (i + 1)
           end
         in
@@ -437,7 +600,7 @@ let recompute_group t group =
     | None ->
       g.core_sw <- None;
       send_programs t group [] g
-    | Some (stripe, _member, core_sw) ->
+    | Some (_stripe, _member, core_sw) ->
       (match g.core_sw with
        | Some prev when prev <> core_sw.sw_id ->
          tracef t Eventsim.Trace.Info "multicast group %a re-rooted: core %d -> %d" Ipv4_addr.pp
@@ -445,16 +608,11 @@ let recompute_group t group =
        | _ -> ());
       g.core_sw <- Some core_sw.sw_id;
       let receiver_pods = List.sort_uniq int_compare (List.map fst receiver_coords) in
-      (* one scan of the switch table replaces a [find_agg] fold per pod
-         and per edge; first match per pod wins, like [find_agg] *)
-      let agg_in_pod = Hashtbl.create 16 in
-      Hashtbl.iter
-        (fun _ sw ->
-          match sw.coords with
-          | Some (Coords.Agg a) when a.stripe = stripe && not (Hashtbl.mem agg_in_pod a.pod) ->
-            Hashtbl.replace agg_in_pod a.pod sw
-          | _ -> ())
-        t.switches;
+      let flat = t.spec.MR.wiring = MR.Flat in
+      (* the agg carrying a pod's traffic through the chosen core — under
+         plain striping this is the pod's agg of the core's stripe, under
+         AB whatever agg physically fronts the core in that pod *)
+      let transit_agg pod = Hashtbl.find_opt transit (core_sw.sw_id, pod) in
       (* receiver edges grouped by pod, and their host ports by switch, so
          the per-agg and per-edge loops below stay linear in the tree *)
       let recv_by_pod = Hashtbl.create 16 in
@@ -473,41 +631,55 @@ let recompute_group t group =
         let ports = List.sort_uniq int_compare ports in
         if ports <> [] then targets := (sw, ports) :: !targets
       in
-      (* core: one port per receiver pod *)
+      (* core: one port per receiver pod — toward the pod's transit agg,
+         or straight down to the pod's leaf under flat wiring *)
       let core_ports =
         List.filter_map
           (fun pod ->
-            match Hashtbl.find_opt agg_in_pod pod with
-            | Some agg -> port_to core_sw agg.sw_id
-            | None -> None)
+            if flat then
+              match (try Hashtbl.find recv_by_pod pod with Not_found -> []) with
+              | rsw :: _ -> port_to core_sw rsw
+              | [] -> None
+            else
+              match transit_agg pod with
+              | Some agg -> port_to core_sw agg.sw_id
+              | None -> None)
           receiver_pods
       in
       add core_sw.sw_id core_ports;
-      (* aggregation switches of this stripe, in every pod: uplink toward the
+      (* transit aggregation switches, in every pod: uplink toward the
          chosen core (so local senders can go up), plus down-ports to
          receiver edges in their pod *)
-      Hashtbl.iter
-        (fun _ sw ->
-          match sw.coords with
-          | Some (Coords.Agg a) when a.stripe = stripe ->
-            let up = match port_to sw core_sw.sw_id with Some p -> [ p ] | None -> [] in
-            let down =
-              List.filter_map (port_to sw)
-                (try Hashtbl.find recv_by_pod a.pod with Not_found -> [])
-            in
-            add sw.sw_id (up @ down)
-          | _ -> ())
-        t.switches;
-      (* every edge switch: uplink toward its stripe agg (sender path), plus
-         local receiver host ports *)
+      if not flat then
+        Hashtbl.iter
+          (fun _ sw ->
+            match sw.coords with
+            | Some (Coords.Agg a) -> (
+              match transit_agg a.pod with
+              | Some tsw when tsw.sw_id = sw.sw_id ->
+                let up = match port_to sw core_sw.sw_id with Some p -> [ p ] | None -> [] in
+                let down =
+                  List.filter_map (port_to sw)
+                    (try Hashtbl.find recv_by_pod a.pod with Not_found -> [])
+                in
+                add sw.sw_id (up @ down)
+              | _ -> ())
+            | _ -> ())
+          t.switches;
+      (* every edge switch: uplink toward its transit agg — or the chosen
+         core itself under flat wiring (sender path) — plus local
+         receiver host ports *)
       List.iter
         (fun sw ->
           match sw.coords with
           | Some (Coords.Edge e) ->
             let up =
-              match Hashtbl.find_opt agg_in_pod e.pod with
-              | Some agg -> (match port_to sw agg.sw_id with Some p -> [ p ] | None -> [])
-              | None -> []
+              if flat then
+                match port_to sw core_sw.sw_id with Some p -> [ p ] | None -> []
+              else
+                match transit_agg e.pod with
+                | Some agg -> (match port_to sw agg.sw_id with Some p -> [ p ] | None -> [])
+                | None -> []
             in
             let local = try Hashtbl.find recv_ports sw.sw_id with Not_found -> [] in
             add sw.sw_id (up @ local)
@@ -534,8 +706,16 @@ let translate_fault t a b =
       Some (Fault.Edge_agg { pod = e.pod; edge_pos = e.position; stripe = g.stripe })
     else None
   | Some (Coords.Agg g), Some (Coords.Core c) | Some (Coords.Core c), Some (Coords.Agg g) ->
-    if g.stripe = c.stripe then
-      Some (Fault.Agg_core { pod = g.pod; stripe = g.stripe; member = c.member })
+    (* keyed by the core's own (row, member) label: (pod, core) pins down
+       one physical link under every wiring. Under plain striping the
+       core's row equals the agg's stripe, so the key is unchanged;
+       under AB a column agg's cores span all rows and only the core's
+       label is unambiguous. *)
+    Some (Fault.Agg_core { pod = g.pod; stripe = c.stripe; member = c.member })
+  | Some (Coords.Edge e), Some (Coords.Core c) | Some (Coords.Core c), Some (Coords.Edge e) ->
+    (* flat wiring: leaf–spine links live in the same key space *)
+    if t.spec.MR.wiring = MR.Flat then
+      Some (Fault.Agg_core { pod = e.pod; stripe = c.stripe; member = c.member })
     else None
   | _, _ -> None
 

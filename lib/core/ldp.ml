@@ -27,6 +27,7 @@ type t = {
   config : Config.t;
   switch_id : int;
   nports : int;
+  wiring : Topology.Multirooted.wiring;
   send : port:int -> Ldp_msg.t -> unit;
   notify : event -> unit;
   ports : port_state array;
@@ -41,10 +42,11 @@ type t = {
   mutable checker : Timer.t option;
 }
 
-let create engine config ~switch_id ~nports ~send ~notify ?(obs = Obs.null) () =
+let create engine config ~switch_id ~nports ?(wiring = Topology.Multirooted.Stripes) ~send
+    ~notify ?(obs = Obs.null) () =
   let labels = [ Obs.Label.sw switch_id ] in
   let c name = Obs.counter obs ~subsystem:"ldp" ~name ~labels () in
-  { engine; config; switch_id; nports; send; notify;
+  { engine; config; switch_id; nports; wiring; send; notify;
     ports = Array.make nports Unknown;
     obs;
     m_ldm_tx = c "ldm_tx"; m_ldm_rx = c "ldm_rx";
@@ -99,6 +101,9 @@ let dir_of t port =
      | Some Ldp_msg.Aggregation, Some Ldp_msg.Core -> Ldp_msg.Up
      | Some Ldp_msg.Aggregation, Some Ldp_msg.Edge -> Ldp_msg.Down
      | Some Ldp_msg.Core, Some Ldp_msg.Aggregation -> Ldp_msg.Down
+     (* two-layer wirings skip the aggregation tier entirely *)
+     | Some Ldp_msg.Edge, Some Ldp_msg.Core -> Ldp_msg.Up
+     | Some Ldp_msg.Core, Some Ldp_msg.Edge -> Ldp_msg.Down
      | _, _ -> Ldp_msg.Unknown_dir)
 
 let current_ldm t ~out_port =
@@ -129,26 +134,38 @@ let set_coords t c =
   t.self_coords <- Some c;
   if t.self_level = None then set_level t (Coords.level c)
 
-(* Re-run level inference from the current port view. *)
+(* Re-run level inference from the current port view. The paper's rules
+   assume a three-tier wiring: host below -> Edge; an Edge or Core
+   neighbor -> Aggregation; all ports facing aggs -> Core. Under a flat
+   (two-layer) wiring there is no aggregation tier, so a switch hearing
+   an Edge is a spine (Core) and one hearing a Core is a leaf (Edge). *)
 let infer_level t =
   if t.self_level = None then begin
     let has_host = ref false in
     let n_agg_neighbors = ref 0 in
-    let heard_edge_or_core = ref false in
+    let heard_edge = ref false in
+    let heard_core = ref false in
     Array.iter
       (fun st ->
         match st with
         | Host_port -> has_host := true
         | Switch_port n | Dead_port n ->
           (match n.nbr_level with
-           | Some Ldp_msg.Edge | Some Ldp_msg.Core -> heard_edge_or_core := true
+           | Some Ldp_msg.Edge -> heard_edge := true
+           | Some Ldp_msg.Core -> heard_core := true
            | Some Ldp_msg.Aggregation -> incr n_agg_neighbors
            | None -> ())
         | Unknown -> ())
       t.ports;
-    if !has_host then set_level t Ldp_msg.Edge
-    else if !heard_edge_or_core then set_level t Ldp_msg.Aggregation
-    else if !n_agg_neighbors = t.nports then set_level t Ldp_msg.Core
+    match t.wiring with
+    | Topology.Multirooted.Flat ->
+      if !has_host then set_level t Ldp_msg.Edge
+      else if !heard_edge then set_level t Ldp_msg.Core
+      else if !heard_core then set_level t Ldp_msg.Edge
+    | Topology.Multirooted.Stripes | Topology.Multirooted.Ab_stripes ->
+      if !has_host then set_level t Ldp_msg.Edge
+      else if !heard_edge || !heard_core then set_level t Ldp_msg.Aggregation
+      else if !n_agg_neighbors = t.nports then set_level t Ldp_msg.Core
   end
 
 (* [level] has only constant constructors, so physical equality is

@@ -15,6 +15,13 @@
       {e core} switch (an edge switch can never satisfy this because its
       host ports carry no LDMs).
 
+    Under a {!Topology.Multirooted.Flat} (two-layer leaf–spine) wiring
+    there is no aggregation tier and the middle rule can never fire, so
+    inference adapts: a switch with a host port is still an edge (leaf),
+    a switch hearing an edge is a core (spine), and a switch hearing a
+    core is an edge. The wiring is part of the deployment's static
+    configuration (like the LDM period), not something discovered.
+
     Pod / position / stripe / member assignment is the fabric manager's
     job; the agent feeds granted coordinates back via {!set_coords} so
     subsequent LDMs advertise them. *)
@@ -44,9 +51,11 @@ type t
 
 val create :
   Eventsim.Engine.t -> Config.t -> switch_id:int -> nports:int ->
+  ?wiring:Topology.Multirooted.wiring ->
   send:(port:int -> Netcore.Ldp_msg.t -> unit) -> notify:(event -> unit) ->
   ?obs:Obs.t -> unit -> t
-(** [obs] (default {!Obs.null}) receives the protocol counters
+(** [wiring] (default [Stripes]) selects the level-inference rules — see
+    the module comment. [obs] (default {!Obs.null}) receives the protocol counters
     [ldp/ldm_tx], [ldp/ldm_rx], [ldp/port_dead] and [ldp/port_recovered]
     (labelled [sw=switch_id]) plus trace events on fault detection and
     recovery. *)

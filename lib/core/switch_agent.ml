@@ -112,16 +112,59 @@ let gid_ovr p e = 30_000 + (p * 256) + e
 
 (* ---------------- table programming ---------------- *)
 
-(* local stripe map at an edge: up port -> stripe label (from agg LDMs) *)
-let edge_stripe_ports t =
+(* What an edge switch's up port leads to: an aggregation switch (named
+   by its stripe label, from its LDMs) or — flat wiring — a core directly
+   (named by its (row, member) label). *)
+type upref = Via_agg of int | Via_core of int * int
+
+(* local up-port map at an edge, from neighbor LDMs *)
+let edge_up_ports t =
   List.filter_map
     (fun (port, (n : Ldp.neighbor)) ->
-      match (n.Ldp.nbr_level, n.Ldp.nbr_position) with
-      | Some Ldp_msg.Aggregation, Some stripe -> Some (stripe, port)
+      match (n.Ldp.nbr_level, n.Ldp.nbr_pod, n.Ldp.nbr_position) with
+      | Some Ldp_msg.Aggregation, _, Some stripe -> Some (Via_agg stripe, port)
+      | Some Ldp_msg.Core, Some s, Some m -> Some (Via_core (s, m), port)
       | _ -> None)
     (Ldp.switch_ports (get_ldp t))
 
-let members_per_stripe t = Spec.uplinks_per_agg t.spec
+(* Can traffic leaving this edge through [up] still reach some core that
+   also reaches [dst_pod]? Everything is decided from the fault matrix and
+   the wiring spec alone: an agg labelled [stripe] fronts exactly the
+   cores [C(stripe)] (Spec.stripe_cores), whatever its pod's type. *)
+let up_reaches_pod t ~pod ~position ~dst_pod up =
+  match up with
+  | Via_agg stripe ->
+    (not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos:position ~stripe))
+    && List.exists
+         (fun (s, m) ->
+           (not (Fault.Set.agg_core_down t.faults ~pod ~stripe:s ~member:m))
+           && not (Fault.Set.agg_core_down t.faults ~pod:dst_pod ~stripe:s ~member:m))
+         (Spec.stripe_cores t.spec ~stripe)
+  | Via_core (s, m) ->
+    (not (Fault.Set.agg_core_down t.faults ~pod ~stripe:s ~member:m))
+    && not (Fault.Set.agg_core_down t.faults ~pod:dst_pod ~stripe:s ~member:m)
+
+(* Stronger per-edge test for override entries: the landing agg in the
+   destination pod must still reach the destination edge. The landing
+   agg's label for a core [(s, m)] is one of [stripes_covering (s, m)]
+   (at most one per pod type), so checking the remote pod's Edge_agg
+   faults against that short list is exact — no remote pod-type
+   knowledge needed. *)
+let up_reaches_edge t ~pod ~position ~dst_pod ~dst_edge up =
+  let core_ok (s, m) =
+    (not (Fault.Set.agg_core_down t.faults ~pod ~stripe:s ~member:m))
+    && (not (Fault.Set.agg_core_down t.faults ~pod:dst_pod ~stripe:s ~member:m))
+    && not
+         (List.exists
+            (fun stripe ->
+              Fault.Set.edge_agg_down t.faults ~pod:dst_pod ~edge_pos:dst_edge ~stripe)
+            (Spec.stripes_covering t.spec ~row:s ~member:m))
+  in
+  match up with
+  | Via_agg stripe ->
+    (not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos:position ~stripe))
+    && List.exists core_ok (Spec.stripe_cores t.spec ~stripe)
+  | Via_core (s, m) -> core_ok (s, m)
 
 let install_host_entry t (h : host_entry) =
   FT.install t.table
@@ -152,8 +195,7 @@ let install_mcast_entry t group ports =
       actions = [ FT.Multi ports ] }
 
 let recompute_edge_tables t ~pod ~position =
-  let stripes = edge_stripe_ports t in
-  let u = members_per_stripe t in
+  let ups = edge_up_ports t in
   (* broadcast frames go to the agent (which drops non-ARP broadcast) *)
   FT.install t.table
     { FT.name = "bcast";
@@ -165,13 +207,14 @@ let recompute_edge_tables t ~pod ~position =
     if e' <> position then begin
       let members =
         List.filter_map
-          (fun (stripe, port) ->
-            if
-              (not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos:position ~stripe))
-              && not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos:e' ~stripe)
-            then Some port
-            else None)
-          stripes
+          (fun (up, port) ->
+            match up with
+            | Via_agg stripe
+              when (not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos:position ~stripe))
+                   && not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos:e' ~stripe) ->
+              Some port
+            | Via_agg _ | Via_core _ -> None)
+          ups
       in
       (* an entry whose group has no live members could only drop: leave it
          uninstalled so the table honestly says "no route" *)
@@ -191,14 +234,9 @@ let recompute_edge_tables t ~pod ~position =
     if p' <> pod then begin
       let members =
         List.filter_map
-          (fun (stripe, port) ->
-            if
-              (not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos:position ~stripe))
-              && Fault.Set.stripe_reaches_pod t.faults ~members:u ~src_pod:pod ~stripe
-                   ~dst_pod:p'
-            then Some port
-            else None)
-          stripes
+          (fun (up, port) ->
+            if up_reaches_pod t ~pod ~position ~dst_pod:p' up then Some port else None)
+          ups
       in
       if members <> [] then begin
         FT.set_group t.table (gid_pod p') (Array.of_list members);
@@ -218,15 +256,10 @@ let recompute_edge_tables t ~pod ~position =
       | Fault.Edge_agg { pod = p'; edge_pos = e'; stripe = _ } when p' <> pod ->
         let members =
           List.filter_map
-            (fun (stripe, port) ->
-              if
-                (not (Fault.Set.edge_agg_down t.faults ~pod ~edge_pos:position ~stripe))
-                && Fault.Set.stripe_reaches_pod t.faults ~members:u ~src_pod:pod ~stripe
-                     ~dst_pod:p'
-                && not (Fault.Set.edge_agg_down t.faults ~pod:p' ~edge_pos:e' ~stripe)
-              then Some port
+            (fun (up, port) ->
+              if up_reaches_edge t ~pod ~position ~dst_pod:p' ~dst_edge:e' up then Some port
               else None)
-            stripes
+            ups
         in
         if members <> [] then begin
           FT.set_group t.table (gid_ovr p' e') (Array.of_list members);
@@ -245,7 +278,6 @@ let recompute_edge_tables t ~pod ~position =
   Hashtbl.iter (fun stale _ -> install_trap_entry t stale) t.traps
 
 let recompute_agg_tables t ~pod ~stripe =
-  let u = members_per_stripe t in
   let ports = Ldp.switch_ports (get_ldp t) in
   (* downward: one entry per live edge neighbor *)
   List.iter
@@ -261,24 +293,26 @@ let recompute_agg_tables t ~pod ~stripe =
               actions = [ FT.Output port ] }
       | _ -> ())
     ports;
-  (* upward: per-destination-pod ECMP over this stripe's cores *)
+  (* upward: per-destination-pod ECMP over this agg's core bundle. Cores
+     advertise their own (row, member) label — under AB wiring a column
+     agg's cores span all rows, so the faults are keyed by the core's
+     label, never by this agg's stripe. *)
   let core_ports =
     List.filter_map
       (fun (port, (n : Ldp.neighbor)) ->
         match (n.Ldp.nbr_level, n.Ldp.nbr_pod, n.Ldp.nbr_position) with
-        | Some Ldp_msg.Core, Some s, Some m when s = stripe -> Some (m, port)
+        | Some Ldp_msg.Core, Some s, Some m -> Some ((s, m), port)
         | _ -> None)
       ports
   in
-  ignore u;
   for p' = 0 to t.spec.Spec.num_pods - 1 do
     if p' <> pod then begin
       let members =
         List.filter_map
-          (fun (m, port) ->
+          (fun ((s, m), port) ->
             if
-              (not (Fault.Set.agg_core_down t.faults ~pod ~stripe ~member:m))
-              && not (Fault.Set.agg_core_down t.faults ~pod:p' ~stripe ~member:m)
+              (not (Fault.Set.agg_core_down t.faults ~pod ~stripe:s ~member:m))
+              && not (Fault.Set.agg_core_down t.faults ~pod:p' ~stripe:s ~member:m)
             then Some port
             else None)
           core_ports
@@ -297,14 +331,18 @@ let recompute_agg_tables t ~pod ~stripe =
 let recompute_core_tables t ~stripe ~member =
   List.iter
     (fun (port, (n : Ldp.neighbor)) ->
-      match (n.Ldp.nbr_level, n.Ldp.nbr_pod) with
-      | Some Ldp_msg.Aggregation, Some p ->
+      let down_to p =
         if not (Fault.Set.agg_core_down t.faults ~pod:p ~stripe ~member) then
           FT.install t.table
             { FT.name = Printf.sprintf "pod:%d" p;
               priority = 70;
               mtch = { FT.match_any with FT.dst_mac = Some (Pmac.pod_prefix ~pod:p) };
               actions = [ FT.Output port ] }
+      in
+      match (n.Ldp.nbr_level, n.Ldp.nbr_pod) with
+      | Some Ldp_msg.Aggregation, Some p -> down_to p
+      (* flat wiring: spines face leaves (edge switches) directly *)
+      | Some Ldp_msg.Edge, Some p -> down_to p
       | _ -> ())
     (Ldp.switch_ports (get_ldp t))
 
@@ -346,9 +384,15 @@ let schedule_report t =
            send_report t))
   end
 
-let has_agg_neighbor t =
+(* an edge proposes a position only once it hears the tier above — aggs,
+   or spines (cores) under flat wiring *)
+let has_up_neighbor t =
   List.exists
-    (fun (_, (n : Ldp.neighbor)) -> n.Ldp.nbr_level = Some Ldp_msg.Aggregation)
+    (fun (_, (n : Ldp.neighbor)) ->
+      match n.Ldp.nbr_level with
+      | Some Ldp_msg.Aggregation -> true
+      | Some Ldp_msg.Core -> t.spec.Spec.wiring = Spec.Flat
+      | _ -> false)
     (Ldp.switch_ports (get_ldp t))
 
 let maybe_propose_position t =
@@ -356,7 +400,7 @@ let maybe_propose_position t =
     t.coords = None
     && level t = Some Ldp_msg.Edge
     && (not t.proposal_outstanding)
-    && has_agg_neighbor t
+    && has_up_neighbor t
   then begin
     t.proposal_outstanding <- true;
     (* a report always precedes the proposal so the fabric manager can
@@ -707,7 +751,8 @@ let create engine config ctrl net ~spec ~device ~seed ?(obs = Obs.null) () =
       (Eth.make ~dst:Mac_addr.broadcast ~src:Mac_addr.zero (Eth.Ldp msg))
   in
   let ldp_inst =
-    Ldp.create engine config ~switch_id:device ~nports:(Switchfab.Net.nports dev) ~send
+    Ldp.create engine config ~switch_id:device ~nports:(Switchfab.Net.nports dev)
+      ~wiring:spec.Spec.wiring ~send
       ~notify:(fun ev -> on_ldp_event t ev)
       ~obs ()
   in

@@ -1,0 +1,118 @@
+open Eventsim
+module MR = Topology.Multirooted
+
+type row = {
+  family : string;
+  k : int;
+  hosts : int;
+  switches : int;
+  boot_convergence_ms : float;
+  chaos_events : int;
+  checks : int;
+  clean_checks : int;
+  verifier_clean_fraction : float;
+  mean_recovery_ms : float;
+  max_recovery_ms : float;
+}
+
+type result = { seed : int; duration_ms : float; rows : row list }
+
+let name = "recovery-comparison"
+
+let descr =
+  "convergence and chaos recovery across the topology family (plain / ab / two-layer)"
+
+(* one family member: boot it, then run the identically-seeded mixed
+   campaign and fold the quiescent checks *)
+let one ~seed ~duration ~k family =
+  let fam =
+    match Topology.Topo.Family.of_string ~k family with
+    | Ok f -> f
+    | Error e -> failwith ("recovery-comparison: " ^ e)
+  in
+  let spec = MR.spec_of_family fam in
+  let fab = Portland.Fabric.create_family ~seed fam in
+  if not (Portland.Fabric.await_convergence fab) then
+    failwith (Printf.sprintf "recovery-comparison: %s k=%d failed to converge" family k);
+  let boot_ms = Time.to_ms_f (Portland.Fabric.now fab) in
+  let mt = Portland.Fabric.tree fab in
+  let plan = Chaos.generate ~profile:Chaos.Mixed ~seed ~duration mt in
+  let report = Chaos.run_campaign ~seed ~label:("recovery-" ^ family) fab plan in
+  let checks = report.Chaos.rep_checks in
+  let clean =
+    List.filter
+      (fun c ->
+        c.Chaos.chk_converged && c.Chaos.chk_violations = []
+        && c.Chaos.chk_probes_ok = c.Chaos.chk_probes)
+      checks
+  in
+  let waits = List.map (fun c -> c.Chaos.chk_wait_ms) checks in
+  let n = List.length checks in
+  { family;
+    k;
+    hosts = spec.MR.num_pods * spec.MR.edges_per_pod * spec.MR.hosts_per_edge;
+    switches = (spec.MR.num_pods * (spec.MR.edges_per_pod + spec.MR.aggs_per_pod)) + spec.MR.num_cores;
+    boot_convergence_ms = boot_ms;
+    chaos_events =
+      List.length (List.filter (fun e -> e.Chaos.ev_applied) report.Chaos.rep_events);
+    checks = n;
+    clean_checks = List.length clean;
+    verifier_clean_fraction =
+      (if n = 0 then 0.0 else float_of_int (List.length clean) /. float_of_int n);
+    mean_recovery_ms =
+      (if n = 0 then 0.0 else List.fold_left ( +. ) 0.0 waits /. float_of_int n);
+    max_recovery_ms = List.fold_left max 0.0 waits }
+
+(* each family member builds its own fabric; obs is unused *)
+let run ?(quick = false) ?(seed = 42) ?obs:_ () =
+  let k = 4 in
+  let duration = if quick then Time.sec 3 else Time.sec 6 in
+  let rows = List.map (one ~seed ~duration ~k) [ "plain"; "ab"; "two-layer" ] in
+  { seed; duration_ms = Time.to_ms_f duration; rows }
+
+let result_to_json (r : result) =
+  let open Obs.Json in
+  Obj
+    [ ("seed", Int r.seed);
+      ("duration_ms", Float r.duration_ms);
+      ( "rows",
+        List
+          (List.map
+             (fun row ->
+               Obj
+                 [ ("family", Str row.family);
+                   ("k", Int row.k);
+                   ("hosts", Int row.hosts);
+                   ("switches", Int row.switches);
+                   ("convergence_ms", Float row.boot_convergence_ms);
+                   ("chaos_events", Int row.chaos_events);
+                   ("checks", Int row.checks);
+                   ("clean_checks", Int row.clean_checks);
+                   ("verifier_clean_fraction", Float row.verifier_clean_fraction);
+                   ("mean_recovery_ms", Float row.mean_recovery_ms);
+                   ("max_recovery_ms", Float row.max_recovery_ms) ])
+             r.rows) ) ]
+
+let print fmt (r : result) =
+  Render.heading fmt
+    (Printf.sprintf
+       "Recovery comparison across the topology family (seed=%d, %.0f ms mixed campaign)"
+       r.seed r.duration_ms);
+  Render.table fmt
+    ~header:
+      [ "family"; "k"; "hosts"; "boot (ms)"; "events"; "checks"; "clean"; "clean frac";
+        "mean rec (ms)"; "max rec (ms)" ]
+    ~rows:
+      (List.map
+         (fun row ->
+           [ row.family;
+             string_of_int row.k;
+             string_of_int row.hosts;
+             Render.f1 row.boot_convergence_ms;
+             string_of_int row.chaos_events;
+             string_of_int row.checks;
+             string_of_int row.clean_checks;
+             Printf.sprintf "%.2f" row.verifier_clean_fraction;
+             Render.f1 row.mean_recovery_ms;
+             Render.f1 row.max_recovery_ms ])
+         r.rows)

@@ -1,0 +1,24 @@
+(** Cross-family recovery comparison: how each member of the topology
+    family (plain fat tree, F10-style AB fat tree, oversubscribed
+    two-layer leaf–spine) self-configures and then rides out the same
+    seeded chaos campaign — boot convergence time, recovery time at every
+    quiescent check, and the fraction of checks the static verifier
+    passed clean, side by side. *)
+
+type row = {
+  family : string;
+  k : int;
+  hosts : int;
+  switches : int;
+  boot_convergence_ms : float;  (** sim time to first full convergence *)
+  chaos_events : int;           (** applied fault actions *)
+  checks : int;                 (** quiescent-point checks run *)
+  clean_checks : int;           (** checks with converged + 0 violations + all probes *)
+  verifier_clean_fraction : float;
+  mean_recovery_ms : float;     (** mean convergence wait across checks *)
+  max_recovery_ms : float;
+}
+
+type result = { seed : int; duration_ms : float; rows : row list }
+
+include Experiment.S with type result := result

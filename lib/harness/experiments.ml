@@ -9,7 +9,8 @@ let registry : Experiment.packed list =
     Experiment.Packed (module Exp_fm_cpu);
     Experiment.Packed (module Exp_state);
     Experiment.Packed (module Exp_ecmp);
-    Experiment.Packed (module Exp_ablation) ]
+    Experiment.Packed (module Exp_ablation);
+    Experiment.Packed (module Exp_recovery_comparison) ]
 
 let all = List.map (fun p -> (Experiment.name p, Experiment.descr p)) registry
 

@@ -32,6 +32,7 @@ let corruption_to_string = function
 
 type params = {
   k : int;
+  topo : string;  (* topology family member: "plain", "ab" or "two-layer" *)
   seed : int;
   scenario : scenario;
   depth : int;
@@ -44,6 +45,7 @@ type params = {
 
 let default_params =
   { k = 2;
+    topo = "plain";
     seed = 42;
     scenario = Boot;
     depth = 6;
@@ -52,6 +54,11 @@ let default_params =
     quantum = Time.us 2;
     prune = true;
     corrupt = None }
+
+let family_of p =
+  match Topology.Topo.Family.of_string ~k:p.k p.topo with
+  | Ok f -> f
+  | Error e -> invalid_arg ("mc: " ^ e)
 
 type schedule = int array
 
@@ -253,7 +260,7 @@ let run_schedule ?cache p sched =
     (* boot_jitter = 1 ns routes every agent start through the engine, so
        the boot burst is scheduled after the interceptor is installed
        instead of synchronously inside create *)
-    F.create_fattree ~seed:p.seed ~boot_jitter:(Time.ns 1) ~obs:Obs.null ~k:p.k ()
+    F.create_family ~seed:p.seed ~boot_jitter:(Time.ns 1) ~obs:Obs.null (family_of p)
   in
   let eng = F.engine fab in
   Switchfab.Net.set_delivery_tagger (F.net fab)
@@ -300,7 +307,11 @@ let run_schedule ?cache p sched =
      Engine.set_interceptor eng None;
      if not (F.await_convergence fab) then failwith "mc: fabric failed pre-fault convergence";
      let mt = F.tree fab in
-     let a = mt.MR.edges.(0).(0) and b = mt.MR.aggs.(0).(0) in
+     let a = mt.MR.edges.(0).(0) in
+     (* first uplink hop: an agg under striped wirings, a spine under flat *)
+     let b =
+       if (F.spec fab).MR.wiring = MR.Flat then mt.MR.cores.(0) else mt.MR.aggs.(0).(0)
+     in
      ignore (F.fail_link_between fab ~a ~b);
      (* LDP declares the link dead one ldm_timeout after the failure; open
         the window just before, so detection, matrix broadcast and the
@@ -370,17 +381,28 @@ let run_schedule ?cache p sched =
 
 (* ---------------- replay tokens ---------------- *)
 
+let sched_field sched =
+  if Array.length sched = 0 then "-"
+  else String.concat "." (List.map string_of_int (Array.to_list sched))
+
+(* plain runs keep the historical mc1 form (so old tokens round-trip
+   byte-for-byte); non-plain members need the extra topo field -> mc2 *)
 let token_of p sched =
-  Printf.sprintf "mc1:k=%d:seed=%d:scn=%s:depth=%d:step=%d:budget=%d:q=%d:corrupt=%s:d=%s"
-    p.k p.seed (scenario_to_string p.scenario) p.depth p.max_step p.delay_budget p.quantum
-    (corruption_to_string p.corrupt)
-    (if Array.length sched = 0 then "-"
-     else String.concat "." (List.map string_of_int (Array.to_list sched)))
+  if p.topo = "plain" then
+    Printf.sprintf "mc1:k=%d:seed=%d:scn=%s:depth=%d:step=%d:budget=%d:q=%d:corrupt=%s:d=%s"
+      p.k p.seed (scenario_to_string p.scenario) p.depth p.max_step p.delay_budget p.quantum
+      (corruption_to_string p.corrupt) (sched_field sched)
+  else
+    Printf.sprintf
+      "mc2:k=%d:topo=%s:seed=%d:scn=%s:depth=%d:step=%d:budget=%d:q=%d:corrupt=%s:d=%s" p.k
+      p.topo p.seed (scenario_to_string p.scenario) p.depth p.max_step p.delay_budget
+      p.quantum
+      (corruption_to_string p.corrupt)
+      (sched_field sched)
 
 let parse_token s =
   let fail fmt = Format.kasprintf (fun m -> Error m) fmt in
-  match String.split_on_char ':' s with
-  | [ "mc1"; k; seed; scn; depth; step; budget; q; corrupt; d ] ->
+  let parse_fields ~topo k seed scn depth step budget q corrupt d =
     let field name v =
       match String.index_opt v '=' with
       | Some i when String.sub v 0 i = name ->
@@ -429,17 +451,32 @@ let parse_token s =
         conv [] parts
     in
     if k < 2 || k mod 2 <> 0 then fail "token k=%d is not a valid fat-tree arity" k
+    else if
+      (match Topology.Topo.Family.of_string ~k topo with Ok _ -> false | Error _ -> true)
+    then fail "unknown topology %S in token" topo
     else if depth < 0 || max_step < 0 || delay_budget < 0 || quantum <= 0 then
       fail "token has negative bounds"
     else if Array.length sched > depth then
       fail "token schedule has %d steps but depth is %d" (Array.length sched) depth
     else
       Ok
-        ( { k; seed; scenario; depth; max_step; delay_budget; quantum;
+        ( { k; topo; seed; scenario; depth; max_step; delay_budget; quantum;
             prune = true; corrupt },
           sched )
+  in
+  match String.split_on_char ':' s with
+  | [ "mc1"; k; seed; scn; depth; step; budget; q; corrupt; d ] ->
+    parse_fields ~topo:"plain" k seed scn depth step budget q corrupt d
+  | [ "mc2"; k; topo; seed; scn; depth; step; budget; q; corrupt; d ] ->
+    (match String.index_opt topo '=' with
+     | Some i when String.sub topo 0 i = "topo" ->
+       parse_fields
+         ~topo:(String.sub topo (i + 1) (String.length topo - i - 1))
+         k seed scn depth step budget q corrupt d
+     | _ -> fail "expected topo=... in token, got %S" topo)
   | "mc1" :: _ -> fail "malformed mc1 token (expected 10 ':'-separated fields)"
-  | v :: _ -> fail "unknown token version %S (expected mc1)" v
+  | "mc2" :: _ -> fail "malformed mc2 token (expected 11 ':'-separated fields)"
+  | v :: _ -> fail "unknown token version %S (expected mc1 or mc2)" v
   | [] -> fail "empty token"
 
 (* ---------------- rendering ---------------- *)
@@ -606,6 +643,7 @@ let report_to_json r =
     [ ( "mc",
         Obj
           [ ("k", Int p.k);
+            ("topology", Str p.topo);
             ("seed", Int p.seed);
             ("scenario", Str (scenario_to_string p.scenario));
             ("depth", Int p.depth);

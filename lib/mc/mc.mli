@@ -69,6 +69,7 @@ val corruption_to_string : corruption option -> string
 
 type params = {
   k : int;             (** fat-tree arity (keep to 2 or 4) *)
+  topo : string;       (** family member: "plain", "ab" or "two-layer" *)
   seed : int;
   scenario : scenario;
   depth : int;         (** reorderable actions given a delay decision *)

@@ -3,7 +3,8 @@ type t = Multirooted.t
 let spec ~k =
   if k < 2 || k mod 2 <> 0 then invalid_arg "Fattree.spec: k must be even and >= 2";
   let half = k / 2 in
-  { Multirooted.num_pods = k;
+  { Multirooted.wiring = Multirooted.Stripes;
+    num_pods = k;
     edges_per_pod = half;
     aggs_per_pod = half;
     hosts_per_edge = half;

@@ -163,6 +163,47 @@ let to_dot ?(name = "fabric") t =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
+(* Topology family descriptors: which wiring {!Multirooted.build} should
+   realize. Lives here (below Multirooted in the dependency order) so both
+   the builder and every consumer — Fabric.create, the sim CLI, bench,
+   experiments — can name a family without a dependency cycle. *)
+module Family = struct
+  type t =
+    | Plain of { k : int }
+    | Ab of { k : int }
+    | Two_layer of { leaves : int; spines : int; hosts_per_leaf : int }
+
+  let to_string = function
+    | Plain _ -> "plain"
+    | Ab _ -> "ab"
+    | Two_layer _ -> "two-layer"
+
+  let names = [ "plain"; "ab"; "two-layer" ]
+
+  (* the canonical member of each family at arity k: plain/AB are the
+     k-ary fat trees; two-layer is the 2:1-oversubscribed leaf-spine with
+     k leaves of radix 3k/2 (k hosts down, k/2 spines up) *)
+  let of_string ~k s =
+    match s with
+    | "plain" -> Ok (Plain { k })
+    | "ab" -> Ok (Ab { k })
+    | "two-layer" | "two_layer" | "2layer" ->
+      Ok (Two_layer { leaves = k; spines = k / 2; hosts_per_leaf = k })
+    | _ ->
+      Error (Printf.sprintf "unknown topology %S (expected one of: %s)" s
+               (String.concat ", " names))
+
+  let all ~k =
+    [ Plain { k }; Ab { k }; Two_layer { leaves = k; spines = k / 2; hosts_per_leaf = k } ]
+
+  let pp fmt = function
+    | Plain { k } -> Format.fprintf fmt "plain(k=%d)" k
+    | Ab { k } -> Format.fprintf fmt "ab(k=%d)" k
+    | Two_layer { leaves; spines; hosts_per_leaf } ->
+      Format.fprintf fmt "two-layer(%d leaves, %d spines, %d hosts/leaf)" leaves spines
+        hosts_per_leaf
+end
+
 let pp_summary fmt t =
   let count kind = List.length (nodes_of_kind t kind) in
   Format.fprintf fmt "topology: %d nodes (%d hosts, %d edge, %d agg, %d core), %d links"

@@ -48,6 +48,37 @@ val nodes_of_kind : t -> kind -> node list
 val is_connected : t -> bool
 (** Whole graph reachable from node 0 (false for an empty topology). *)
 
+(** Topology family descriptors.
+
+    A family names a whole wiring discipline, not one instance: [Plain] is
+    the canonical k-ary fat tree, [Ab] the F10-style AB fat tree whose
+    odd pods transpose their agg–core stripes over the core grid, and
+    [Two_layer] the oversubscribed leaf–spine (no aggregation tier, every
+    leaf wired to every spine). {!Multirooted.spec_of_family} turns a
+    descriptor into a concrete build spec; [Fabric.create_family] boots
+    a PortLand control plane on any member. *)
+module Family : sig
+  type t =
+    | Plain of { k : int }
+    | Ab of { k : int }
+    | Two_layer of { leaves : int; spines : int; hosts_per_leaf : int }
+
+  val to_string : t -> string
+  (** ["plain" | "ab" | "two-layer"] — the [--topology] flag values. *)
+
+  val names : string list
+
+  val of_string : k:int -> string -> (t, string) result
+  (** The canonical member at arity [k]: plain/AB fat trees use [k]
+      directly; ["two-layer"] maps to [k] leaves, [k/2] spines and [k]
+      hosts per leaf (2:1 oversubscription, leaf radix 3k/2). *)
+
+  val all : k:int -> t list
+  (** One canonical member per family, in {!names} order. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
 val kind_to_string : kind -> string
 val pp_endpoint : Format.formatter -> endpoint -> unit
 val pp_summary : Format.formatter -> t -> unit

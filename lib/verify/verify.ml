@@ -95,10 +95,13 @@ let fault_coord_of s ~switch ~port =
       Some (Fault.Host_edge { pod; edge_pos = position; port })
     else begin
       match SNet.peer_of s.net ~node:switch ~port with
-      | Some (agg, _) ->
-        (match peer_coords agg with
+      | Some (up, _) ->
+        (match peer_coords up with
          | Some (Coords.Agg { stripe; _ }) ->
            Some (Fault.Edge_agg { pod; edge_pos = position; stripe })
+         | Some (Coords.Core { stripe; member }) ->
+           (* flat wiring: leaf uplinks land on spines directly *)
+           Some (Fault.Agg_core { pod; stripe; member })
          | _ -> None)
       | None -> None
     end
@@ -108,15 +111,19 @@ let fault_coord_of s ~switch ~port =
        (match peer_coords peer with
         | Some (Coords.Edge { position; _ }) ->
           Some (Fault.Edge_agg { pod; edge_pos = position; stripe })
-        | Some (Coords.Core { stripe = cs; member }) when cs = stripe ->
-          Some (Fault.Agg_core { pod; stripe; member })
+        | Some (Coords.Core { stripe = cs; member }) ->
+          (* agg–core faults are keyed by the core's own (stripe, member)
+             label: unique per (pod, core) under every wiring, and equal
+             to the agg's stripe under plain striping *)
+          Some (Fault.Agg_core { pod; stripe = cs; member })
         | _ -> None)
      | None -> None)
   | Some (Coords.Core { stripe; member }) ->
     (match SNet.peer_of s.net ~node:switch ~port with
      | Some (peer, _) ->
        (match peer_coords peer with
-        | Some (Coords.Agg { pod; _ }) -> Some (Fault.Agg_core { pod; stripe; member })
+        | Some (Coords.Agg { pod; _ }) | Some (Coords.Edge { pod; _ }) ->
+          Some (Fault.Agg_core { pod; stripe; member })
         | _ -> None)
      | None -> None)
   | None -> None
@@ -128,8 +135,20 @@ let fault_devices s = function
     List.filter_map Fun.id
       [ Hashtbl.find_opt s.edge_at (pod, edge_pos); Hashtbl.find_opt s.agg_at (pod, stripe) ]
   | Fault.Agg_core { pod; stripe; member } ->
-    List.filter_map Fun.id
-      [ Hashtbl.find_opt s.agg_at (pod, stripe); Hashtbl.find_opt s.core_at (stripe, member) ]
+    let core = Hashtbl.find_opt s.core_at (stripe, member) in
+    let pod_side =
+      match s.spec.MR.wiring with
+      | MR.Stripes ->
+        (* plain striping: the fault's stripe is also the agg's label *)
+        Option.to_list (Hashtbl.find_opt s.agg_at (pod, stripe))
+      | MR.Ab_stripes ->
+        (* row and column aggs interleave; over-approximate with every
+           agg of the pod (sound for invalidation, and tiny) *)
+        Hashtbl.fold (fun (p, _) d acc -> if p = pod then d :: acc else acc) s.agg_at []
+      | MR.Flat ->
+        Hashtbl.fold (fun (p, _) d acc -> if p = pod then d :: acc else acc) s.edge_at []
+    in
+    Option.to_list core @ pod_side
   | Fault.Host_edge { pod; edge_pos; port = _ } ->
     List.filter_map Fun.id [ Hashtbl.find_opt s.edge_at (pod, edge_pos) ]
 
@@ -207,12 +226,31 @@ let check_faults s faults ~sink =
          | Some e, Some a -> check_pair e a
          | _ -> ())
       | Fault.Agg_core { pod; stripe; member } ->
-        (match
-           (find s.agg_at (pod, stripe) "aggregation switch", find s.core_at (stripe, member)
-              "core switch")
-         with
-         | Some a, Some c -> check_pair a c
-         | _ -> ())
+        (match find s.core_at (stripe, member) "core switch" with
+         | None -> ()
+         | Some c ->
+           (* pod-side endpoint fronting that core: the same-stripe agg
+              under plain striping, whichever agg is wired to the core
+              under AB, the pod's single leaf under flat *)
+           let pod_side =
+             match s.spec.MR.wiring with
+             | MR.Stripes -> find s.agg_at (pod, stripe) "aggregation switch"
+             | MR.Flat -> find s.edge_at (pod, 0) "edge switch"
+             | MR.Ab_stripes ->
+               let found =
+                 Hashtbl.fold
+                   (fun (p, _) d acc ->
+                     if p = pod && acc = None && SNet.link_between s.net d c <> None then
+                       Some d
+                     else acc)
+                   s.agg_at None
+               in
+               if found = None then
+                 unknown
+                   (Printf.sprintf "no aggregation switch in pod %d is wired to that core" pod);
+               found
+           in
+           (match pod_side with Some a -> check_pair a c | None -> ()))
       | Fault.Host_edge { pod; edge_pos; port } ->
         (match find s.edge_at (pod, edge_pos) "edge switch" with
          | None -> ()

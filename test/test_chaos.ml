@@ -191,6 +191,53 @@ let test_campaign_json_deterministic () =
   let j seed = Obs.Json.to_string (Chaos.report_to_json (run_mixed seed)) in
   Testutil.check_string "same seed, byte-identical JSON" (j 42) (j 42)
 
+(* ---------------- cross-family differential ---------------- *)
+
+let run_family ~seed family =
+  let fam =
+    match Topology.Topo.Family.of_string ~k:4 family with
+    | Ok f -> f
+    | Error e -> Alcotest.fail e
+  in
+  let fab = Fabric.create_family ~seed fam in
+  if not (Fabric.await_convergence fab) then Alcotest.failf "%s failed to converge" family;
+  let plan = Chaos.generate ~seed ~duration:(Time.ms 4000) (Fabric.tree fab) in
+  Chaos.run_campaign ~label:"diff" ~seed fab plan
+
+(* the same seed drives every family member deterministically: per-family
+   campaigns are byte-stable, all of them end verifier-clean, and the
+   plain and AB wirings genuinely diverge (their uplink link sets differ,
+   so the seeded plans must too) *)
+let test_family_campaign_differential () =
+  let json family = Obs.Json.to_string (Chaos.report_to_json (run_family ~seed:42 family)) in
+  let reports =
+    List.map
+      (fun family ->
+        let a = json family in
+        Testutil.check_string (family ^ " byte-stable across runs") a (json family);
+        let r = run_family ~seed:42 family in
+        Testutil.check_bool (family ^ " campaign clean") true (Chaos.report_ok r);
+        (family, a))
+      [ "plain"; "ab"; "two-layer" ]
+  in
+  match reports with
+  | (_, plain) :: (_, ab) :: (_, two_layer) :: _ ->
+    Testutil.check_bool "plain and ab campaigns differ" false (plain = ab);
+    Testutil.check_bool "plain and two-layer campaigns differ" false (plain = two_layer)
+  | _ -> Alcotest.fail "missing family reports"
+
+(* AB post-failure re-convergence with the incremental verifier checking
+   every single update: zero divergences from the full verifier *)
+let test_ab_verify_every_update () =
+  let fab = Fabric.create_family ~seed:7 (Topology.Topo.Family.Ab { k = 4 }) in
+  if not (Fabric.await_convergence fab) then Alcotest.fail "ab fabric failed to converge";
+  let plan = Chaos.generate ~seed:7 ~duration:(Time.ms 4000) (Fabric.tree fab) in
+  let r = Chaos.run_campaign ~label:"ab-inc" ~seed:7 ~verify_every_update:true fab plan in
+  Testutil.check_bool "ab campaign ok" true (Chaos.report_ok r);
+  Testutil.check_bool "updates were verified" true (r.Chaos.rep_updates_verified > 0);
+  Testutil.check_int "incremental never diverged from full" 0
+    r.Chaos.rep_incremental_divergences
+
 let () =
   Alcotest.run "chaos"
     [ ( "plans",
@@ -207,4 +254,7 @@ let () =
         [ Alcotest.test_case "mixed campaign clean" `Slow test_mixed_campaign_clean;
           Alcotest.test_case "incremental verify on every update" `Slow
             test_verify_every_update;
-          Alcotest.test_case "json deterministic" `Slow test_campaign_json_deterministic ] ) ]
+          Alcotest.test_case "json deterministic" `Slow test_campaign_json_deterministic;
+          Alcotest.test_case "cross-family differential" `Slow
+            test_family_campaign_differential;
+          Alcotest.test_case "ab incremental verify" `Slow test_ab_verify_every_update ] ) ]

@@ -38,7 +38,7 @@ let test_render_helpers () =
   Testutil.check_string "f2" "3.14" (Harness.Render.f2 3.14159)
 
 let test_experiment_index () =
-  Testutil.check_int "ten experiments" 10 (List.length Harness.Experiments.all);
+  Testutil.check_int "eleven experiments" 11 (List.length Harness.Experiments.all);
   Testutil.check_bool "unknown id rejected" false
     (Harness.Experiments.run_one Format.str_formatter "nope");
   List.iter
@@ -128,6 +128,20 @@ let test_multicast_quick () =
   Testutil.check_bool "pod1 saw outages" true
     (List.for_all (fun o -> o.Harness.Exp_multicast.gap_ms > 20.0) pod1_outages)
 
+let test_recovery_comparison_quick () =
+  let r = Harness.Exp_recovery_comparison.run ~quick:true () in
+  Testutil.check_int "three family rows" 3
+    (List.length r.Harness.Exp_recovery_comparison.rows);
+  List.iter
+    (fun row ->
+      let open Harness.Exp_recovery_comparison in
+      Testutil.check_bool (row.family ^ " booted") true (row.boot_convergence_ms > 0.0);
+      Testutil.check_bool (row.family ^ " saw chaos events") true (row.chaos_events > 0);
+      Testutil.check_bool (row.family ^ " checked") true (row.checks > 0);
+      Testutil.check_bool (row.family ^ " verifier-clean") true
+        (row.verifier_clean_fraction = 1.0))
+    r.Harness.Exp_recovery_comparison.rows
+
 let () =
   Alcotest.run "harness"
     [ ( "render",
@@ -142,4 +156,5 @@ let () =
           Alcotest.test_case "tcp convergence" `Quick test_tcp_convergence_quick;
           Alcotest.test_case "migration (both modes)" `Quick test_migration_quick;
           Alcotest.test_case "multicast" `Quick test_multicast_quick;
-          Alcotest.test_case "ablations" `Quick test_ablation_quick ] ) ]
+          Alcotest.test_case "ablations" `Quick test_ablation_quick;
+          Alcotest.test_case "recovery comparison" `Quick test_recovery_comparison_quick ] ) ]

@@ -153,9 +153,11 @@ let prop_token_roundtrip =
       let* scenario = oneofl [ Mc.Boot; Mc.Fault; Mc.Reboot ] in
       let* corrupt = oneofl [ None; Some Mc.Wrong_binding; Some Mc.Wrong_port ] in
       let* quantum_us = int_range 1 100 in
+      let* topo = oneofl [ "plain"; "ab"; "two-layer" ] in
       return
         ( { Mc.default_params with
             Mc.seed;
+            topo;
             scenario;
             depth;
             corrupt;
@@ -176,7 +178,9 @@ let test_token_rejects_malformed () =
       "mc1:k=2:seed=1:scn=boot:depth=2:step=3:budget=8:q=2000:corrupt=none:d=1.2.3";
       "mc1:k=2:seed=1:scn=boot:depth=2:step=3:budget=8:q=2000:corrupt=none:d=1.x";
       "mc1:k=2:seed=x:scn=boot:depth=2:step=3:budget=8:q=2000:corrupt=none:d=-";
-      "mc1:k=2:seed=1:scn=boot:depth=2:step=3:budget=8:q=2000:corrupt=evil:d=-" ]
+      "mc1:k=2:seed=1:scn=boot:depth=2:step=3:budget=8:q=2000:corrupt=evil:d=-";
+      "mc2:k=2:topo=butterfly:seed=1:scn=boot:depth=2:step=3:budget=8:q=2000:corrupt=none:d=-";
+      "mc2:k=2:seed=1:scn=boot:depth=2:step=3:budget=8:q=2000:corrupt=none:d=-" ]
   in
   List.iter
     (fun t ->

@@ -644,7 +644,8 @@ let test_non_fattree_multirooted () =
   (* PortLand claims any multi-rooted tree: a 3-pod, oversubscribed,
      non-fat-tree instance must self-configure and forward *)
   let spec =
-    { MR.num_pods = 3; edges_per_pod = 2; aggs_per_pod = 2; hosts_per_edge = 3; num_cores = 4 }
+    { MR.wiring = MR.Stripes; num_pods = 3; edges_per_pod = 2; aggs_per_pod = 2;
+      hosts_per_edge = 3; num_cores = 4 }
   in
   let fab = Portland.Fabric.create spec in
   Testutil.check_bool "converged" true (Fabric.await_convergence fab);
@@ -787,6 +788,45 @@ let test_scale_k12 () =
   Fabric.run_for fab (Time.ms 50);
   Testutil.check_int "corner-to-corner" 1 !got
 
+(* ---------------- topology family matrix ---------------- *)
+
+(* every family member, at k=4 and k=8: boot, converge, verifier-clean,
+   and every host pair exchanges a datagram *)
+let test_family_matrix family k () =
+  let family = Topology.Topo.Family.of_string ~k family |> Result.get_ok in
+  let fab = Testutil.converged_family family in
+  let spec = Fabric.spec fab in
+  Testutil.check_int "all hosts bound"
+    (spec.MR.num_pods * spec.MR.edges_per_pod * spec.MR.hosts_per_edge)
+    (Fabric_manager.binding_count (Fabric.fabric_manager fab));
+  Testutil.assert_verified ~msg:(Topology.Topo.Family.to_string family) fab;
+  Testutil.assert_all_pairs_deliver fab
+
+(* the AB wiring survives an agg–core cut: re-converges and stays clean *)
+let test_ab_failure_reconverges () =
+  let fab = Testutil.converged_family (Topology.Topo.Family.Ab { k = 4 }) in
+  let mt = Fabric.tree fab in
+  (* cut an uplink of an odd (type-B, transposed) pod *)
+  let spec = Fabric.spec fab in
+  let agg = mt.MR.aggs.(1).(0) in
+  let core = mt.MR.cores.(MR.agg_uplink_core_index spec ~pod:1 ~agg_pos:0 ~j:1) in
+  Testutil.check_bool "cut applies" true (Fabric.fail_link_between fab ~a:agg ~b:core);
+  Fabric.run_for fab (Time.ms 300);
+  Testutil.assert_verified ~msg:"ab after agg-core cut" fab;
+  Testutil.assert_all_pairs_deliver ~msg:"ab delivery after cut" fab;
+  Testutil.check_bool "recovery applies" true (Fabric.recover_link_between fab ~a:agg ~b:core);
+  Fabric.run_for fab (Time.ms 300);
+  Testutil.assert_verified ~msg:"ab after recovery" fab
+
+(* two-layer: spine loss degrades to the surviving spines *)
+let test_two_layer_spine_loss () =
+  let fab = Testutil.converged_family (Topology.Topo.Family.of_string ~k:4 "two-layer" |> Result.get_ok) in
+  let mt = Fabric.tree fab in
+  Fabric.fail_switch fab mt.MR.cores.(0);
+  Fabric.run_for fab (Time.ms 300);
+  Testutil.assert_verified ~msg:"two-layer after spine loss" fab;
+  Testutil.assert_all_pairs_deliver ~msg:"two-layer delivery after spine loss" fab
+
 let test_spare_slot_rejected () =
   let fab = Testutil.converged_fabric ~spare_slots:[ (1, 0, 0) ] () in
   (try
@@ -843,4 +883,14 @@ let () =
           Alcotest.test_case "runs are deterministic" `Quick test_deterministic_runs;
           Alcotest.test_case "trace records lifecycle" `Quick test_trace_records_lifecycle;
           Alcotest.test_case "scale: k=12 (432 hosts)" `Slow test_scale_k12;
-          Alcotest.test_case "spare slots" `Quick test_spare_slot_rejected ] ) ]
+          Alcotest.test_case "spare slots" `Quick test_spare_slot_rejected ] );
+      ( "topology family",
+        [ Alcotest.test_case "plain k=4" `Quick (test_family_matrix "plain" 4);
+          Alcotest.test_case "plain k=8" `Quick (test_family_matrix "plain" 8);
+          Alcotest.test_case "ab k=4" `Quick (test_family_matrix "ab" 4);
+          Alcotest.test_case "ab k=8" `Quick (test_family_matrix "ab" 8);
+          Alcotest.test_case "two-layer k=4" `Quick (test_family_matrix "two-layer" 4);
+          Alcotest.test_case "two-layer k=8" `Quick (test_family_matrix "two-layer" 8);
+          Alcotest.test_case "ab survives agg-core cut" `Quick test_ab_failure_reconverges;
+          Alcotest.test_case "two-layer survives spine loss" `Quick
+            test_two_layer_spine_loss ] ) ]

@@ -164,6 +164,18 @@ let test_fattree_invalid_k () =
     Alcotest.fail "k=0 accepted"
   with Invalid_argument _ -> ()
 
+(* regression guard for the builder's allocation diet (node names are
+   assembled with [^], not [sprintf]): a k=8 build costs ~21k minor
+   words; the bound leaves ~3x headroom for compiler/runtime noise *)
+let test_fattree_allocation_budget () =
+  ignore (Fattree.build ~k:8);
+  let before = Gc.minor_words () in
+  ignore (Fattree.build ~k:8);
+  let words = Gc.minor_words () -. before in
+  Testutil.check_bool
+    (Printf.sprintf "k=8 build allocates %.0f minor words (budget 60000)" words)
+    true (words < 60_000.0)
+
 let prop_fattree_structure =
   Testutil.prop "fat tree structural invariants" ~count:4
     (QCheck2.Gen.map (fun i -> 2 * (i + 1)) (QCheck2.Gen.int_bound 4))
@@ -199,8 +211,8 @@ let test_to_dot () =
 
 let test_multirooted_validation () =
   let bad =
-    { Multirooted.num_pods = 4; edges_per_pod = 2; aggs_per_pod = 3; hosts_per_edge = 2;
-      num_cores = 4 }
+    { Multirooted.wiring = Multirooted.Stripes; num_pods = 4; edges_per_pod = 2;
+      aggs_per_pod = 3; hosts_per_edge = 2; num_cores = 4 }
   in
   Testutil.check_bool "indivisible stripes" true (Result.is_error (Multirooted.validate_spec bad));
   let bad2 = { bad with Multirooted.aggs_per_pod = 2; num_pods = 0 } in
@@ -209,8 +221,8 @@ let test_multirooted_validation () =
 let test_multirooted_asymmetric () =
   (* a non-fat-tree multi-rooted tree: 3 pods, oversubscribed edges *)
   let spec =
-    { Multirooted.num_pods = 3; edges_per_pod = 2; aggs_per_pod = 2; hosts_per_edge = 4;
-      num_cores = 4 }
+    { Multirooted.wiring = Multirooted.Stripes; num_pods = 3; edges_per_pod = 2;
+      aggs_per_pod = 2; hosts_per_edge = 4; num_cores = 4 }
   in
   let mt = Multirooted.build spec in
   let topo = mt.Multirooted.topo in
@@ -231,6 +243,165 @@ let test_host_location () =
      Testutil.check_int "slot" 0 s
    | None -> Alcotest.fail "host not located");
   Testutil.check_bool "non-host" true (Multirooted.host_location ft ft.Multirooted.cores.(0) = None)
+
+(* ---------------- Topology family ---------------- *)
+
+let test_family_of_string () =
+  (match Topo.Family.of_string ~k:4 "plain" with
+   | Ok (Topo.Family.Plain { k }) -> Testutil.check_int "plain k" 4 k
+   | _ -> Alcotest.fail "plain not parsed");
+  (match Topo.Family.of_string ~k:8 "ab" with
+   | Ok (Topo.Family.Ab { k }) -> Testutil.check_int "ab k" 8 k
+   | _ -> Alcotest.fail "ab not parsed");
+  (match Topo.Family.of_string ~k:4 "two-layer" with
+   | Ok (Topo.Family.Two_layer { leaves; spines; hosts_per_leaf }) ->
+     Testutil.check_int "leaves" 4 leaves;
+     Testutil.check_int "spines" 2 spines;
+     Testutil.check_int "hosts per leaf" 4 hosts_per_leaf
+   | _ -> Alcotest.fail "two-layer not parsed");
+  Testutil.check_bool "unknown rejected" true
+    (Result.is_error (Topo.Family.of_string ~k:4 "butterfly"));
+  List.iter
+    (fun f ->
+      let name = Topo.Family.to_string f in
+      match Topo.Family.of_string ~k:4 name with
+      | Ok f' -> Testutil.check_string "round trip" name (Topo.Family.to_string f')
+      | Error e -> Alcotest.failf "%s did not round-trip: %s" name e)
+    (Topo.Family.all ~k:4)
+
+let test_family_counts () =
+  (* AB tree has plain-fat-tree counts; two-layer drops the agg tier *)
+  let ab = Multirooted.build_family (Topo.Family.Ab { k = 4 }) in
+  Testutil.check_int "ab hosts" 16 (List.length (Topo.nodes_of_kind ab.Multirooted.topo Topo.Host));
+  Testutil.check_int "ab aggs" 8
+    (List.length (Topo.nodes_of_kind ab.Multirooted.topo Topo.Agg_switch));
+  Testutil.check_int "ab cores" 4
+    (List.length (Topo.nodes_of_kind ab.Multirooted.topo Topo.Core_switch));
+  let tl =
+    Multirooted.build_family (Topo.Family.Two_layer { leaves = 4; spines = 2; hosts_per_leaf = 4 })
+  in
+  Testutil.check_int "two-layer hosts" 16
+    (List.length (Topo.nodes_of_kind tl.Multirooted.topo Topo.Host));
+  Testutil.check_int "two-layer leaves" 4
+    (List.length (Topo.nodes_of_kind tl.Multirooted.topo Topo.Edge_switch));
+  Testutil.check_int "two-layer aggs" 0
+    (List.length (Topo.nodes_of_kind tl.Multirooted.topo Topo.Agg_switch));
+  Testutil.check_int "two-layer spines" 2
+    (List.length (Topo.nodes_of_kind tl.Multirooted.topo Topo.Core_switch));
+  Testutil.check_bool "two-layer connected" true (Topo.is_connected tl.Multirooted.topo)
+
+(* generator for (family descriptor, arity): every member at k in {2,4,6,8} *)
+let family_gen =
+  QCheck2.Gen.map
+    (fun (i, j) ->
+      let k = 2 * (i + 1) in
+      (List.nth (Topo.Family.all ~k) j, k))
+    QCheck2.Gen.(pair (int_bound 3) (int_bound 2))
+
+(* no dangling links, full radix: every port of every node has a peer *)
+let prop_family_no_dangling =
+  Testutil.prop "family wirings leave no port dangling" ~count:12 family_gen
+    (fun (fam, _k) ->
+      let mt = Multirooted.build_family fam in
+      let topo = mt.Multirooted.topo in
+      Array.for_all
+        (fun (n : Topo.node) ->
+          Topo.degree topo n.Topo.id = n.Topo.nports
+          && List.init n.Topo.nports (fun p -> Topo.peer topo ~node:n.Topo.id ~port:p)
+             |> List.for_all Option.is_some)
+        (Topo.nodes topo))
+
+(* AB stripe symmetry: even (type-A) pods keep row wiring, odd (type-B)
+   pods transpose it — and agg_uplink_core_index is the ground truth the
+   built topology actually realizes *)
+let prop_family_stripe_symmetry =
+  Testutil.prop "AB uplinks follow the row/column transposition" ~count:8
+    (QCheck2.Gen.map (fun i -> 2 * (i + 1)) (QCheck2.Gen.int_bound 3))
+    (fun k ->
+      let fam = Topo.Family.Ab { k } in
+      let spec = Multirooted.spec_of_family fam in
+      let mt = Multirooted.build_family fam in
+      let topo = mt.Multirooted.topo in
+      let u = Multirooted.uplinks_per_agg spec in
+      let ok = ref true in
+      for pod = 0 to spec.Multirooted.num_pods - 1 do
+        for agg_pos = 0 to spec.Multirooted.aggs_per_pod - 1 do
+          for j = 0 to u - 1 do
+            let expect =
+              mt.Multirooted.cores.(Multirooted.agg_uplink_core_index spec ~pod ~agg_pos ~j)
+            in
+            let agg = mt.Multirooted.aggs.(pod).(agg_pos) in
+            let port = Multirooted.agg_uplink_port mt ~stripe_member:j in
+            (match Topo.peer topo ~node:agg ~port with
+             | Some e when e.Topo.node = expect -> ()
+             | _ -> ok := false);
+            (* type-A pods read along a core row, type-B along a column *)
+            let row, member = Multirooted.core_label spec ~index:(Multirooted.core_index spec
+              ~row:(if Multirooted.pod_is_type_b spec ~pod then j else agg_pos)
+              ~member:(if Multirooted.pod_is_type_b spec ~pod then agg_pos else j)) in
+            let erow, emember =
+              Multirooted.core_label spec
+                ~index:(Multirooted.agg_uplink_core_index spec ~pod ~agg_pos ~j)
+            in
+            if (row, member) <> (erow, emember) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* LDP self-configuration agrees with generator ground truth on every
+   family member: booted coordinates match the build arrays *)
+let test_family_ldp_ground_truth () =
+  List.iter
+    (fun fam ->
+      let fam_fab = Testutil.converged_family fam in
+      let spec = Portland.Fabric.spec fam_fab in
+      let mt = Portland.Fabric.tree fam_fab in
+      let coords_of dev =
+        match Portland.Switch_agent.coords (Portland.Fabric.agent fam_fab dev) with
+        | Some c -> c
+        | None ->
+          Alcotest.failf "%s: switch %d has no coordinates" (Topo.Family.to_string fam) dev
+      in
+      (* edge positions are negotiated, so within a pod any permutation of
+         0..edges_per_pod-1 is a correct outcome; pod membership is forced *)
+      Array.iteri
+        (fun p row ->
+          let positions =
+            Array.to_list row
+            |> List.map (fun dev ->
+                   match coords_of dev with
+                   | Portland.Coords.Edge { pod; position } ->
+                     Testutil.check_int "edge pod" p pod;
+                     position
+                   | _ -> Alcotest.failf "edge %d mislabelled" dev)
+          in
+          Testutil.check_bool "edge positions form a permutation" true
+            (List.sort compare positions = List.init (Array.length row) Fun.id))
+        mt.Multirooted.edges;
+      Array.iteri
+        (fun p row ->
+          Array.iteri
+            (fun a dev ->
+              match coords_of dev with
+              | Portland.Coords.Agg { pod; stripe } ->
+                Testutil.check_int "agg pod" p pod;
+                Testutil.check_int "agg stripe"
+                  (Multirooted.agg_stripe_label spec ~pod:p ~agg_pos:a)
+                  stripe
+              | _ -> Alcotest.failf "agg %d mislabelled" dev)
+            row)
+        mt.Multirooted.aggs;
+      Array.iteri
+        (fun i dev ->
+          match coords_of dev with
+          | Portland.Coords.Core { stripe; member } ->
+            let erow, emember = Multirooted.core_label spec ~index:i in
+            Testutil.check_int "core row" erow stripe;
+            Testutil.check_int "core member" emember member
+          | _ -> Alcotest.failf "core %d mislabelled" dev)
+        mt.Multirooted.cores)
+    (Topo.Family.all ~k:4)
 
 (* ---------------- Paths ---------------- *)
 
@@ -304,11 +475,18 @@ let () =
           Alcotest.test_case "core per pod" `Quick test_fattree_core_per_pod;
           Alcotest.test_case "accessors" `Quick test_fattree_accessors;
           Alcotest.test_case "invalid k" `Quick test_fattree_invalid_k;
+          Alcotest.test_case "allocation budget" `Quick test_fattree_allocation_budget;
           prop_fattree_structure ] );
       ( "multirooted",
         [ Alcotest.test_case "spec validation" `Quick test_multirooted_validation;
           Alcotest.test_case "asymmetric spec" `Quick test_multirooted_asymmetric;
           Alcotest.test_case "host location" `Quick test_host_location ] );
+      ( "family",
+        [ Alcotest.test_case "descriptor parsing" `Quick test_family_of_string;
+          Alcotest.test_case "member counts" `Quick test_family_counts;
+          prop_family_no_dangling;
+          prop_family_stripe_symmetry;
+          Alcotest.test_case "ldp matches ground truth" `Quick test_family_ldp_ground_truth ] );
       ( "paths",
         [ Alcotest.test_case "fat-tree distances" `Quick test_paths_distances;
           Alcotest.test_case "link exclusion" `Quick test_paths_exclusion;

@@ -25,6 +25,40 @@ let converged_fabric ?(k = 4) ?(seed = 42) ?spare_slots () =
     Alcotest.fail "fabric failed to converge";
   fab
 
+(* same, for any member of the topology family *)
+let converged_family ?(seed = 42) family =
+  let fab = Portland.Fabric.create_family ~seed family in
+  if not (Portland.Fabric.await_convergence fab) then
+    Alcotest.failf "fabric (%s) failed to converge"
+      (Topology.Topo.Family.to_string family);
+  fab
+
+(* all-pairs UDP probe: every host sends one datagram to every other host;
+   fails unless every single one is delivered *)
+let assert_all_pairs_deliver ?(ms = 200) ?(msg = "all-pairs delivery") fab =
+  let hosts = Array.of_list (Portland.Fabric.hosts fab) in
+  let received = Array.make (Array.length hosts) 0 in
+  Array.iteri
+    (fun i h -> Portland.Host_agent.set_rx h (fun _ -> received.(i) <- received.(i) + 1))
+    hosts;
+  let sent = ref 0 in
+  Array.iteri
+    (fun i src ->
+      Array.iteri
+        (fun j dst ->
+          if i <> j then begin
+            Portland.Host_agent.send_ip src
+              ~dst:(Portland.Host_agent.ip dst)
+              (Netcore.Ipv4_pkt.Udp
+                 (Netcore.Udp.make ~flow_id:1 ~app_seq:!sent ~payload_len:100 ()));
+            incr sent
+          end)
+        hosts)
+    hosts;
+  Portland.Fabric.run_for fab (Eventsim.Time.ms ms);
+  let total = Array.fold_left ( + ) 0 received in
+  check_int msg !sent total
+
 (* a tiny flat-L2 playground: [n] hosts on one learning switch (no loops,
    no STP needed) — convenient substrate for transport tests *)
 let tiny_lan ?(n = 2) () =
