@@ -92,7 +92,7 @@ let sample_frame =
    full-vs-incremental verification pair measured below *)
 let verify_fixture =
   lazy
-    (let fab = Portland.Fabric.create_fattree ~obs:Obs.null ~k:16 () in
+    (let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~obs:Obs.null ~k:16 () in
      if not (Portland.Fabric.await_convergence ~timeout:(Eventsim.Time.sec 10) fab) then
        failwith "bench: k=16 fabric failed to converge";
      let inc = Portland_verify.Verify.Incremental.attach ~obs:Obs.null fab in
@@ -240,7 +240,7 @@ let run_scalability ~quick =
     in
     let spec = Topology.Multirooted.spec_of_family fam in
     let t0 = Unix.gettimeofday () in
-    let fab = Portland.Fabric.create_family fam in
+    let fab = Portland.Fabric.create @@ Portland.Fabric.Config.of_family fam in
     let ok = Portland.Fabric.await_convergence ~timeout:(Eventsim.Time.sec 10) fab in
     let t1 = Unix.gettimeofday () in
     let row =
@@ -273,6 +273,60 @@ let run_scalability ~quick =
   print_newline ();
   rows
 
+type par_row = {
+  p_k : int;
+  p_domains : int;
+  p_wall_1 : float;
+  p_wall_n : float;
+  p_digest : string;
+  p_digest_equal : bool;
+}
+
+(* the sharded-engine acceptance experiment: boot a fat tree and run
+   150 ms of converged steady state, once on 1 domain and once on N;
+   the control-state digests must be identical (hard failure if not),
+   and with >= N real cores the N-domain run should win wall-clock *)
+let run_parallel ~quick =
+  let n = 4 in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "=== Parallel engine: sharded boot + 150 ms, 1 domain vs %d ===\n" n;
+  if cores < n then
+    Printf.printf "  (host offers %d core(s): expect no speedup, only the determinism check)\n"
+      cores;
+  Printf.printf "  %-4s %-12s %-12s %-9s %-8s\n" "k" "wall@1 (s)"
+    (Printf.sprintf "wall@%d (s)" n)
+    "speedup" "digests";
+  let one k =
+    let run domains =
+      let cfg =
+        { (Portland.Fabric.Config.fattree ~k ()) with
+          Portland.Fabric.Config.domains;
+          obs = Some Obs.null }
+      in
+      let t0 = Unix.gettimeofday () in
+      let fab = Portland.Fabric.create cfg in
+      if not (Portland.Fabric.await_convergence ~timeout:(Eventsim.Time.sec 60) fab) then
+        failwith (Printf.sprintf "bench: parallel k=%d domains=%d did not converge" k domains);
+      Portland.Fabric.run_for fab (Eventsim.Time.ms 150);
+      (Unix.gettimeofday () -. t0, Portland.Fabric.control_digest fab)
+    in
+    let w1, d1 = run 1 in
+    let wn, dn = run n in
+    let row =
+      { p_k = k; p_domains = n; p_wall_1 = w1; p_wall_n = wn; p_digest = d1;
+        p_digest_equal = d1 = dn }
+    in
+    Printf.printf "  %-4d %-12.2f %-12.2f %-9.2f %-8s\n" k w1 wn (w1 /. wn)
+      (if row.p_digest_equal then "equal" else "DIVERGED");
+    if not row.p_digest_equal then
+      failwith (Printf.sprintf "bench: parallel digest divergence at k=%d" k);
+    row
+  in
+  let ks = if quick then [ 16 ] else [ 16; 24; 32 ] in
+  let rows = List.map one ks in
+  print_newline ();
+  rows
+
 (* ---------------- JSON tracking (hand-rolled, no extra deps) ----------------
 
    Seed-era constants from EXPERIMENTS.md, the denominators for the
@@ -292,7 +346,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~out ~micro ~scal =
+let write_json ~out ~micro ~scal ~par =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
@@ -347,6 +401,18 @@ let write_json ~out ~micro ~scal =
         (json_escape r.family) r.k r.hosts r.switches r.sim_ms r.wall_s r.events r.converged
         (if i = List.length scal - 1 then "" else ","))
     scal;
+  add "  ],\n";
+  add "  \"parallel_speedup\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"name\": \"engine/parallel_speedup_k%d\", \"k\": %d, \"domains\": %d, \
+         \"wall_1_s\": %.3f, \"wall_n_s\": %.3f, \"speedup\": %.2f, \"digest\": \"%s\", \
+         \"digests_equal\": %b}%s\n"
+        r.p_k r.p_k r.p_domains r.p_wall_1 r.p_wall_n (r.p_wall_1 /. r.p_wall_n)
+        (json_escape r.p_digest) r.p_digest_equal
+        (if i = List.length par - 1 then "" else ","))
+    par;
   add "  ]\n";
   add "}\n";
   let oc = open_out out in
@@ -373,7 +439,8 @@ let () =
   if not experiments_only then begin
     let micro = run_micro ~quick in
     let scal = run_scalability ~quick in
-    if json then write_json ~out ~micro ~scal
+    let par = run_parallel ~quick in
+    if json then write_json ~out ~micro ~scal ~par
   end;
   if not micro_only then begin
     print_endline "=== Paper reproduction: every table and figure ===";

@@ -5,7 +5,7 @@ open Cmdliner
 
 (* ---------------- options shared by every subcommand ---------------- *)
 
-type common = { k : int; topo : string; seed : int; verbose : bool }
+type common = { k : int; topo : string; seed : int; verbose : bool; domains : int }
 
 let k_arg =
   let doc = "Fat-tree arity (even, >= 2)." in
@@ -27,10 +27,18 @@ let verbose_arg =
   let doc = "Dump per-switch state and counters at the end." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Run the fabric on the sharded parallel engine with $(docv) OS domains (one logical \
+     shard per pod plus a core/fabric-manager shard; the run is bit-identical for every \
+     positive $(docv)). 0 (the default) uses the classic sequential engine."
+  in
+  Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N" ~doc)
+
 let common_term =
   Term.(
-    const (fun k topo seed verbose -> { k; topo; seed; verbose })
-    $ k_arg $ topology_arg $ seed_arg $ verbose_arg)
+    const (fun k topo seed verbose domains -> { k; topo; seed; verbose; domains })
+    $ k_arg $ topology_arg $ seed_arg $ verbose_arg $ domains_arg)
 
 let family_of { k; topo; _ } =
   match Topology.Topo.Family.of_string ~k topo with
@@ -40,7 +48,19 @@ let family_of { k; topo; _ } =
     exit 2
 
 let create_fabric ?obs ?spare_slots c =
-  Portland.Fabric.create_family ?obs ?spare_slots ~seed:c.seed (family_of c)
+  if c.domains < 0 then begin
+    prerr_endline "--domains must be >= 0";
+    exit 2
+  end;
+  Portland.Fabric.create
+    (Portland.Fabric.Config.of_family ?obs ?spare_slots ~seed:c.seed ~domains:c.domains
+       (family_of c))
+
+let reject_domains c ~what =
+  if c.domains > 0 then begin
+    Printf.eprintf "%s requires the sequential engine; drop --domains\n" what;
+    exit 2
+  end
 
 let describe_fabric c fab =
   let spec = Portland.Fabric.spec fab in
@@ -99,6 +119,12 @@ let write_metrics obs = function
 let run_scenario ({ k; verbose; _ } as c) ~duration_ms ~scenario ~pcap_file ~dot_file
     ~metrics_out =
   let open Eventsim in
+  (* the transport-driven scenarios pump a client loop on one engine, and
+     pcap taps record frames from every shard: both need the classic engine *)
+  (match scenario with
+   | "migrate" | "failure" -> reject_domains c ~what:("the " ^ scenario ^ " scenario")
+   | _ -> ());
+  if pcap_file <> None then reject_domains c ~what:"--pcap capture";
   let obs = Obs.create () in
   let fab = create_fabric ~obs c in
   (match dot_file with
@@ -383,6 +409,8 @@ let run_chaos ({ seed; verbose; _ } as c) ~duration_ms ~campaign ~verify_every_u
         campaign;
       exit 2
   in
+  if verify_every_update then
+    reject_domains c ~what:"--verify-every-update (the update journal)";
   let obs = Obs.create () in
   let fab = create_fabric ~obs c in
   if not (Portland.Fabric.await_convergence fab) then begin
@@ -435,15 +463,17 @@ let run_chaos ({ seed; verbose; _ } as c) ~duration_ms ~campaign ~verify_every_u
 
 (* ---------------- model checking ---------------- *)
 
-let run_mc { k; topo; seed; verbose } ~depth ~max_step ~delay_budget ~quantum_us ~scenario
-    ~corrupt ~no_prune ~replay ~json_out =
+let run_mc ({ k; topo; seed; verbose; _ } as c) ~depth ~max_step ~delay_budget ~quantum_us
+    ~scenario ~corrupt ~no_prune ~replay ~json_out =
   let open Eventsim in
+  (* the interleaving explorer intercepts control deliveries sequentially *)
+  reject_domains c ~what:"mc";
   match replay with
   | Some token ->
     (* the token is self-contained: every parameter comes from it, so the
        reproduction is byte-exact no matter what else is on the command
        line *)
-    (match Mc.parse_token token with
+    (match Mc.Token.of_string token with
      | Error e ->
        Printf.eprintf "bad --replay token: %s\n" e;
        exit 2

@@ -17,7 +17,7 @@ let host_rx net hosts =
     0 hosts
 
 let workload_portland k =
-  let fab = Portland.Fabric.create_fattree ~k () in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~k () in
   assert (Portland.Fabric.await_convergence fab);
   let net = Portland.Fabric.net fab in
   let before = host_rx net (Portland.Fabric.hosts fab) in

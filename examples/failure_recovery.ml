@@ -10,7 +10,7 @@ open Portland
 open Eventsim
 
 let () =
-  let fab = Fabric.create_fattree ~k:4 () in
+  let fab = Fabric.create @@ Fabric.Config.fattree ~k:4 () in
   assert (Fabric.await_convergence fab);
 
   let src = Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in

@@ -11,7 +11,7 @@ open Eventsim
 
 let () =
   let k = 4 in
-  let fab = Fabric.create_fattree ~k () in
+  let fab = Fabric.create @@ Fabric.Config.fattree ~k () in
   assert (Fabric.await_convergence fab);
   let receiver = Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
   let mux = Transport.Port_mux.attach receiver in

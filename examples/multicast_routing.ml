@@ -9,7 +9,7 @@ open Portland
 open Eventsim
 
 let () =
-  let fab = Fabric.create_fattree ~k:4 () in
+  let fab = Fabric.create @@ Fabric.Config.fattree ~k:4 () in
   assert (Fabric.await_convergence fab);
   let group = Netcore.Ipv4_addr.of_string_exn "230.1.1.1" in
 

@@ -10,7 +10,7 @@ let () =
   (* 1. Build a complete deployment: fat-tree wiring, one switch agent per
      switch, one host stack per host, the fabric manager, and the
      out-of-band control network. Nothing is configured by hand. *)
-  let fab = Fabric.create_fattree ~k:4 () in
+  let fab = Fabric.create @@ Fabric.Config.fattree ~k:4 () in
   Printf.printf "built a k=4 fat tree: %d hosts, %d switches\n"
     (Topology.Fattree.num_hosts ~k:4)
     (Topology.Fattree.num_switches ~k:4);

@@ -17,7 +17,7 @@ let mb x = float_of_int x /. 1e6
 
 let () =
   (* one host slot in pod 2 is left unplugged: the migration target *)
-  let fab = Fabric.create_fattree ~k:4 ~spare_slots:[ (2, 0, 0) ] () in
+  let fab = Fabric.create @@ Fabric.Config.fattree ~k:4 ~spare_slots:[ (2, 0, 0) ] () in
   assert (Fabric.await_convergence fab);
 
   let client = Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in

@@ -1,24 +1,42 @@
 open Eventsim
 
+type route = {
+  rt_fm_engine : Engine.t;
+  rt_engine_of : int -> Engine.t;
+  rt_shard_of : int -> int;
+  rt_post : src:int -> dst:int -> time:Time.t -> (unit -> unit) -> unit;
+}
+
 type t = {
   engine : Engine.t;
   latency : Time.t;
+  mutable route : route option;
   mutable fm_handler : (from:int -> Msg.to_fm -> unit) option;
   switch_handlers : (int, Msg.to_switch -> unit) Hashtbl.t;
-  mutable to_fm : int;
-  mutable to_switch : int;
-  mutable to_fm_bytes : int;
-  mutable to_switch_bytes : int;
-  mutable dropped : int;
+  (* counters are atomic: under sharded execution deliveries to switches
+     run on the switches' shards while FM deliveries run on shard 0 *)
+  to_fm : int Atomic.t;
+  to_switch : int Atomic.t;
+  to_fm_bytes : int Atomic.t;
+  to_switch_bytes : int Atomic.t;
+  dropped : int Atomic.t;
 }
 
 let create engine ~latency =
-  { engine; latency; fm_handler = None; switch_handlers = Hashtbl.create 64; to_fm = 0;
-    to_switch = 0; to_fm_bytes = 0; to_switch_bytes = 0; dropped = 0 }
+  { engine; latency; route = None; fm_handler = None;
+    switch_handlers = Hashtbl.create 64;
+    to_fm = Atomic.make 0; to_switch = Atomic.make 0;
+    to_fm_bytes = Atomic.make 0; to_switch_bytes = Atomic.make 0;
+    dropped = Atomic.make 0 }
+
+let set_route t r = t.route <- r
 
 let register_fm t f = t.fm_handler <- Some f
 let register_switch t id f = Hashtbl.replace t.switch_handlers id f
 let unregister_switch t id = Hashtbl.remove t.switch_handlers id
+
+let bump c = Atomic.incr c
+let bump_by c n = ignore (Atomic.fetch_and_add c n)
 
 (* Deliveries are tagged as reorderable actions whenever an engine
    interceptor (the model checker's controlled scheduler) is installed;
@@ -28,36 +46,63 @@ let deliver t ~tag thunk =
     ignore (Engine.schedule_tagged t.engine ~delay:t.latency ~tag:(tag ()) thunk)
   else ignore (Engine.schedule t.engine ~delay:t.latency thunk)
 
+(* Sharded delivery: the thunk must run on the destination's shard. The
+   control latency is at least the scheduler's lookahead, so cross-shard
+   sends always land beyond the current window. *)
+let deliver_routed r ~src_engine ~src_shard ~dst_engine ~dst_shard thunk ~latency =
+  let time = Engine.now src_engine + latency in
+  if src_shard = dst_shard then ignore (Engine.schedule_at dst_engine ~time thunk)
+  else r.rt_post ~src:src_shard ~dst:dst_shard ~time thunk
+
 let send_to_fm t ~from msg =
-  deliver t
-    ~tag:(fun () -> Printf.sprintf "ctrl:fm<-%d:%s" from (Msg.describe_to_fm msg))
-    (fun () ->
-      match t.fm_handler with
-      | Some f ->
-        t.to_fm <- t.to_fm + 1;
-        t.to_fm_bytes <- t.to_fm_bytes + Msg_codec.to_fm_wire_len msg;
-        f ~from msg
-      | None -> t.dropped <- t.dropped + 1)
+  let thunk () =
+    match t.fm_handler with
+    | Some f ->
+      bump t.to_fm;
+      bump_by t.to_fm_bytes (Msg_codec.to_fm_wire_len msg);
+      f ~from msg
+    | None -> bump t.dropped
+  in
+  match t.route with
+  | Some r ->
+    deliver_routed r ~src_engine:(r.rt_engine_of from)
+      ~src_shard:(r.rt_shard_of from) ~dst_engine:r.rt_fm_engine ~dst_shard:0 thunk
+      ~latency:t.latency
+  | None ->
+    deliver t
+      ~tag:(fun () -> Printf.sprintf "ctrl:fm<-%d:%s" from (Msg.describe_to_fm msg))
+      thunk
 
 let send_to_switch t id msg =
-  deliver t
-    ~tag:(fun () -> Printf.sprintf "ctrl:sw%d<-fm:%s" id (Msg.describe_to_switch msg))
-    (fun () ->
-      match Hashtbl.find_opt t.switch_handlers id with
-      | Some f ->
-        t.to_switch <- t.to_switch + 1;
-        t.to_switch_bytes <- t.to_switch_bytes + Msg_codec.to_switch_wire_len msg;
-        f msg
-      | None -> t.dropped <- t.dropped + 1)
+  let thunk () =
+    match Hashtbl.find_opt t.switch_handlers id with
+    | Some f ->
+      bump t.to_switch;
+      bump_by t.to_switch_bytes (Msg_codec.to_switch_wire_len msg);
+      f msg
+    | None -> bump t.dropped
+  in
+  match t.route with
+  | Some r ->
+    deliver_routed r ~src_engine:r.rt_fm_engine ~src_shard:0
+      ~dst_engine:(r.rt_engine_of id) ~dst_shard:(r.rt_shard_of id) thunk
+      ~latency:t.latency
+  | None ->
+    deliver t
+      ~tag:(fun () -> Printf.sprintf "ctrl:sw%d<-fm:%s" id (Msg.describe_to_switch msg))
+      thunk
 
 let broadcast_to_switches t msg =
   (* snapshot ids now; deliver individually so late registrations during
-     the latency window are not surprised *)
+     the latency window are not surprised. Sorted so the send order (and
+     hence per-destination scheduling order) is independent of hash-table
+     iteration, which matters for cross-shard post ordering. *)
   let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.switch_handlers [] in
+  let ids = List.sort compare ids in
   List.iter (fun id -> send_to_switch t id msg) ids
 
-let to_fm_count t = t.to_fm
-let to_switch_count t = t.to_switch
-let to_fm_bytes t = t.to_fm_bytes
-let to_switch_bytes t = t.to_switch_bytes
-let dropped_count t = t.dropped
+let to_fm_count t = Atomic.get t.to_fm
+let to_switch_count t = Atomic.get t.to_switch
+let to_fm_bytes t = Atomic.get t.to_fm_bytes
+let to_switch_bytes t = Atomic.get t.to_switch_bytes
+let dropped_count t = Atomic.get t.dropped

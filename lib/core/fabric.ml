@@ -4,6 +4,37 @@ module MR = Topology.Multirooted
 module SNet = Switchfab.Net
 module FT = Switchfab.Flow_table
 
+module Proto = Config
+(* protocol timers ({!Config}); [Config] below is the creation config *)
+
+module Config = struct
+  type t = {
+    spec : MR.spec;
+    proto : Proto.t;
+    seed : int;
+    link_params : SNet.link_params option;
+    spare_slots : (int * int * int) list;
+    boot_jitter : Time.t;
+    obs : Obs.t option;
+    domains : int;
+  }
+
+  let make ?(proto = Proto.default) ?(seed = 42) ?link_params ?(spare_slots = [])
+      ?(boot_jitter = 0) ?obs ?(domains = 0) spec =
+    { spec; proto; seed; link_params; spare_slots; boot_jitter; obs; domains }
+
+  let default = make (Topology.Fattree.spec ~k:4)
+
+  let fattree ?proto ?seed ?link_params ?spare_slots ?boot_jitter ?obs ?domains ~k () =
+    make ?proto ?seed ?link_params ?spare_slots ?boot_jitter ?obs ?domains
+      (Topology.Fattree.spec ~k)
+
+  let of_family ?proto ?seed ?link_params ?spare_slots ?boot_jitter ?obs ?domains family
+      =
+    make ?proto ?seed ?link_params ?spare_slots ?boot_jitter ?obs ?domains
+      (MR.spec_of_family family)
+end
+
 type host_slot = {
   agent : Host_agent.t;
   plugged : bool;
@@ -11,7 +42,8 @@ type host_slot = {
 
 type t = {
   config : Config.t;
-  engine : Engine.t;
+  engine : Engine.t; (* shard 0's engine; the only engine when domains = 0 *)
+  sched : Sharded.t option;
   obs : Obs.t;
   spec : MR.spec;
   mt : MR.t;
@@ -27,6 +59,12 @@ type t = {
 let jemit t u = match t.journal with None -> () | Some f -> f u
 
 let set_journal t hook =
+  (match (hook, t.sched) with
+   | Some _, Some _ ->
+     invalid_arg
+       "Fabric.set_journal: the update journal requires the single-domain engine \
+        (Config.domains = 0)"
+   | _ -> ());
   t.journal <- hook;
   Fabric_manager.set_journal t.fm hook;
   Hashtbl.iter (fun _ a -> Switch_agent.set_journal a hook) t.switch_agents
@@ -36,15 +74,20 @@ let host_ip ~pod ~edge ~slot = Ipv4_addr.of_octets 10 pod edge (slot + 2)
 let host_amac device = Mac_addr.of_int (0x020000000000 lor device)
 
 let engine t = t.engine
+let sharded t = t.sched
+let domains t = match t.sched with Some s -> Sharded.domains s | None -> 0
 let obs t = t.obs
 let trace t = Obs.trace t.obs
 let net t = t.net
 let ctrl t = t.ctrl
 let fabric_manager t = t.fm
 let config t = t.config
+let proto_config t = t.config.Config.proto
 let spec t = t.spec
 let tree t = t.mt
-let now t = Engine.now t.engine
+
+let now t =
+  match t.sched with Some s -> Sharded.now s | None -> Engine.now t.engine
 
 let agent t device =
   match Hashtbl.find_opt t.switch_agents device with
@@ -78,7 +121,11 @@ let host_by_ip t ip =
 let hosts t =
   Hashtbl.fold (fun _ s acc -> if s.plugged then s.agent :: acc else acc) t.host_slots []
 
-let run_until t time = Engine.run ~until:time t.engine
+let run_until t time =
+  match t.sched with
+  | Some s -> Sharded.run_until s time
+  | None -> Engine.run ~until:time t.engine
+
 let run_for t d = run_until t (now t + d)
 
 let plugged_host_count t =
@@ -97,7 +144,7 @@ let await_convergence ?(timeout = Time.sec 5) t =
     if converged t then begin
       (* settle: let one more LDM round refresh every neighbor claim so
          freshly assigned coordinates propagate into all tables *)
-      run_for t (3 * t.config.Config.ldm_period);
+      run_for t (3 * t.config.Config.proto.Proto.ldm_period);
       Obs.finish sp ~time:(now t);
       Obs.Gauge.set
         (Obs.gauge t.obs ~subsystem:"fabric" ~name:"converged_at_ms" ())
@@ -139,9 +186,9 @@ let restart_fabric_manager t =
      the control network (displacing the old handler) and asks every
      switch to resync — reconstructing all soft state. Its "fm" probe
      replaces the abandoned instance's in the registry. *)
-  Obs.event t.obs ~time:(Engine.now t.engine) ~level:Eventsim.Trace.Warn ~subsystem:"fabric"
+  Obs.event t.obs ~time:(now t) ~level:Eventsim.Trace.Warn ~subsystem:"fabric"
     "fabric manager restarted; resync requested";
-  t.fm <- Fabric_manager.create ~obs:t.obs t.engine t.config t.ctrl ~spec:t.spec;
+  t.fm <- Fabric_manager.create ~obs:t.obs t.engine t.config.Config.proto t.ctrl ~spec:t.spec;
   (* the fresh instance must inherit the journal subscription, and the
      subscriber must know every piece of soft state it cached is stale *)
   Fabric_manager.set_journal t.fm t.journal;
@@ -275,12 +322,18 @@ let migrate t ~vm ~to_:(pod, edge, slot) ~downtime ?on_complete () =
   (match old_edge with
    | Some (e, _) -> jemit t (Journal.Wiring { device = e })
    | None -> ());
-  ignore
-    (Engine.schedule t.engine ~delay:downtime (fun () ->
-         ignore (SNet.plug t.net ~a:(device, 0) ~b:(target_edge, slot));
-         jemit t (Journal.Wiring { device = target_edge });
-         Host_agent.announce vm;
-         match on_complete with Some f -> f () | None -> ()))
+  let replug () =
+    ignore (SNet.plug t.net ~a:(device, 0) ~b:(target_edge, slot));
+    jemit t (Journal.Wiring { device = target_edge });
+    Host_agent.announce vm;
+    match on_complete with Some f -> f () | None -> ()
+  in
+  match t.sched with
+  | Some s ->
+    (* rewiring mutates cross-shard structure: run it as a coordinator
+       action, between windows, with every shard quiescent *)
+    Sharded.schedule_coordinator s ~time:(now t + downtime) replug
+  | None -> ignore (Engine.schedule t.engine ~delay:downtime replug)
 
 (* ---------------- state metrics ---------------- *)
 
@@ -292,26 +345,128 @@ let switch_table_sizes t =
       | None -> acc)
     t.switch_agents []
 
+(* ---------------- control-state digest ---------------- *)
+
+let control_state_lines t =
+  let coords =
+    agents t
+    |> List.filter_map (fun a ->
+        match Switch_agent.coords a with
+        | None -> None
+        | Some c ->
+          Some (Format.asprintf "sw%d@%a" (Switch_agent.switch_id a) Coords.pp c))
+  in
+  let bindings =
+    agents t
+    |> List.concat_map (fun a ->
+        List.map
+          (fun (b : Msg.host_binding) ->
+            Format.asprintf "bind %a amac=%a pmac=%a edge=%d" Ipv4_addr.pp b.Msg.ip
+              Mac_addr.pp b.Msg.amac Pmac.pp b.Msg.pmac b.Msg.edge_switch)
+          (Switch_agent.host_bindings a))
+  in
+  let faults =
+    Fabric_manager.fault_set t.fm
+    |> List.sort Fault.compare
+    |> List.map (Format.asprintf "fault %a" Fault.pp)
+  in
+  let tables =
+    agents t
+    |> List.map (fun a ->
+        Printf.sprintf "table sw%d=%d" (Switch_agent.switch_id a)
+          (Switch_agent.table_size a))
+  in
+  List.sort String.compare coords
+  @ List.sort String.compare bindings
+  @ faults
+  @ List.sort String.compare tables
+
+let control_digest t =
+  (* FNV-1a (offset truncated to 62 bits, as elsewhere in the repo) *)
+  let h = ref 0x3bf29ce484222325 in
+  let feed_byte b = h := (!h lxor b) * 0x100000001b3 land max_int in
+  let feed_string s =
+    String.iter (fun ch -> feed_byte (Char.code ch)) s;
+    feed_byte 0
+  in
+  List.iter feed_string (control_state_lines t);
+  Printf.sprintf "%016x" !h
+
 (* ---------------- construction ---------------- *)
 
-let create ?(config = Config.default) ?(seed = 42) ?link_params ?(spare_slots = [])
-    ?(boot_jitter = 0) ?obs spec =
+let create (cfg : Config.t) =
+  let spec = cfg.Config.spec in
   (match MR.validate_spec spec with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Fabric.create: " ^ msg));
-  let engine = Engine.create () in
-  let obs = match obs with Some o -> o | None -> Obs.create () in
-  let boot_prng = Prng.create (seed lxor 0x5eed) in
-  let boot f =
-    if boot_jitter <= 0 then f ()
-    else ignore (Engine.schedule engine ~delay:(Prng.int boot_prng boot_jitter) f)
-  in
+  let proto = cfg.Config.proto in
   let mt = MR.build spec in
-  let net = SNet.create ?params:link_params engine mt.MR.topo in
-  let ctrl = Ctrl.create engine ~latency:config.Config.ctrl_latency in
-  let fm = Fabric_manager.create ~obs engine config ctrl ~spec in
+  let device_count = Array.length (Topology.Topo.nodes mt.MR.topo) in
+  (* Logical shards are fixed by the topology alone: shard 0 owns the
+     core switches, the fabric manager and the control network; shard
+     p+1 owns pod p (its edges, aggs and hosts). The domain count only
+     maps logical shards onto OS domains, so the execution — event
+     orders, digests, reports — is identical for every domains >= 1 and
+     differs from the classic engine (domains = 0) only in that the
+     classic engine interleaves shards event-by-event. *)
+  let is_sharded = cfg.Config.domains > 0 in
+  let num_shards = if is_sharded then spec.MR.num_pods + 1 else 1 in
+  let shard_of_dev = Array.make device_count 0 in
+  if is_sharded then begin
+    Array.iteri
+      (fun p row -> Array.iter (fun d -> shard_of_dev.(d) <- p + 1) row)
+      mt.MR.edges;
+    Array.iteri
+      (fun p row -> Array.iter (fun d -> shard_of_dev.(d) <- p + 1) row)
+      mt.MR.aggs;
+    let per_pod = spec.MR.edges_per_pod * spec.MR.hosts_per_edge in
+    Array.iteri (fun idx d -> shard_of_dev.(d) <- (idx / per_pod) + 1) mt.MR.hosts
+  end;
+  let engines = Array.init num_shards (fun _ -> Engine.create ()) in
+  let engine = engines.(0) in
+  let shard_of d = shard_of_dev.(d) in
+  let engine_of d = engines.(shard_of_dev.(d)) in
+  let sched =
+    if not is_sharded then None
+    else begin
+      let link_delay =
+        match cfg.Config.link_params with
+        | Some p -> p.SNet.delay
+        | None -> SNet.default_link_params.SNet.delay
+      in
+      let lookahead = min proto.Proto.ctrl_latency link_delay in
+      if lookahead <= 0 then
+        invalid_arg
+          "Fabric.create: sharded execution (Config.domains > 0) requires positive \
+           ctrl_latency and link delay (they bound the lookahead)";
+      Some (Sharded.create ~domains:cfg.Config.domains ~lookahead engines)
+    end
+  in
+  let obs = match cfg.Config.obs with Some o -> o | None -> Obs.create () in
+  let boot_prng = Prng.create (cfg.Config.seed lxor 0x5eed) in
+  let boot ~device f =
+    if cfg.Config.boot_jitter <= 0 then f ()
+    else
+      ignore
+        (Engine.schedule (engine_of device)
+           ~delay:(Prng.int boot_prng cfg.Config.boot_jitter)
+           f)
+  in
+  let net = SNet.create ?params:cfg.Config.link_params engine mt.MR.topo in
+  let ctrl = Ctrl.create engine ~latency:proto.Proto.ctrl_latency in
+  (match sched with
+   | Some s ->
+     let post ~src ~dst ~time thunk = Sharded.post s ~src ~dst ~time thunk in
+     SNet.set_sched net
+       (Some { SNet.sh_engine_of = engine_of; sh_shard_of = shard_of; sh_post = post });
+     Ctrl.set_route ctrl
+       (Some
+          { Ctrl.rt_fm_engine = engine; rt_engine_of = engine_of;
+            rt_shard_of = shard_of; rt_post = post })
+   | None -> ());
+  let fm = Fabric_manager.create ~obs engine proto ctrl ~spec in
   let t =
-    { config; engine; obs; spec; mt; net; ctrl; fm;
+    { config = cfg; engine; sched; obs; spec; mt; net; ctrl; fm;
       switch_agents = Hashtbl.create 64;
       host_slots = Hashtbl.create 256;
       by_ip = Hashtbl.create 256;
@@ -322,17 +477,18 @@ let create ?(config = Config.default) ?(seed = 42) ?link_params ?(spare_slots = 
     (fun (n : Topology.Topo.node) ->
       match n.Topology.Topo.kind with
       | Topology.Topo.Edge_switch | Topology.Topo.Agg_switch | Topology.Topo.Core_switch ->
+        let device = n.Topology.Topo.id in
         let a =
-          Switch_agent.create engine config ctrl net ~spec ~device:n.Topology.Topo.id ~seed
-            ~obs ()
+          Switch_agent.create (engine_of device) proto ctrl net ~spec ~device
+            ~seed:cfg.Config.seed ~obs ()
         in
-        Hashtbl.replace t.switch_agents n.Topology.Topo.id a;
-        boot (fun () -> Switch_agent.start a)
+        Hashtbl.replace t.switch_agents device a;
+        boot ~device (fun () -> Switch_agent.start a)
       | Topology.Topo.Host -> ())
     (Topology.Topo.nodes mt.MR.topo);
   (* hosts *)
   let spare = Hashtbl.create 8 in
-  List.iter (fun (p, e, sl) -> Hashtbl.replace spare (p, e, sl) ()) spare_slots;
+  List.iter (fun (p, e, sl) -> Hashtbl.replace spare (p, e, sl) ()) cfg.Config.spare_slots;
   Array.iteri
     (fun idx device ->
       let per_pod = spec.MR.edges_per_pod * spec.MR.hosts_per_edge in
@@ -342,13 +498,14 @@ let create ?(config = Config.default) ?(seed = 42) ?link_params ?(spare_slots = 
       let slot = rem mod spec.MR.hosts_per_edge in
       let ip = host_ip ~pod ~edge ~slot in
       let agent =
-        Host_agent.create engine config net ~device ~amac:(host_amac device) ~ip ~obs ()
+        Host_agent.create (engine_of device) proto net ~device ~amac:(host_amac device)
+          ~ip ~obs ()
       in
       let is_spare = Hashtbl.mem spare (pod, edge, slot) in
       Hashtbl.replace t.host_slots device { agent; plugged = not is_spare };
       if is_spare then SNet.unplug t.net ~node:device ~port:0
       else begin
-        boot (fun () -> Host_agent.start agent);
+        boot ~device (fun () -> Host_agent.start agent);
         Hashtbl.replace t.by_ip ip device
       end)
     mt.MR.hosts;
@@ -360,9 +517,15 @@ let create ?(config = Config.default) ?(seed = 42) ?link_params ?(spare_slots = 
         Obs.sample ~subsystem:"fabric" ~name:"now_ms" (Obs.Value (Time.to_ms_f (now t))) ]);
   t
 
+(* ---------------- deprecated wrappers (one release) ---------------- *)
+
+let create_spec ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs spec =
+  create (Config.make ?proto:config ?seed ?link_params ?spare_slots ?boot_jitter ?obs spec)
+
 let create_fattree ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs ~k () =
-  create ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs (Topology.Fattree.spec ~k)
+  create_spec ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs
+    (Topology.Fattree.spec ~k)
 
 let create_family ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs family =
-  create ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs
+  create_spec ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs
     (Topology.Multirooted.spec_of_family family)

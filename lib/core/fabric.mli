@@ -10,41 +10,120 @@
 
 type t
 
-val create :
-  ?config:Config.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
+module Proto = Config
+(** Alias for the protocol-timer configuration ({!Config}); the nested
+    {!module-Config} below is the fabric {e creation} configuration. *)
+
+(** Everything {!create} needs, in one record — topology spec, protocol
+    timers, seed, link parameters, spare slots, boot jitter, the
+    observability capability and the execution mode — replacing the
+    optional-argument sprawl of the former [create]/[create_fattree]/
+    [create_family] entry points. Build one with {!Config.make} (or the
+    {!Config.fattree} / {!Config.of_family} shorthands) and override
+    fields with record update syntax:
+    [{ Config.fattree ~k:16 () with Config.domains = 4; obs = Some Obs.null }]. *)
+module Config : sig
+  type t = {
+    spec : Topology.Multirooted.spec;  (** the topology to build *)
+    proto : Proto.t;        (** protocol timers (LDM period, ARP timeout, ...) *)
+    seed : int;             (** master seed for boot jitter and agent PRNGs *)
+    link_params : Switchfab.Net.link_params option;
+        (** [None] = {!Switchfab.Net.default_link_params} *)
+    spare_slots : (int * int * int) list;
+        (** [(pod, edge, slot)] host positions left unplugged at boot —
+            free ports that VM migration can land on *)
+    boot_jitter : Eventsim.Time.t;
+        (** delays every switch agent and host by an independent,
+            seed-deterministic offset in [\[0, boot_jitter)] — the
+            plug-and-play scenario where racks power on at different
+            times. Discovery must (and does) converge regardless of
+            arrival order. 0 = everyone boots at t=0. *)
+    obs : Obs.t option;
+        (** the single observability capability threaded into the fabric
+            manager, every switch agent (and through it LDP and the
+            dataplane) and every host agent. [None] = a fresh live
+            {!Obs.create}[ ()]; pass [Some Obs.null] to disable
+            instrumentation entirely, or share one registry between
+            fabrics to aggregate. *)
+    domains : int;
+        (** execution mode. [0] (the default): the classic single
+            {!Eventsim.Engine} — required by the model checker's
+            interceptor and by the update journal. [n >= 1]: sharded
+            execution on an {!Eventsim.Sharded} scheduler with one
+            logical shard per pod plus a core/FM shard, run on [n] OS
+            domains ([1] = the same sharded semantics, inline on the
+            calling domain). All sharded runs produce identical results
+            regardless of [n]. *)
+  }
+
+  val make :
+    ?proto:Proto.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
+    ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
+    ?obs:Obs.t -> ?domains:int -> Topology.Multirooted.spec -> t
+  (** Defaults: [Proto.default], seed 42, default link params, no spares,
+      no jitter, fresh observability, [domains = 0]. *)
+
+  val default : t
+  (** [make (Topology.Fattree.spec ~k:4)]. *)
+
+  val fattree :
+    ?proto:Proto.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
+    ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
+    ?obs:Obs.t -> ?domains:int -> k:int -> unit -> t
+
+  val of_family :
+    ?proto:Proto.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
+    ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
+    ?obs:Obs.t -> ?domains:int -> Topology.Topo.Family.t -> t
+  (** One entry point for every member of the topology family (plain fat
+      tree, AB fat tree, two-layer leaf–spine). *)
+end
+
+val create : Config.t -> t
+(** Build a complete deployment. With [Config.domains > 0] the fabric
+    runs on a {!Eventsim.Sharded} scheduler (shard 0 = core switches +
+    fabric manager + control network, shard p+1 = pod p); the protocol's
+    control latency and the link propagation delay must both be positive
+    (their minimum is the scheduler's lookahead) and the update journal
+    is unavailable. Raises [Invalid_argument] on an invalid spec or an
+    unsatisfiable sharding. *)
+
+(** {1 Deprecated creation wrappers}
+
+    Thin shims over {!Config} kept for one release; new code should
+    build a {!Config.t} and call {!create}. *)
+
+val create_spec :
+  ?config:Proto.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
   ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
   ?obs:Obs.t -> Topology.Multirooted.spec -> t
-(** [spare_slots] are [(pod, edge, slot)] host positions left unplugged at
-    boot — free ports that VM migration can land on.
-
-    [boot_jitter] (default 0) delays every switch agent and host by an
-    independent, seed-deterministic offset in [\[0, boot_jitter)] — the
-    plug-and-play scenario where racks power on at different times.
-    Discovery must (and does) converge regardless of arrival order.
-
-    [obs] is the single observability capability threaded into the fabric
-    manager, every switch agent (and through it LDP and the dataplane)
-    and every host agent. Defaults to a fresh live {!Obs.create}[ ()];
-    pass {!Obs.null} to disable instrumentation entirely, or share one
-    registry between fabrics to aggregate (probes are replaced by name,
-    push counters accumulate). *)
+(** @deprecated Use [create (Config.make spec)]. *)
 
 val create_fattree :
-  ?config:Config.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
+  ?config:Proto.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
   ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
   ?obs:Obs.t -> k:int -> unit -> t
+(** @deprecated Use [create (Config.fattree ~k ())]. *)
 
 val create_family :
-  ?config:Config.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
+  ?config:Proto.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
   ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
   ?obs:Obs.t -> Topology.Topo.Family.t -> t
-(** [create_family f] is {!create} on {!Topology.Multirooted.spec_of_family}[ f]
-    — one entry point for every member of the topology family (plain fat
-    tree, AB fat tree, two-layer leaf–spine). *)
+(** @deprecated Use [create (Config.of_family f)]. *)
 
 (** {1 Accessors} *)
 
 val engine : t -> Eventsim.Engine.t
+(** Shard 0's engine — the only engine when [Config.domains = 0]. Under
+    sharded execution, schedule onto it directly only for work logically
+    owned by the core/FM shard; drive time through {!run_until}, never
+    through [Engine.run] on this engine. *)
+
+val sharded : t -> Eventsim.Sharded.t option
+(** The sharded scheduler, when [Config.domains > 0]. *)
+
+val domains : t -> int
+(** Domains the fabric executes on; 0 = classic single-engine mode. *)
 
 val obs : t -> Obs.t
 (** The deployment's observability registry; snapshot/export with
@@ -60,7 +139,13 @@ val trace : t -> Eventsim.Trace.t
 val net : t -> Switchfab.Net.t
 val ctrl : t -> Ctrl.t
 val fabric_manager : t -> Fabric_manager.t
+
 val config : t -> Config.t
+(** The full creation configuration. *)
+
+val proto_config : t -> Proto.t
+(** Shorthand for [(config t).Config.proto]. *)
+
 val spec : t -> Topology.Multirooted.spec
 val tree : t -> Topology.Multirooted.t
 
@@ -149,6 +234,15 @@ val migrate :
 
 val switch_table_sizes : t -> (Netcore.Ldp_msg.level * int) list
 (** [(level, flow-table entries)] for every operational switch. *)
+
+val control_digest : t -> string
+(** 16-hex-digit FNV-1a digest of all distributed control state at the
+    current instant: switch coordinates, edge-local host bindings, the
+    fabric manager's fault matrix and per-switch flow-table sizes, in a
+    canonical (sorted) rendering. Two quiescent fabrics in the same
+    logical state produce equal digests — the cross-domain determinism
+    tests compare this (and the {!Portland_verify.Verify} report digest)
+    across [Config.domains] values. *)
 
 (** {1 Update journal} *)
 

@@ -12,7 +12,7 @@ type result = {
 (* single-failure convergence under a custom LDM timeout *)
 let convergence_with_timeout ~seed ~timeout =
   let config = { Portland.Config.default with Portland.Config.ldm_timeout = timeout } in
-  let fab = Portland.Fabric.create_fattree ~config ~seed ~k:4 () in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~proto:config ~seed ~k:4 () in
   if not (Portland.Fabric.await_convergence fab) then None
   else begin
     let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
@@ -66,7 +66,7 @@ let count_cores fab ~flows =
 (* false fault notices under random frame loss, no real failures *)
 let detector_under_loss ~seed ~loss_rate =
   let link_params = { Switchfab.Net.default_link_params with Switchfab.Net.loss_rate } in
-  let fab = Portland.Fabric.create_fattree ~link_params ~seed ~k:4 () in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~link_params ~seed ~k:4 () in
   if not (Portland.Fabric.await_convergence ~timeout:(Time.sec 10) fab) then
     (0, 0, false)
   else begin
@@ -114,7 +114,7 @@ let run ?(quick = false) ?(seed = 42) ?obs:_ () =
       timeouts
   in
   let flows = 64 in
-  let fab = Portland.Fabric.create_fattree ~seed ~k:4 () in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~seed ~k:4 () in
   assert (Portland.Fabric.await_convergence fab);
   let with_salt = count_cores fab ~flows in
   (* zero every switch's selector salt: all switches hash identically *)

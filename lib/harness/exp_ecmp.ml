@@ -53,7 +53,7 @@ let run ?(quick = false) ?(seed = 42) ?obs () =
   let duration = if quick then Time.ms 200 else Time.ms 500 in
   (* PortLand side *)
   let pl =
-    let fab = Portland.Fabric.create_fattree ~seed ?obs ~k () in
+    let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~seed ?obs ~k () in
     assert (Portland.Fabric.await_convergence fab);
     let hosts = Array.of_list (Portland.Fabric.hosts fab) in
     run_workload ~engine:(Portland.Fabric.engine fab) ~net:(Portland.Fabric.net fab)

@@ -35,7 +35,7 @@ let model_row k =
     arps_per_sec_100pct = base }
 
 let measure k seed =
-  let fab = Portland.Fabric.create_fattree ~seed ~k () in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~seed ~k () in
   assert (Portland.Fabric.await_convergence fab);
   let ctrl = Portland.Fabric.ctrl fab in
   let boot_to_fm = Portland.Ctrl.to_fm_count ctrl in

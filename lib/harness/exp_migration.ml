@@ -27,7 +27,7 @@ let one_mode ?obs ~seed ~quick ~forward_stale ~downtime () =
   let k = 4 in
   let config = { Portland.Config.default with Portland.Config.forward_stale } in
   let fab =
-    Portland.Fabric.create_fattree ~config ~seed ?obs ~k ~spare_slots:[ (2, 0, 0) ] ()
+    Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~proto:config ~seed ?obs ~k ~spare_slots:[ (2, 0, 0) ] ()
   in
   assert (Portland.Fabric.await_convergence fab);
   let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in

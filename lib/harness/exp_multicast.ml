@@ -40,7 +40,7 @@ let descr = "multicast convergence across two tree failures"
 
 let run ?(quick = false) ?(seed = 42) ?obs () =
   let k = 4 in
-  let fab = Portland.Fabric.create_fattree ~seed ?obs ~k () in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~seed ?obs ~k () in
   assert (Portland.Fabric.await_convergence fab);
   let group = Netcore.Ipv4_addr.of_string_exn "230.1.1.1" in
   let sender = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in

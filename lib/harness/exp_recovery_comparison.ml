@@ -31,7 +31,7 @@ let one ~seed ~duration ~k family =
     | Error e -> failwith ("recovery-comparison: " ^ e)
   in
   let spec = MR.spec_of_family fam in
-  let fab = Portland.Fabric.create_family ~seed fam in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.of_family ~seed fam in
   if not (Portland.Fabric.await_convergence fab) then
     failwith (Printf.sprintf "recovery-comparison: %s k=%d failed to converge" family k);
   let boot_ms = Time.to_ms_f (Portland.Fabric.now fab) in

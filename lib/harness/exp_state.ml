@@ -16,7 +16,7 @@ type result = { warmup_peers : int; rows : row list }
 let warmup_peers = 8
 
 let portland_sizes ~k ~seed =
-  let fab = Portland.Fabric.create_fattree ~seed ~k () in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~seed ~k () in
   assert (Portland.Fabric.await_convergence fab);
   let max_of level =
     List.fold_left

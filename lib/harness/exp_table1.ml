@@ -95,7 +95,7 @@ let r1_l3 () =
   else { verdict = Fail; note = "baseline connectivity failed" }
 
 let r1_portland ~seed =
-  let fab = Portland.Fabric.create_fattree ~seed ~k ~spare_slots:[ (1, 0, 0) ] () in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~seed ~k ~spare_slots:[ (1, 0, 0) ] () in
   assert (Portland.Fabric.await_convergence fab);
   let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
   let vm = Portland.Fabric.host fab ~pod:3 ~edge:1 ~slot:1 in
@@ -159,7 +159,7 @@ let r3 ~seed =
     else { verdict = Fail; note = "sampled pair unreachable" }
   in
   let pl =
-    let fab = Portland.Fabric.create_fattree ~seed ~k () in
+    let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~seed ~k () in
     assert (Portland.Fabric.await_convergence fab);
     let ok =
       test_all (fun (p1, e1, s1) (p2, e2, s2) ->
@@ -208,7 +208,7 @@ let r4 ~seed =
   let l3 = { verdict = Pass; note = "TTL bounds any transient loop" } in
   let pl =
     (* PortLand: the same broadcast probe must stay bounded *)
-    let fab = Portland.Fabric.create_fattree ~seed ~k () in
+    let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~seed ~k () in
     assert (Portland.Fabric.await_convergence fab);
     let before = Engine.events_processed (Portland.Fabric.engine fab) in
     let h = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in

@@ -28,7 +28,7 @@ let descr = "TCP sequence trace across a link failure"
 let run ?(quick = false) ?(seed = 42) ?obs () =
   let k = 4 in
   let config = Portland.Config.default in
-  let fab = Portland.Fabric.create_fattree ~config ~seed ?obs ~k () in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~proto:config ~seed ?obs ~k () in
   assert (Portland.Fabric.await_convergence fab);
   let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
   let dst = Portland.Fabric.host fab ~pod:3 ~edge:1 ~slot:1 in

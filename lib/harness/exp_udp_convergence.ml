@@ -21,7 +21,7 @@ let rate_pps = 1000
 
 (* one trial: returns (convergence ms, packets lost) *)
 let trial ~k ~failures ~seed =
-  let fab = Portland.Fabric.create_fattree ~seed ~k () in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~seed ~k () in
   if not (Portland.Fabric.await_convergence fab) then None
   else begin
     let src = Portland.Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in

@@ -126,7 +126,7 @@ let control_state_digest fab =
   (coords, bindings, faults, tables)
 
 let check_invariants ?settle fab =
-  let cfg = F.config fab in
+  let cfg = F.proto_config fab in
   let settle =
     match settle with Some s -> s | None -> 3 * cfg.Portland.Config.ldm_period
   in
@@ -260,7 +260,9 @@ let run_schedule ?cache p sched =
     (* boot_jitter = 1 ns routes every agent start through the engine, so
        the boot burst is scheduled after the interceptor is installed
        instead of synchronously inside create *)
-    F.create_family ~seed:p.seed ~boot_jitter:(Time.ns 1) ~obs:Obs.null (family_of p)
+    F.create
+      (F.Config.of_family ~seed:p.seed ~boot_jitter:(Time.ns 1) ~obs:Obs.null
+         (family_of p))
   in
   let eng = F.engine fab in
   Switchfab.Net.set_delivery_tagger (F.net fab)
@@ -316,7 +318,7 @@ let run_schedule ?cache p sched =
      (* LDP declares the link dead one ldm_timeout after the failure; open
         the window just before, so detection, matrix broadcast and the
         scheduled recovery race inside it *)
-     let cfg = F.config fab in
+     let cfg = F.proto_config fab in
      F.run_for fab (cfg.Portland.Config.ldm_timeout - Time.ms 2);
      Engine.set_interceptor eng (Some interceptor);
      window_open := true;
@@ -381,26 +383,35 @@ let run_schedule ?cache p sched =
 
 (* ---------------- replay tokens ---------------- *)
 
-let sched_field sched =
-  if Array.length sched = 0 then "-"
-  else String.concat "." (List.map string_of_int (Array.to_list sched))
+module Token = struct
+  type version = V1 | V2
 
-(* plain runs keep the historical mc1 form (so old tokens round-trip
-   byte-for-byte); non-plain members need the extra topo field -> mc2 *)
-let token_of p sched =
-  if p.topo = "plain" then
-    Printf.sprintf "mc1:k=%d:seed=%d:scn=%s:depth=%d:step=%d:budget=%d:q=%d:corrupt=%s:d=%s"
-      p.k p.seed (scenario_to_string p.scenario) p.depth p.max_step p.delay_budget p.quantum
-      (corruption_to_string p.corrupt) (sched_field sched)
-  else
-    Printf.sprintf
-      "mc2:k=%d:topo=%s:seed=%d:scn=%s:depth=%d:step=%d:budget=%d:q=%d:corrupt=%s:d=%s" p.k
-      p.topo p.seed (scenario_to_string p.scenario) p.depth p.max_step p.delay_budget
-      p.quantum
-      (corruption_to_string p.corrupt)
-      (sched_field sched)
+  let version_to_string = function V1 -> "mc1" | V2 -> "mc2"
 
-let parse_token s =
+  (* plain runs keep the historical mc1 form (so old tokens round-trip
+     byte-for-byte); non-plain members need the extra topo field -> mc2 *)
+  let version_of p = if p.topo = "plain" then V1 else V2
+
+  let sched_field sched =
+    if Array.length sched = 0 then "-"
+    else String.concat "." (List.map string_of_int (Array.to_list sched))
+
+  let to_string p sched =
+    match version_of p with
+    | V1 ->
+      Printf.sprintf
+        "mc1:k=%d:seed=%d:scn=%s:depth=%d:step=%d:budget=%d:q=%d:corrupt=%s:d=%s" p.k
+        p.seed (scenario_to_string p.scenario) p.depth p.max_step p.delay_budget p.quantum
+        (corruption_to_string p.corrupt) (sched_field sched)
+    | V2 ->
+      Printf.sprintf
+        "mc2:k=%d:topo=%s:seed=%d:scn=%s:depth=%d:step=%d:budget=%d:q=%d:corrupt=%s:d=%s"
+        p.k p.topo p.seed (scenario_to_string p.scenario) p.depth p.max_step
+        p.delay_budget p.quantum
+        (corruption_to_string p.corrupt)
+        (sched_field sched)
+
+  let of_string s =
   let fail fmt = Format.kasprintf (fun m -> Error m) fmt in
   let parse_fields ~topo k seed scn depth step budget q corrupt d =
     let field name v =
@@ -478,6 +489,10 @@ let parse_token s =
   | "mc2" :: _ -> fail "malformed mc2 token (expected 11 ':'-separated fields)"
   | v :: _ -> fail "unknown token version %S (expected mc1 or mc2)" v
   | [] -> fail "empty token"
+end
+
+let token_of = Token.to_string
+let parse_token = Token.of_string
 
 (* ---------------- rendering ---------------- *)
 

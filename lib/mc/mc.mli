@@ -161,13 +161,43 @@ val shrink : params -> schedule -> schedule
     entries while the invariant pack still fails; the result is minimal
     in that no single further reduction preserves the violation. *)
 
-(** {1 Replay tokens} *)
+(** {1 Replay tokens}
+
+    A token is a self-contained, versioned rendering of [(params,
+    schedule)] — everything needed to replay one counterexample
+    deterministically on another machine or another day. *)
+
+module Token : sig
+  type version =
+    | V1  (** [mc1:...] — the historical plain-fat-tree form (no topo field) *)
+    | V2  (** [mc2:...] — adds [topo=] for non-plain family members *)
+
+  val version_to_string : version -> string
+
+  val version_of : params -> version
+  (** The version {!to_string} will emit: [V1] iff [p.topo = "plain"],
+      so pre-family tokens keep round-tripping byte-for-byte. *)
+
+  val to_string : params -> schedule -> string
+  (** e.g.
+      [mc1:k=2:seed=42:scn=boot:depth=6:step=3:budget=8:q=25000:corrupt=none:d=0.2.0.1.0.0]
+      or
+      [mc2:k=4:topo=ab:seed=7:scn=fault:depth=4:step=2:budget=6:q=2000:corrupt=none:d=-]. *)
+
+  val of_string : string -> (params * schedule, string) result
+  (** Inverse of {!to_string} (with [prune] forced to [true]); rejects
+      unknown versions, malformed fields, invalid arity/topology/
+      scenario/corruption names, negative bounds and schedules longer
+      than [depth]. [Error] carries a human-readable reason.
+      Round-trip law (QCheck-tested): for all valid [(p, s)],
+      [of_string (to_string p s) = Ok (p, s)]. *)
+end
 
 val token_of : params -> schedule -> string
-(** Self-contained replay token, e.g.
-    [mc1:k=2:seed=42:scn=boot:depth=6:step=3:budget=8:q=25000:corrupt=none:d=0.2.0.1.0.0]. *)
+(** [Token.to_string]. *)
 
 val parse_token : string -> (params * schedule, string) result
+(** [Token.of_string]. *)
 
 val pp_run : Format.formatter -> run_result -> unit
 (** Deterministic rendering of one run: decision slots, the realized

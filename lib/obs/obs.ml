@@ -112,6 +112,7 @@ type meta = { m_subsystem : string; m_name : string; m_labels : labels; m_inst :
 type t = {
   enabled : bool;
   tr : Trace.t;
+  lock : Mutex.t; (* guards [metrics] and [probes]; see register/snapshot *)
   metrics : (string, meta) Hashtbl.t;
   mutable probes : (string * (unit -> sample list)) list; (* newest first, unique names *)
 }
@@ -129,9 +130,11 @@ let key_of ~subsystem ~name labels =
 
 let create ?trace () =
   let tr = match trace with Some tr -> tr | None -> Trace.create ~capacity:8192 () in
-  { enabled = true; tr; metrics = Hashtbl.create 256; probes = [] }
+  { enabled = true; tr; lock = Mutex.create (); metrics = Hashtbl.create 256; probes = [] }
 
-let null = { enabled = false; tr = Trace.null; metrics = Hashtbl.create 1; probes = [] }
+let null =
+  { enabled = false; tr = Trace.null; lock = Mutex.create ();
+    metrics = Hashtbl.create 1; probes = [] }
 
 let enabled t = t.enabled
 let trace t = t.tr
@@ -144,13 +147,18 @@ let kind_name = function
 let register t ~subsystem ~name ~labels make =
   let labels = canon_labels labels in
   let key = key_of ~subsystem ~name labels in
-  match Hashtbl.find_opt t.metrics key with
-  | Some m -> m.m_inst
-  | None ->
-    let inst = make () in
-    Hashtbl.replace t.metrics key
-      { m_subsystem = subsystem; m_name = name; m_labels = labels; m_inst = inst };
-    inst
+  Mutex.lock t.lock;
+  let inst =
+    match Hashtbl.find_opt t.metrics key with
+    | Some m -> m.m_inst
+    | None ->
+      let inst = make () in
+      Hashtbl.replace t.metrics key
+        { m_subsystem = subsystem; m_name = name; m_labels = labels; m_inst = inst };
+      inst
+  in
+  Mutex.unlock t.lock;
+  inst
 
 let mismatch key inst want =
   invalid_arg
@@ -219,7 +227,11 @@ let sample ~subsystem ~name ?(labels = []) value =
   { subsystem; name; labels = canon_labels labels; value }
 
 let add_probe t ~name f =
-  if t.enabled then t.probes <- (name, f) :: List.remove_assoc name t.probes
+  if t.enabled then begin
+    Mutex.lock t.lock;
+    t.probes <- (name, f) :: List.remove_assoc name t.probes;
+    Mutex.unlock t.lock
+  end
 
 (* ---------------- snapshot & export ---------------- *)
 
@@ -243,6 +255,11 @@ let value_of_inst = function
 let sample_key s = key_of ~subsystem:s.subsystem ~name:s.name s.labels
 
 let snapshot t =
+  (* Fold the registry under the lock so a shard registering a labelled
+     metric mid-run cannot race the traversal; probe closures read agent
+     state and are run outside the lock (snapshots are taken at
+     quiescent points). *)
+  Mutex.lock t.lock;
   let from_instruments =
     Hashtbl.fold
       (fun _ m acc ->
@@ -253,7 +270,9 @@ let snapshot t =
         :: acc)
       t.metrics []
   in
-  let from_probes = List.concat_map (fun (_, f) -> f ()) (List.rev t.probes) in
+  let probes = List.rev t.probes in
+  Mutex.unlock t.lock;
+  let from_probes = List.concat_map (fun (_, f) -> f ()) probes in
   List.sort
     (fun a b -> compare (sample_key a) (sample_key b))
     (from_instruments @ from_probes)

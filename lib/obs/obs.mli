@@ -13,7 +13,15 @@
     every agent; experiments and the CLI export {!snapshot} as JSON or
     CSV. {!null} is the disabled capability: every operation on it is a
     cheap no-op and {!snapshot} is empty, so instrumented code needs no
-    [if] around its counters. *)
+    [if] around its counters.
+
+    Domain-safe: counter increments are atomic, histogram observations
+    are serialized, and the registry (registration, probes, {!snapshot})
+    is mutex-protected, so agents sharded across OCaml domains by
+    {!Eventsim.Sharded} can share one [Obs.t] without losing updates.
+    Gauge writes are plain stores — keep each gauge owned by one shard.
+    Snapshots are meant for quiescent points (between windows or after a
+    run). *)
 
 type t
 

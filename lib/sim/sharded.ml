@@ -1,0 +1,251 @@
+(* Conservative-lookahead parallel execution over an array of per-shard
+   engines. See sharded.mli for the protocol and determinism argument. *)
+
+type coord = { co_time : Time.t; co_seq : int; co_thunk : unit -> unit }
+
+let leq_coord a b =
+  a.co_time < b.co_time || (a.co_time = b.co_time && a.co_seq <= b.co_seq)
+
+type t = {
+  engines : Engine.t array;
+  lookahead : Time.t;
+  domains : int;
+  mutable clock : Time.t;
+  (* outbox.(src).(dst): cross-shard events posted by shard [src] for
+     shard [dst], newest first. Row [src] is written only by the domain
+     currently executing shard [src] (or by the main domain at
+     quiescence); all rows are drained by the main domain at barriers. *)
+  outbox : (Time.t * (unit -> unit)) list array array;
+  coord : coord Heap.t;
+  mutable coord_seq : int;
+  (* Parallel machinery. [win_end] and [stop_flag] are plain mutables
+     published to workers by the [epoch] bump (atomics give
+     release/acquire ordering); workers publish their heap mutations
+     back via the [done_count] increment. Waiters spin for [spin_budget]
+     iterations and then block on [cond] — the budget is 0 on a
+     single-core host, where spinning can only burn the timeslice the
+     other domain needs. *)
+  epoch : int Atomic.t;
+  done_count : int Atomic.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+  spin_budget : int;
+  mutable win_end : Time.t;
+  mutable stop_flag : bool;
+  mutable running : bool;
+  mutable windows : int;
+}
+
+let create ?(domains = 1) ~lookahead engines =
+  let n = Array.length engines in
+  if n = 0 then invalid_arg "Sharded.create: no shards";
+  if lookahead <= 0 then invalid_arg "Sharded.create: lookahead must be positive";
+  let clock = Array.fold_left (fun acc e -> max acc (Engine.now e)) 0 engines in
+  Array.iter (fun e -> Engine.advance_clock e ~time:clock) engines;
+  { engines; lookahead; domains = max 1 (min domains n); clock;
+    outbox = Array.init n (fun _ -> Array.make n []);
+    coord = Heap.create ~leq:leq_coord (); coord_seq = 0;
+    epoch = Atomic.make 0; done_count = Atomic.make 0;
+    lock = Mutex.create (); cond = Condition.create ();
+    spin_budget = (if Domain.recommended_domain_count () > 1 then 4096 else 0);
+    win_end = clock; stop_flag = false; running = false; windows = 0 }
+
+let shard_count t = Array.length t.engines
+let domains t = t.domains
+let lookahead t = t.lookahead
+let now t = t.clock
+let engine t s = t.engines.(s)
+let windows_run t = t.windows
+
+let events_processed t =
+  Array.fold_left (fun acc e -> acc + Engine.events_processed e) 0 t.engines
+
+let post t ~src ~dst ~time thunk =
+  t.outbox.(src).(dst) <- (time, thunk) :: t.outbox.(src).(dst)
+
+let schedule_coordinator t ~time thunk =
+  if t.running && time < t.clock then
+    invalid_arg "Sharded.schedule_coordinator: time in the past";
+  t.coord_seq <- t.coord_seq + 1;
+  Heap.push t.coord { co_time = max time t.clock; co_seq = t.coord_seq; co_thunk = thunk }
+
+(* Drain every outbox into the owning engines. Events for one destination
+   are ordered by (time, source shard, per-source posting order) — a key
+   that does not depend on how shards were interleaved across domains, so
+   the destination heap ends up identical for every domain count. *)
+let flush t =
+  let n = Array.length t.engines in
+  for dst = 0 to n - 1 do
+    let pending = ref [] in
+    for src = 0 to n - 1 do
+      match t.outbox.(src).(dst) with
+      | [] -> ()
+      | newest_first ->
+        t.outbox.(src).(dst) <- [];
+        let arr = Array.of_list (List.rev newest_first) in
+        Array.iteri
+          (fun idx (time, thunk) -> pending := (time, src, idx, thunk) :: !pending)
+          arr
+    done;
+    match !pending with
+    | [] -> ()
+    | items ->
+      let e = t.engines.(dst) in
+      let clock = Engine.now e in
+      let items =
+        List.sort
+          (fun (t1, s1, i1, _) (t2, s2, i2, _) -> compare (t1, s1, i1) (t2, s2, i2))
+          items
+      in
+      List.iter
+        (fun (time, src, _, thunk) ->
+          if time < clock then
+            failwith
+              (Printf.sprintf
+                 "Sharded: lookahead violation: shard %d posted an event at %d to \
+                  shard %d whose clock is already %d"
+                 src time dst clock);
+          ignore (Engine.schedule_at e ~time thunk))
+        items
+  done
+
+let run_share t w ~until =
+  let n = Array.length t.engines in
+  let i = ref w in
+  while !i < n do
+    Engine.run ~until t.engines.(!i);
+    i := !i + t.domains
+  done
+
+(* Wait until [cond ()] holds: spin briefly (cheap when the other side
+   is running on another core), then block on the condition variable.
+   Correctness of the blocking path: every state change that can make
+   [cond] true (epoch bump, done_count increment, stop) is followed by a
+   broadcast taken under [t.lock], and the waiter re-checks [cond] under
+   the same lock before sleeping — no missed wakeup. *)
+let wait_for t cond =
+  let spins = ref t.spin_budget in
+  while (not (cond ())) && !spins > 0 do
+    decr spins;
+    Domain.cpu_relax ()
+  done;
+  if not (cond ()) then begin
+    Mutex.lock t.lock;
+    while not (cond ()) do Condition.wait t.cond t.lock done;
+    Mutex.unlock t.lock
+  end
+
+let signal t =
+  Mutex.lock t.lock;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock
+
+let worker t w () =
+  let seen = ref 0 in
+  let live = ref true in
+  while !live do
+    let s = !seen in
+    wait_for t (fun () -> Atomic.get t.epoch <> s);
+    seen := s + 1;
+    if t.stop_flag then live := false
+    else begin
+      run_share t w ~until:(t.win_end - 1);
+      Atomic.incr t.done_count;
+      signal t
+    end
+  done
+
+(* Execute one window [_, win_end): every shard independently runs its
+   local events with time < win_end, then all clocks are normalized to
+   win_end - 1. Conservative lookahead guarantees no shard can receive a
+   cross-shard event with time < win_end from work done in this window. *)
+let exec_window t win_end =
+  let until = win_end - 1 in
+  if t.domains <= 1 then Array.iter (fun e -> Engine.run ~until e) t.engines
+  else begin
+    t.win_end <- win_end;
+    Atomic.set t.done_count 0;
+    Atomic.incr t.epoch;
+    signal t;
+    run_share t 0 ~until;
+    wait_for t (fun () -> Atomic.get t.done_count >= t.domains - 1)
+  end;
+  Array.iter (fun e -> Engine.advance_clock e ~time:until) t.engines;
+  t.clock <- until;
+  t.windows <- t.windows + 1
+
+let drive t target =
+  (* Posts made from the main domain since the last run (host sends,
+     fault injections, ...) must be delivered before computing horizons. *)
+  flush t;
+  let continue = ref true in
+  while !continue do
+    let next_ev =
+      Array.fold_left
+        (fun acc e ->
+          match Engine.next_time e with
+          | None -> acc
+          | Some nt -> (match acc with None -> Some nt | Some a -> Some (min a nt)))
+        None t.engines
+    in
+    let next_co =
+      if Heap.is_empty t.coord then None else Some (Heap.peek_exn t.coord).co_time
+    in
+    let horizon =
+      match (next_ev, next_co) with
+      | None, None -> None
+      | Some a, None -> Some a
+      | None, Some b -> Some b
+      | Some a, Some b -> Some (min a b)
+    in
+    match horizon with
+    | None -> continue := false
+    | Some h when h > target -> continue := false
+    | Some h ->
+      (match next_co with
+       | Some c when c = h ->
+         (* Coordinator actions run between windows, with every shard
+            quiescent at exactly [c]; they may mutate cross-shard
+            structure (e.g. rewire links) that in-window events must
+            never observe mid-change. *)
+         Array.iter (fun e -> Engine.advance_clock e ~time:c) t.engines;
+         t.clock <- c;
+         let rec pop () =
+           if (not (Heap.is_empty t.coord)) && (Heap.peek_exn t.coord).co_time = c
+           then begin
+             let entry = Heap.pop_exn t.coord in
+             entry.co_thunk ();
+             pop ()
+           end
+         in
+         pop ()
+       | _ ->
+         let win_end = min (h + t.lookahead) (target + 1) in
+         let win_end =
+           match next_co with Some c -> min win_end c | None -> win_end
+         in
+         exec_window t win_end);
+      flush t
+  done
+
+let run_until t target =
+  if target > t.clock then begin
+    if t.running then failwith "Sharded.run_until: reentrant call";
+    t.running <- true;
+    Atomic.set t.epoch 0;
+    let workers =
+      if t.domains <= 1 then [||]
+      else Array.init (t.domains - 1) (fun i -> Domain.spawn (worker t (i + 1)))
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        t.stop_flag <- true;
+        Atomic.incr t.epoch;
+        signal t;
+        Array.iter Domain.join workers;
+        t.stop_flag <- false;
+        t.running <- false)
+      (fun () -> drive t target);
+    Array.iter (fun e -> Engine.advance_clock e ~time:target) t.engines;
+    t.clock <- target
+  end

@@ -1,0 +1,90 @@
+(** Deterministic parallel execution over sharded {!Engine}s.
+
+    A sharded scheduler owns an array of per-shard engines (logical
+    shards — for a fat tree, one per pod plus one for the core layer and
+    fabric manager) and executes them as a conservative-lookahead
+    parallel discrete-event simulation:
+
+    {b Window protocol.} Let [L] be the lookahead — a static lower bound
+    on the latency of {e every} cross-shard interaction (inter-pod link
+    delay, control-channel latency). The main domain repeatedly computes
+    the global horizon [h] (earliest pending event across all shards),
+    opens the window [[h, min (h + L) bounds)], and lets every shard run
+    its local events inside the window in parallel. Because any event a
+    shard executes at time [t >= h] can only make another shard's state
+    change at [t + L >= h + L], no event inside the window can affect a
+    different shard inside the same window — shards never need to
+    communicate mid-window. Cross-shard effects are {!post}ed into
+    per-[(src, dst)] outboxes and delivered at the barrier.
+
+    {b Determinism.} Each shard runs its own events sequentially on its
+    own engine, so a shard's execution is a function of its inbound
+    events only. At every barrier the outboxes are drained in a canonical
+    order — sorted by [(time, source shard, per-source posting order)] —
+    which is independent of how shards were distributed across domains
+    and of the wall-clock interleaving. Hence the whole run is
+    byte-identical for every domain count, including [domains = 1]; the
+    number of domains is purely an execution detail.
+
+    {b Coordinator actions} ({!schedule_coordinator}) run between
+    windows with all shards quiescent at exactly the action's time. They
+    are the hook for cross-shard structural mutation (e.g. replugging a
+    migrated host's port) that must never interleave with in-window
+    event execution.
+
+    Workers are spawned per {!run_until} call and synchronize on atomic
+    epoch/done counters with [Domain.cpu_relax] spin-waits; with
+    [domains = 1] everything runs inline on the caller's domain and no
+    domain is ever spawned. *)
+
+type t
+
+val create : ?domains:int -> lookahead:Time.t -> Engine.t array -> t
+(** [create ~domains ~lookahead engines] — [engines.(s)] is shard [s]'s
+    engine (shards are assigned to domains round-robin: shard [s] runs
+    on domain [s mod domains]). [domains] (default 1) is clamped to
+    [1 .. Array.length engines]. [lookahead] must be positive; every
+    {!post} from a window starting at [h] must carry [time >= h + L].
+    Raises [Invalid_argument] on an empty shard array or non-positive
+    lookahead. All engine clocks are normalized to their maximum. *)
+
+val shard_count : t -> int
+val domains : t -> int
+val lookahead : t -> Time.t
+
+val now : t -> Time.t
+(** Global virtual time: all shard clocks agree on this value at every
+    barrier and after {!run_until} returns. *)
+
+val engine : t -> int -> Engine.t
+(** The engine owning shard [s]. Schedule onto it directly only for
+    same-shard work; cross-shard work must go through {!post}. *)
+
+val post : t -> src:int -> dst:int -> time:Time.t -> (unit -> unit) -> unit
+(** [post t ~src ~dst ~time f] records a cross-shard event: [f] will run
+    at [time] on shard [dst]'s engine. Must be called either from an
+    event executing on shard [src] (any domain) or from the main domain
+    while the scheduler is quiescent (with [src] = the shard that
+    logically originates the event). [time] must respect the lookahead
+    bound; a violation is detected at the next barrier and fails the
+    run. *)
+
+val schedule_coordinator : t -> time:Time.t -> (unit -> unit) -> unit
+(** Schedule a cross-shard structural action to run at [time] with every
+    shard quiescent at exactly that instant (windows are fenced so none
+    spans it). Actions at the same time run in scheduling order. Call
+    only from the main domain (between runs or from another coordinator
+    action). *)
+
+val run_until : t -> Time.t -> unit
+(** Advance global time to [target], running windows (in parallel when
+    [domains > 1]) until no work at or before [target] remains, then
+    normalize every shard clock to [target]. No-op if [target] is not in
+    the future. Main-domain only; not reentrant. *)
+
+val events_processed : t -> int
+(** Sum of {!Engine.events_processed} over all shards. *)
+
+val windows_run : t -> int
+(** Number of synchronization windows executed so far (a measure of
+    barrier overhead). *)

@@ -56,6 +56,10 @@ type device = {
 and port = {
   mutable attached : link option;
   mutable busy_until : Time.t;
+  loss_prng : Prng.t;
+      (* per-directed-port loss stream: draws depend only on this port's
+         own transmit sequence, never on global transmit interleaving, so
+         loss outcomes are identical under sharded execution *)
 }
 
 and link = {
@@ -66,12 +70,18 @@ and link = {
   end_b : int * int;
 }
 
+type sched = {
+  sh_engine_of : int -> Engine.t;
+  sh_shard_of : int -> int;
+  sh_post : src:int -> dst:int -> time:Time.t -> (unit -> unit) -> unit;
+}
+
 type t = {
   engine : Engine.t;
   topo : Topology.Topo.t;
   devices : device array;
   topo_links : link option array;
-  loss_prng : Prng.t;
+  mutable sched : sched option;
   mutable tagger : (src:int -> dst:int -> Netcore.Eth.t -> string option) option;
 }
 
@@ -84,7 +94,11 @@ let create ?(params = default_link_params) ?(loss_seed = 7) engine topo =
         { dev_id = n.Topology.Topo.id;
           dev_name = n.Topology.Topo.name;
           dev_kind = n.Topology.Topo.kind;
-          ports = Array.init n.Topology.Topo.nports (fun _ -> { attached = None; busy_until = 0 });
+          ports =
+            Array.init n.Topology.Topo.nports (fun p ->
+              { attached = None; busy_until = 0;
+                loss_prng =
+                  Prng.create (loss_seed + (n.Topology.Topo.id * 1_000_003) + p) });
           up = true;
           handler = null_handler;
           taps = [];
@@ -107,9 +121,13 @@ let create ?(params = default_link_params) ?(loss_seed = 7) engine topo =
         Some link)
       (Topology.Topo.links topo)
   in
-  { engine; topo; devices; topo_links; loss_prng = Prng.create loss_seed; tagger = None }
+  { engine; topo; devices; topo_links; sched = None; tagger = None }
 
 let set_delivery_tagger t f = t.tagger <- f
+let set_sched t s = t.sched <- s
+
+let engine_of t node =
+  match t.sched with Some s -> s.sh_engine_of node | None -> t.engine
 
 let engine t = t.engine
 let topo t = t.topo
@@ -230,14 +248,14 @@ let transmit t ~node ~port frame =
       d.counters.c_down_drops <- d.counters.c_down_drops + 1
     | Some link ->
       let bytes = Netcore.Eth.wire_len frame in
-      let now_t = Engine.now t.engine in
+      let now_t = Engine.now (engine_of t node) in
       let backlog_ns = max 0 (p.busy_until - now_t) in
       let backlog_bytes = backlog_ns * link.params.bandwidth_bps / 8_000_000_000 in
       if backlog_bytes + bytes > link.params.queue_cap_bytes then
         d.counters.c_queue_drops <- d.counters.c_queue_drops + 1
       else if
         (let rate = link_loss link in
-         rate > 0.0 && Prng.float t.loss_prng 1.0 < rate)
+         rate > 0.0 && Prng.float p.loss_prng 1.0 < rate)
       then d.counters.c_loss_drops <- d.counters.c_loss_drops + 1
       else begin
         let depart = max now_t p.busy_until in
@@ -257,18 +275,28 @@ let transmit t ~node ~port frame =
             dd.handler dst_port frame
           end
         in
-        (* frame deliveries become reorderable actions when a tagger is
-           installed (the model checker tags LDP frames, see lib/mc) *)
-        let tag =
-          match t.tagger with
-          | Some f when Engine.intercepting t.engine -> f ~src:node ~dst:dst_dev frame
-          | _ -> None
-        in
-        (match tag with
-         | Some tag ->
-           ignore
-             (Engine.schedule_tagged t.engine ~delay:(arrival - now_t) ~tag deliver)
-         | None -> ignore (Engine.schedule_at t.engine ~time:arrival deliver))
+        (match t.sched with
+         | Some s ->
+           (* sharded execution: same-shard deliveries stay on the local
+              engine; cross-shard ones go through the outbox and land at
+              the next barrier (arrival >= window end by lookahead) *)
+           let src_sh = s.sh_shard_of node and dst_sh = s.sh_shard_of dst_dev in
+           if src_sh = dst_sh then
+             ignore (Engine.schedule_at (s.sh_engine_of node) ~time:arrival deliver)
+           else s.sh_post ~src:src_sh ~dst:dst_sh ~time:arrival deliver
+         | None ->
+           (* frame deliveries become reorderable actions when a tagger is
+              installed (the model checker tags LDP frames, see lib/mc) *)
+           let tag =
+             match t.tagger with
+             | Some f when Engine.intercepting t.engine -> f ~src:node ~dst:dst_dev frame
+             | _ -> None
+           in
+           (match tag with
+            | Some tag ->
+              ignore
+                (Engine.schedule_tagged t.engine ~delay:(arrival - now_t) ~tag deliver)
+            | None -> ignore (Engine.schedule_at t.engine ~time:arrival deliver)))
       end
   end
 

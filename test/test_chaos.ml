@@ -199,7 +199,7 @@ let run_family ~seed family =
     | Ok f -> f
     | Error e -> Alcotest.fail e
   in
-  let fab = Fabric.create_family ~seed fam in
+  let fab = Fabric.create @@ Fabric.Config.of_family ~seed fam in
   if not (Fabric.await_convergence fab) then Alcotest.failf "%s failed to converge" family;
   let plan = Chaos.generate ~seed ~duration:(Time.ms 4000) (Fabric.tree fab) in
   Chaos.run_campaign ~label:"diff" ~seed fab plan
@@ -229,7 +229,7 @@ let test_family_campaign_differential () =
 (* AB post-failure re-convergence with the incremental verifier checking
    every single update: zero divergences from the full verifier *)
 let test_ab_verify_every_update () =
-  let fab = Fabric.create_family ~seed:7 (Topology.Topo.Family.Ab { k = 4 }) in
+  let fab = Fabric.create @@ Fabric.Config.of_family ~seed:7 (Topology.Topo.Family.Ab { k = 4 }) in
   if not (Fabric.await_convergence fab) then Alcotest.fail "ab fabric failed to converge";
   let plan = Chaos.generate ~seed:7 ~duration:(Time.ms 4000) (Fabric.tree fab) in
   let r = Chaos.run_campaign ~label:"ab-inc" ~seed:7 ~verify_every_update:true fab plan in

@@ -145,8 +145,9 @@ let test_corruption_caught_and_shrunk () =
 (* ---------------- tokens ---------------- *)
 
 let prop_token_roundtrip =
-  Testutil.prop "schedule token round-trips" ~count:100
+  Testutil.prop "Token.to_string/of_string round-trips" ~count:100
     QCheck2.Gen.(
+      let* k = map (fun i -> 2 * i) (int_range 1 4) in
       let* depth = int_range 0 8 in
       let* sched = array_size (int_bound depth) (int_bound 5) in
       let* seed = int_bound 10_000 in
@@ -156,7 +157,8 @@ let prop_token_roundtrip =
       let* topo = oneofl [ "plain"; "ab"; "two-layer" ] in
       return
         ( { Mc.default_params with
-            Mc.seed;
+            Mc.k;
+            seed;
             topo;
             scenario;
             depth;
@@ -164,7 +166,12 @@ let prop_token_roundtrip =
             quantum = Time.us quantum_us },
           sched ))
     (fun (p, sched) ->
-      match Mc.parse_token (Mc.token_of p sched) with
+      let s = Mc.Token.to_string p sched in
+      (* the version tag is decided by the topology: plain stays mc1 *)
+      String.length s > 4
+      && String.sub s 0 3 = Mc.Token.(version_to_string (version_of p))
+      &&
+      match Mc.Token.of_string s with
       | Ok (p', sched') -> p' = p && sched' = sched
       | Error _ -> false)
 

@@ -1,0 +1,166 @@
+(* Cross-domain determinism for the sharded engine.
+
+   A fabric created with [Config.domains = n >= 1] runs on the
+   [Eventsim.Sharded] scheduler with logical shards fixed by the
+   topology; [n] only maps shards onto OS domains. These tests assert
+   the load-bearing property: the run is byte-identical for every
+   domain count — equal control-state digests and verifier digests at
+   every quiescent barrier, and byte-identical chaos campaign reports. *)
+
+open Eventsim
+module F = Portland.Fabric
+module V = Portland_verify.Verify
+module Family = Topology.Topo.Family
+module MR = Topology.Multirooted
+
+(* ---------------- Sharded scheduler unit ---------------- *)
+
+(* Three toy shards passing a token around through cross-shard posts
+   (hop latency = the lookahead), with a second chain running in
+   opposition and a coordinator action in the middle: the merged event
+   log must be identical for 1, 2 and 4 domains. *)
+let sharded_toy domains =
+  let n = 3 in
+  let engines = Array.init n (fun _ -> Engine.create ()) in
+  let s = Sharded.create ~domains ~lookahead:10 engines in
+  let logs = Array.make n [] in
+  let rec hop ~chain shard hops =
+    if hops > 0 then begin
+      let e = Sharded.engine s shard in
+      logs.(shard) <- (Engine.now e, chain, hops) :: logs.(shard);
+      let dst = (shard + 1) mod n in
+      Sharded.post s ~src:shard ~dst
+        ~time:(Engine.now e + 10)
+        (fun () -> hop ~chain dst (hops - 1))
+    end
+  in
+  ignore (Engine.schedule_at (Sharded.engine s 0) ~time:5 (fun () -> hop ~chain:0 0 60));
+  ignore (Engine.schedule_at (Sharded.engine s 2) ~time:7 (fun () -> hop ~chain:1 2 60));
+  let coord_seen = ref (-1) in
+  Sharded.schedule_coordinator s ~time:333 (fun () ->
+      coord_seen := Sharded.now s;
+      (* all shard clocks agree at a coordinator point *)
+      Array.iter (fun e -> Testutil.check_int "coord clock" 333 (Engine.now e)) engines);
+  Sharded.run_until s 5_000;
+  Testutil.check_int "coordinator ran at its instant" 333 !coord_seen;
+  Testutil.check_int "all events fired" 122 (Sharded.events_processed s);
+  Testutil.check_int "clock at target" 5_000 (Sharded.now s);
+  Array.to_list (Array.map List.rev logs)
+
+let test_sharded_unit () =
+  let reference = sharded_toy 1 in
+  List.iter
+    (fun domains ->
+      let got = sharded_toy domains in
+      if got <> reference then
+        Alcotest.failf "toy shard log diverged at domains=%d" domains)
+    [ 2; 4 ]
+
+(* ---------------- fabric determinism matrix ---------------- *)
+
+(* Digests at three quiescent barriers: after convergence, after a
+   cross-shard (edge<->agg) link failure is detected and broadcast, and
+   after recovery — exercising boot, fault and heal paths through the
+   cross-shard control channel. *)
+let fingerprint ~family ~domains =
+  let fab = F.create (F.Config.of_family ~domains family) in
+  if not (F.await_convergence fab) then
+    Alcotest.failf "%s (domains=%d) failed to converge" (Family.to_string family)
+      domains;
+  let d1 = F.control_digest fab in
+  let v1 = V.digest_of_report (V.run fab) in
+  let mt = F.tree fab in
+  let e = mt.MR.edges.(0).(0) in
+  (* first upstream switch: the pod's first agg, or (two-layer, no agg
+     tier) the first spine *)
+  let a =
+    if Array.length mt.MR.aggs.(0) > 0 then mt.MR.aggs.(0).(0) else mt.MR.cores.(0)
+  in
+  Testutil.check_bool "link failed" true (F.fail_link_between fab ~a:e ~b:a);
+  F.run_for fab (Time.ms 300);
+  let d2 = F.control_digest fab in
+  let v2 = V.digest_of_report (V.run fab) in
+  Testutil.check_bool "link recovered" true (F.recover_link_between fab ~a:e ~b:a);
+  F.run_for fab (Time.ms 300);
+  let d3 = F.control_digest fab in
+  let v3 = V.digest_of_report (V.run fab) in
+  [ d1; v1; d2; v2; d3; v3 ]
+
+let matrix_case k family () =
+  let reference = fingerprint ~family ~domains:1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s k=%d: domains=%d equals domains=1"
+           (Family.to_string family) k domains)
+        reference
+        (fingerprint ~family ~domains))
+    [ 2; 4 ]
+
+(* ---------------- chaos campaign byte-identity ---------------- *)
+
+let chaos_json ~domains =
+  let fab = F.create (F.Config.of_family ~domains (Family.Plain { k = 4 })) in
+  if not (F.await_convergence fab) then
+    Alcotest.failf "chaos fabric (domains=%d) failed to converge" domains;
+  let plan = Chaos.generate ~seed:42 ~duration:(Time.ms 3000) (F.tree fab) in
+  let r = Chaos.run_campaign ~label:"domains" ~seed:42 fab plan in
+  Obs.Json.to_string (Chaos.report_to_json r)
+
+let test_chaos_identical () =
+  let reference = chaos_json ~domains:1 in
+  List.iter
+    (fun domains ->
+      Testutil.check_string
+        (Printf.sprintf "chaos campaign JSON identical at domains=%d" domains)
+        reference (chaos_json ~domains))
+    [ 2; 4 ]
+
+(* ---------------- sharded-mode guards ---------------- *)
+
+let test_journal_rejected () =
+  let fab = F.create (F.Config.fattree ~domains:1 ~obs:Obs.null ~k:4 ()) in
+  Alcotest.check_raises "journal requires the classic engine"
+    (Invalid_argument
+       "Fabric.set_journal: the update journal requires the single-domain engine \
+        (Config.domains = 0)")
+    (fun () -> F.set_journal fab (Some (fun _ -> ())))
+
+let () =
+  match Sys.getenv_opt "PARPROF" with
+  | Some spec ->
+    (* PARPROF="k,domains" : time one boot+run and dump window stats *)
+    let k, domains = Scanf.sscanf spec "%d,%d" (fun a b -> (a, b)) in
+    let t0 = Sys.time () in
+    let fab = F.create (F.Config.fattree ~obs:Obs.null ~domains ~k ()) in
+    let ok = F.await_convergence ~timeout:(Time.sec 60) fab in
+    let t1 = Sys.time () in
+    F.run_for fab (Time.ms 150);
+    let t2 = Sys.time () in
+    let s = Option.get (F.sharded fab) in
+    Printf.printf
+      "k=%d domains=%d converged=%b conv_wall=%.2fs run150_wall=%.2fs windows=%d \
+       events=%d digest=%s\n"
+      k domains ok (t1 -. t0) (t2 -. t1) (Sharded.windows_run s)
+      (Sharded.events_processed s) (F.control_digest fab);
+    exit 0
+  | None -> ();
+  let open Alcotest in
+  let matrix =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun family ->
+            test_case
+              (Printf.sprintf "%s k=%d" (Family.to_string family) k)
+              `Slow (matrix_case k family))
+          (Family.all ~k))
+      [ 4; 8 ]
+  in
+  run "parallel"
+    [ ("sharded scheduler", [ test_case "toy cross-shard determinism" `Quick test_sharded_unit ]);
+      ("determinism matrix", matrix);
+      ("chaos byte-identity",
+       [ test_case "campaign JSON equal across domains" `Slow test_chaos_identical ]);
+      ("guards", [ test_case "journal rejected under sharding" `Quick test_journal_rejected ])
+    ]

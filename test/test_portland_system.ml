@@ -629,7 +629,7 @@ let test_multiple_vms_share_a_port () =
 let test_staggered_boot () =
   (* racks power on over half a second in seed-random order: discovery
      must converge anyway *)
-  let fab = Portland.Fabric.create_fattree ~seed:77 ~boot_jitter:(Time.ms 500) ~k:4 () in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~seed:77 ~boot_jitter:(Time.ms 500) ~k:4 () in
   Testutil.check_bool "converged despite staggered boot" true
     (Fabric.await_convergence ~timeout:(Time.sec 10) fab);
   let src = Fabric.host fab ~pod:0 ~edge:0 ~slot:0 in
@@ -647,7 +647,7 @@ let test_non_fattree_multirooted () =
     { MR.wiring = MR.Stripes; num_pods = 3; edges_per_pod = 2; aggs_per_pod = 2;
       hosts_per_edge = 3; num_cores = 4 }
   in
-  let fab = Portland.Fabric.create spec in
+  let fab = Portland.Fabric.create (Fabric.Config.make spec) in
   Testutil.check_bool "converged" true (Fabric.await_convergence fab);
   Testutil.check_int "all 18 hosts bound" 18
     (Fabric_manager.binding_count (Fabric.fabric_manager fab));
@@ -763,7 +763,7 @@ let test_scale_k12 () =
   (* 432 hosts, 180 switches: discovery, state bounds and forwarding all
      hold at a size an order of magnitude past the paper's testbed *)
   let k = 12 in
-  let fab = Portland.Fabric.create_fattree ~k () in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ~k () in
   Testutil.check_bool "k=12 converges" true (Fabric.await_convergence ~timeout:(Time.sec 10) fab);
   Testutil.check_int "all bindings" (Topology.Fattree.num_hosts ~k)
     (Fabric_manager.binding_count (Fabric.fabric_manager fab));

@@ -20,14 +20,14 @@ let assert_verified ?faults ?(msg = "static verification") fab =
 
 (* a converged k=4 PortLand fabric, reused by several suites *)
 let converged_fabric ?(k = 4) ?(seed = 42) ?spare_slots () =
-  let fab = Portland.Fabric.create_fattree ?spare_slots ~seed ~k () in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.fattree ?spare_slots ~seed ~k () in
   if not (Portland.Fabric.await_convergence fab) then
     Alcotest.fail "fabric failed to converge";
   fab
 
 (* same, for any member of the topology family *)
 let converged_family ?(seed = 42) family =
-  let fab = Portland.Fabric.create_family ~seed family in
+  let fab = Portland.Fabric.create @@ Portland.Fabric.Config.of_family ~seed family in
   if not (Portland.Fabric.await_convergence fab) then
     Alcotest.failf "fabric (%s) failed to converge"
       (Topology.Topo.Family.to_string family);
