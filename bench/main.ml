@@ -327,6 +327,106 @@ let run_parallel ~quick =
   print_newline ();
   rows
 
+type fm_scale_row = {
+  m_name : string;        (* "fm/arp_resolve_1m" *)
+  m_bindings : int;
+  m_shards : int;
+  m_mono_ns : float;      (* ns per resolution, monolithic (fm_shards = 1) *)
+  m_shard_ns : float;     (* ns per resolution, pod-sharded *)
+}
+
+(* E7 at scale: the fabric-manager ARP service against 1M / 10M bindings,
+   monolithic vs pod-sharded. Hand-rolled timing rather than bechamel —
+   a 10M-entry table takes seconds to populate, so the fixture must be
+   built exactly once per configuration and queried in place. Queries go
+   through [resolve_batch] in 4096-IP batches, the access pattern of a
+   batched ARP front end; the sharded path groups each batch by owning
+   shard and drains shard-at-a-time. *)
+let run_fm_scale ~quick =
+  print_endline "=== Fabric-manager ARP service at scale (ns/resolution, batched) ===";
+  Printf.printf "  %-22s %-10s %-8s %-16s %-16s %-8s\n" "row" "bindings" "shards"
+    "monolithic (ns)" "sharded (ns)" "speedup";
+  let shards = 4 in
+  let build ~fm_shards n =
+    let engine = Eventsim.Engine.create () in
+    let ctrl = Portland.Ctrl.create engine ~latency:(Eventsim.Time.us 50) in
+    let spec = Topology.Fattree.spec ~k:48 in
+    let fm =
+      Portland.Fabric_manager.create ~fm_shards engine Portland.Config.default ctrl ~spec
+    in
+    for i = 0 to n - 1 do
+      (* 10.x.y.z: the pod byte (bits 16-23) walks 0..n/65536, spreading
+         bindings across every pod shard *)
+      Portland.Fabric_manager.insert_binding_for_test fm
+        { Portland.Msg.ip = Netcore.Ipv4_addr.of_int (0x0A000000 lor i);
+          amac = Netcore.Mac_addr.of_int (0x020000000000 lor i);
+          pmac =
+            Portland.Pmac.make ~pod:(i mod 48) ~position:(i mod 24) ~port:(i mod 24)
+              ~vmid:(1 + (i mod 1000));
+          edge_switch = i mod 1000 }
+    done;
+    fm
+  in
+  (* one deterministic shuffled query stream per size, pre-batched so the
+     measured region is lookups only; both configurations replay the
+     exact same stream *)
+  let batches n =
+    let prng = Eventsim.Prng.create 9 in
+    let total = min n 1_000_000 and batch = 4096 in
+    ( total,
+      Array.init
+        ((total + batch - 1) / batch)
+        (fun bi ->
+          Array.init
+            (min batch (total - (bi * batch)))
+            (fun _ -> Netcore.Ipv4_addr.of_int (0x0A000000 lor Eventsim.Prng.int prng n))) )
+  in
+  let time_pass fm (total, qs) =
+    let missed = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun q ->
+        Array.iter
+          (function None -> incr missed | Some _ -> ())
+          (Portland.Fabric_manager.resolve_batch fm q))
+      qs;
+    let t1 = Unix.gettimeofday () in
+    if !missed > 0 then failwith (Printf.sprintf "bench: %d fm-scale misses" !missed);
+    (t1 -. t0) *. 1e9 /. float_of_int total
+  in
+  let one (name, n) =
+    let qs = batches n in
+    (* both fixtures stay live and the timed passes interleave, so VM-level
+       noise (frequency drift, host contention on this 1-core box) hits the
+       two configurations equally; report the best of 3 passes each *)
+    let mono_fm = build ~fm_shards:1 n in
+    let shard_fm = build ~fm_shards:shards n in
+    Gc.compact ();
+    ignore (time_pass mono_fm qs);  (* warm-up *)
+    ignore (time_pass shard_fm qs);
+    let mono = ref infinity and shard = ref infinity in
+    for _ = 1 to 3 do
+      mono := Float.min !mono (time_pass mono_fm qs);
+      shard := Float.min !shard (time_pass shard_fm qs)
+    done;
+    let mono = !mono and shard = !shard in
+    Gc.compact ();
+    let row =
+      { m_name = name; m_bindings = n; m_shards = shards; m_mono_ns = mono;
+        m_shard_ns = shard }
+    in
+    Printf.printf "  %-22s %-10d %-8d %-16.1f %-16.1f %.2fx\n" name n shards mono shard
+      (mono /. shard);
+    row
+  in
+  let sizes =
+    if quick then [ ("fm/arp_resolve_1m", 1_000_000) ]
+    else [ ("fm/arp_resolve_1m", 1_000_000); ("fm/arp_resolve_10m", 10_000_000) ]
+  in
+  let rows = List.map one sizes in
+  print_newline ();
+  rows
+
 (* ---------------- JSON tracking (hand-rolled, no extra deps) ----------------
 
    Seed-era constants from EXPERIMENTS.md, the denominators for the
@@ -346,7 +446,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~out ~micro ~scal ~par =
+let write_json ~out ~micro ~scal ~par ~fm_scale =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
@@ -402,6 +502,17 @@ let write_json ~out ~micro ~scal ~par =
         (if i = List.length scal - 1 then "" else ","))
     scal;
   add "  ],\n";
+  add "  \"fm_scale\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"name\": \"%s\", \"bindings\": %d, \"shards\": %d, \"monolithic_ns\": %.1f, \
+         \"sharded_ns\": %.1f, \"sharded_speedup\": %.2f}%s\n"
+        (json_escape r.m_name) r.m_bindings r.m_shards r.m_mono_ns r.m_shard_ns
+        (r.m_mono_ns /. r.m_shard_ns)
+        (if i = List.length fm_scale - 1 then "" else ","))
+    fm_scale;
+  add "  ],\n";
   add "  \"parallel_speedup\": [\n";
   List.iteri
     (fun i r ->
@@ -438,9 +549,10 @@ let () =
   in
   if not experiments_only then begin
     let micro = run_micro ~quick in
+    let fm_scale = run_fm_scale ~quick in
     let scal = run_scalability ~quick in
     let par = run_parallel ~quick in
-    if json then write_json ~out ~micro ~scal ~par
+    if json then write_json ~out ~micro ~scal ~par ~fm_scale
   end;
   if not micro_only then begin
     print_endline "=== Paper reproduction: every table and figure ===";

@@ -5,7 +5,14 @@ open Cmdliner
 
 (* ---------------- options shared by every subcommand ---------------- *)
 
-type common = { k : int; topo : string; seed : int; verbose : bool; domains : int }
+type common = {
+  k : int;
+  topo : string;
+  seed : int;
+  verbose : bool;
+  domains : int;
+  fm_shards : int;
+}
 
 let k_arg =
   let doc = "Fat-tree arity (even, >= 2)." in
@@ -35,10 +42,20 @@ let domains_arg =
   in
   Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N" ~doc)
 
+let fm_shards_arg =
+  let doc =
+    "Partition fabric-manager soft state (bindings, pending ARPs, fault rows, multicast \
+     membership) across $(docv) pod shards plus one core shard, each with its own \
+     replayable replication log. Purely a state-layout choice: every run is bit-identical \
+     for every $(docv) >= 1. Default 1 (monolithic)."
+  in
+  Arg.(value & opt int 1 & info [ "fm-shards" ] ~docv:"N" ~doc)
+
 let common_term =
   Term.(
-    const (fun k topo seed verbose domains -> { k; topo; seed; verbose; domains })
-    $ k_arg $ topology_arg $ seed_arg $ verbose_arg $ domains_arg)
+    const (fun k topo seed verbose domains fm_shards ->
+        { k; topo; seed; verbose; domains; fm_shards })
+    $ k_arg $ topology_arg $ seed_arg $ verbose_arg $ domains_arg $ fm_shards_arg)
 
 let family_of { k; topo; _ } =
   match Topology.Topo.Family.of_string ~k topo with
@@ -52,9 +69,13 @@ let create_fabric ?obs ?spare_slots c =
     prerr_endline "--domains must be >= 0";
     exit 2
   end;
+  if c.fm_shards < 1 then begin
+    prerr_endline "--fm-shards must be >= 1";
+    exit 2
+  end;
   Portland.Fabric.create
     (Portland.Fabric.Config.of_family ?obs ?spare_slots ~seed:c.seed ~domains:c.domains
-       (family_of c))
+       ~fm_shards:c.fm_shards (family_of c))
 
 let reject_domains c ~what =
   if c.domains > 0 then begin
@@ -463,21 +484,28 @@ let run_chaos ({ seed; verbose; _ } as c) ~duration_ms ~campaign ~verify_every_u
 
 (* ---------------- model checking ---------------- *)
 
-let run_mc ({ k; topo; seed; verbose; _ } as c) ~depth ~max_step ~delay_budget ~quantum_us
-    ~scenario ~corrupt ~no_prune ~replay ~json_out =
+let run_mc ({ k; topo; seed; verbose; fm_shards; _ } as c) ~depth ~max_step ~delay_budget
+    ~quantum_us ~scenario ~corrupt ~no_prune ~replay ~json_out =
   let open Eventsim in
   (* the interleaving explorer intercepts control deliveries sequentially *)
   reject_domains c ~what:"mc";
+  if fm_shards < 1 then begin
+    prerr_endline "--fm-shards must be >= 1";
+    exit 2
+  end;
   match replay with
   | Some token ->
-    (* the token is self-contained: every parameter comes from it, so the
-       reproduction is byte-exact no matter what else is on the command
-       line *)
+    (* the token is self-contained: every behaviour-affecting parameter
+       comes from it, so the reproduction is byte-exact no matter what
+       else is on the command line. --fm-shards still applies — it is a
+       state-layout choice the token deliberately omits, and the replay
+       must come out identical under any value *)
     (match Mc.Token.of_string token with
      | Error e ->
        Printf.eprintf "bad --replay token: %s\n" e;
        exit 2
      | Ok (p, sched) ->
+       let p = { p with Mc.fm_shards } in
        let r = Mc.run_schedule p sched in
        Format.printf "%a@." Mc.pp_run r;
        exit 0)
@@ -509,15 +537,17 @@ let run_mc ({ k; topo; seed; verbose; _ } as c) ~depth ~max_step ~delay_budget ~
         delay_budget;
         quantum = Time.us quantum_us;
         prune = not no_prune;
-        corrupt }
+        corrupt;
+        fm_shards }
     in
     Printf.printf
       "mc: k=%d topo=%s seed=%d scenario=%s depth=%d max_step=%d budget=%d quantum=%dus \
-       prune=%b corrupt=%s\n%!"
+       prune=%b corrupt=%s fm_shards=%d\n%!"
       p.Mc.k p.Mc.topo p.Mc.seed
       (Mc.scenario_to_string p.Mc.scenario)
       p.Mc.depth p.Mc.max_step p.Mc.delay_budget (p.Mc.quantum / 1000) p.Mc.prune
-      (Mc.corruption_to_string p.Mc.corrupt);
+      (Mc.corruption_to_string p.Mc.corrupt)
+      p.Mc.fm_shards;
     let rep = Mc.explore p in
     Printf.printf "schedules run: %d\n" rep.Mc.rep_schedules_run;
     Printf.printf "distinct interleavings: %d (first %d deliveries)\n" rep.Mc.rep_interleavings

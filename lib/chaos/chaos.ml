@@ -12,6 +12,7 @@ type action =
   | Crash_switch of int
   | Restart_switch of int
   | Restart_fm
+  | Failover_fm_shard of { pod : int }
   | Set_link_loss of { a : int; b : int; rate : float }
 
 type event = { at : Time.t; action : action }
@@ -23,6 +24,7 @@ let action_to_string = function
   | Crash_switch d -> Printf.sprintf "crash-switch %d" d
   | Restart_switch d -> Printf.sprintf "restart-switch %d" d
   | Restart_fm -> "restart-fm"
+  | Failover_fm_shard { pod } -> Printf.sprintf "failover-fm-shard %d" pod
   | Set_link_loss { a; b; rate } ->
     if rate <= 0.0 then Printf.sprintf "clear-loss %d-%d" a b
     else Printf.sprintf "set-loss %d-%d %.3f" a b rate
@@ -135,7 +137,14 @@ let crash_candidates (mt : MR.t) =
    window, leaving a tail for the executor's quiescent check. *)
 let window = Time.ms 600
 
-type kind = K_flap | K_overlap | K_crash | K_fm_combo | K_stripe | K_loss
+type kind =
+  | K_flap
+  | K_overlap
+  | K_crash
+  | K_fm_combo
+  | K_shard_failover
+  | K_stripe
+  | K_loss
 
 let generate ?(profile = Mixed) ~seed ~duration (mt : MR.t) =
   let spec = mt.MR.spec in
@@ -308,11 +317,33 @@ let generate ?(profile = Mixed) ~seed ~duration (mt : MR.t) =
       emit (t1 + Time.ms 150) (Set_link_loss { a = l.la; b = l.lb; rate = rate /. 2.0 });
       emit (t1 + Time.ms 300) (Set_link_loss { a = l.la; b = l.lb; rate = 0.0 })
   in
+  let ep_shard_failover t0 =
+    (* FM-shard failover: wipe one pod's shard and rebuild it from the
+       replication log mid-campaign. The shadow fault set is untouched —
+       a correct rebuild is invisible to routability; the executor's
+       quiescent check (full verifier + shard-integrity pack) is what
+       judges it. Paired with a link flap in the same pod so the rebuilt
+       fault rows are load-bearing, not vacuously empty. *)
+    let pod = Prng.int prng spec.MR.num_pods in
+    match
+      pick_admissible 4
+        (List.filter (fun l -> (Portland.Fault.pod_of l.lfault) = pod) (live_links ()))
+        (fun l -> [ l.lfault ])
+    with
+    | None -> emit (t0 + jit 0 40) (Failover_fm_shard { pod })
+    | Some l ->
+      let t1 = t0 + jit 0 20 in
+      emit t1 (Fail_link { a = l.la; b = l.lb });
+      emit (t1 + Time.ms 90) (Failover_fm_shard { pod });
+      emit (t1 + Time.ms 90 + jit 120 160) (Recover_link { a = l.la; b = l.lb });
+      heal [ l.lfault ]
+  in
   let run_kind t0 = function
     | K_flap -> ep_flap t0
     | K_overlap -> ep_overlap t0
     | K_crash -> ep_crash t0
     | K_fm_combo -> ep_fm_combo t0
+    | K_shard_failover -> ep_shard_failover t0
     | K_stripe -> ep_stripe t0
     | K_loss -> ep_loss t0
   in
@@ -336,8 +367,9 @@ let generate ?(profile = Mixed) ~seed ~duration (mt : MR.t) =
        kinds.(i) <- Prng.pick prng [| K_flap; K_flap; K_overlap; K_stripe; K_loss; K_flap |]
      done;
      (* mandatory quota in distinct windows: two switch crash/reboot
-        cycles, exactly one fabric-manager restart, one loss ramp *)
-     let quota = [| K_crash; K_crash; K_fm_combo; K_loss |] in
+        cycles, exactly one fabric-manager restart, one FM-shard
+        failover, one loss ramp *)
+     let quota = [| K_crash; K_crash; K_fm_combo; K_shard_failover; K_loss |] in
      let slots =
        Prng.sample_without_replacement prng (min (Array.length quota) n)
          (List.init n (fun i -> i))
@@ -394,6 +426,11 @@ let apply fab = function
   | Restart_fm ->
     F.restart_fabric_manager fab;
     true
+  | Failover_fm_shard { pod } ->
+    (* [applied] doubles as the failover's own integrity verdict: false
+       means the digest-checked rebuild or the shard-integrity pack
+       failed, which the quiescent check will also surface *)
+    F.failover_fm_shard fab ~pod
   | Set_link_loss { a; b; rate } ->
     if rate <= 0.0 then F.clear_link_loss_between fab ~a ~b
     else F.set_link_loss_between fab ~a ~b rate
@@ -461,6 +498,14 @@ let run_campaign ?(probes_per_check = 4) ?(label = "custom") ?(verify_every_upda
           violations
           @ [ Printf.sprintf "incremental/full divergence: incremental %s vs full %s" di df ]
         end
+    in
+    (* the FM's cross-shard integrity pack runs at every quiescent point:
+       placement, sharded-lookup agreement, log-replay equivalence (both
+       directions) and fault-row mirroring, whatever the shard count *)
+    let violations =
+      violations
+      @ List.map (Printf.sprintf "shard integrity: %s")
+          (Portland.Fabric_manager.shard_integrity (F.fabric_manager fab))
     in
     let probes_ok, probes = run_probes () in
     checks :=

@@ -40,6 +40,10 @@ type action =
   | Crash_switch of int       (** {!Portland.Fabric.fail_switch} *)
   | Restart_switch of int     (** {!Portland.Fabric.recover_switch} — cold reboot *)
   | Restart_fm                (** {!Portland.Fabric.restart_fabric_manager} *)
+  | Failover_fm_shard of { pod : int }
+      (** {!Portland.Fabric.failover_fm_shard}: wipe the FM shard owning
+          [pod] and rebuild it from its replication log. [ev_applied]
+          carries the failover's digest/integrity verdict. *)
   | Set_link_loss of { a : int; b : int; rate : float }
 
 type event = { at : Eventsim.Time.t; action : action }
@@ -51,8 +55,9 @@ val action_to_string : action -> string
 val pp_event : Format.formatter -> event -> unit
 
 (** Campaign shape. [Mixed] composes everything and guarantees at least
-    two switch crash/reboot cycles and exactly one fabric-manager restart
-    (given enough duration); the others are single-dimension campaigns. *)
+    two switch crash/reboot cycles, exactly one fabric-manager restart
+    and one FM-shard failover (given enough duration); the others are
+    single-dimension campaigns. *)
 type profile = Mixed | Link_flaps | Switch_churn | Loss_ramps
 
 val profile_of_string : string -> profile option
@@ -113,7 +118,9 @@ val run_campaign :
     gap to the next event exceeds the quiescence threshold (250 ms) — and
     after the final event — the executor settles 150 ms (past the LDM
     detection window plus fault broadcast and table recomputation), then
-    checks: convergence, the full static verifier, and [probes_per_check]
+    checks: convergence, the full static verifier, the fabric manager's
+    {!Portland.Fabric_manager.shard_integrity} pack (reported as
+    ["shard integrity: ..."] violations), and [probes_per_check]
     (default 4) seed-deterministic host-pair {!Portland.Fabric.trace_route}
     probes. [seed] drives only probe-pair sampling; [label] (default
     ["custom"]) is recorded as [rep_profile].

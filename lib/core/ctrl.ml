@@ -12,6 +12,7 @@ type t = {
   latency : Time.t;
   mutable route : route option;
   mutable fm_handler : (from:int -> Msg.to_fm -> unit) option;
+  mutable unregister_hook : (int -> unit) option;
   switch_handlers : (int, Msg.to_switch -> unit) Hashtbl.t;
   (* counters are atomic: under sharded execution deliveries to switches
      run on the switches' shards while FM deliveries run on shard 0 *)
@@ -23,7 +24,7 @@ type t = {
 }
 
 let create engine ~latency =
-  { engine; latency; route = None; fm_handler = None;
+  { engine; latency; route = None; fm_handler = None; unregister_hook = None;
     switch_handlers = Hashtbl.create 64;
     to_fm = Atomic.make 0; to_switch = Atomic.make 0;
     to_fm_bytes = Atomic.make 0; to_switch_bytes = Atomic.make 0;
@@ -32,8 +33,16 @@ let create engine ~latency =
 let set_route t r = t.route <- r
 
 let register_fm t f = t.fm_handler <- Some f
+let set_unregister_hook t f = t.unregister_hook <- Some f
 let register_switch t id f = Hashtbl.replace t.switch_handlers id f
-let unregister_switch t id = Hashtbl.remove t.switch_handlers id
+
+(* The hook fires after the handler is gone, so the fabric manager sees
+   the switch as already dead when it flushes state keyed on it. *)
+let unregister_switch t id =
+  Hashtbl.remove t.switch_handlers id;
+  match t.unregister_hook with None -> () | Some f -> f id
+
+let has_switch t id = Hashtbl.mem t.switch_handlers id
 
 let bump c = Atomic.incr c
 let bump_by c n = ignore (Atomic.fetch_and_add c n)

@@ -42,6 +42,18 @@ val register_switch : t -> int -> (Msg.to_switch -> unit) -> unit
 (** Install a switch agent's receive callback, keyed by switch id. *)
 
 val unregister_switch : t -> int -> unit
+(** Remove a switch's callback (death or the start of a cold reboot),
+    then fire the unregister hook so the fabric manager can flush soft
+    state keyed on the switch — e.g. pending ARP entries that would
+    otherwise be answered to a dead switch. *)
+
+val set_unregister_hook : t -> (int -> unit) -> unit
+(** Called synchronously with the switch id on every
+    {!unregister_switch}, after the handler is removed. One hook; a
+    re-registration (fabric-manager restart) replaces it. *)
+
+val has_switch : t -> int -> bool
+(** Whether a switch is currently registered (alive and booted). *)
 
 val send_to_fm : t -> from:int -> Msg.to_fm -> unit
 (** Delivered to the fabric manager after one latency. Dropped (counted)

@@ -17,21 +17,23 @@ module Config = struct
     boot_jitter : Time.t;
     obs : Obs.t option;
     domains : int;
+    fm_shards : int;
   }
 
   let make ?(proto = Proto.default) ?(seed = 42) ?link_params ?(spare_slots = [])
-      ?(boot_jitter = 0) ?obs ?(domains = 0) spec =
-    { spec; proto; seed; link_params; spare_slots; boot_jitter; obs; domains }
+      ?(boot_jitter = 0) ?obs ?(domains = 0) ?(fm_shards = 1) spec =
+    { spec; proto; seed; link_params; spare_slots; boot_jitter; obs; domains; fm_shards }
 
   let default = make (Topology.Fattree.spec ~k:4)
 
-  let fattree ?proto ?seed ?link_params ?spare_slots ?boot_jitter ?obs ?domains ~k () =
-    make ?proto ?seed ?link_params ?spare_slots ?boot_jitter ?obs ?domains
+  let fattree ?proto ?seed ?link_params ?spare_slots ?boot_jitter ?obs ?domains ?fm_shards
+      ~k () =
+    make ?proto ?seed ?link_params ?spare_slots ?boot_jitter ?obs ?domains ?fm_shards
       (Topology.Fattree.spec ~k)
 
-  let of_family ?proto ?seed ?link_params ?spare_slots ?boot_jitter ?obs ?domains family
-      =
-    make ?proto ?seed ?link_params ?spare_slots ?boot_jitter ?obs ?domains
+  let of_family ?proto ?seed ?link_params ?spare_slots ?boot_jitter ?obs ?domains
+      ?fm_shards family =
+    make ?proto ?seed ?link_params ?spare_slots ?boot_jitter ?obs ?domains ?fm_shards
       (MR.spec_of_family family)
 end
 
@@ -188,11 +190,21 @@ let restart_fabric_manager t =
      replaces the abandoned instance's in the registry. *)
   Obs.event t.obs ~time:(now t) ~level:Eventsim.Trace.Warn ~subsystem:"fabric"
     "fabric manager restarted; resync requested";
-  t.fm <- Fabric_manager.create ~obs:t.obs t.engine t.config.Config.proto t.ctrl ~spec:t.spec;
+  t.fm <-
+    Fabric_manager.create ~obs:t.obs ~fm_shards:t.config.Config.fm_shards t.engine
+      t.config.Config.proto t.ctrl ~spec:t.spec;
   (* the fresh instance must inherit the journal subscription, and the
      subscriber must know every piece of soft state it cached is stale *)
   Fabric_manager.set_journal t.fm t.journal;
   jemit t Journal.Fm_restarted
+
+let failover_fm_shard t ~pod =
+  if pod < 0 || pod >= t.spec.MR.num_pods then
+    invalid_arg "Fabric.failover_fm_shard: pod out of range";
+  Obs.eventf t.obs ~time:(now t) ~level:Eventsim.Trace.Warn ~subsystem:"fabric"
+    "fm shard for pod %d failed over (wipe + replay)" pod;
+  (* the FM emits the [Journal.Fm_shard_failover] record itself *)
+  Fabric_manager.failover_shard t.fm ~pod
 
 let fail_switch t device =
   Obs.eventf t.obs ~time:(now t) ~level:Eventsim.Trace.Warn ~subsystem:"fabric"
@@ -464,7 +476,7 @@ let create (cfg : Config.t) =
           { Ctrl.rt_fm_engine = engine; rt_engine_of = engine_of;
             rt_shard_of = shard_of; rt_post = post })
    | None -> ());
-  let fm = Fabric_manager.create ~obs engine proto ctrl ~spec in
+  let fm = Fabric_manager.create ~obs ~fm_shards:cfg.Config.fm_shards engine proto ctrl ~spec in
   let t =
     { config = cfg; engine; sched; obs; spec; mt; net; ctrl; fm;
       switch_agents = Hashtbl.create 64;
@@ -516,16 +528,3 @@ let create (cfg : Config.t) =
           (Obs.Value (float_of_int (plugged_host_count t)));
         Obs.sample ~subsystem:"fabric" ~name:"now_ms" (Obs.Value (Time.to_ms_f (now t))) ]);
   t
-
-(* ---------------- deprecated wrappers (one release) ---------------- *)
-
-let create_spec ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs spec =
-  create (Config.make ?proto:config ?seed ?link_params ?spare_slots ?boot_jitter ?obs spec)
-
-let create_fattree ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs ~k () =
-  create_spec ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs
-    (Topology.Fattree.spec ~k)
-
-let create_family ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs family =
-  create_spec ?config ?seed ?link_params ?spare_slots ?boot_jitter ?obs
-    (Topology.Multirooted.spec_of_family family)

@@ -54,14 +54,22 @@ module Config : sig
             domains ([1] = the same sharded semantics, inline on the
             calling domain). All sharded runs produce identical results
             regardless of [n]. *)
+    fm_shards : int;
+        (** pod-shard count for the fabric manager's soft state (see
+            {!Fabric_manager}): pod [p]'s bindings, fault-matrix rows
+            and pending ARPs live on shard [p mod fm_shards], multicast
+            membership on a core shard. Purely an internal layout of FM
+            state — every observable behaviour (ARP answers, chaos
+            campaign digests, model-checker verdicts) is identical for
+            every [fm_shards >= 1]. Default 1 (monolithic). *)
   }
 
   val make :
     ?proto:Proto.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
     ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
-    ?obs:Obs.t -> ?domains:int -> Topology.Multirooted.spec -> t
+    ?obs:Obs.t -> ?domains:int -> ?fm_shards:int -> Topology.Multirooted.spec -> t
   (** Defaults: [Proto.default], seed 42, default link params, no spares,
-      no jitter, fresh observability, [domains = 0]. *)
+      no jitter, fresh observability, [domains = 0], [fm_shards = 1]. *)
 
   val default : t
   (** [make (Topology.Fattree.spec ~k:4)]. *)
@@ -69,12 +77,12 @@ module Config : sig
   val fattree :
     ?proto:Proto.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
     ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
-    ?obs:Obs.t -> ?domains:int -> k:int -> unit -> t
+    ?obs:Obs.t -> ?domains:int -> ?fm_shards:int -> k:int -> unit -> t
 
   val of_family :
     ?proto:Proto.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
     ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
-    ?obs:Obs.t -> ?domains:int -> Topology.Topo.Family.t -> t
+    ?obs:Obs.t -> ?domains:int -> ?fm_shards:int -> Topology.Topo.Family.t -> t
   (** One entry point for every member of the topology family (plain fat
       tree, AB fat tree, two-layer leaf–spine). *)
 end
@@ -87,29 +95,6 @@ val create : Config.t -> t
     (their minimum is the scheduler's lookahead) and the update journal
     is unavailable. Raises [Invalid_argument] on an invalid spec or an
     unsatisfiable sharding. *)
-
-(** {1 Deprecated creation wrappers}
-
-    Thin shims over {!Config} kept for one release; new code should
-    build a {!Config.t} and call {!create}. *)
-
-val create_spec :
-  ?config:Proto.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
-  ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
-  ?obs:Obs.t -> Topology.Multirooted.spec -> t
-(** @deprecated Use [create (Config.make spec)]. *)
-
-val create_fattree :
-  ?config:Proto.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
-  ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
-  ?obs:Obs.t -> k:int -> unit -> t
-(** @deprecated Use [create (Config.fattree ~k ())]. *)
-
-val create_family :
-  ?config:Proto.t -> ?seed:int -> ?link_params:Switchfab.Net.link_params ->
-  ?spare_slots:(int * int * int) list -> ?boot_jitter:Eventsim.Time.t ->
-  ?obs:Obs.t -> Topology.Topo.Family.t -> t
-(** @deprecated Use [create (Config.of_family f)]. *)
 
 (** {1 Accessors} *)
 
@@ -209,6 +194,17 @@ val restart_fabric_manager : t -> unit
     neighbor views and re-announce their hosts, reconstructing everything
     — the paper's "soft state" claim (§3.3). {!fabric_manager} returns
     the new instance afterwards. *)
+
+val failover_fm_shard : t -> pod:int -> bool
+(** Simulate the failure and recovery of the FM shard owning [pod]: its
+    binding table is wiped, its pod-scoped pending ARPs are dropped
+    (counted in [Fabric_manager.counters.pending_dropped]; host retry
+    recovers them), and the bindings are rebuilt from the shard's
+    replication log. Returns [true] iff the rebuilt state is
+    digest-identical to the pre-failure state and the full
+    {!Fabric_manager.shard_integrity} pack passes. Emits
+    {!Journal.update.Fm_shard_failover}. Raises [Invalid_argument] for an
+    out-of-range pod. *)
 
 (** {1 Routing inspection} *)
 

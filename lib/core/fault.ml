@@ -6,6 +6,9 @@ type t =
 let equal a b = a = b
 let compare = Stdlib.compare
 
+let pod_of = function
+  | Edge_agg { pod; _ } | Agg_core { pod; _ } | Host_edge { pod; _ } -> pod
+
 let pp fmt = function
   | Edge_agg { pod; edge_pos; stripe } ->
     Format.fprintf fmt "edge%d/agg%d@pod%d" edge_pos stripe pod

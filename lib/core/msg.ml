@@ -36,6 +36,7 @@ type to_switch =
       target_pmac : Pmac.t option;
       requester_ip : Netcore.Ipv4_addr.t;
       requester_port : int;
+      gen : int; (* ARP generation the answer is valid for *)
     }
   | Arp_flood of {
       requester_ip : Netcore.Ipv4_addr.t;
@@ -47,6 +48,7 @@ type to_switch =
   | Mcast_program of { group : Netcore.Ipv4_addr.t; out_ports : int list }
   | Resync_request
   | Host_restore of { bindings : host_binding list }
+  | Arp_gen of { gen : int }
 
 let pp_to_fm fmt = function
   | Neighbor_report { switch_id; neighbors; host_ports; _ } ->
@@ -95,5 +97,6 @@ let pp_to_switch fmt = function
   | Resync_request -> Format.pp_print_string fmt "Resync_request"
   | Host_restore { bindings } ->
     Format.fprintf fmt "Host_restore{%d bindings}" (List.length bindings)
+  | Arp_gen { gen } -> Format.fprintf fmt "Arp_gen{gen=%d}" gen
 
 let describe_to_switch m = Format.asprintf "%a" pp_to_switch m

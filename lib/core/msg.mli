@@ -61,6 +61,11 @@ type to_switch =
       target_pmac : Pmac.t option;  (** [None]: unknown — broadcast fallback begins *)
       requester_ip : Netcore.Ipv4_addr.t;
       requester_port : int;
+      gen : int;
+          (** the fabric-wide ARP generation this answer is valid for;
+              edge switches cache the mapping stamped with it and stop
+              serving the cached entry once a newer generation is
+              announced (see {!Arp_gen}) *)
     }
   | Arp_flood of {
       requester_ip : Netcore.Ipv4_addr.t;
@@ -82,6 +87,10 @@ type to_switch =
       (** replay of the IP↔PMAC↔AMAC bindings the FM holds for a rebooted
           edge switch (sorted by IP), letting it repopulate its host
           tables and vmid counters without waiting for host traffic *)
+  | Arp_gen of { gen : int }
+      (** broadcast when a VM migration bumps the fabric-wide ARP
+          generation: cached ARP answers stamped with an older generation
+          are stale and must be re-resolved through the fabric manager *)
 
 val pp_to_fm : Format.formatter -> to_fm -> unit
 val pp_to_switch : Format.formatter -> to_switch -> unit

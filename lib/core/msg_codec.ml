@@ -260,7 +260,7 @@ let encode_to_switch (msg : Msg.to_switch) =
    | Msg.Position_denied { position } ->
      W.u8 w 2;
      W.u16 w position
-   | Msg.Arp_answer { target_ip; target_pmac; requester_ip; requester_port } ->
+   | Msg.Arp_answer { target_ip; target_pmac; requester_ip; requester_port; gen } ->
      W.u8 w 3;
      W.ip w target_ip;
      (match target_pmac with
@@ -269,7 +269,8 @@ let encode_to_switch (msg : Msg.to_switch) =
         w_pmac w p
       | None -> W.u8 w 0);
      W.ip w requester_ip;
-     W.u16 w requester_port
+     W.u16 w requester_port;
+     W.u32 w gen
    | Msg.Arp_flood { requester_ip; requester_pmac; target_ip } ->
      W.u8 w 4;
      W.ip w requester_ip;
@@ -290,7 +291,10 @@ let encode_to_switch (msg : Msg.to_switch) =
    | Msg.Resync_request -> W.u8 w 8
    | Msg.Host_restore { bindings } ->
      W.u8 w 9;
-     w_list w w_binding bindings);
+     w_list w w_binding bindings
+   | Msg.Arp_gen { gen } ->
+     W.u8 w 10;
+     W.u32 w gen);
   W.contents w
 
 let decode_to_switch bytes_ =
@@ -306,7 +310,8 @@ let decode_to_switch bytes_ =
         let target_pmac = match R.u8 r with 0 -> None | _ -> Some (r_pmac r) in
         let requester_ip = R.ip r in
         let requester_port = R.u16 r in
-        Msg.Arp_answer { target_ip; target_pmac; requester_ip; requester_port }
+        let gen = R.u32 r in
+        Msg.Arp_answer { target_ip; target_pmac; requester_ip; requester_port; gen }
       | 4 ->
         let requester_ip = R.ip r in
         let requester_pmac = r_pmac r in
@@ -324,6 +329,9 @@ let decode_to_switch bytes_ =
         Msg.Mcast_program { group; out_ports }
       | 8 -> Msg.Resync_request
       | 9 -> Msg.Host_restore { bindings = r_list r r_binding }
+      | 10 ->
+        let gen = R.u32 r in
+        Msg.Arp_gen { gen }
       | n -> raise (Unknown n))
 
 let to_fm_wire_len msg = Bytes.length (encode_to_fm msg)

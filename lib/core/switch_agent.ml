@@ -10,6 +10,7 @@ type trap_entry = { t_ip : Ipv4_addr.t; t_new_pmac : Pmac.t }
 type agent_counters = {
   arps_proxied : int;
   arps_answered : int;
+  arp_cache_hits : int;
   hosts_learned : int;
   trap_hits : int;
   corrective_arps : int;
@@ -38,6 +39,13 @@ type t = {
   ip_to_pmac : (Ipv4_addr.t, Pmac.t) Hashtbl.t; (* local hosts *)
   next_vmid : (int, int) Hashtbl.t; (* port -> next vmid *)
   traps : (int, trap_entry) Hashtbl.t; (* stale PMAC int -> trap *)
+  (* generation-stamped ARP cache: target ip -> (pmac, gen, expiry).
+     Served only while the entry's generation is current (>= the newest
+     generation this switch has seen) and unexpired; a VM migration bumps
+     the fabric-wide generation, so every cached answer predating it goes
+     stale at once and the next request re-resolves through the FM. *)
+  arp_cache : (Ipv4_addr.t, Pmac.t * int * Time.t) Hashtbl.t;
+  mutable arp_gen_seen : int;
   mcast : (Ipv4_addr.t, int list) Hashtbl.t;
   mutable pending_learn : (int * Mac_addr.t * Ipv4_addr.t option) list;
   mutable position_candidate : int;
@@ -46,6 +54,7 @@ type t = {
   (* counters *)
   mutable c_arps_proxied : int;
   mutable c_arps_answered : int;
+  mutable c_arp_cache_hits : int;
   mutable c_hosts_learned : int;
   mutable c_trap_hits : int;
   mutable c_corrective_arps : int;
@@ -80,6 +89,17 @@ let host_bindings t =
       | None -> acc)
     t.ip_to_pmac []
   |> List.sort (fun (a : Msg.host_binding) b -> Ipv4_addr.compare a.Msg.ip b.Msg.ip)
+(* currently-servable ARP cache entries (current generation, unexpired at
+   [now]), sorted by IP for deterministic comparison in tests and mc *)
+let arp_cache_entries t =
+  let now = Engine.now t.engine in
+  Hashtbl.fold
+    (fun ip (pmac, gen, expiry) acc ->
+      if gen >= t.arp_gen_seen && now <= expiry then (ip, pmac, gen) :: acc else acc)
+    t.arp_cache []
+  |> List.sort (fun (a, _, _) (b, _, _) -> Ipv4_addr.compare a b)
+
+let arp_gen_seen t = t.arp_gen_seen
 let table t = t.table
 let table_size t = FT.size t.table
 let is_operational t = t.operational
@@ -97,6 +117,7 @@ let level t = match t.ldp with Some l -> Ldp.level l | None -> None
 let counters t =
   { arps_proxied = t.c_arps_proxied;
     arps_answered = t.c_arps_answered;
+    arp_cache_hits = t.c_arp_cache_hits;
     hosts_learned = t.c_hosts_learned;
     trap_hits = t.c_trap_hits;
     corrective_arps = t.c_corrective_arps;
@@ -465,14 +486,34 @@ let handle_arp t ~in_port (frame : Eth.t) (a : Arp.t) =
     else begin
       match (a.Arp.op, learned) with
       | Arp.Request, Some h ->
-        t.c_arps_proxied <- t.c_arps_proxied + 1;
-        Ctrl.send_to_fm t.ctrl ~from:t.sw_id
-          (Msg.Arp_query
-             { switch_id = t.sw_id;
-               requester_ip = a.Arp.sender_ip;
-               requester_pmac = h.h_pmac;
-               requester_port = in_port;
-               target_ip = a.Arp.target_ip })
+        let query () =
+          t.c_arps_proxied <- t.c_arps_proxied + 1;
+          Ctrl.send_to_fm t.ctrl ~from:t.sw_id
+            (Msg.Arp_query
+               { switch_id = t.sw_id;
+                 requester_ip = a.Arp.sender_ip;
+                 requester_pmac = h.h_pmac;
+                 requester_port = in_port;
+                 target_ip = a.Arp.target_ip })
+        in
+        (match Hashtbl.find_opt t.arp_cache a.Arp.target_ip with
+         | Some (pmac, gen, expiry)
+           when gen >= t.arp_gen_seen && Engine.now t.engine <= expiry ->
+           (* serve locally: the cached answer is from the current ARP
+              generation, so no migration can have invalidated it *)
+           t.c_arp_cache_hits <- t.c_arp_cache_hits + 1;
+           t.c_arps_answered <- t.c_arps_answered + 1;
+           let reply =
+             Arp.reply ~sender_mac:(Pmac.to_mac pmac) ~sender_ip:a.Arp.target_ip
+               ~target_mac:h.h_amac ~target_ip:a.Arp.sender_ip
+           in
+           let frame = Eth.make ~dst:h.h_amac ~src:(Pmac.to_mac pmac) (Eth.Arp reply) in
+           Switchfab.Dataplane.forward_out (get_dp t) ~out_port:in_port frame
+         | Some _ ->
+           (* stale generation or expired: force re-resolution *)
+           Hashtbl.remove t.arp_cache a.Arp.target_ip;
+           query ()
+         | None -> query ())
       | Arp.Request, None -> () (* coordinates pending; host will retry *)
       | Arp.Reply, _ -> () (* reply to a fallback flood: learning above is all we need *)
     end
@@ -555,6 +596,7 @@ let emit_arp_flood t ~requester_ip ~requester_pmac ~target_ip =
   | _ -> ()
 
 let on_invalidate t ~ip ~old_pmac ~new_pmac =
+  Hashtbl.remove t.arp_cache ip;
   let old_int = Mac_addr.to_int (Pmac.to_mac old_pmac) in
   (match Hashtbl.find_opt t.pmac_to_host old_int with
    | Some h ->
@@ -604,9 +646,15 @@ let on_ctrl_msg t (msg : Msg.to_switch) =
     t.proposal_outstanding <- false;
     t.position_candidate <- (t.position_candidate + 1) mod t.spec.Spec.edges_per_pod;
     maybe_propose_position t
-  | Msg.Arp_answer { target_ip; target_pmac; requester_ip; requester_port } ->
+  | Msg.Arp_answer { target_ip; target_pmac; requester_ip; requester_port; gen } ->
+    if gen > t.arp_gen_seen then t.arp_gen_seen <- gen;
     (match target_pmac with
-     | Some pmac -> craft_arp_reply t ~target_ip ~target_pmac:pmac ~requester_ip ~requester_port
+     | Some pmac ->
+       (* cache the binding stamped with the generation it was resolved
+          at; servable until expiry or a newer generation announcement *)
+       Hashtbl.replace t.arp_cache target_ip
+         (pmac, gen, Engine.now t.engine + t.config.Config.arp_cache_timeout);
+       craft_arp_reply t ~target_ip ~target_pmac:pmac ~requester_ip ~requester_port
      | None -> ())
   | Msg.Arp_flood { requester_ip; requester_pmac; target_ip } ->
     emit_arp_flood t ~requester_ip ~requester_pmac ~target_ip
@@ -654,6 +702,10 @@ let on_ctrl_msg t (msg : Msg.to_switch) =
       install_mcast_entry t group out_ports
     end
   | Msg.Host_restore { bindings } -> List.iter (restore_host_binding t) bindings
+  | Msg.Arp_gen { gen } ->
+    (* a migration bumped the fabric-wide generation: entries stamped with
+       an older one stop being served (removed lazily on next request) *)
+    if gen > t.arp_gen_seen then t.arp_gen_seen <- gen
 
 (* ---------------- LDP events ---------------- *)
 
@@ -729,12 +781,15 @@ let create engine config ctrl net ~spec ~device ~seed ?(obs = Obs.null) () =
       ip_to_pmac = Hashtbl.create 16;
       next_vmid = Hashtbl.create 8;
       traps = Hashtbl.create 4;
+      arp_cache = Hashtbl.create 16;
+      arp_gen_seen = 0;
       mcast = Hashtbl.create 4;
       pending_learn = [];
       position_candidate = 0;
       proposal_outstanding = false;
       report_scheduled = false;
-      c_arps_proxied = 0; c_arps_answered = 0; c_hosts_learned = 0; c_trap_hits = 0;
+      c_arps_proxied = 0; c_arps_answered = 0; c_arp_cache_hits = 0;
+      c_hosts_learned = 0; c_trap_hits = 0;
       c_corrective_arps = 0; c_table_recomputes = 0; c_faults_reported = 0;
       c_recoveries_reported = 0; journal = None }
   in
@@ -762,6 +817,7 @@ let create engine config ctrl net ~spec ~device ~seed ?(obs = Obs.null) () =
       let s name v = Obs.sample ~subsystem:"switch" ~name ~labels (Obs.Count v) in
       [ s "arps_proxied" t.c_arps_proxied;
         s "arps_answered" t.c_arps_answered;
+        s "arp_cache_hits" t.c_arp_cache_hits;
         s "hosts_learned" t.c_hosts_learned;
         s "trap_hits" t.c_trap_hits;
         s "corrective_arps" t.c_corrective_arps;
@@ -791,6 +847,8 @@ let restart t =
   Hashtbl.reset t.ip_to_pmac;
   Hashtbl.reset t.next_vmid;
   Hashtbl.reset t.traps;
+  Hashtbl.reset t.arp_cache;
+  t.arp_gen_seen <- 0;
   Hashtbl.reset t.mcast;
   Fault.Set.clear t.faults;
   t.pending_learn <- [];

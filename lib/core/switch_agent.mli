@@ -28,6 +28,9 @@ type t
 type agent_counters = {
   arps_proxied : int;        (** who-has queries forwarded to the FM *)
   arps_answered : int;       (** ARP replies crafted for local hosts *)
+  arp_cache_hits : int;
+      (** replies served from the generation-stamped edge ARP cache
+          without consulting the fabric manager *)
   hosts_learned : int;
   trap_hits : int;           (** frames caught on a stale PMAC *)
   corrective_arps : int;
@@ -80,6 +83,19 @@ val host_bindings : t -> Msg.host_binding list
     non-edge switches. Post-convergence every entry must agree with the
     fabric manager's binding table; the model checker ([lib/mc]) asserts
     that agreement at every quiescent schedule. *)
+
+val arp_cache_entries : t -> (Netcore.Ipv4_addr.t * Pmac.t * int) list
+(** The currently-servable entries of the edge's generation-stamped ARP
+    cache — (target IP, cached PMAC, generation stamp), sorted by IP.
+    Entries stamped with a generation older than the newest the switch
+    has seen, or past their expiry, are excluded: the next request for
+    them re-resolves through the fabric manager. Post-convergence every
+    servable entry must agree with the fabric manager's binding table
+    (asserted by the model checker's cross-shard invariant pack). *)
+
+val arp_gen_seen : t -> int
+(** The newest fabric-wide ARP generation this switch has observed (from
+    [Msg.Arp_answer] stamps and [Msg.Arp_gen] broadcasts). *)
 
 val set_journal : t -> Journal.hook option -> unit
 (** Subscribe to this agent's control-plane updates: every flow-table

@@ -41,6 +41,10 @@ type params = {
   quantum : Time.t;
   prune : bool;
   corrupt : corruption option;
+  fm_shards : int;
+      (* FM shard count used at fabric construction; excluded from replay
+         tokens because every observable behaviour is identical across
+         shard counts (the cross-shard pack below asserts exactly that) *)
 }
 
 let default_params =
@@ -53,7 +57,8 @@ let default_params =
     delay_budget = 10;
     quantum = Time.us 2;
     prune = true;
-    corrupt = None }
+    corrupt = None;
+    fm_shards = 1 }
 
 let family_of p =
   match Topology.Topo.Family.of_string ~k:p.k p.topo with
@@ -78,9 +83,11 @@ type cache = {
   c_tbl : (string, string list) Hashtbl.t;
   mutable c_hits : int;
   mutable c_equiv_checks : int;
+  mutable c_cross_shard : int;
 }
 
-let create_cache () = { c_tbl = Hashtbl.create 256; c_hits = 0; c_equiv_checks = 0 }
+let create_cache () =
+  { c_tbl = Hashtbl.create 256; c_hits = 0; c_equiv_checks = 0; c_cross_shard = 0 }
 
 (* How many realized deliveries identify an interleaving. Deliveries past
    the cap cannot distinguish two runs — the cap is reported, never
@@ -125,7 +132,7 @@ let control_state_digest fab =
   in
   (coords, bindings, faults, tables)
 
-let check_invariants ?settle fab =
+let check_invariants_counted ?settle fab =
   let cfg = F.proto_config fab in
   let settle =
     match settle with Some s -> s | None -> 3 * cfg.Portland.Config.ldm_period
@@ -191,6 +198,35 @@ let check_invariants ?settle fab =
            add "FM binds %a at edge %d, but that switch has no local entry"
              Netcore.Ipv4_addr.pp ip fb.Portland.Msg.edge_switch))
     (F.hosts fab);
+  (* 2b. cross-shard agreement, both directions: the FM's pod-sharded
+     binding store must be internally consistent (replaying each shard's
+     replication log reproduces its live state), and every live
+     generation-stamped edge ARP-cache entry must agree with the shard
+     that owns its IP — while no edge may have seen an ARP generation the
+     FM never issued. Runs (and holds) for every [fm_shards] count. *)
+  let cross_shard = ref 1 in
+  List.iter (fun s -> add "shard integrity: %s" s) (FM.shard_integrity fm);
+  let fm_gen = FM.arp_generation fm in
+  List.iter
+    (fun a ->
+      incr cross_shard;
+      if SA.arp_gen_seen a > fm_gen then
+        add "edge %d saw ARP generation %d but the FM only issued up to %d"
+          (SA.switch_id a) (SA.arp_gen_seen a) fm_gen;
+      List.iter
+        (fun (ip, pmac, gen) ->
+          incr cross_shard;
+          match FM.lookup_binding fm ip with
+          | Some b when Portland.Pmac.equal b.Portland.Msg.pmac pmac -> ()
+          | Some b ->
+            add "edge %d ARP-caches %a -> %a (gen %d) but the owning shard binds %a"
+              (SA.switch_id a) Netcore.Ipv4_addr.pp ip Portland.Pmac.pp pmac gen
+              Portland.Pmac.pp b.Portland.Msg.pmac
+          | None ->
+            add "edge %d ARP-caches %a -> %a (gen %d) but no shard binds that IP"
+              (SA.switch_id a) Netcore.Ipv4_addr.pp ip Portland.Pmac.pp pmac gen)
+        (SA.arp_cache_entries a))
+    agents;
   (* 3. fault-matrix symmetry: every operational switch's local matrix
      equals the FM's *)
   let fm_faults = List.sort Portland.Fault.compare (FM.fault_set fm) in
@@ -217,7 +253,9 @@ let check_invariants ?settle fab =
       vs;
     if n > 8 then add "verify: ... and %d more violation(s)" (n - 8)
   end;
-  List.rev !violations
+  (List.rev !violations, !cross_shard)
+
+let check_invariants ?settle fab = fst (check_invariants_counted ?settle fab)
 
 (* ---------------- corruption seeding ---------------- *)
 
@@ -262,7 +300,7 @@ let run_schedule ?cache p sched =
        instead of synchronously inside create *)
     F.create
       (F.Config.of_family ~seed:p.seed ~boot_jitter:(Time.ns 1) ~obs:Obs.null
-         (family_of p))
+         ~fm_shards:p.fm_shards (family_of p))
   in
   let eng = F.engine fab in
   Switchfab.Net.set_delivery_tagger (F.net fab)
@@ -361,7 +399,8 @@ let run_schedule ?cache p sched =
            c.c_hits <- c.c_hits + 1;
            vs
          | None ->
-           let vs = check_invariants fab in
+           let vs, n_cross = check_invariants_counted fab in
+           c.c_cross_shard <- c.c_cross_shard + n_cross;
            (* on every cache miss, prove the differential guarantee at
               this quiescent point before trusting the digest as a key *)
            c.c_equiv_checks <- c.c_equiv_checks + 1;
@@ -472,7 +511,7 @@ module Token = struct
     else
       Ok
         ( { k; topo; seed; scenario; depth; max_step; delay_budget; quantum;
-            prune = true; corrupt },
+            prune = true; corrupt; fm_shards = 1 },
           sched )
   in
   match String.split_on_char ':' s with
@@ -570,6 +609,7 @@ type report = {
   rep_violating : int;
   rep_digest_hits : int;
   rep_equiv_checks : int;
+  rep_cross_shard_checks : int;
   rep_counterexample : counterexample option;
 }
 
@@ -647,6 +687,7 @@ let explore p =
     rep_violating = !violating;
     rep_digest_hits = cache.c_hits;
     rep_equiv_checks = cache.c_equiv_checks;
+    rep_cross_shard_checks = cache.c_cross_shard;
     rep_counterexample = cx }
 
 let report_ok r = r.rep_schedules_run > 0 && r.rep_violating = 0
@@ -667,6 +708,7 @@ let report_to_json r =
             ("quantum_ns", Int p.quantum);
             ("prune", Bool p.prune);
             ("corrupt", Str (corruption_to_string p.corrupt));
+            ("fm_shards", Int p.fm_shards);
             ("schedules_run", Int r.rep_schedules_run);
             ("distinct_interleavings", Int r.rep_interleavings);
             ("pruned_delays", Int r.rep_pruned);
@@ -675,6 +717,7 @@ let report_to_json r =
             ("violating_schedules", Int r.rep_violating);
             ("digest_hits", Int r.rep_digest_hits);
             ("equiv_checks", Int r.rep_equiv_checks);
+            ("cross_shard_checks", Int r.rep_cross_shard_checks);
             ( "counterexample",
               match r.rep_counterexample with
               | None -> Null

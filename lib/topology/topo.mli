@@ -55,7 +55,7 @@ val is_connected : t -> bool
     odd pods transpose their agg–core stripes over the core grid, and
     [Two_layer] the oversubscribed leaf–spine (no aggregation tier, every
     leaf wired to every spine). {!Multirooted.spec_of_family} turns a
-    descriptor into a concrete build spec; [Fabric.create_family] boots
+    descriptor into a concrete build spec; [Fabric.Config.of_family] boots
     a PortLand control plane on any member. *)
 module Family : sig
   type t =

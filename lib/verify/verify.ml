@@ -664,6 +664,10 @@ module Incremental = struct
          re-walks every class) and relabels the coordinate reverse maps
          every audit leans on; an FM restart invalidates all soft state *)
       t.full_dirty <- true
+    | Journal.Fm_shard_failover _ ->
+      (* the shard rebuild is digest-checked to be state-identical, so
+         no class can have changed verdict *)
+      ()
     | Journal.Fault_delta { fault; active = _ } ->
       t.faults_dirty <- true;
       List.iter (fun d -> Hashtbl.replace t.dirty_audits d ()) (fault_devices s fault)

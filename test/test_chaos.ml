@@ -48,6 +48,8 @@ let test_generate_mixed_quota () =
     (count (function Chaos.Restart_switch _ -> true | _ -> false));
   Testutil.check_int "one fm restart" 1
     (count (function Chaos.Restart_fm -> true | _ -> false));
+  Testutil.check_int "one fm shard failover" 1
+    (count (function Chaos.Failover_fm_shard _ -> true | _ -> false));
   Testutil.check_bool "lossy links" true
     (count (function Chaos.Set_link_loss _ -> true | _ -> false) >= 2);
   Testutil.check_bool "link flaps" true
@@ -73,7 +75,7 @@ let test_generate_self_contained () =
           | Chaos.Recover_link { a; b } -> Hashtbl.remove down (a, b)
           | Chaos.Crash_switch s -> Hashtbl.replace crashed s ()
           | Chaos.Restart_switch s -> Hashtbl.remove crashed s
-          | Chaos.Restart_fm -> ()
+          | Chaos.Restart_fm | Chaos.Failover_fm_shard _ -> ()
           | Chaos.Set_link_loss { a; b; rate } ->
             if rate > 0.0 then Hashtbl.replace lossy (a, b) () else Hashtbl.remove lossy (a, b))
         plan;

@@ -1,0 +1,285 @@
+(* Fabric-manager soft-state suite: pod sharding, the replication-log
+   failover path, the pending-ARP lifecycle (dedupe, drops on switch
+   death and FM restart) and the generation-stamped edge ARP caches. *)
+
+module F = Portland.Fabric
+module FM = Portland.Fabric_manager
+module SA = Portland.Switch_agent
+module HA = Portland.Host_agent
+module Time = Eventsim.Time
+
+let udp seq = Netcore.Ipv4_pkt.Udp (Netcore.Udp.make ~flow_id:1 ~app_seq:seq ~payload_len:64 ())
+
+(* ---------------- direct FM fixtures (no fabric) ---------------- *)
+
+let mk_binding i =
+  { Portland.Msg.ip = Netcore.Ipv4_addr.of_int (0x0A000000 lor i);
+    amac = Netcore.Mac_addr.of_int (0x020000000000 lor i);
+    pmac = Portland.Pmac.make ~pod:(i mod 4) ~position:(i mod 2) ~port:(i mod 2) ~vmid:1;
+    edge_switch = i mod 16 }
+
+(* a bare FM on a bare control network, with scripted "switches": the
+   unit-level harness for the pending-ARP lifecycle *)
+let mk_fm ?(fm_shards = 1) () =
+  let engine = Eventsim.Engine.create () in
+  let ctrl = Portland.Ctrl.create engine ~latency:(Time.us 50) in
+  let spec = Topology.Fattree.spec ~k:4 in
+  let fm = FM.create ~fm_shards engine Portland.Config.default ctrl ~spec in
+  (engine, ctrl, fm)
+
+let query ctrl ~from_sw ~port target_ip =
+  Portland.Ctrl.send_to_fm ctrl ~from:from_sw
+    (Portland.Msg.Arp_query
+       { switch_id = from_sw;
+         requester_ip = Netcore.Ipv4_addr.of_octets 10 0 0 2;
+         requester_pmac = Portland.Pmac.make ~pod:0 ~position:0 ~port:0 ~vmid:1;
+         requester_port = port;
+         target_ip })
+
+let count_answers ctrl sw counter =
+  Portland.Ctrl.register_switch ctrl sw (function
+    | Portland.Msg.Arp_answer _ -> incr counter
+    | _ -> ())
+
+(* ---------------- pending-ARP lifecycle ---------------- *)
+
+let test_pending_dedupe () =
+  List.iter
+    (fun fm_shards ->
+      let engine, ctrl, fm = mk_fm ~fm_shards () in
+      let answers = ref 0 in
+      count_answers ctrl 1 answers;
+      let target = Netcore.Ipv4_addr.of_octets 10 2 0 5 in
+      (* a host retrying an unresolved target re-misses with identical
+         (switch, requester IP, port): one pending entry, one reply *)
+      for _ = 1 to 3 do query ctrl ~from_sw:1 ~port:0 target done;
+      (* a second requester port on the same switch is a distinct waiter *)
+      query ctrl ~from_sw:1 ~port:1 target;
+      Eventsim.Engine.run engine;
+      Testutil.check_int "one pending target IP" 1 (FM.pending_count fm);
+      Portland.Ctrl.send_to_fm ctrl ~from:9
+        (Portland.Msg.Host_announce { (mk_binding 5) with Portland.Msg.ip = target });
+      Eventsim.Engine.run engine;
+      Testutil.check_int "one answer per distinct waiter" 2 !answers;
+      Testutil.check_int "pending cleared" 0 (FM.pending_count fm);
+      Testutil.check_int "nothing dropped" 0 (FM.counters fm).FM.pending_dropped)
+    [ 1; 4 ]
+
+let test_pending_dropped_on_switch_death () =
+  let engine, ctrl, fm = mk_fm ~fm_shards:2 () in
+  let alive = ref 0 and dead = ref 0 in
+  count_answers ctrl 1 alive;
+  count_answers ctrl 2 dead;
+  let target = Netcore.Ipv4_addr.of_octets 10 3 0 5 in
+  query ctrl ~from_sw:1 ~port:0 target;
+  query ctrl ~from_sw:2 ~port:0 target;
+  Eventsim.Engine.run engine;
+  Testutil.check_int "both switches waiting" 1 (FM.pending_count fm);
+  (* switch 2 dies with the resolution in flight: its waiter must go,
+     switch 1's must survive *)
+  Portland.Ctrl.unregister_switch ctrl 2;
+  Testutil.check_int "dead switch's waiter dropped" 1 (FM.counters fm).FM.pending_dropped;
+  Testutil.check_int "live waiter survives" 1 (FM.pending_count fm);
+  Portland.Ctrl.send_to_fm ctrl ~from:9
+    (Portland.Msg.Host_announce { (mk_binding 7) with Portland.Msg.ip = target });
+  Eventsim.Engine.run engine;
+  Testutil.check_int "live switch answered" 1 !alive;
+  Testutil.check_int "dead switch never answered" 0 !dead
+
+(* ---------------- resolve / resolve_batch agreement ---------------- *)
+
+let test_resolve_batch_matches_resolve () =
+  List.iter
+    (fun fm_shards ->
+      let _, _, fm = mk_fm ~fm_shards () in
+      for i = 0 to 511 do
+        FM.insert_binding_for_test fm (mk_binding i)
+      done;
+      (* present, absent and repeated IPs, spread across every shard *)
+      let ips =
+        Array.init 600 (fun i ->
+            Netcore.Ipv4_addr.of_int (0x0A000000 lor (i * 7 mod 700)))
+      in
+      let batched = FM.resolve_batch fm ips in
+      Array.iteri
+        (fun i ip ->
+          if batched.(i) <> FM.resolve fm ip then
+            Alcotest.failf "resolve_batch disagrees with resolve at %d (fm_shards=%d)" i
+              fm_shards)
+        ips)
+    [ 1; 4 ]
+
+(* ---------------- shard integrity & failover ---------------- *)
+
+let test_shard_integrity_converged () =
+  (* fm_shards = 5 > num_pods leaves one pod shard empty, which must
+     also be consistent *)
+  List.iter
+    (fun fm_shards ->
+      let fab =
+        F.create (F.Config.fattree ~obs:Obs.null ~seed:42 ~fm_shards ~k:4 ())
+      in
+      Alcotest.(check bool) "converged" true (F.await_convergence fab);
+      (match FM.shard_integrity (F.fabric_manager fab) with
+       | [] -> ()
+       | v :: _ -> Alcotest.failf "shard integrity (fm_shards=%d): %s" fm_shards v))
+    [ 1; 2; 5 ]
+
+let test_failover_shard () =
+  let fab = F.create (F.Config.fattree ~obs:Obs.null ~seed:11 ~fm_shards:3 ~k:4 ()) in
+  Alcotest.(check bool) "converged" true (F.await_convergence fab);
+  let fm = F.fabric_manager fab in
+  for pod = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "failover of pod %d verified" pod)
+      true
+      (F.failover_fm_shard fab ~pod)
+  done;
+  Testutil.check_int "four failovers counted" 4 (FM.counters fm).FM.shard_failovers;
+  Alcotest.(check (list string)) "integrity after failovers" [] (FM.shard_integrity fm);
+  Alcotest.check_raises "pod out of range"
+    (Invalid_argument "Fabric.failover_fm_shard: pod out of range") (fun () ->
+      ignore (F.failover_fm_shard fab ~pod:7));
+  F.run_for fab (Time.ms 100);
+  Testutil.assert_verified ~msg:"dataplane after shard failovers" fab;
+  Testutil.assert_all_pairs_deliver ~msg:"delivery after shard failovers" fab
+
+(* ---------------- FM restart racing an in-flight ARP miss ---------------- *)
+
+(* the satellite-4 race: a host's first ARP query is on the wire when the
+   FM cold-restarts. The fresh FM has no bindings, so the query misses
+   and parks; resync re-announces the target, the pending entry is
+   answered, and the host's retry/backoff never gives up. Must hold on
+   the classic and the sharded engine, monolithic and sharded FM. *)
+let fm_restart_race ~domains ~fm_shards () =
+  let fab =
+    F.create (F.Config.fattree ~obs:Obs.null ~seed:7 ~domains ~fm_shards ~k:4 ())
+  in
+  Alcotest.(check bool) "converged" true (F.await_convergence fab);
+  let src = F.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let dst = F.host fab ~pod:3 ~edge:0 ~slot:0 in
+  let got = ref 0 in
+  HA.set_rx dst (fun _ -> incr got);
+  HA.send_ip src ~dst:(HA.ip dst) (udp 0);
+  (* the datagram is queued on the resolution; restart before the query
+     can land *)
+  F.restart_fabric_manager fab;
+  F.run_for fab (Time.sec 2);
+  Testutil.check_int "datagram delivered after resync" 1 !got;
+  Testutil.check_int "resolution never abandoned" 0 (HA.counters src).HA.arp_abandoned;
+  (* no stale reply: what src resolved is the FM's current truth *)
+  (match FM.lookup_binding (F.fabric_manager fab) (HA.ip dst) with
+   | None -> Alcotest.fail "dst missing from the restarted FM"
+   | Some b ->
+     Alcotest.(check bool) "resolved MAC is the live PMAC" true
+       (HA.arp_lookup src (HA.ip dst) = Some (Portland.Pmac.to_mac b.Portland.Msg.pmac)));
+  Testutil.assert_verified ~msg:"dataplane after the race" fab
+
+let test_fm_restart_races_arp_miss () = fm_restart_race ~domains:0 ~fm_shards:1 ()
+let test_fm_restart_races_arp_miss_sharded_fm () = fm_restart_race ~domains:0 ~fm_shards:4 ()
+let test_fm_restart_races_arp_miss_sharded_engine () =
+  fm_restart_race ~domains:2 ~fm_shards:4 ()
+
+(* ---------------- generation-stamped edge ARP caches ---------------- *)
+
+let test_arp_cache_generation_migration () =
+  let fab =
+    F.create
+      (F.Config.fattree ~obs:Obs.null ~seed:5 ~spare_slots:[ (1, 0, 0) ] ~fm_shards:2
+         ~k:4 ())
+  in
+  Alcotest.(check bool) "converged" true (F.await_convergence fab);
+  let fm = F.fabric_manager fab in
+  let a = F.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let a2 = F.host fab ~pod:0 ~edge:0 ~slot:1 in
+  let v = F.host fab ~pod:3 ~edge:0 ~slot:0 in
+  let v_ip = HA.ip v in
+  let edge =
+    match FM.lookup_binding fm (HA.ip a) with
+    | Some b -> F.agent fab b.Portland.Msg.edge_switch
+    | None -> Alcotest.fail "host A unbound"
+  in
+  (* first resolution: A's edge caches the answer at generation 0 *)
+  HA.send_ip a ~dst:v_ip (udp 0);
+  F.run_for fab (Time.ms 100);
+  Alcotest.(check bool) "cached at gen 0" true
+    (List.exists (fun (ip, _, gen) -> ip = v_ip && gen = 0) (SA.arp_cache_entries edge));
+  (* the VM migrates: the generation bump makes that entry stale *)
+  F.migrate fab ~vm:v ~to_:(1, 0, 0) ~downtime:(Time.ms 50) ();
+  F.run_for fab (Time.ms 500);
+  Testutil.check_int "edge saw the new generation" 1 (SA.arp_gen_seen edge);
+  Alcotest.(check bool) "stale entry no longer served" true
+    (SA.arp_cache_entries edge = []);
+  (* a fresh resolution from the same edge must re-resolve, not serve the
+     pre-migration PMAC *)
+  let got = ref 0 in
+  HA.set_rx v (fun _ -> incr got);
+  HA.send_ip a2 ~dst:v_ip (udp 1);
+  F.run_for fab (Time.ms 200);
+  Testutil.check_int "delivered to the migrated VM" 1 !got;
+  (match FM.lookup_binding fm v_ip with
+   | None -> Alcotest.fail "migrated VM unbound"
+   | Some b ->
+     Alcotest.(check bool) "cache now holds the post-migration PMAC at gen 1" true
+       (List.exists
+          (fun (ip, pmac, gen) ->
+            ip = v_ip && Portland.Pmac.equal pmac b.Portland.Msg.pmac && gen = 1)
+          (SA.arp_cache_entries edge)));
+  (* and the refreshed entry serves the next request locally *)
+  let hits0 = (SA.counters edge).SA.arp_cache_hits in
+  HA.flush_arp_cache a2;
+  HA.send_ip a2 ~dst:v_ip (udp 2);
+  F.run_for fab (Time.ms 200);
+  Testutil.check_int "second datagram delivered" 2 !got;
+  Alcotest.(check bool) "served from the edge cache" true
+    ((SA.counters edge).SA.arp_cache_hits > hits0);
+  Testutil.assert_verified ~msg:"dataplane after migration" fab
+
+let test_arp_cache_wiped_on_reboot () =
+  let fab = F.create (F.Config.fattree ~obs:Obs.null ~seed:3 ~k:4 ()) in
+  Alcotest.(check bool) "converged" true (F.await_convergence fab);
+  let a = F.host fab ~pod:0 ~edge:0 ~slot:0 in
+  let v = F.host fab ~pod:3 ~edge:0 ~slot:0 in
+  let edge =
+    match FM.lookup_binding (F.fabric_manager fab) (HA.ip a) with
+    | Some b -> b.Portland.Msg.edge_switch
+    | None -> Alcotest.fail "host A unbound"
+  in
+  HA.send_ip a ~dst:(HA.ip v) (udp 0);
+  F.run_for fab (Time.ms 100);
+  Alcotest.(check bool) "cache populated" true
+    (SA.arp_cache_entries (F.agent fab edge) <> []);
+  F.fail_switch fab edge;
+  F.recover_switch fab edge;
+  Alcotest.(check bool) "cold reboot wipes the cache" true
+    (SA.arp_cache_entries (F.agent fab edge) = []);
+  Testutil.check_int "generation floor reset" 0 (SA.arp_gen_seen (F.agent fab edge));
+  F.run_for fab (Time.ms 500);
+  Testutil.assert_verified ~msg:"dataplane after reboot" fab
+
+let () =
+  Alcotest.run "fm"
+    [ ( "pending-arp",
+        [ Alcotest.test_case "dedupe per (switch, requester, port)" `Quick
+            test_pending_dedupe;
+          Alcotest.test_case "dropped when the asking switch dies" `Quick
+            test_pending_dropped_on_switch_death ] );
+      ( "sharding",
+        [ Alcotest.test_case "resolve_batch = resolve, all shard counts" `Quick
+            test_resolve_batch_matches_resolve;
+          Alcotest.test_case "shard integrity on a converged fabric" `Quick
+            test_shard_integrity_converged;
+          Alcotest.test_case "failover rebuilds every shard from its log" `Quick
+            test_failover_shard ] );
+      ( "fm-restart-race",
+        [ Alcotest.test_case "ARP miss in flight, classic engine" `Quick
+            test_fm_restart_races_arp_miss;
+          Alcotest.test_case "ARP miss in flight, sharded FM" `Quick
+            test_fm_restart_races_arp_miss_sharded_fm;
+          Alcotest.test_case "ARP miss in flight, sharded engine" `Quick
+            test_fm_restart_races_arp_miss_sharded_engine ] );
+      ( "edge-arp-cache",
+        [ Alcotest.test_case "migration bumps the generation and re-resolves" `Quick
+            test_arp_cache_generation_migration;
+          Alcotest.test_case "cold reboot wipes cache and generation floor" `Quick
+            test_arp_cache_wiped_on_reboot ] ) ]

@@ -448,7 +448,8 @@ let gen_to_switch : Msg.to_switch QCheck2.Gen.t =
        let* target_pmac = oneof [ return None; map (fun p -> Some p) gen_pmac ] in
        let* requester_ip = gen_ip in
        let* requester_port = int_bound 64 in
-       return (Msg.Arp_answer { target_ip; target_pmac; requester_ip; requester_port }));
+       let* gen = int_bound 100_000 in
+       return (Msg.Arp_answer { target_ip; target_pmac; requester_ip; requester_port; gen }));
       map (fun faults -> Msg.Fault_update { faults }) (list_size (int_bound 10) gen_fault);
       (let* group = gen_ip in
        let* out_ports = list_size (int_bound 10) (int_bound 64) in
@@ -461,7 +462,8 @@ let gen_to_switch : Msg.to_switch QCheck2.Gen.t =
             let* edge_switch = int_bound 100_000 in
             return { Msg.ip; amac = Mac_addr.of_int 0x020000000017; pmac; edge_switch })
        in
-       return (Msg.Host_restore { bindings })) ]
+       return (Msg.Host_restore { bindings }));
+      map (fun gen -> Msg.Arp_gen { gen }) (int_bound 100_000) ]
 
 let prop_msg_to_fm_roundtrip =
   Testutil.prop "control codec roundtrip (to fm)" ~count:300 gen_to_fm (fun m ->
