@@ -116,6 +116,13 @@ let verify_fixture =
      in
      (fab, inc, table, entry))
 
+(* policy-as-program on the same k=16 fabric: recompiling the declarative
+   baseline, and the static differential proving compiled = handwritten *)
+let policy_fixture =
+  lazy
+    (let fab, _, _, _ = Lazy.force verify_fixture in
+     (fab, Portland_policy.Policy.compile_exn (Portland_policy.Policy.baseline fab)))
+
 (* ---------------- micro-benchmarks (one per measured table/figure
    constant, plus substrate hot paths) ---------------- *)
 
@@ -168,6 +175,17 @@ let tests =
       (Staged.stage (fun () ->
            let fab, _, _, _ = Lazy.force verify_fixture in
            ignore (Portland_verify.Verify.run fab)));
+    (* the policy compiler and its differential checker over the same
+       k=16 fabric: cost of recompiling the full declarative baseline,
+       and of proving the compiled tables equivalent to the live ones *)
+    Test.make ~name:"policy/compile_k16"
+      (Staged.stage (fun () ->
+           let fab, _ = Lazy.force policy_fixture in
+           ignore (Portland_policy.Policy.compile_exn (Portland_policy.Policy.baseline fab))));
+    Test.make ~name:"policy/check_k16"
+      (Staged.stage (fun () ->
+           let fab, compiled = Lazy.force policy_fixture in
+           ignore (Portland_policy.Policy.Check.differential fab compiled)));
     Test.make ~name:"engine/schedule_and_run"
       (Staged.stage
          (let engine = Eventsim.Engine.create () in
@@ -188,6 +206,7 @@ let run_micro ~quick =
   ignore (Lazy.force edge_table_fixture);
   ignore (Lazy.force sample_frame);
   ignore (Lazy.force verify_fixture);
+  ignore (Lazy.force policy_fixture);
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
   (* the 2 s quota keeps the OLS estimates stable on noisy VMs; the smoke

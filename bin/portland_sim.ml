@@ -51,9 +51,21 @@ let fm_shards_arg =
   in
   Arg.(value & opt int 1 & info [ "fm-shards" ] ~docv:"N" ~doc)
 
+(* the single definition AND validation site for the option bundle every
+   subcommand shares — run/stats/verify/chaos/mc/policy all reuse this
+   term, so a bad --domains or --fm-shards is rejected identically
+   everywhere instead of each scenario re-checking its own copy *)
 let common_term =
   Term.(
     const (fun k topo seed verbose domains fm_shards ->
+        if domains < 0 then begin
+          prerr_endline "--domains must be >= 0";
+          Stdlib.exit 2
+        end;
+        if fm_shards < 1 then begin
+          prerr_endline "--fm-shards must be >= 1";
+          Stdlib.exit 2
+        end;
         { k; topo; seed; verbose; domains; fm_shards })
     $ k_arg $ topology_arg $ seed_arg $ verbose_arg $ domains_arg $ fm_shards_arg)
 
@@ -65,14 +77,6 @@ let family_of { k; topo; _ } =
     exit 2
 
 let create_fabric ?obs ?spare_slots c =
-  if c.domains < 0 then begin
-    prerr_endline "--domains must be >= 0";
-    exit 2
-  end;
-  if c.fm_shards < 1 then begin
-    prerr_endline "--fm-shards must be >= 1";
-    exit 2
-  end;
   Portland.Fabric.create
     (Portland.Fabric.Config.of_family ?obs ?spare_slots ~seed:c.seed ~domains:c.domains
        ~fm_shards:c.fm_shards (family_of c))
@@ -417,10 +421,70 @@ let run_verify ({ k; verbose; _ } as c) ~inject ~corrupt ~json_out =
      Printf.printf "wrote verification report to %s\n" path);
   exit (if Verify.ok report then 0 else 1)
 
+(* ---------------- policy compilation & differential check ---------------- *)
+
+let run_policy ({ verbose; _ } as c) ~check ~corrupt ~json_out =
+  let open Eventsim in
+  let module P = Portland_policy.Policy in
+  let fab = create_fabric c in
+  if not (Portland.Fabric.await_convergence fab) then begin
+    prerr_endline "fabric failed to converge";
+    exit 2
+  end;
+  Printf.printf "%s converged at %s\n%!" (describe_fabric c fab)
+    (Time.to_string (Portland.Fabric.now fab));
+  let pol = P.baseline fab in
+  let pol, corrupted =
+    match corrupt with
+    | None -> (pol, false)
+    | Some kind ->
+      (match P.corruption_of_string kind with
+       | Some cz ->
+         Printf.printf "corrupted policy: %s\n%!" (P.corruption_to_string cz);
+         (P.corrupt cz pol, true)
+       | None ->
+         Printf.eprintf "unknown corruption %s (wrong-prefix | drop-ecmp)\n" kind;
+         exit 2)
+  in
+  match P.compile pol with
+  | Error e ->
+    Format.eprintf "policy does not compile: %a@." P.pp_error e;
+    exit 2
+  | Ok compiled ->
+    Printf.printf "compiled baseline policy: %d switches, %d entries, %d groups\n%!"
+      (List.length (P.switches compiled))
+      (P.entry_count compiled) (P.group_count compiled);
+    if verbose then
+      List.iter
+        (fun sw ->
+          match P.table compiled sw with
+          | Some t ->
+            Printf.printf "  switch %d: %d entries, digest %s\n" sw
+              (Switchfab.Flow_table.size t) (P.Check.table_digest t)
+          | None -> ())
+        (P.switches compiled);
+    if not (check || corrupted || json_out <> None) then exit 0;
+    let report = P.Check.differential fab compiled in
+    Format.printf "%a@." P.Check.pp_report report;
+    if not (P.Check.ok report) then begin
+      let spans = P.spans (P.Check.shrink fab pol) in
+      Printf.printf "shrunk reproducer: %d clause(s)\n" (List.length spans);
+      List.iter (fun s -> Printf.printf "  %s\n" s) spans
+    end;
+    (match json_out with
+     | None -> ()
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (Obs.Json.to_string (P.Check.report_to_json report));
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "wrote policy differential report to %s\n" path);
+    exit (if P.Check.ok report then 0 else 1)
+
 (* ---------------- chaos campaigns ---------------- *)
 
 let run_chaos ({ seed; verbose; _ } as c) ~duration_ms ~campaign ~verify_every_update
-    ~json_out =
+    ~check_policy ~json_out =
   let open Eventsim in
   let profile =
     match Chaos.profile_of_string campaign with
@@ -445,10 +509,15 @@ let run_chaos ({ seed; verbose; _ } as c) ~duration_ms ~campaign ~verify_every_u
   let plan =
     Chaos.generate ~profile ~seed ~duration:(Time.ms duration_ms) (Portland.Fabric.tree fab)
   in
-  let report = Chaos.run_campaign ~label:campaign ~verify_every_update ~seed fab plan in
+  let report =
+    Chaos.run_campaign ~label:campaign ~verify_every_update ~check_policy ~seed fab plan
+  in
   if verify_every_update then
     Printf.printf "incremental verifier: %d updates verified, %d divergences\n"
       report.Chaos.rep_updates_verified report.Chaos.rep_incremental_divergences;
+  if check_policy then
+    Printf.printf "policy differential: %d checks, %d divergences\n"
+      report.Chaos.rep_policy_checks report.Chaos.rep_policy_divergences;
   if verbose then Format.printf "%a" Chaos.pp_report report
   else begin
     let bad =
@@ -489,10 +558,6 @@ let run_mc ({ k; topo; seed; verbose; fm_shards; _ } as c) ~depth ~max_step ~del
   let open Eventsim in
   (* the interleaving explorer intercepts control deliveries sequentially *)
   reject_domains c ~what:"mc";
-  if fm_shards < 1 then begin
-    prerr_endline "--fm-shards must be >= 1";
-    exit 2
-  end;
   match replay with
   | Some token ->
     (* the token is self-contained: every behaviour-affecting parameter
@@ -675,6 +740,15 @@ let verify_every_update_arg =
   in
   Arg.(value & flag & info [ "verify-every-update" ] ~doc)
 
+let check_policy_arg =
+  let doc =
+    "Re-run the policy-as-program differential at every quiescent check: recompile the \
+     declarative baseline policy against the fabric's current control-plane state and \
+     prove the compiled tables equivalent to the live handwritten ones. Any \
+     counterexample fails the campaign."
+  in
+  Arg.(value & flag & info [ "check-policy" ] ~doc)
+
 let chaos_cmd =
   let doc =
     "generate a seed-deterministic fault campaign (link flaps, switch crash/reboot cycles, \
@@ -684,12 +758,50 @@ let chaos_cmd =
   in
   let term =
     Term.(
-      const (fun common duration_ms campaign verify_every_update json_out ->
-          run_chaos common ~duration_ms ~campaign ~verify_every_update ~json_out)
+      const (fun common duration_ms campaign verify_every_update check_policy json_out ->
+          run_chaos common ~duration_ms ~campaign ~verify_every_update ~check_policy
+            ~json_out)
       $ common_term $ chaos_duration_arg $ campaign_arg $ verify_every_update_arg
-      $ json_out_arg)
+      $ check_policy_arg $ json_out_arg)
   in
   Cmd.v (Cmd.info "chaos" ~doc) term
+
+let policy_check_arg =
+  let doc =
+    "Run the static differential check: prove the compiled tables equivalent to the live \
+     handwritten switch programming, per-switch canonical digests plus class-by-class \
+     symbolic comparison. Implied by --corrupt and --json."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let policy_corrupt_arg =
+  let doc =
+    "Seed a deliberate bug into the policy before compiling (the differential must then \
+     produce a counterexample and a shrunk reproducer): wrong-prefix, or drop-ecmp."
+  in
+  Arg.(value & opt (some string) None & info [ "corrupt" ] ~docv:"KIND" ~doc)
+
+let policy_json_arg =
+  let doc =
+    "Write the differential report as JSON to this file (byte-stable for a given fabric \
+     state)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let policy_cmd =
+  let doc =
+    "compile the declarative NetCore-style baseline forwarding policy for the fabric's \
+     current control-plane state and, with --check, statically prove the compiled flow \
+     tables equivalent to the handwritten switch-agent programming; divergences come with \
+     typed counterexamples (switch, PMAC class, entry, policy source span) and a \
+     ddmin-shrunk reproducer. Exits 0 iff the check passes (or was not requested)."
+  in
+  let term =
+    Term.(
+      const (fun common check corrupt json_out -> run_policy common ~check ~corrupt ~json_out)
+      $ common_term $ policy_check_arg $ policy_corrupt_arg $ policy_json_arg)
+  in
+  Cmd.v (Cmd.info "policy" ~doc) term
 
 let mc_depth_arg =
   let doc = "Number of reorderable control-plane actions given a delay decision." in
@@ -761,6 +873,6 @@ let mc_cmd =
 let cmd =
   let doc = "simulate a PortLand fabric" in
   Cmd.group ~default:scenario_term (Cmd.info "portland_sim" ~doc)
-    [ run_cmd; stats_cmd; verify_cmd; chaos_cmd; mc_cmd ]
+    [ run_cmd; stats_cmd; verify_cmd; chaos_cmd; mc_cmd; policy_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -3,6 +3,7 @@ module MR = Topology.Multirooted
 module FS = Portland.Fault.Set
 module F = Portland.Fabric
 module V = Portland_verify.Verify
+module P = Portland_policy.Policy
 
 (* ---------------- plans ---------------- *)
 
@@ -405,6 +406,8 @@ type report = {
   rep_end_ms : float;
   rep_updates_verified : int;
   rep_incremental_divergences : int;
+  rep_policy_checks : int;
+  rep_policy_divergences : int;
 }
 
 (* Long enough past an event for LDM timeouts (5 periods), fault
@@ -436,7 +439,7 @@ let apply fab = function
     else F.set_link_loss_between fab ~a ~b rate
 
 let run_campaign ?(probes_per_check = 4) ?(label = "custom") ?(verify_every_update = false)
-    ~seed fab plan =
+    ?(check_policy = false) ~seed fab plan =
   let mt = F.tree fab in
   let spec = mt.MR.spec in
   let nh = Array.length mt.MR.hosts in
@@ -478,6 +481,8 @@ let run_campaign ?(probes_per_check = 4) ?(label = "custom") ?(verify_every_upda
   let inc = if verify_every_update then Some (V.Incremental.attach fab) else None in
   let updates_verified = ref 0 in
   let divergences = ref 0 in
+  let policy_checks = ref 0 in
+  let policy_divergences = ref 0 in
   let checks = ref [] in
   let do_check () =
     let t0 = F.now fab in
@@ -506,6 +511,25 @@ let run_campaign ?(probes_per_check = 4) ?(label = "custom") ?(verify_every_upda
       violations
       @ List.map (Printf.sprintf "shard integrity: %s")
           (Portland.Fabric_manager.shard_integrity (F.fabric_manager fab))
+    in
+    (* --check-policy: the policy-as-program differential — recompile the
+       declarative baseline against the current control-plane state and
+       prove it equivalent (digests + class-by-class) to the live
+       handwritten tables, at every quiescent point *)
+    let violations =
+      if not check_policy then violations
+      else begin
+        incr policy_checks;
+        let prep = P.Check.run fab in
+        if P.Check.ok prep then violations
+        else begin
+          incr policy_divergences;
+          violations
+          @ List.map
+              (fun c -> Format.asprintf "policy divergence: @[<h>%a@]" P.Check.pp_counterexample c)
+              prep.P.Check.ck_counterexamples
+        end
+      end
     in
     let probes_ok, probes = run_probes () in
     checks :=
@@ -555,7 +579,9 @@ let run_campaign ?(probes_per_check = 4) ?(label = "custom") ?(verify_every_upda
     rep_convergence = convergence;
     rep_end_ms = Time.to_ms_f (F.now fab);
     rep_updates_verified = !updates_verified;
-    rep_incremental_divergences = !divergences }
+    rep_incremental_divergences = !divergences;
+    rep_policy_checks = !policy_checks;
+    rep_policy_divergences = !policy_divergences }
 
 let report_ok r =
   r.rep_checks <> []
@@ -606,6 +632,8 @@ let report_to_json r =
       ("end_ms", J.Float r.rep_end_ms);
       ("updates_verified", J.Int r.rep_updates_verified);
       ("incremental_divergences", J.Int r.rep_incremental_divergences);
+      ("policy_checks", J.Int r.rep_policy_checks);
+      ("policy_divergences", J.Int r.rep_policy_divergences);
       ("ok", J.Bool (report_ok r)) ]
 
 let pp_report fmt r =
@@ -626,5 +654,8 @@ let pp_report fmt r =
   if r.rep_updates_verified > 0 then
     Format.fprintf fmt "  incremental: %d updates verified, %d divergences@."
       r.rep_updates_verified r.rep_incremental_divergences;
+  if r.rep_policy_checks > 0 then
+    Format.fprintf fmt "  policy: %d differential checks, %d divergences@." r.rep_policy_checks
+      r.rep_policy_divergences;
   Format.fprintf fmt "  faults peak=%d end=%.1fms %s@." r.rep_faults_peak r.rep_end_ms
     (if report_ok r then "OK" else "FAILED")

@@ -108,11 +108,19 @@ type report = {
       (** quiescent checks where the incremental digest disagreed with a
           fresh full run — always 0 unless the incremental engine is
           broken; each divergence also appears as a check violation *)
+  rep_policy_checks : int;
+      (** policy differential checks run (one per quiescent check when
+          [check_policy], else 0) *)
+  rep_policy_divergences : int;
+      (** checks where the compiled baseline policy disagreed with the
+          handwritten tables — always 0 unless the compiler or the
+          handwritten programming is broken; each counterexample also
+          appears as a check violation *)
 }
 
 val run_campaign :
-  ?probes_per_check:int -> ?label:string -> ?verify_every_update:bool -> seed:int ->
-  Portland.Fabric.t -> plan -> report
+  ?probes_per_check:int -> ?label:string -> ?verify_every_update:bool ->
+  ?check_policy:bool -> seed:int -> Portland.Fabric.t -> plan -> report
 (** Execute the plan against a fabric that has already converged once.
     Each event runs the sim to its timestamp and applies it; whenever the
     gap to the next event exceeds the quiescence threshold (250 ms) — and
@@ -131,7 +139,14 @@ val run_campaign :
     before any settling — transient violations are tolerated there), and
     at every quiescent check compares its digest against the fresh full
     run's: any disagreement is recorded as a check violation and counted
-    in [rep_incremental_divergences]. *)
+    in [rep_incremental_divergences].
+
+    [check_policy] (default false) re-runs the policy-as-program
+    differential ({!Portland_policy.Policy.Check.run} — recompile the
+    declarative baseline, prove it equivalent to the live handwritten
+    tables) at every quiescent check; counterexamples are recorded as
+    ["policy divergence: ..."] check violations and counted in
+    [rep_policy_divergences]. *)
 
 val report_ok : report -> bool
 (** Every check converged with zero violations and all probes delivered,

@@ -7,6 +7,12 @@ type sw_info = {
   mutable neighbors : (int * int * Ldp_msg.level option) list;
   mutable host_ports : int list;
   mutable coords : Coords.t option;
+  mutable owning_shard : int option;
+      (* the shard holding this edge switch's host bindings, learned from
+         its announces. The FM's coordinate pod labels are assigned in
+         discovery order and need not equal the IP-addressing pods, so
+         the owning shard cannot be derived from [coords] — it must be
+         remembered from the announced IPs. *)
 }
 
 type pending_arp = { from_sw : int; requester_ip : Ipv4_addr.t; requester_port : int }
@@ -31,6 +37,7 @@ type shard = {
   sh_bindings : (Ipv4_addr.t, Msg.host_binding) Hashtbl.t;
   sh_pending : (Ipv4_addr.t, pending_arp list) Hashtbl.t;
   mutable sh_log : repl_entry list; (* newest first *)
+  mutable sh_replays : int; (* times this shard's log was replayed *)
   mutable sh_serve : int array;
       (* read-optimized mirror of [sh_bindings] for batched resolution: a
          flat linear-probe table interleaving (ip+1, packed PMAC) slot
@@ -112,10 +119,13 @@ let core_shard t = t.shards.(t.fm_shards)
 
 let log_entry sh e = sh.sh_log <- e :: sh.sh_log
 
-let iter_bindings t f =
-  for s = 0 to t.fm_shards - 1 do
-    Hashtbl.iter (fun _ b -> f b) t.shards.(s).sh_bindings
-  done
+let replay_bindings sh tbl =
+  sh.sh_replays <- sh.sh_replays + 1;
+  List.iter
+    (function R_bind b -> Hashtbl.replace tbl b.Msg.ip b | R_fault _ | R_mcast _ -> ())
+    (List.rev sh.sh_log)
+
+let shard_log_replays t = Array.map (fun sh -> sh.sh_replays) t.shards
 
 let jemit t u = match t.journal with None -> () | Some f -> f u
 
@@ -293,7 +303,10 @@ let get_sw t id =
   match Hashtbl.find_opt t.switches id with
   | Some sw -> sw
   | None ->
-    let sw = { sw_id = id; level = None; neighbors = []; host_ports = []; coords = None } in
+    let sw =
+      { sw_id = id; level = None; neighbors = []; host_ports = []; coords = None;
+        owning_shard = None }
+    in
     Hashtbl.replace t.switches id sw;
     sw
 
@@ -938,7 +951,7 @@ let on_recovery_notice t ~switch_id ~neighbor =
    ordinary discovery path places it from scratch. *)
 let on_coords_request t ~switch_id =
   match Hashtbl.find_opt t.switches switch_id with
-  | Some { coords = Some c; _ } ->
+  | Some ({ coords = Some c; _ } as swi) ->
     tracef t Eventsim.Trace.Info "switch %d rebooted; replaying state for %a" switch_id Coords.pp
       c;
     Ctrl.send_to_switch t.ctrl switch_id (Msg.Assign_coords c);
@@ -946,14 +959,22 @@ let on_coords_request t ~switch_id =
       (Msg.Fault_update { faults = Fault.Set.elements t.faults });
     (match c with
      | Coords.Edge _ ->
-       let acc = ref [] in
-       iter_bindings t (fun (b : Msg.host_binding) ->
-           if b.Msg.edge_switch = switch_id then acc := b :: !acc);
+       (* shard-scoped resync: all of a rebooted edge's bindings live on
+          the one shard its announced IPs hashed to, so replay only that
+          shard's replication log — foreign shards are never read. A
+          switch that never announced a host has nothing to restore. *)
        let bindings =
-         List.sort
-           (fun (a : Msg.host_binding) b ->
-             int_compare (Ipv4_addr.to_int a.Msg.ip) (Ipv4_addr.to_int b.Msg.ip))
-           !acc
+         match swi.owning_shard with
+         | None -> []
+         | Some s ->
+           let tbl = Hashtbl.create 32 in
+           replay_bindings t.shards.(s) tbl;
+           Hashtbl.fold
+             (fun _ (b : Msg.host_binding) acc ->
+               if b.Msg.edge_switch = switch_id then b :: acc else acc)
+             tbl []
+           |> List.sort (fun (a : Msg.host_binding) b ->
+                  int_compare (Ipv4_addr.to_int a.Msg.ip) (Ipv4_addr.to_int b.Msg.ip))
        in
        if bindings <> [] then
          Ctrl.send_to_switch t.ctrl switch_id (Msg.Host_restore { bindings })
@@ -1046,6 +1067,11 @@ let on_host_announce t (b : Msg.host_binding) =
   Hashtbl.replace sh.sh_bindings b.Msg.ip b;
   sh.sh_serve <- [||];
   log_entry sh (R_bind b);
+  (* remember which shard holds this edge's bindings, for shard-scoped
+     resync on reboot (host IPs of one edge all share its pod) *)
+  (match Hashtbl.find_opt t.switches b.Msg.edge_switch with
+   | Some swi -> swi.owning_shard <- Some (shard_index t b.Msg.ip)
+   | None -> ());
   jemit t (Journal.Binding { ip = b.Msg.ip });
   (* answer anyone who was waiting on this mapping — except switches that
      died while the resolution was in flight *)
@@ -1120,11 +1146,6 @@ let shard_binding_digest sh =
   Printf.sprintf "%016x"
     (* FNV offset basis truncated to 62 bits, as elsewhere in the repo *)
     (List.fold_left fnv1a_str 0x3bf29ce484222325 (List.sort compare rows))
-
-let replay_bindings sh tbl =
-  List.iter
-    (function R_bind b -> Hashtbl.replace tbl b.Msg.ip b | R_fault _ | R_mcast _ -> ())
-    (List.rev sh.sh_log)
 
 let replay_faults sh =
   let tbl = Hashtbl.create 16 in
@@ -1256,6 +1277,7 @@ let create ?(obs = Obs.null) ?(fm_shards = 1) engine config ctrl ~spec =
             { sh_bindings = Hashtbl.create 1024;
               sh_pending = Hashtbl.create 16;
               sh_log = [];
+              sh_replays = 0;
               sh_serve = [||] });
       arp_gen = 0;
       faults = Fault.Set.create ();

@@ -98,6 +98,13 @@ val failover_shard : t -> pod:int -> bool
     Keyed by pod so a chaos plan means the same thing under every
     [fm_shards] count. *)
 
+val shard_log_replays : t -> int array
+(** How many times each shard's replication log has been replayed
+    (pod shards first, core shard last) — by {!failover_shard}, by
+    {!shard_integrity}, and by the shard-scoped resync that restores a
+    rebooted edge switch's host bindings. The resync test asserts the
+    last touches {e only} the rebooted switch's owning shard. *)
+
 val shard_integrity : t -> string list
 (** Cross-shard binding agreement, both directions: every binding lives
     on exactly its owning shard and the sharded lookup finds it; every

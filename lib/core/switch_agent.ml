@@ -100,6 +100,16 @@ let arp_cache_entries t =
   |> List.sort (fun (a, _, _) (b, _, _) -> Ipv4_addr.compare a b)
 
 let arp_gen_seen t = t.arp_gen_seen
+
+(* live migration traps, sorted by stale PMAC for deterministic iteration *)
+let trap_entries t =
+  Hashtbl.fold (fun stale tr acc -> (stale, tr.t_ip, tr.t_new_pmac) :: acc) t.traps []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare (a : int) b)
+
+(* multicast programming (group -> out ports), sorted by group *)
+let mcast_programming t =
+  Hashtbl.fold (fun g ports acc -> (g, ports) :: acc) t.mcast []
+  |> List.sort (fun (a, _) (b, _) -> Ipv4_addr.compare a b)
 let table t = t.table
 let table_size t = FT.size t.table
 let is_operational t = t.operational

@@ -97,6 +97,19 @@ val arp_gen_seen : t -> int
 (** The newest fabric-wide ARP generation this switch has observed (from
     [Msg.Arp_answer] stamps and [Msg.Arp_gen] broadcasts). *)
 
+val trap_entries : t -> (int * Netcore.Ipv4_addr.t * Pmac.t) list
+(** The edge's live migration traps as (stale PMAC integer, trapped IP,
+    current PMAC), sorted by the stale PMAC — empty for non-edge
+    switches. One ["trap:<stale>"] punt entry per element is installed in
+    the flow table; {!Portland_policy.baseline} reads this to emit the
+    equivalent declarative clauses. *)
+
+val mcast_programming : t -> (Netcore.Ipv4_addr.t * int list) list
+(** The switch's multicast programming as (group, out ports) sorted by
+    group — the state behind its ["mcast:<group>"] entries (port order
+    preserved; it is what the FM programmed). Read by
+    {!Portland_policy.baseline}. *)
+
 val set_journal : t -> Journal.hook option -> unit
 (** Subscribe to this agent's control-plane updates: every flow-table
     mutation (forwarded from the agent's {!Switchfab.Flow_table} with

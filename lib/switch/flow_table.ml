@@ -486,3 +486,22 @@ let pp fmt t =
       Format.fprintf fmt "group %d -> [%s]@." gid
         (String.concat ";" (List.map string_of_int (Array.to_list members))))
     t.groups
+
+(* ---------------- canonical rendering ---------------- *)
+
+let render_entry e =
+  Format.asprintf "%d %s %a [%s]" e.priority e.name pp_mtch e.mtch
+    (String.concat "; " (List.map (Format.asprintf "%a" pp_action) e.actions))
+
+let canonical_lines t =
+  let entry_lines = List.sort String.compare (List.map render_entry t.entries) in
+  let group_lines =
+    Hashtbl.fold
+      (fun gid members acc ->
+        Printf.sprintf "group %d [%s]" gid
+          (String.concat ";" (List.map string_of_int (Array.to_list members)))
+        :: acc)
+      t.groups []
+    |> List.sort String.compare
+  in
+  entry_lines @ group_lines

@@ -144,6 +144,19 @@ val lookup_dst_linear : t -> int -> entry option
 (** Reference implementation of {!lookup_dst} (linear scan), for
     differential testing. *)
 
+val render_entry : entry -> string
+(** One-line canonical rendering of an entry (priority, name, match,
+    actions) — the unit of comparison in the policy differential
+    checker's counterexamples. *)
+
+val canonical_lines : t -> string list
+(** Order-insensitive canonical rendering of the whole table: one sorted
+    line per entry ({!render_entry}) followed by one sorted line per
+    select group (member order preserved — it is ECMP-behavior-relevant).
+    Two tables with the same entries and groups render identically
+    regardless of insertion order; {!Portland_policy} digests these lines
+    to prove compiled tables equivalent to the handwritten programming. *)
+
 (** {1 Update journal}
 
     Every mutation of the table can be observed as a typed update carrying

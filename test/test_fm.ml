@@ -144,6 +144,43 @@ let test_failover_shard () =
   Testutil.assert_verified ~msg:"dataplane after shard failovers" fab;
   Testutil.assert_all_pairs_deliver ~msg:"delivery after shard failovers" fab
 
+(* A rebooted edge switch gets its host bindings back by replaying the
+   replication log of the shard that owns its hosts' IPs — and only that
+   one. Foreign pod shards and the core shard must never be read: their
+   replay counters stay put. The owning shard is keyed by the hosts'
+   {e IP} pods, not the FM's discovery-order pod labels, so the expected
+   index is computed from a bound IP. *)
+let test_resync_reads_only_owning_shard () =
+  let fm_shards = 4 in
+  let fab = F.create (F.Config.fattree ~obs:Obs.null ~seed:21 ~fm_shards ~k:4 ()) in
+  Alcotest.(check bool) "converged" true (F.await_convergence fab);
+  let fm = F.fabric_manager fab in
+  let h = F.host fab ~pod:2 ~edge:0 ~slot:0 in
+  let b =
+    match FM.lookup_binding fm (HA.ip h) with
+    | Some b -> b
+    | None -> Alcotest.fail "host unbound"
+  in
+  let owning =
+    ((Netcore.Ipv4_addr.to_int b.Portland.Msg.ip lsr 16) land 0xff) mod fm_shards
+  in
+  let before = FM.shard_log_replays fm in
+  F.fail_switch fab b.Portland.Msg.edge_switch;
+  F.run_for fab (Time.ms 300);
+  F.recover_switch fab b.Portland.Msg.edge_switch;
+  Alcotest.(check bool) "reconverged after reboot" true (F.await_convergence fab);
+  let after = FM.shard_log_replays fm in
+  Testutil.check_int "replay counters cover pod shards + core shard"
+    (fm_shards + 1) (Array.length after);
+  Alcotest.(check bool) "owning shard's log replayed" true (after.(owning) > before.(owning));
+  Array.iteri
+    (fun i n ->
+      if i <> owning then
+        Testutil.check_int (Printf.sprintf "shard %d log untouched" i) before.(i) n)
+    after;
+  (* the replayed bindings are live: the rebooted edge serves its hosts *)
+  Testutil.assert_verified ~msg:"dataplane after shard-scoped resync" fab
+
 (* ---------------- FM restart racing an in-flight ARP miss ---------------- *)
 
 (* the satellite-4 race: a host's first ARP query is on the wire when the
@@ -270,7 +307,9 @@ let () =
           Alcotest.test_case "shard integrity on a converged fabric" `Quick
             test_shard_integrity_converged;
           Alcotest.test_case "failover rebuilds every shard from its log" `Quick
-            test_failover_shard ] );
+            test_failover_shard;
+          Alcotest.test_case "edge resync reads only the owning shard's log" `Quick
+            test_resync_reads_only_owning_shard ] );
       ( "fm-restart-race",
         [ Alcotest.test_case "ARP miss in flight, classic engine" `Quick
             test_fm_restart_races_arp_miss;

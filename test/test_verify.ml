@@ -305,9 +305,14 @@ let test_dead_edge_is_note_not_blackhole () =
 
 (* drive a seeded failure/recovery/corruption script, re-asserting the
    differential guarantee after every step — including non-quiescent
-   points mid-recomputation *)
-let differential_script ~k ~seed ~ops () =
-  let fab = Testutil.converged_fabric ~k ~seed () in
+   points mid-recomputation. [topo] picks the family member ("plain",
+   "ab", "two-layer"); under the agg-less leaf-spine, agg-targeting ops
+   are remapped to their closest analogue (leaf uplinks go straight to
+   the spines, so the uplink ops flap edge-core links, and agg crashes
+   become edge crashes). *)
+let differential_script ?(topo = "plain") ~k ~seed ~ops () =
+  let family = Topology.Topo.Family.of_string ~k topo |> Result.get_ok in
+  let fab = Testutil.converged_family ~seed family in
   let inc = VI.attach fab in
   let mt = Fabric.tree fab in
   let pods = Array.length mt.MR.edges in
@@ -319,16 +324,21 @@ let differential_script ~k ~seed ~ops () =
   let settle ms = Fabric.run_for fab (Time.ms ms) in
   for op = 1 to ops do
     let agree what = check_agrees ~msg:(Printf.sprintf "op %d: %s" op what) inc fab in
-    match Prng.int p 6 with
+    let kind = Prng.int p 6 in
+    let kind = if app > 0 then kind else (match kind with 1 -> 0 | 2 -> 3 | x -> x) in
+    match kind with
     | 0 ->
       let a = mt.MR.edges.(Prng.int p pods).(Prng.int p epp)
-      and b = mt.MR.aggs.(Prng.int p pods).(Prng.int p app) in
+      and b =
+        if app > 0 then mt.MR.aggs.(Prng.int p pods).(Prng.int p app)
+        else mt.MR.cores.(Prng.int p ncores)
+      in
       if Fabric.fail_link_between fab ~a ~b then begin
         settle 300;
-        agree "edge-agg link down";
+        agree "uplink down";
         ignore (Fabric.recover_link_between fab ~a ~b);
         settle 300;
-        agree "edge-agg link recovered"
+        agree "uplink recovered"
       end
     | 1 ->
       let a = mt.MR.aggs.(Prng.int p pods).(Prng.int p app)
@@ -382,11 +392,15 @@ let differential_script ~k ~seed ~ops () =
   VI.detach inc
 
 let prop_incremental_differential =
-  Testutil.prop "incremental = full over random op scripts (k in {4,8})" ~count:4
+  Testutil.prop
+    "incremental = full over random op scripts (families x k in {4,8})" ~count:6
     QCheck2.Gen.(int_bound 10_000)
     (fun seed ->
       let k = if seed mod 4 = 0 then 8 else 4 in
-      differential_script ~k ~seed:(seed + 1) ~ops:4 ();
+      let topo =
+        match seed mod 3 with 0 -> "plain" | 1 -> "ab" | _ -> "two-layer"
+      in
+      differential_script ~topo ~k ~seed:(seed + 1) ~ops:4 ();
       true)
 
 let test_report_renders () =
@@ -430,7 +444,11 @@ let () =
           Alcotest.test_case "dead edge is a note, not a blackhole" `Quick
             test_dead_edge_is_note_not_blackhole;
           Alcotest.test_case "scripted failure/recovery differential" `Slow
-            (differential_script ~k:4 ~seed:7 ~ops:8);
+            (differential_script ~topo:"plain" ~k:4 ~seed:7 ~ops:8);
+          Alcotest.test_case "scripted differential, AB fat tree" `Slow
+            (differential_script ~topo:"ab" ~k:4 ~seed:11 ~ops:6);
+          Alcotest.test_case "scripted differential, two-layer leaf-spine" `Slow
+            (differential_script ~topo:"two-layer" ~k:4 ~seed:13 ~ops:6);
           prop_incremental_differential ] );
       ( "report",
         [ Alcotest.test_case "pretty-printing" `Quick test_report_renders ] ) ]
